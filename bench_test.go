@@ -1,0 +1,320 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark per table
+// or figure (see DESIGN.md §3 and EXPERIMENTS.md for the mapping):
+//
+//	BenchmarkTable1_*    — one Table 1 cell: RIP and each baseline DP
+//	BenchmarkTable2_*    — Table 2's runtime column: DP cost vs gDP, and RIP
+//	BenchmarkFigure7_*   — one Figure 7 sample point per panel
+//	BenchmarkAblation_*  — pipeline-variant costs (DESIGN.md ablations)
+//	Benchmark<micro>     — substrate costs (Elmore, width solve, REFINE)
+//
+// Benchmarks measure cost, not quality; the quality numbers are printed by
+// cmd/ripbench and recorded in EXPERIMENTS.md.
+package rip_test
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/sim"
+	"github.com/rip-eda/rip/internal/tree"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// benchCase lazily prepares one mid-corpus net with its τmin.
+type benchCase struct {
+	net    *rip.Net
+	tech   *rip.Technology
+	ev     *delay.Evaluator
+	tmin   float64
+	target float64
+	// positions are three legal repeater slots spread across the net,
+	// used by the width-solve and REFINE microbenchmarks.
+	positions []float64
+}
+
+var benchShared *benchCase
+
+func benchSetup(b *testing.B) *benchCase {
+	b.Helper()
+	if benchShared != nil {
+		return benchShared
+	}
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 2005, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := nets[7] // a representative mid-corpus net
+	ev, err := delay.NewEvaluator(net, tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	legal := net.Line.LegalPositions(200 * units.Micron)
+	if len(legal) < 3 {
+		b.Fatal("bench net has too few legal positions")
+	}
+	positions := []float64{
+		legal[len(legal)/4],
+		legal[len(legal)/2],
+		legal[3*len(legal)/4],
+	}
+	benchShared = &benchCase{net: net, tech: tech, ev: ev, tmin: tmin, target: 1.3 * tmin, positions: positions}
+	return benchShared
+}
+
+func benchLib(b *testing.B, min, step float64, n int) repeater.Library {
+	b.Helper()
+	l, err := repeater.Uniform(min, step, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func benchRange(b *testing.B, g float64) repeater.Library {
+	b.Helper()
+	l, err := repeater.Range(10, 400, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// --- Table 1: one cell of the per-net comparison ---
+
+func BenchmarkTable1_RIP(b *testing.B) {
+	c := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		res, err := core.Insert(c.ev, c.target, core.DefaultConfig())
+		if err != nil || !res.Solution.Feasible {
+			b.Fatalf("err=%v feasible=%v", err, res.Solution.Feasible)
+		}
+	}
+}
+
+func benchmarkTable1DP(b *testing.B, g float64) {
+	c := benchSetup(b)
+	lib := benchLib(b, 10, g, 10)
+	for i := 0; i < b.N; i++ {
+		_, err := dp.Solve(c.ev, dp.Options{
+			Library: lib, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: c.target,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_DP_g10(b *testing.B) { benchmarkTable1DP(b, 10) }
+func BenchmarkTable1_DP_g20(b *testing.B) { benchmarkTable1DP(b, 20) }
+func BenchmarkTable1_DP_g40(b *testing.B) { benchmarkTable1DP(b, 40) }
+
+// --- Table 2: DP cost growth with library granularity vs flat RIP cost ---
+
+func benchmarkTable2DP(b *testing.B, g float64) {
+	c := benchSetup(b)
+	lib := benchRange(b, g)
+	for i := 0; i < b.N; i++ {
+		_, err := dp.Solve(c.ev, dp.Options{
+			Library: lib, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: c.target,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_DP_gDP40(b *testing.B) { benchmarkTable2DP(b, 40) }
+func BenchmarkTable2_DP_gDP30(b *testing.B) { benchmarkTable2DP(b, 30) }
+func BenchmarkTable2_DP_gDP20(b *testing.B) { benchmarkTable2DP(b, 20) }
+func BenchmarkTable2_DP_gDP10(b *testing.B) { benchmarkTable2DP(b, 10) }
+
+func BenchmarkTable2_RIP(b *testing.B) {
+	c := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Insert(c.ev, c.target, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: one sample point per panel (RIP + baseline at one target) ---
+
+func benchmarkFigure7Point(b *testing.B, g float64) {
+	c := benchSetup(b)
+	lib := benchLib(b, 10, g, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Insert(c.ev, c.target, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dp.Solve(c.ev, dp.Options{
+			Library: lib, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: c.target,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7a_Point(b *testing.B) { benchmarkFigure7Point(b, 10) }
+func BenchmarkFigure7b_Point(b *testing.B) { benchmarkFigure7Point(b, 40) }
+
+// --- Ablation benches: the pipeline variants DESIGN.md calls out ---
+
+func benchmarkAblation(b *testing.B, mut func(*core.Config)) {
+	c := benchSetup(b)
+	cfg := core.DefaultConfig()
+	mut(&cfg)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Insert(c.ev, c.target, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Window2(b *testing.B) {
+	benchmarkAblation(b, func(c *core.Config) { c.LocalWindow = 2 })
+}
+func BenchmarkAblation_Window20(b *testing.B) {
+	benchmarkAblation(b, func(c *core.Config) { c.LocalWindow = 20 })
+}
+func BenchmarkAblation_Refine3(b *testing.B) {
+	benchmarkAblation(b, func(c *core.Config) { c.RefinePasses = 3 })
+}
+func BenchmarkAblation_ZoneCrossing(b *testing.B) {
+	benchmarkAblation(b, func(c *core.Config) { c.Refine.ZoneCrossing = true })
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkElmoreTotal(b *testing.B) {
+	c := benchSetup(b)
+	a := delay.Assignment{
+		Positions: c.positions,
+		Widths:    []float64{200, 180, 150},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.ev.Total(a)
+	}
+}
+
+func BenchmarkWidthSolve(b *testing.B) {
+	c := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveWidths(c.ev, c.positions, c.target, core.WidthOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefine(b *testing.B) {
+	c := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Refine(c.ev, c.positions, c.target, core.RefineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoarseDP(b *testing.B) {
+	c := benchSetup(b)
+	lib := benchLib(b, 80, 80, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Solve(c.ev, dp.Options{
+			Library: lib, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: c.target,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tree extension (§7): insertion cost on a random 8-sink tree ---
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tech := rip.T180()
+	cfg, err := tree.DefaultGenConfig(tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	tr, err := tree.Generate(rng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := benchLib(b, 60, 60, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Insert(tr, tree.Options{Library: lib, Tech: tech, DriverWidth: 240}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchRand returns a fixed-seed source so tree benches are stable.
+func newBenchRand() *mrand.Rand { return mrand.New(mrand.NewSource(2005)) }
+
+// BenchmarkTreeHybrid measures the tree RIP pipeline on the same instance
+// BenchmarkTreeInsert uses with a fine library, exposing the cost gap the
+// TreeStudy experiment reports.
+func BenchmarkTreeHybrid(b *testing.B) {
+	tech := rip.T180()
+	cfg, err := tree.DefaultGenConfig(tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	tr, err := tree.Generate(rng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fine := benchRange(b, 10)
+	opts := tree.Options{Library: fine, Tech: tech, DriverWidth: 240}
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.InsertHybrid(tr, opts, tree.HybridConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeFineDP is the expensive comparator for BenchmarkTreeHybrid.
+func BenchmarkTreeFineDP(b *testing.B) {
+	tech := rip.T180()
+	cfg, err := tree.DefaultGenConfig(tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	tr, err := tree.Generate(rng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fine := benchRange(b, 10)
+	opts := tree.Options{Library: fine, Tech: tech, DriverWidth: 240}
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Insert(tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimStage measures the transient golden-model cost per stage.
+func BenchmarkSimStage(b *testing.B) {
+	c := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.StageDelay50(c.net.Line, c.tech, c.positions[0], c.positions[1], 200, 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command chipflow runs the chip-level repeater insertion flow: read a
+// design JSON (die, macros, net list in µm), route every net across the
+// floorplan, run the RIP pipeline per net in parallel, and print the
+// design summary (optionally per-net engineering reports).
+//
+// Usage:
+//
+//	chipflow -design design.json
+//	chipflow -design design.json -report clk_spine   # drill into one net
+//	chipflow -example > design.json                  # emit a starter file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/flow"
+	"github.com/rip-eda/rip/internal/report"
+	"github.com/rip-eda/rip/internal/route"
+)
+
+func main() {
+	var (
+		designFile = flag.String("design", "", "design JSON file (die, macros, nets)")
+		techName   = flag.String("tech", "180nm", "built-in technology node")
+		targetMult = flag.Float64("target", 1.25, "default timing target as a multiple of τmin")
+		reportNet  = flag.String("report", "", "print the full report for this net")
+		example    = flag.Bool("example", false, "emit a starter design JSON to stdout and exit")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	if *example {
+		emitExample()
+		return
+	}
+	if *designFile == "" {
+		fmt.Fprintln(os.Stderr, "chipflow: -design FILE is required (try -example)")
+		os.Exit(2)
+	}
+	tech, err := rip.BuiltinTech(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*designFile)
+	if err != nil {
+		fatal(err)
+	}
+	fp, specs, err := flow.ReadDesign(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	rc, err := route.DefaultConfig(tech)
+	if err != nil {
+		fatal(err)
+	}
+	plan := &flow.Plan{
+		Floorplan:  fp,
+		Tech:       tech,
+		Route:      rc,
+		RIP:        rip.DefaultConfig(),
+		TargetMult: *targetMult,
+		Workers:    *workers,
+	}
+	sum, err := flow.Run(plan, specs)
+	if err != nil {
+		fatal(err)
+	}
+	sum.Render(os.Stdout)
+	if *reportNet != "" {
+		found := false
+		for _, r := range sum.Results {
+			if r.Spec.Name != *reportNet {
+				continue
+			}
+			found = true
+			if r.Err != nil {
+				fatal(r.Err)
+			}
+			fmt.Println()
+			err := report.Write(os.Stdout, r.Net, tech, r.Result, r.Target,
+				report.Options{Stages: true, Metrics: true, Sketch: true})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("no net named %q in the design", *reportNet))
+		}
+	}
+}
+
+func emitExample() {
+	fp := &route.Floorplan{
+		Width:  20e-3,
+		Height: 16e-3,
+		Macros: []route.Rect{
+			{X1: 5e-3, Y1: 2e-3, X2: 9e-3, Y2: 7e-3},
+			{X1: 12e-3, Y1: 8e-3, X2: 16e-3, Y2: 13e-3},
+		},
+	}
+	specs := []flow.NetSpec{
+		{Name: "clk", From: route.Pin{X: 1e-3, Y: 1e-3}, To: route.Pin{X: 18e-3, Y: 14e-3}, Bends: 3, TargetMult: 1.1},
+		{Name: "dbus0", From: route.Pin{X: 2e-3, Y: 8e-3}, To: route.Pin{X: 17e-3, Y: 3e-3}, Bends: 1},
+	}
+	if err := flow.WriteDesign(os.Stdout, fp, specs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chipflow:", err)
+	os.Exit(1)
+}

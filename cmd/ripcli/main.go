@@ -1,0 +1,223 @@
+// Command ripcli solves one repeater insertion instance from a net JSON
+// file (or a generated net) and prints the solution.
+//
+// Usage:
+//
+//	ripcli -net nets.json -index 0 -target 1.3      # 1.3·τmin on net #0
+//	ripcli -gen -seed 7 -target-ns 1.2              # random net, 1.2 ns
+//	ripcli -net nets.json -mode dp -g 20            # baseline DP instead
+//	ripcli -net nets.json -mode refine              # analytical phase only
+//
+// Targets: -target is relative to the net's τmin; -target-ns is absolute
+// nanoseconds (exactly one must be given).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/report"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+func main() {
+	var (
+		netFile  = flag.String("net", "", "net JSON file (array of nets)")
+		index    = flag.Int("index", 0, "net index within the file")
+		gen      = flag.Bool("gen", false, "generate a random paper-style net instead of reading one")
+		seed     = flag.Int64("seed", 1, "seed for -gen")
+		techName = flag.String("tech", "180nm", "built-in technology node")
+		mode     = flag.String("mode", "rip", "solver: rip, dp or refine")
+		g        = flag.Float64("g", 10, "baseline DP width granularity in u (mode=dp)")
+		relT     = flag.Float64("target", 0, "timing target as a multiple of τmin")
+		absT     = flag.Float64("target-ns", 0, "timing target in nanoseconds")
+		metrics  = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
+		jsonOut  = flag.Bool("json", false, "emit the solution as JSON instead of text")
+		fullRep  = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
+	)
+	flag.Parse()
+
+	tech, err := rip.BuiltinTech(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := loadNet(*netFile, *index, *gen, *seed, tech)
+	if err != nil {
+		fatal(err)
+	}
+
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		fatal(err)
+	}
+	var target float64
+	switch {
+	case *relT > 0 && *absT > 0:
+		fatal(fmt.Errorf("give either -target or -target-ns, not both"))
+	case *relT > 0:
+		target = *relT * tmin
+	case *absT > 0:
+		target = *absT * units.NanoSecond
+	default:
+		fatal(fmt.Errorf("a timing target is required: -target (×τmin) or -target-ns"))
+	}
+
+	fmt.Printf("net %s: %d segments, length %s, %d zones, τmin %s, target %s\n",
+		net.Name, net.Line.NumSegments(), units.Meters(net.Line.Length()),
+		len(net.Line.Zones()), units.Seconds(tmin), units.Seconds(target))
+
+	switch *mode {
+	case "rip":
+		res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(net, res.Solution, target)
+			return
+		}
+		if *fullRep {
+			err := report.Write(os.Stdout, net, tech, res, target,
+				report.Options{Stages: true, Metrics: true, Sketch: true})
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+		printSolution(net, tech, res.Solution, target)
+		rep := res.Report
+		fmt.Printf("phases: coarse %v (w=%.1f) | refine %v (w=%.1f, %d moves) | final %v | picked %s\n",
+			rep.CoarseTime.Round(1000), rep.CoarseDP.TotalWidth,
+			rep.RefineTime.Round(1000), rep.Refined.TotalWidth, rep.Refined.Moves,
+			rep.FinalTime.Round(1000), rep.Picked)
+		if *metrics && res.Solution.Feasible {
+			printMetrics(net, tech, res.Solution.Assignment)
+		}
+	case "dp":
+		lib, err := rip.UniformLibrary(10, *g, 10)
+		if err != nil {
+			fatal(err)
+		}
+		sol, err := rip.SolveDP(net, tech, lib, 200*units.Micron, target)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(net, sol, target)
+			return
+		}
+		printSolution(net, tech, sol, target)
+		if *metrics && sol.Feasible {
+			printMetrics(net, tech, sol.Assignment)
+		}
+	case "refine":
+		// Seed the analytical phase from uniform legal positions.
+		res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		r := res.Report.Refined
+		fmt.Printf("refine: %d repeaters, continuous total width %.2fu, λ=%.3g, delay %s, %d iterations\n",
+			r.Assignment.N(), r.TotalWidth, r.Lambda, units.Seconds(r.Delay), r.Iterations)
+		for i := range r.Assignment.Positions {
+			fmt.Printf("  repeater %d: x=%s w=%.2fu\n", i+1,
+				units.Meters(r.Assignment.Positions[i]), r.Assignment.Widths[i])
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want rip, dp or refine)", *mode))
+	}
+}
+
+func loadNet(path string, index int, gen bool, seed int64, tech *rip.Technology) (*rip.Net, error) {
+	if gen {
+		rng := rand.New(rand.NewSource(seed))
+		return rip.GenerateNet(tech, rng, fmt.Sprintf("gen-%d", seed))
+	}
+	if path == "" {
+		return nil, fmt.Errorf("either -net FILE or -gen is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	nets, err := wire.ReadNets(f)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(nets) {
+		return nil, fmt.Errorf("index %d out of range: file has %d nets", index, len(nets))
+	}
+	return nets[index], nil
+}
+
+func printSolution(net *rip.Net, tech *rip.Technology, sol rip.Solution, target float64) {
+	if !sol.Feasible {
+		fmt.Println("INFEASIBLE: no repeater assignment meets the target in the searched space")
+		return
+	}
+	pm, err := rip.NewPowerModel(tech)
+	if err != nil {
+		fatal(err)
+	}
+	rep := pm.Report(sol.TotalWidth, net.Line.TotalC())
+	fmt.Printf("solution: %d repeaters, total width %.1fu, delay %s (target %s)\n",
+		sol.Assignment.N(), sol.TotalWidth, units.Seconds(sol.Delay), units.Seconds(target))
+	fmt.Printf("power: repeaters %s + wire %s = %s\n",
+		units.Watts(rep.RepeaterW), units.Watts(rep.WireW), units.Watts(rep.TotalW()))
+	for i := range sol.Assignment.Positions {
+		fmt.Printf("  repeater %d: x=%s w=%.0fu\n", i+1,
+			units.Meters(sol.Assignment.Positions[i]), sol.Assignment.Widths[i])
+	}
+}
+
+// printMetrics reports the solution's delay under both metrics: Elmore
+// (what the optimizer guarantees) and the tighter two-moment D2M estimate.
+func printMetrics(net *rip.Net, tech *rip.Technology, a rip.Assignment) {
+	m, err := rip.EvaluateMetrics(net, tech, a)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics: Elmore %s, D2M %s (ratio %.3f) — Elmore is the conservative bound\n",
+		units.Seconds(m.Elmore), units.Seconds(m.D2M), m.Ratio())
+}
+
+// solutionJSON is ripcli's machine-readable output (µm / ns conventions).
+type solutionJSON struct {
+	Net         string    `json:"net"`
+	Feasible    bool      `json:"feasible"`
+	TargetNS    float64   `json:"target_ns"`
+	DelayNS     float64   `json:"delay_ns"`
+	TotalWidthU float64   `json:"total_width_u"`
+	PositionsUM []float64 `json:"positions_um"`
+	WidthsU     []float64 `json:"widths_u"`
+}
+
+func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
+	out := solutionJSON{
+		Net:         net.Name,
+		Feasible:    sol.Feasible,
+		TargetNS:    target / units.NanoSecond,
+		DelayNS:     sol.Delay / units.NanoSecond,
+		TotalWidthU: sol.TotalWidth,
+	}
+	for _, x := range sol.Assignment.Positions {
+		out.PositionsUM = append(out.PositionsUM, units.ToMicrons(x))
+	}
+	out.WidthsU = append(out.WidthsU, sol.Assignment.Widths...)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripcli:", err)
+	os.Exit(1)
+}

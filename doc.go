@@ -1,0 +1,32 @@
+// Package rip is a Go reproduction of "RIP: An Efficient Hybrid Repeater
+// Insertion Scheme for Low Power" (Liu, Peng, Papaefthymiou — DATE 2005).
+//
+// Given a routed two-pin global interconnect — segments with per-unit RC,
+// forbidden zones under macro blocks, fixed driver and receiver — and a
+// timing budget, RIP computes the number, widths and locations of repeaters
+// that meet the budget with minimum repeater power (equivalently, minimum
+// total repeater width). The hybrid pipeline combines:
+//
+//  1. a coarse van Ginneken / Lillis dynamic program,
+//  2. REFINE — an analytical Lagrangian solver that sizes repeaters
+//     continuously and moves them along the line using one-sided Elmore
+//     delay derivatives, and
+//  3. a final dynamic program over a concise library and candidate set
+//     synthesized from the analytical solution.
+//
+// # Quick start
+//
+//	t := rip.T180()
+//	line, _ := rip.NewLine([]rip.Segment{
+//		{Length: 5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+//	}, nil)
+//	net := &rip.Net{Name: "n", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+//	tmin, _ := rip.MinimumDelay(net, t)
+//	res, _ := rip.Insert(net, t, 1.3*tmin, rip.DefaultConfig())
+//	fmt.Println(res.Solution.Assignment)
+//
+// The subpackages under internal implement the substrates (wire model,
+// Elmore evaluator, DP baseline, analytical solver, experiment harness);
+// this package re-exports the stable surface. The cmd/ binaries reproduce
+// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+package rip

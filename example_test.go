@@ -1,0 +1,68 @@
+package rip_test
+
+import (
+	"fmt"
+	"log"
+
+	rip "github.com/rip-eda/rip"
+)
+
+// ExampleInsert runs the full hybrid pipeline on a two-segment net and
+// prints the repeater count and whether timing was met.
+func ExampleInsert() {
+	tech := rip.T180()
+	line, err := rip.NewLine([]rip.Segment{
+		{Length: 6e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 6e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "ex", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rip.Insert(net, tech, 1.5*tmin, rip.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v, repeaters: %d, meets 1.5·τmin: %v\n",
+		res.Solution.Feasible, res.Solution.Assignment.N(), res.Solution.Delay <= 1.5*tmin)
+	// Output:
+	// feasible: true, repeaters: 1, meets 1.5·τmin: true
+}
+
+// ExampleSolveWidths shows the analytical KKT width solve: the Lagrange
+// condition makes every ∂τ/∂w_i equal to −1/λ.
+func ExampleSolveWidths() {
+	tech := rip.T180()
+	line, err := rip.UniformLine(10e-3, 8e4, 2.3e-10, "metal4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "kkt", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wr, err := rip.SolveWidths(net, tech, []float64{2.5e-3, 5e-3, 7.5e-3}, 1.4*tmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("widths: %d, λ > 0: %v, delay pinned to target: %v\n",
+		len(wr.Widths), wr.Lambda > 0, wr.Delay <= 1.4*tmin*(1+1e-9))
+	// Output:
+	// widths: 3, λ > 0: true, delay pinned to target: true
+}
+
+// ExampleUniformLibrary builds the paper's coarse library.
+func ExampleUniformLibrary() {
+	lib, err := rip.UniformLibrary(80, 80, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(lib)
+	// Output:
+	// {80u,160u,240u,320u,400u}
+}

@@ -1,0 +1,68 @@
+// Chip flow: the downstream-user workload. Route a small netlist across a
+// floorplan with macro blocks, run RIP on every net in parallel, print the
+// design-level power/repeater summary, and drill into one net with the
+// full engineering report.
+//
+//	go run ./examples/chipflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/flow"
+	"github.com/rip-eda/rip/internal/report"
+	"github.com/rip-eda/rip/internal/route"
+)
+
+func main() {
+	tech := rip.T180()
+	fp := &route.Floorplan{
+		Width:  22e-3,
+		Height: 18e-3,
+		Macros: []route.Rect{
+			{X1: 3e-3, Y1: 2e-3, X2: 8e-3, Y2: 8e-3},    // cache
+			{X1: 10e-3, Y1: 9e-3, X2: 15e-3, Y2: 15e-3}, // dsp
+			{X1: 16e-3, Y1: 2e-3, X2: 20e-3, Y2: 6e-3},  // serdes
+		},
+	}
+	rc, err := route.DefaultConfig(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := &flow.Plan{
+		Floorplan:  fp,
+		Tech:       tech,
+		Route:      rc,
+		RIP:        rip.DefaultConfig(),
+		TargetMult: 1.25,
+	}
+	nets := []flow.NetSpec{
+		{Name: "clk_spine", From: route.Pin{X: 1e-3, Y: 1e-3}, To: route.Pin{X: 21e-3, Y: 17e-3}, Bends: 5, TargetMult: 1.1},
+		{Name: "cache_dsp0", From: route.Pin{X: 8.5e-3, Y: 5e-3}, To: route.Pin{X: 12e-3, Y: 16e-3}, Bends: 3},
+		{Name: "cache_dsp1", From: route.Pin{X: 8.5e-3, Y: 6e-3}, To: route.Pin{X: 13e-3, Y: 16e-3}, Bends: 3},
+		{Name: "dsp_serdes", From: route.Pin{X: 15.5e-3, Y: 10e-3}, To: route.Pin{X: 18e-3, Y: 7e-3}, Bends: 1},
+		{Name: "pad_ring", From: route.Pin{X: 0.5e-3, Y: 17e-3}, To: route.Pin{X: 21e-3, Y: 0.5e-3}, Bends: 7, TargetMult: 1.8},
+	}
+
+	sum, err := flow.Run(plan, nets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum.Render(os.Stdout)
+
+	// Drill into the clock spine with the full report.
+	fmt.Println()
+	for _, r := range sum.Results {
+		if r.Spec.Name != "clk_spine" || r.Err != nil {
+			continue
+		}
+		err := report.Write(os.Stdout, r.Net, tech, r.Result, r.Target,
+			report.Options{Stages: true, Metrics: true, Sketch: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Forbidden zones: how RIP handles nets routed through macro blocks, and
+// what the paper's §7 zone-crossing extension buys.
+//
+// The net here has its analytically ideal repeater location buried inside
+// a wide macro block. The standard REFINE suppresses moves into the zone
+// (the repeater piles up against the boundary); with ZoneCrossing enabled
+// it may jump to the far side when that reduces total width.
+//
+//	go run ./examples/forbiddenzones
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rip "github.com/rip-eda/rip"
+)
+
+func main() {
+	tech := rip.T180()
+
+	line, err := rip.NewLine([]rip.Segment{
+		{Length: 9e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []rip.Zone{{Start: 3.6e-3, End: 5.2e-3}}) // zone covers the midpoint
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "zones", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := 1.35 * tmin
+	fmt.Printf("9 mm uniform net, zone [3.6, 5.2] mm, target %.1f ps\n", target*1e12)
+
+	run := func(label string, cfg rip.Config) rip.Result {
+		res, err := rip.Insert(net, tech, target, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol := res.Solution
+		fmt.Printf("%-22s: %d repeaters, width %.0fu, delay %.1f ps, positions:",
+			label, sol.Assignment.N(), sol.TotalWidth, sol.Delay*1e12)
+		for _, x := range sol.Assignment.Positions {
+			inZoneNote := ""
+			if x >= 3.6e-3 && x <= 5.2e-3 {
+				inZoneNote = " (boundary)"
+			}
+			fmt.Printf(" %.2fmm%s", x*1e3, inZoneNote)
+		}
+		fmt.Println()
+		return res
+	}
+
+	plain := run("paper default", rip.DefaultConfig())
+
+	crossing := rip.DefaultConfig()
+	crossing.Refine.ZoneCrossing = true
+	ext := run("zone-crossing (§7)", crossing)
+
+	// Every repeater must be outside the zone interior in both runs.
+	for _, res := range []rip.Result{plain, ext} {
+		for _, x := range res.Solution.Assignment.Positions {
+			if line.InZone(x) {
+				log.Fatalf("BUG: repeater inside forbidden zone at %.3f mm", x*1e3)
+			}
+		}
+	}
+	fmt.Println("both solutions respect the forbidden zone ✓")
+}

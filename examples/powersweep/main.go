@@ -1,0 +1,88 @@
+// Power sweep: the power/delay tradeoff curve the paper's introduction
+// motivates. For a single global net, sweep the timing target from
+// 1.05·τmin (performance-critical) to 2.0·τmin (relaxed) and compare the
+// repeater power RIP spends against the conventional DP baseline.
+//
+//	go run ./examples/powersweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	rip "github.com/rip-eda/rip"
+)
+
+func main() {
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 2005, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := nets[7] // a representative mid-corpus net
+
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := rip.NewPowerModel(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib10, err := rip.UniformLibrary(10, 10, 10) // the g=10u baseline
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("net %s: %.1f mm, τmin %.1f ps, wire power %.1f µW (constant)\n",
+		net.Name, net.Line.Length()*1e3, tmin*1e12, pm.Wire(net.Line.TotalC())*1e6)
+	fmt.Println("target        RIP width  RIP power   DP width   DP power   saving")
+
+	maxW := 0.0
+	type row struct {
+		mult, ripW, dpW float64
+		dpViol          bool
+	}
+	var rows []row
+	for mult := 1.05; mult <= 2.0; mult += 0.05 {
+		target := mult * tmin
+		res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := rip.SolveDP(net, tech, lib10, 200*rip.Micron, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := row{mult: mult, ripW: res.Solution.TotalWidth, dpW: base.TotalWidth, dpViol: !base.Feasible}
+		rows = append(rows, r)
+		if r.ripW > maxW {
+			maxW = r.ripW
+		}
+		if base.Feasible && r.dpW > maxW {
+			maxW = r.dpW
+		}
+	}
+	for _, r := range rows {
+		dpCol := "    VIOLATION"
+		saving := ""
+		if !r.dpViol {
+			dpCol = fmt.Sprintf("%7.0fu %8.1fµW", r.dpW, pm.Repeater(r.dpW)*1e6)
+			if r.dpW > 0 {
+				saving = fmt.Sprintf("%+6.1f%%", 100*(r.dpW-r.ripW)/r.dpW)
+			} else {
+				saving = "     —"
+			}
+		}
+		fmt.Printf("%.2f·τmin  %7.0fu %8.1fµW %s   %s\n",
+			r.mult, r.ripW, pm.Repeater(r.ripW)*1e6, dpCol, saving)
+	}
+
+	// ASCII sketch of the RIP power/delay frontier.
+	fmt.Println("\nrepeater width vs timing margin (RIP):")
+	for _, r := range rows {
+		bar := int(r.ripW / maxW * 50)
+		fmt.Printf("  ×%.2f |%s %.0fu\n", r.mult, strings.Repeat("█", bar), r.ripW)
+	}
+}

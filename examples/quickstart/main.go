@@ -1,0 +1,68 @@
+// Quickstart: build a multi-layer two-pin net, compute its minimum delay,
+// and run the RIP hybrid pipeline for a 1.3·τmin power-optimal solution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rip "github.com/rip-eda/rip"
+)
+
+func main() {
+	tech := rip.T180()
+
+	// A 12 mm global net: five routed segments alternating between
+	// metal4 and metal5, with a 3 mm macro block (forbidden zone) in the
+	// middle. Units are SI: meters, Ω/m, F/m.
+	line, err := rip.NewLine([]rip.Segment{
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.0e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.5e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []rip.Zone{{Start: 5.0e-3, End: 8.0e-3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "quickstart", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+
+	// τmin is the fastest the net can go with repeaters up to 400u.
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("net %s: length %.1f mm, τmin = %.1f ps\n",
+		net.Name, line.Length()*1e3, tmin*1e12)
+
+	// Ask for 1.3·τmin — a 30% timing margin traded for power.
+	target := 1.3 * tmin
+	res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := res.Solution
+	if !sol.Feasible {
+		log.Fatal("no feasible solution (should not happen at 1.3·τmin)")
+	}
+
+	fmt.Printf("target %.1f ps → %d repeaters, total width %.0fu, delay %.1f ps\n",
+		target*1e12, sol.Assignment.N(), sol.TotalWidth, sol.Delay*1e12)
+	for i := range sol.Assignment.Positions {
+		fmt.Printf("  repeater %d at %.2f mm, width %.0fu\n",
+			i+1, sol.Assignment.Positions[i]*1e3, sol.Assignment.Widths[i])
+	}
+
+	// Convert the width objective into watts.
+	pm, err := rip.NewPowerModel(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := pm.Report(sol.TotalWidth, line.TotalC())
+	fmt.Printf("power: %.1f µW repeaters + %.1f µW wire\n", b.RepeaterW*1e6, b.WireW*1e6)
+	fmt.Printf("pipeline picked: %s (coarse %.1fu → refine %.1fu → final %.1fu)\n",
+		res.Report.Picked, res.Report.CoarseDP.TotalWidth,
+		res.Report.Refined.TotalWidth, res.Report.FinalDP.TotalWidth)
+}

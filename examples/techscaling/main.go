@@ -1,0 +1,61 @@
+// Technology scaling: run the same global net through the built-in
+// 180/130/90/65 nm nodes and watch the repeater insertion answer change —
+// smaller nodes have relatively more resistive wires, so optimal repeaters
+// get denser and smaller, and the power picture shifts.
+//
+//	go run ./examples/techscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rip "github.com/rip-eda/rip"
+)
+
+func main() {
+	for _, name := range []string{"180nm", "130nm", "90nm", "65nm"} {
+		tech, err := rip.BuiltinTech(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The same physical net in every node: 10 mm on that node's
+		// metal4/metal5 stack.
+		m4, err := tech.Layer("metal4")
+		if err != nil {
+			log.Fatal(err)
+		}
+		m5, err := tech.Layer("metal5")
+		if err != nil {
+			log.Fatal(err)
+		}
+		line, err := rip.NewLine([]rip.Segment{
+			{Length: 2.5e-3, ROhmPerM: m4.ROhmPerM, CFPerM: m4.CFPerM, Layer: "metal4"},
+			{Length: 2.5e-3, ROhmPerM: m5.ROhmPerM, CFPerM: m5.CFPerM, Layer: "metal5"},
+			{Length: 2.5e-3, ROhmPerM: m4.ROhmPerM, CFPerM: m4.CFPerM, Layer: "metal4"},
+			{Length: 2.5e-3, ROhmPerM: m5.ROhmPerM, CFPerM: m5.CFPerM, Layer: "metal5"},
+		}, []rip.Zone{{Start: 4.0e-3, End: 6.0e-3}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		net := &rip.Net{Name: "scale-" + name, Line: line, DriverWidth: 240, ReceiverWidth: 80}
+
+		tmin, err := rip.MinimumDelay(net, tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rip.Insert(net, tech, 1.3*tmin, rip.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm, err := rip.NewPowerModel(tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol := res.Solution
+		fmt.Printf("%-6s τmin %7.1f ps | ×1.3 → %d repeaters, Σw %5.0fu, %7.1f µW repeaters, spacing opt %4.0f µm, width opt %3.0fu\n",
+			name, tmin*1e12, sol.Assignment.N(), sol.TotalWidth,
+			pm.Repeater(sol.TotalWidth)*1e6,
+			tech.OptimalSpacing(m4)*1e6, tech.OptimalWidth(m4))
+	}
+}

@@ -1,0 +1,115 @@
+package rip
+
+import (
+	"github.com/rip-eda/rip/internal/analytic"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/moments"
+	"github.com/rip-eda/rip/internal/route"
+	"github.com/rip-eda/rip/internal/sim"
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// Tree types re-exported from the §7 tree extension.
+type (
+	// Tree is a rooted RC interconnect tree.
+	Tree = tree.Tree
+	// TreeNode is one tree vertex (edge parasitics, sink data, buffer
+	// site flag).
+	TreeNode = tree.Node
+	// TreeOptions configures tree buffer insertion.
+	TreeOptions = tree.Options
+	// TreeSolution is a buffer placement on a tree.
+	TreeSolution = tree.Solution
+	// TreeHybridConfig parameterizes the tree RIP pipeline.
+	TreeHybridConfig = tree.HybridConfig
+	// TreeHybridResult reports the tree pipeline's phases.
+	TreeHybridResult = tree.HybridResult
+)
+
+// NewTree validates and builds an RC tree.
+func NewTree(root *TreeNode) (*Tree, error) { return tree.New(root) }
+
+// InsertTree runs the power-aware van Ginneken DP on a tree: minimum total
+// buffer width such that every sink meets its required arrival time.
+func InsertTree(t *Tree, opts TreeOptions) (TreeSolution, error) { return tree.Insert(t, opts) }
+
+// InsertTreeHybrid runs the tree analogue of the RIP pipeline: coarse DP,
+// continuous width refinement on the fixed topology, concise-library DP.
+func InsertTreeHybrid(t *Tree, opts TreeOptions, cfg TreeHybridConfig) (TreeHybridResult, error) {
+	return tree.InsertHybrid(t, opts, cfg)
+}
+
+// DelayMetrics evaluates an assignment under both the Elmore metric (the
+// optimizer's model) and the two-moment D2M metric, per stage.
+type DelayMetrics = moments.Compare
+
+// EvaluateMetrics returns both delay metrics for the assignment.
+func EvaluateMetrics(n *Net, t *Technology, a Assignment) (DelayMetrics, error) {
+	ev, err := delay.NewEvaluator(n, t)
+	if err != nil {
+		return DelayMetrics{}, err
+	}
+	if err := ev.Validate(a); err != nil {
+		return DelayMetrics{}, err
+	}
+	return moments.Both(ev, a)
+}
+
+// Routing types re-exported from the geometric front-end.
+type (
+	// Floorplan is a die outline with macro blocks.
+	Floorplan = route.Floorplan
+	// Macro is a blocked rectangle on the die.
+	Macro = route.Rect
+	// Pin is a net terminal in die coordinates.
+	Pin = route.Pin
+	// RouteConfig selects layers and terminal widths for routed nets.
+	RouteConfig = route.Config
+)
+
+// RouteNet routes a staircase two-pin net across the floorplan; macro
+// crossings become forbidden zones on the resulting line.
+func RouteNet(f *Floorplan, from, to Pin, bends int, cfg RouteConfig, name string) (*Net, error) {
+	return route.Route(f, from, to, bends, cfg, name)
+}
+
+// TreeSink is one sink terminal of a routed RC tree.
+type TreeSink = route.TreeSink
+
+// RouteRCTree builds an RC tree over the floorplan with the nearest-point
+// Steiner heuristic; corner/tap nodes outside macros become buffer sites.
+func RouteRCTree(f *Floorplan, driver Pin, sinks []TreeSink, cfg RouteConfig) (*Tree, error) {
+	return route.RouteTree(f, driver, sinks, cfg)
+}
+
+// DefaultRouteConfig routes on the node's metal4/metal5 with the corpus
+// terminal widths.
+func DefaultRouteConfig(t *Technology) (RouteConfig, error) { return route.DefaultConfig(t) }
+
+// SimulateDelay runs the backward-Euler transient simulation of every
+// stage of the assignment and returns the summed 50 % step-response delay
+// — the golden-model check that Elmore-feasible solutions really close
+// timing.
+func SimulateDelay(n *Net, t *Technology, a Assignment) (float64, error) {
+	return sim.TotalDelay50(n.Line, t, a.Positions, a.Widths, n.DriverWidth, n.ReceiverWidth)
+}
+
+// AnalyticSizing is a closed-form uniform-line repeater insertion answer.
+type AnalyticSizing = analytic.Sizing
+
+// AnalyticPowerOptimal returns the classical closed-form power-optimal
+// sizing for the net treated as a uniform line (the §2 baseline), along
+// with its embedding onto the real line. The embedded assignment's true
+// delay usually differs from the model's — evaluate it with Delay.
+func AnalyticPowerOptimal(n *Net, t *Technology, target float64) (AnalyticSizing, Assignment, error) {
+	params := analytic.FromLine(n.Line)
+	s, err := analytic.PowerOptimal(t, params, target)
+	if err != nil {
+		return AnalyticSizing{}, Assignment{}, err
+	}
+	a, err := analytic.ToAssignment(n.Line, s)
+	if err != nil {
+		return AnalyticSizing{}, Assignment{}, err
+	}
+	return s, a, nil
+}

@@ -1,0 +1,181 @@
+// Package analytic implements the classical closed-form repeater insertion
+// schemes the RIP paper positions itself against (§2): delay-optimal
+// sizing/spacing on uniform lines (Bakoglu) and power-optimal sizing under
+// a delay constraint (in the spirit of Banerjee–Mehrotra). These formulas
+// assume a uniform line, continuous widths and unrestricted placement; the
+// package also provides the honest embedding of such a solution onto a
+// real multi-layer net with forbidden zones, which is exactly where the
+// closed forms break down — the experiment harness uses this to reproduce
+// the paper's motivation.
+//
+// Model: n stages of equal length ℓ = L/n, every repeater (including the
+// driver position) of width h. Under the paper's Eq. (1):
+//
+//	τ(n, h) = n·Rs·(Cp + Co) + Rs·c·L/h + r·L·Co·h + r·c·L²/(2n),
+//
+// giving the classic optima n* = L/√(2Rs(Co+Cp)/(rc)) and
+// h* = √(Rs·c/(r·Co)).
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// UniformParams is the uniform-line abstraction of a (possibly
+// non-uniform) net: total length and average densities.
+type UniformParams struct {
+	// L is the line length in meters.
+	L float64
+	// ROhmPerM and CFPerM are the (average) densities.
+	ROhmPerM, CFPerM float64
+}
+
+// FromLine averages a real line into UniformParams — the step every
+// analytical scheme implicitly performs on non-uniform interconnect.
+func FromLine(l *wire.Line) UniformParams {
+	return UniformParams{
+		L:        l.Length(),
+		ROhmPerM: l.TotalR() / l.Length(),
+		CFPerM:   l.TotalC() / l.Length(),
+	}
+}
+
+// Sizing is a closed-form repeater insertion answer: n equal stages of
+// width h.
+type Sizing struct {
+	// N is the number of stages (repeater count is N−1 interior plus the
+	// driver stage; the model sizes all N drivers at width Width).
+	N int
+	// Width is the uniform repeater width h in units of u.
+	Width float64
+	// TotalWidth is (N−1)·Width — the interior repeaters, the quantity
+	// comparable to the DP/RIP objective (driver and receiver are fixed
+	// there and excluded from the objective).
+	TotalWidth float64
+	// Delay is the model delay τ(N, Width).
+	Delay float64
+}
+
+// ModelDelay evaluates the uniform-line delay formula τ(n, h).
+func ModelDelay(t *tech.Technology, p UniformParams, n int, h float64) float64 {
+	if n < 1 || !(h > 0) {
+		return math.Inf(1)
+	}
+	fn := float64(n)
+	return fn*t.Rs*(t.Cp+t.Co) +
+		t.Rs*p.CFPerM*p.L/h +
+		p.ROhmPerM*p.L*t.Co*h +
+		p.ROhmPerM*p.CFPerM*p.L*p.L/(2*fn)
+}
+
+// DelayOptimal returns the classic delay-minimal sizing: h* and the best
+// integer stage count around n*.
+func DelayOptimal(t *tech.Technology, p UniformParams) Sizing {
+	h := math.Sqrt(t.Rs * p.CFPerM / (p.ROhmPerM * t.Co))
+	nStar := p.L * math.Sqrt(p.ROhmPerM*p.CFPerM/(2*t.Rs*(t.Co+t.Cp)))
+	best := Sizing{N: 1, Width: h}
+	best.Delay = ModelDelay(t, p, 1, h)
+	for _, n := range []int{int(math.Floor(nStar)), int(math.Ceil(nStar))} {
+		if n < 1 {
+			n = 1
+		}
+		if d := ModelDelay(t, p, n, h); d < best.Delay {
+			best = Sizing{N: n, Width: h, Delay: d}
+		}
+	}
+	best.TotalWidth = float64(best.N-1) * best.Width
+	return best
+}
+
+// PowerOptimal returns the minimum-total-width uniform sizing meeting the
+// delay target: for each candidate stage count it takes the smallest width
+// whose model delay meets the target (the lower root of the stage-delay
+// quadratic), then keeps the count with the least interior width. It
+// returns an error when even the delay-optimal sizing misses the target.
+func PowerOptimal(t *tech.Technology, p UniformParams, target float64) (Sizing, error) {
+	if !(target > 0) {
+		return Sizing{}, fmt.Errorf("analytic: target must be positive, got %g", target)
+	}
+	opt := DelayOptimal(t, p)
+	if opt.Delay > target {
+		return Sizing{}, errors.New("analytic: target below the uniform-line minimum delay")
+	}
+	nMax := 4*opt.N + 8 // generous scan bound around the optimum
+	best := Sizing{}
+	found := false
+	for n := 1; n <= nMax; n++ {
+		// τ(h) = A/h + B·h + C ≤ target, A = Rs·c·L, B = r·L·Co,
+		// C = n·Rs(Cp+Co) + rcL²/2n. Smallest feasible h is the lower
+		// root of B·h² − (target−C)·h + A = 0.
+		a := t.Rs * p.CFPerM * p.L
+		b := p.ROhmPerM * p.L * t.Co
+		c := float64(n)*t.Rs*(t.Cp+t.Co) + p.ROhmPerM*p.CFPerM*p.L*p.L/(2*float64(n))
+		rhs := target - c
+		if rhs <= 0 {
+			continue
+		}
+		disc := rhs*rhs - 4*a*b
+		if disc < 0 {
+			continue
+		}
+		h := (rhs - math.Sqrt(disc)) / (2 * b)
+		if !(h > 0) {
+			continue
+		}
+		s := Sizing{N: n, Width: h, TotalWidth: float64(n-1) * h, Delay: ModelDelay(t, p, n, h)}
+		if !found || s.TotalWidth < best.TotalWidth {
+			best = s
+			found = true
+		}
+	}
+	if !found {
+		return Sizing{}, errors.New("analytic: no uniform sizing meets the target")
+	}
+	return best, nil
+}
+
+// ToAssignment embeds the uniform sizing onto a real line: interior
+// repeaters at i·L/N for i = 1..N−1, each nudged to the nearest forbidden-
+// zone boundary when it lands inside a macro, all at width h. The returned
+// assignment is what an analytical flow would actually tape out; its true
+// delay on the non-uniform line (via delay.Evaluator) is generally not the
+// model delay — quantifying that gap is the point.
+func ToAssignment(line *wire.Line, s Sizing) (delay.Assignment, error) {
+	if s.N < 1 || !(s.Width > 0) {
+		return delay.Assignment{}, fmt.Errorf("analytic: invalid sizing %+v", s)
+	}
+	var a delay.Assignment
+	total := line.Length()
+	const margin = 1e-6
+	prev := 0.0
+	for i := 1; i < s.N; i++ {
+		x := total * float64(i) / float64(s.N)
+		if z, in := line.ZoneAt(x); in {
+			if x-z.Start < z.End-x {
+				x = z.Start
+			} else {
+				x = z.End
+			}
+		}
+		if x <= prev+margin {
+			x = prev + margin
+		}
+		if x >= total-margin {
+			break
+		}
+		if line.InZone(x) {
+			// Both boundaries collide with neighbors; skip this repeater.
+			continue
+		}
+		a.Positions = append(a.Positions, x)
+		a.Widths = append(a.Widths, s.Width)
+		prev = x
+	}
+	return a, nil
+}

@@ -1,0 +1,224 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+func uniformParams() UniformParams {
+	return UniformParams{L: 12e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10}
+}
+
+func TestOptimaMatchTechHelpers(t *testing.T) {
+	tt := tech.T180()
+	p := uniformParams()
+	s := DelayOptimal(tt, p)
+	layer := tech.Layer{Name: "x", ROhmPerM: p.ROhmPerM, CFPerM: p.CFPerM}
+	if math.Abs(s.Width-tt.OptimalWidth(layer))/s.Width > 1e-12 {
+		t.Errorf("h* = %g, tech helper %g", s.Width, tt.OptimalWidth(layer))
+	}
+	wantN := p.L / tt.OptimalSpacing(layer)
+	if float64(s.N) < wantN-1 || float64(s.N) > wantN+1 {
+		t.Errorf("n = %d, want near %g", s.N, wantN)
+	}
+}
+
+func TestModelDelayMatchesEvaluatorOnUniformLine(t *testing.T) {
+	// The closed form and the full evaluator must agree exactly when the
+	// line really is uniform, repeaters equally spaced, and driver and
+	// receiver share the repeater width.
+	tt := tech.T180()
+	p := uniformParams()
+	line, err := wire.Uniform(p.L, p.ROhmPerM, p.CFPerM, "m4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 150.0
+	const n = 6
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "u", Line: line, DriverWidth: h, ReceiverWidth: h}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a delay.Assignment
+	for i := 1; i < n; i++ {
+		a.Positions = append(a.Positions, p.L*float64(i)/n)
+		a.Widths = append(a.Widths, h)
+	}
+	got := ModelDelay(tt, p, n, h)
+	want := ev.Total(a)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("model %g != evaluator %g", got, want)
+	}
+}
+
+func TestModelDelayDegenerate(t *testing.T) {
+	tt := tech.T180()
+	p := uniformParams()
+	if !math.IsInf(ModelDelay(tt, p, 0, 100), 1) {
+		t.Error("n=0 should be +Inf")
+	}
+	if !math.IsInf(ModelDelay(tt, p, 3, 0), 1) {
+		t.Error("h=0 should be +Inf")
+	}
+}
+
+func TestPowerOptimalMeetsTargetWithMinimalWidth(t *testing.T) {
+	tt := tech.T180()
+	p := uniformParams()
+	opt := DelayOptimal(tt, p)
+	for _, mult := range []float64{1.1, 1.3, 1.6, 2.0} {
+		target := mult * opt.Delay
+		s, err := PowerOptimal(tt, p, target)
+		if err != nil {
+			t.Fatalf("×%g: %v", mult, err)
+		}
+		if s.Delay > target*(1+1e-9) {
+			t.Errorf("×%g: delay %g exceeds target %g", mult, s.Delay, target)
+		}
+		// The constraint should be active: the lower quadratic root puts
+		// the delay exactly at the target for the chosen n.
+		if s.Delay < target*(1-1e-6) {
+			t.Errorf("×%g: delay %g is slack vs target %g", mult, s.Delay, target)
+		}
+		if !(s.TotalWidth < opt.TotalWidth) {
+			t.Errorf("×%g: power sizing (%g) should undercut delay-optimal (%g)",
+				mult, s.TotalWidth, opt.TotalWidth)
+		}
+	}
+}
+
+func TestPowerOptimalMonotoneInTarget(t *testing.T) {
+	tt := tech.T180()
+	p := uniformParams()
+	opt := DelayOptimal(tt, p)
+	prev := math.Inf(1)
+	for _, mult := range []float64{1.1, 1.4, 1.7, 2.0} {
+		s, err := PowerOptimal(tt, p, mult*opt.Delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.TotalWidth > prev+1e-9 {
+			t.Errorf("width grew with looser target at ×%g", mult)
+		}
+		prev = s.TotalWidth
+	}
+}
+
+func TestPowerOptimalInfeasible(t *testing.T) {
+	tt := tech.T180()
+	p := uniformParams()
+	if _, err := PowerOptimal(tt, p, 1e-12); err == nil {
+		t.Error("impossible target should fail")
+	}
+	if _, err := PowerOptimal(tt, p, -1); err == nil {
+		t.Error("negative target should fail")
+	}
+}
+
+func TestFromLineAverages(t *testing.T) {
+	line, err := wire.New([]wire.Segment{
+		{Length: 1e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10},
+		{Length: 3e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromLine(line)
+	wantR := (1e-3*8e4 + 3e-3*6e4) / 4e-3
+	if math.Abs(p.ROhmPerM-wantR)/wantR > 1e-12 {
+		t.Errorf("avg r = %g, want %g", p.ROhmPerM, wantR)
+	}
+	if p.L != 4e-3 {
+		t.Errorf("L = %g", p.L)
+	}
+}
+
+func TestToAssignmentSnapsOutOfZones(t *testing.T) {
+	line, err := wire.New([]wire.Segment{
+		{Length: 12e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10},
+	}, []wire.Zone{{Start: 5.5e-3, End: 6.5e-3}}) // covers the midpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ToAssignment(line, Sizing{N: 2, Width: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Positions) != 1 {
+		t.Fatalf("want 1 repeater, got %d", len(a.Positions))
+	}
+	// The midpoint (6mm) is in the zone; must have snapped to a boundary.
+	if x := a.Positions[0]; x != 5.5e-3 && x != 6.5e-3 {
+		t.Errorf("expected snap to zone boundary, got %g", x)
+	}
+	if line.InZone(a.Positions[0]) {
+		t.Error("repeater inside zone")
+	}
+	if _, err := ToAssignment(line, Sizing{}); err == nil {
+		t.Error("invalid sizing should fail")
+	}
+}
+
+func TestToAssignmentOrderingPreserved(t *testing.T) {
+	// A zone swallowing several uniform positions must not break ordering.
+	line, err := wire.New([]wire.Segment{
+		{Length: 10e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10},
+	}, []wire.Zone{{Start: 2e-3, End: 8e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ToAssignment(line, Sizing{N: 6, Width: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, x := range a.Positions {
+		if !(x > prev) {
+			t.Fatalf("ordering violated: %v", a.Positions)
+		}
+		if line.InZone(x) {
+			t.Fatalf("repeater at %g inside zone", x)
+		}
+		prev = x
+	}
+}
+
+func TestAnalyticUnderestimatesRealNets(t *testing.T) {
+	// The motivating gap: on a non-uniform zoned net, the uniform-model
+	// delay and the true Elmore delay of the embedded assignment diverge.
+	tt := tech.T180()
+	line, err := wire.New([]wire.Segment{
+		{Length: 3e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10},
+		{Length: 3e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10},
+		{Length: 3e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10},
+		{Length: 3e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10},
+	}, []wire.Zone{{Start: 4e-3, End: 7e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromLine(line)
+	opt := DelayOptimal(tt, p)
+	s, err := PowerOptimal(tt, p, 1.2*opt.Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ToAssignment(line, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "gap", Line: line, DriverWidth: s.Width, ReceiverWidth: s.Width}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	real := ev.Total(a)
+	if math.Abs(real-s.Delay)/s.Delay < 1e-6 {
+		t.Errorf("expected a model-vs-real gap on a zoned non-uniform net; both %g", real)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// RefineOptions tunes the REFINE iteration (Fig. 5).
+type RefineOptions struct {
+	// Epsilon is ε₀, the relative total-width improvement below which the
+	// loop stops (default 1e-3, the paper's "preselected threshold").
+	Epsilon float64
+	// Step is the repeater movement distance per iteration (default
+	// 50 µm, the paper's "preselected distance").
+	Step float64
+	// MaxIter bounds the outer loop (default 100).
+	MaxIter int
+	// AdaptiveStep halves the step whenever an iteration fails to improve
+	// and retries, down to Step/16 (an extension beyond the paper's fixed
+	// step; on by default because it only ever helps quality).
+	DisableAdaptiveStep bool
+	// ZoneCrossing implements the paper's §7 future-work idea: when a move
+	// would land inside a forbidden zone, jump the repeater to the zone's
+	// far boundary instead of suppressing the move.
+	ZoneCrossing bool
+	// Widths tunes the inner continuous width solves.
+	Widths WidthOptions
+	// Trace, when non-nil, receives one record per outer iteration.
+	Trace func(RefineIteration)
+}
+
+func (o RefineOptions) withDefaults() RefineOptions {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-3
+	}
+	if o.Step <= 0 {
+		o.Step = 50 * units.Micron
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// RefineIteration is one outer-loop snapshot for tracing.
+type RefineIteration struct {
+	Iter       int
+	TotalWidth float64
+	Moves      int
+	Step       float64
+}
+
+// RefineResult is the continuous solution REFINE converged to.
+type RefineResult struct {
+	// Assignment holds the final positions and continuous widths.
+	Assignment delay.Assignment
+	// Lambda is the final Lagrange multiplier.
+	Lambda float64
+	// Delay is the achieved delay (pinned to the target).
+	Delay float64
+	// TotalWidth is Σw for the final assignment.
+	TotalWidth float64
+	// Iterations and Moves count outer loops and individual repeater
+	// movements performed.
+	Iterations, Moves int
+}
+
+// minSeparation keeps repeaters from colliding when they move.
+const minSeparation = 1 * units.Micron
+
+// Refine runs the paper's REFINE algorithm (Fig. 5): starting from the
+// given repeater positions it alternates continuous width solves (lines 1,
+// 7) with derivative-guided repeater movements (lines 4–6) until the total
+// width improvement drops below ε₀. Widths are continuous; use the RIP
+// pipeline to get a discrete solution.
+func Refine(ev *delay.Evaluator, positions []float64, target float64, opts RefineOptions) (RefineResult, error) {
+	opts = opts.withDefaults()
+	n := len(positions)
+	if n == 0 {
+		wr, err := SolveWidths(ev, nil, target, opts.Widths)
+		if err != nil {
+			return RefineResult{}, err
+		}
+		return RefineResult{Delay: wr.Delay}, nil
+	}
+	pos := append([]float64(nil), positions...)
+	sort.Float64s(pos)
+	for i, x := range pos {
+		if !ev.Line.Legal(x) {
+			return RefineResult{}, fmt.Errorf("core: initial position %d (%g) is illegal", i, x)
+		}
+	}
+
+	// Line 1: initial width solve.
+	wres, err := SolveWidths(ev, pos, target, opts.Widths)
+	if err != nil {
+		return RefineResult{}, err
+	}
+
+	best := RefineResult{
+		Assignment: delay.Assignment{Positions: append([]float64(nil), pos...), Widths: append([]float64(nil), wres.Widths...)},
+		Lambda:     wres.Lambda,
+		Delay:      wres.Delay,
+		TotalWidth: wres.TotalWidth,
+	}
+
+	step := opts.Step
+	minStep := opts.Step / 16
+	totalMoves := 0
+	iters := 0
+	cur := best.Assignment.Clone()
+	curWidth := wres.TotalWidth
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		iters = iter
+		// Lines 4–5: compute one-sided derivatives and move repeaters.
+		// λ > 0, so moving downstream pays when (∂τ/∂x)_+ < 0 and
+		// upstream when (∂τ/∂x)_- > 0 (Eqs. 13, 22–23).
+		plus, minus := ev.LocationDerivs(cur)
+		moved := 0
+		next := cur.Clone()
+		for i := 0; i < n; i++ {
+			gainRight, gainLeft := -plus[i], minus[i]
+			dir := 0
+			switch {
+			case gainRight > 0 && gainRight >= gainLeft:
+				dir = +1
+			case gainLeft > 0:
+				dir = -1
+			}
+			if dir == 0 {
+				continue
+			}
+			x := next.Positions[i] + float64(dir)*step
+			// Respect neighbors and the line interior.
+			lo := minSeparation
+			if i > 0 {
+				lo = next.Positions[i-1] + minSeparation
+			}
+			hi := ev.Line.Length() - minSeparation
+			if i < n-1 {
+				hi = next.Positions[i+1] - minSeparation
+			}
+			if x < lo {
+				x = lo
+			}
+			if x > hi {
+				x = hi
+			}
+			// Zone handling: the paper suppresses moves into zones; the
+			// §7 extension jumps across instead.
+			if z, in := ev.Line.ZoneAt(x); in {
+				if !opts.ZoneCrossing {
+					continue
+				}
+				if dir > 0 {
+					x = z.End
+				} else {
+					x = z.Start
+				}
+				if x <= lo || x >= hi {
+					continue
+				}
+			}
+			if x == next.Positions[i] {
+				continue
+			}
+			next.Positions[i] = x
+			moved++
+		}
+
+		if moved == 0 {
+			break // stationary: conditions (22)–(24) hold everywhere
+		}
+
+		// Lines 6–7: re-lump and re-solve widths at the new positions.
+		nres, err := SolveWidths(ev, next.Positions, target, opts.Widths)
+		improved := err == nil && nres.TotalWidth < curWidth
+		if improved {
+			totalMoves += moved
+			cur = delay.Assignment{Positions: next.Positions, Widths: nres.Widths}
+			prevWidth := curWidth
+			curWidth = nres.TotalWidth
+			if curWidth < best.TotalWidth {
+				best = RefineResult{
+					Assignment: cur.Clone(),
+					Lambda:     nres.Lambda,
+					Delay:      nres.Delay,
+					TotalWidth: nres.TotalWidth,
+				}
+			}
+			if opts.Trace != nil {
+				opts.Trace(RefineIteration{Iter: iter, TotalWidth: curWidth, Moves: moved, Step: step})
+			}
+			// Line 9: ε = (w_old − w_new)/w_old.
+			if (prevWidth-curWidth)/prevWidth < opts.Epsilon {
+				break
+			}
+			continue
+		}
+		// No improvement at this step size.
+		if opts.DisableAdaptiveStep {
+			break
+		}
+		step /= 2
+		if step < minStep {
+			break
+		}
+	}
+
+	best.Iterations = iters
+	best.Moves = totalMoves
+	return best, nil
+}

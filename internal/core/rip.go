@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Config parameterizes the RIP pipeline. DefaultConfig reproduces the
+// paper's §6 settings exactly.
+type Config struct {
+	// CoarseMin, CoarseStep, CoarseSize describe the phase-1 DP library
+	// (paper: 5 repeaters, smallest width and granularity 80u).
+	CoarseMin, CoarseStep float64
+	CoarseSize            int
+	// CoarsePitch is the phase-1 candidate spacing (paper: 200 µm).
+	CoarsePitch float64
+	// RoundGranularity is the width grid of the synthesized concise
+	// library (paper: 10u).
+	RoundGranularity float64
+	// MinWidth and MaxWidth clamp the concise library into the legal
+	// discrete width range (paper: 10u, 400u).
+	MinWidth, MaxWidth float64
+	// LocalWindow is the number of extra candidate slots on each side of
+	// every REFINE location (paper: 10).
+	LocalWindow int
+	// LocalPitch is the spacing of those slots (paper: 50 µm).
+	LocalPitch float64
+	// Refine tunes the analytical phase.
+	Refine RefineOptions
+	// RefinePasses reruns REFINE on its own output (paper §7 future work:
+	// "REFINE may be performed several times"); 1 is the paper's setting.
+	RefinePasses int
+}
+
+// DefaultConfig returns the paper's experimental configuration (§6).
+func DefaultConfig() Config {
+	return Config{
+		CoarseMin:        80,
+		CoarseStep:       80,
+		CoarseSize:       5,
+		CoarsePitch:      200 * units.Micron,
+		RoundGranularity: 10,
+		MinWidth:         10,
+		MaxWidth:         400,
+		LocalWindow:      10,
+		LocalPitch:       50 * units.Micron,
+		RefinePasses:     1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.CoarseMin <= 0 {
+		c.CoarseMin = d.CoarseMin
+	}
+	if c.CoarseStep <= 0 {
+		c.CoarseStep = d.CoarseStep
+	}
+	if c.CoarseSize <= 0 {
+		c.CoarseSize = d.CoarseSize
+	}
+	if c.CoarsePitch <= 0 {
+		c.CoarsePitch = d.CoarsePitch
+	}
+	if c.RoundGranularity <= 0 {
+		c.RoundGranularity = d.RoundGranularity
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = d.MinWidth
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = d.MaxWidth
+	}
+	if c.LocalWindow <= 0 {
+		c.LocalWindow = d.LocalWindow
+	}
+	if c.LocalPitch <= 0 {
+		c.LocalPitch = d.LocalPitch
+	}
+	if c.RefinePasses <= 0 {
+		c.RefinePasses = d.RefinePasses
+	}
+	return c
+}
+
+// Phase identifies which pipeline stage produced the returned solution.
+type Phase string
+
+const (
+	// PhaseUnbuffered: the bare wire already meets the target; zero
+	// repeaters is optimal.
+	PhaseUnbuffered Phase = "unbuffered"
+	// PhaseFinalDP: the fine DP over the synthesized library/candidates.
+	PhaseFinalDP Phase = "final-dp"
+	// PhaseCoarseDP: fallback to the phase-1 solution.
+	PhaseCoarseDP Phase = "coarse-dp"
+	// PhaseRoundedRefine: fallback to REFINE's widths rounded to the grid.
+	PhaseRoundedRefine Phase = "rounded-refine"
+)
+
+// Report describes everything the pipeline did; the experiments use it for
+// phase-level accounting and the CLI prints it.
+type Report struct {
+	// CoarseDP is the phase-1 solution (may be infeasible).
+	CoarseDP dp.Solution
+	// SeededFallback is set when phase 1 failed and REFINE was seeded
+	// analytically instead.
+	SeededFallback bool
+	// Refined is the analytical solution (continuous widths).
+	Refined RefineResult
+	// Library is the synthesized concise library fed to the fine DP.
+	Library repeater.Library
+	// Candidates is the synthesized location set fed to the fine DP.
+	Candidates []float64
+	// FinalDP is the phase-4 solution (may be infeasible).
+	FinalDP dp.Solution
+	// Picked names the phase whose solution was returned.
+	Picked Phase
+	// CoarseTime, RefineTime and FinalTime are wall-clock phase costs.
+	CoarseTime, RefineTime, FinalTime time.Duration
+}
+
+// Result is the outcome of one RIP run.
+type Result struct {
+	// Solution is the best discrete solution found.
+	Solution dp.Solution
+	// Report details the pipeline phases.
+	Report Report
+}
+
+// Insert runs the full RIP pipeline (Fig. 6) for the evaluator's net and
+// timing target. It is deterministic. The returned solution is infeasible
+// only when no phase — coarse DP, analytically seeded REFINE, fine DP, or
+// grid-rounded REFINE — can meet the target.
+func Insert(ev *delay.Evaluator, target float64, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if !(target > 0) {
+		return Result{}, fmt.Errorf("core: target must be positive, got %g", target)
+	}
+	var rep Report
+
+	// Shortcut: if the bare wire meets the target, no repeater can beat
+	// zero total width.
+	if ev.MinUnbuffered() <= target {
+		sol := dp.Solution{Delay: ev.MinUnbuffered(), Feasible: true}
+		rep.Picked = PhaseUnbuffered
+		return Result{Solution: sol, Report: rep}, nil
+	}
+
+	coarseLib, err := repeater.Uniform(cfg.CoarseMin, cfg.CoarseStep, cfg.CoarseSize)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: coarse library: %w", err)
+	}
+
+	// Phase 1: coarse DP.
+	t0 := time.Now()
+	coarse, err := dp.Solve(ev, dp.Options{
+		Library:   coarseLib,
+		Pitch:     cfg.CoarsePitch,
+		Objective: dp.MinPower,
+		Target:    target,
+	})
+	rep.CoarseTime = time.Since(t0)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: coarse DP: %w", err)
+	}
+	rep.CoarseDP = coarse
+
+	// Choose REFINE's starting positions: the coarse solution when
+	// feasible, otherwise an analytic seeding (uniform spacing snapped to
+	// legal positions) so the analytical phase still gets a chance.
+	var seedPos []float64
+	if coarse.Feasible && coarse.Assignment.N() > 0 {
+		seedPos = coarse.Assignment.Positions
+	} else {
+		seedPos = seedPositions(ev)
+		rep.SeededFallback = true
+	}
+
+	// Phase 2: REFINE (optionally multiple passes, §7).
+	t0 = time.Now()
+	refined, refineErr := Refine(ev, seedPos, target, cfg.Refine)
+	for pass := 1; refineErr == nil && pass < cfg.RefinePasses && refined.Assignment.N() > 0; pass++ {
+		again, err := Refine(ev, refined.Assignment.Positions, target, cfg.Refine)
+		if err != nil || again.TotalWidth >= refined.TotalWidth {
+			break
+		}
+		refined = again
+	}
+	rep.RefineTime = time.Since(t0)
+
+	if refineErr != nil {
+		// The analytical phase cannot meet the target from this seed; the
+		// best we can return is the coarse solution (if feasible).
+		rep.Picked = PhaseCoarseDP
+		return Result{Solution: coarse, Report: rep}, nil
+	}
+	rep.Refined = refined
+
+	if refined.Assignment.N() == 0 {
+		// Degenerate: REFINE says zero repeaters suffice, but the
+		// unbuffered shortcut above already ruled that out; fall back.
+		rep.Picked = PhaseCoarseDP
+		return Result{Solution: coarse, Report: rep}, nil
+	}
+
+	// Phase 3: synthesize the concise library and local candidate set.
+	lib, err := repeater.Concise(refined.Assignment.Widths, cfg.RoundGranularity, cfg.MinWidth, cfg.MaxWidth)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: concise library: %w", err)
+	}
+	rep.Library = lib
+	cands := localCandidates(ev, refined.Assignment.Positions, cfg.LocalWindow, cfg.LocalPitch)
+	rep.Candidates = cands
+
+	// Phase 4: fine DP over the synthesized space.
+	t0 = time.Now()
+	final, err := dp.Solve(ev, dp.Options{
+		Library:   lib,
+		Positions: cands,
+		Objective: dp.MinPower,
+		Target:    target,
+	})
+	rep.FinalTime = time.Since(t0)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: final DP: %w", err)
+	}
+	rep.FinalDP = final
+
+	// Pick the best feasible discrete solution: fine DP, coarse DP, or
+	// REFINE rounded to the width grid. This reproduces the paper's
+	// "always succeeded" property: RIP never does worse than its phases.
+	best := dp.Solution{Feasible: false}
+	pick := Phase("")
+	consider := func(s dp.Solution, p Phase) {
+		if !s.Feasible {
+			return
+		}
+		if !best.Feasible || s.TotalWidth < best.TotalWidth {
+			best = s
+			pick = p
+		}
+	}
+	consider(final, PhaseFinalDP)
+	consider(coarse, PhaseCoarseDP)
+	if rr, ok := roundedRefine(ev, refined, lib, target); ok {
+		consider(rr, PhaseRoundedRefine)
+	}
+	if !best.Feasible {
+		rep.Picked = PhaseCoarseDP
+		return Result{Solution: coarse, Report: rep}, nil
+	}
+	rep.Picked = pick
+	return Result{Solution: best, Report: rep}, nil
+}
+
+// roundedRefine rounds REFINE's continuous widths up to the next library
+// width (falling back to the library maximum) and keeps the result only if
+// it still meets the target. Rounding up keeps every stage at least as
+// strong as the analytical solution, so this is feasible in practice and
+// serves as RIP's last-resort discrete candidate.
+func roundedRefine(ev *delay.Evaluator, r RefineResult, lib repeater.Library, target float64) (dp.Solution, bool) {
+	a := r.Assignment.Clone()
+	widths := lib.Widths()
+	for i, w := range a.Widths {
+		up := widths[len(widths)-1]
+		for _, lw := range widths {
+			if lw >= w {
+				up = lw
+				break
+			}
+		}
+		a.Widths[i] = up
+	}
+	d := ev.Total(a)
+	if d > target || ev.Validate(a) != nil {
+		return dp.Solution{}, false
+	}
+	return dp.Solution{Assignment: a, Delay: d, TotalWidth: a.TotalWidth(), Feasible: true}, true
+}
+
+// localCandidates builds the phase-4 location set: each REFINE location
+// plus window slots on each side at the local pitch, filtered to legal
+// positions, deduplicated and sorted (paper: ±10 slots at 50 µm).
+func localCandidates(ev *delay.Evaluator, centers []float64, window int, pitch float64) []float64 {
+	var out []float64
+	total := ev.Line.Length()
+	for _, x0 := range centers {
+		for k := -window; k <= window; k++ {
+			x := x0 + float64(k)*pitch
+			if x <= minSeparation || x >= total-minSeparation {
+				continue
+			}
+			if !ev.Line.Legal(x) {
+				continue
+			}
+			out = append(out, x)
+		}
+	}
+	sort.Float64s(out)
+	// Deduplicate within a nanometer.
+	const eps = 1e-9
+	dedup := out[:0]
+	for i, x := range out {
+		if i == 0 || x-dedup[len(dedup)-1] > eps {
+			dedup = append(dedup, x)
+		}
+	}
+	return dedup
+}
+
+// seedPositions places repeaters analytically when the coarse DP cannot
+// provide a starting point: the classic optimal count for the line's
+// average RC, spread uniformly and nudged out of forbidden zones.
+func seedPositions(ev *delay.Evaluator) []float64 {
+	line := ev.Line
+	total := line.Length()
+	rAvg := line.TotalR() / total
+	cAvg := line.TotalC() / total
+	spacing := math.Sqrt(2 * ev.Tech.Rs * (ev.Tech.Co + ev.Tech.Cp) / (rAvg * cAvg))
+	n := int(math.Round(total/spacing)) - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	var out []float64
+	for i := 1; i <= n; i++ {
+		x := total * float64(i) / float64(n+1)
+		if z, in := line.ZoneAt(x); in {
+			// Nudge to the nearer zone boundary.
+			if x-z.Start < z.End-x {
+				x = z.Start
+			} else {
+				x = z.End
+			}
+		}
+		if x <= minSeparation || x >= total-minSeparation {
+			continue
+		}
+		if len(out) > 0 && x-out[len(out)-1] < minSeparation {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

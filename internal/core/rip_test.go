@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// bigFixture is a paper-scale net: 7 segments, ~16mm, zone of 25% length.
+// The small fixture() net (8mm, 1–4 repeaters) is dominated by repeater
+// count quantization; the paper's nets average ~12mm and this one exhibits
+// the paper's zone structure.
+func bigFixture(t *testing.T) *delay.Evaluator {
+	t.Helper()
+	segs := []wire.Segment{
+		{Length: 2.2e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.5e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 1.8e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.4e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.1e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.5e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.3e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += s.Length
+	}
+	line, err := wire.New(segs, []wire.Zone{{Start: 0.4 * total, End: 0.65 * total}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "big", Line: line, DriverWidth: 120, ReceiverWidth: 60}, tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func tminFor(t *testing.T, ev *delay.Evaluator) float64 {
+	t.Helper()
+	lib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmin, err := dp.MinimumDelay(ev, dp.Options{Library: lib, Pitch: 200 * units.Micron})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tmin
+}
+
+func TestInsertProducesFeasibleLegalSolution(t *testing.T) {
+	ev := fixture(t)
+	tmin := tminFor(t, ev)
+	for _, mult := range []float64{1.05, 1.2, 1.5, 2.0} {
+		target := mult * tmin
+		res, err := Insert(ev, target, DefaultConfig())
+		if err != nil {
+			t.Fatalf("×%g: %v", mult, err)
+		}
+		if !res.Solution.Feasible {
+			t.Fatalf("×%g: RIP must find a feasible solution", mult)
+		}
+		if res.Solution.Delay > target*(1+1e-9) {
+			t.Errorf("×%g: delay %g exceeds target %g", mult, res.Solution.Delay, target)
+		}
+		if err := ev.Validate(res.Solution.Assignment); err != nil {
+			t.Errorf("×%g: illegal assignment: %v", mult, err)
+		}
+	}
+}
+
+func TestInsertNeverWorseThanCoarseDP(t *testing.T) {
+	ev := fixture(t)
+	tmin := tminFor(t, ev)
+	for _, mult := range []float64{1.1, 1.4, 1.7, 2.0} {
+		target := mult * tmin
+		res, err := Insert(ev, target, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.CoarseDP.Feasible &&
+			res.Solution.TotalWidth > res.Report.CoarseDP.TotalWidth+1e-9 {
+			t.Errorf("×%g: RIP (%g) worse than its own coarse phase (%g)",
+				mult, res.Solution.TotalWidth, res.Report.CoarseDP.TotalWidth)
+		}
+	}
+}
+
+func TestInsertBeatsBaselineDPOnAverage(t *testing.T) {
+	// The headline claim, checked the way the paper frames it on a
+	// paper-scale net: against the g=10u size-10 baseline RIP wins at
+	// tight targets and roughly ties at loose ones (Figure 7a allows
+	// occasional small losses in zone III); against the g=40u baseline the
+	// average savings must be strongly positive (Figure 7b, Table 1).
+	ev := bigFixture(t)
+	tmin := tminFor(t, ev)
+	g10, err := repeater.Uniform(10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g40, err := repeater.Uniform(10, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var better10, worse10 int
+	var sum40 float64
+	var n40 int
+	for mult := 1.05; mult <= 2.0; mult += 0.1 {
+		target := mult * tmin
+		rip, err := Insert(ev, target, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rip.Solution.Feasible {
+			t.Fatalf("×%.2f: RIP infeasible", mult)
+		}
+		b10, err := dp.Solve(ev, dp.Options{
+			Library: g10, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b10.Feasible {
+			switch {
+			case rip.Solution.TotalWidth < b10.TotalWidth-1e-9:
+				better10++
+			case rip.Solution.TotalWidth > b10.TotalWidth+1e-9:
+				worse10++
+			}
+		}
+		b40, err := dp.Solve(ev, dp.Options{
+			Library: g40, Pitch: 200 * units.Micron,
+			Objective: dp.MinPower, Target: target,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b40.Feasible {
+			sum40 += 100 * (b40.TotalWidth - rip.Solution.TotalWidth) / b40.TotalWidth
+			n40++
+		}
+	}
+	if better10 == 0 {
+		t.Error("RIP never strictly beat the g=10u baseline across the sweep")
+	}
+	if worse10 > better10+1 {
+		t.Errorf("RIP worse than g=10u baseline too often: %d vs %d", worse10, better10)
+	}
+	if n40 == 0 {
+		t.Fatal("g=40u baseline never feasible")
+	}
+	// The corpus-level mean (≈9%, matching the paper's 9.53%) is asserted
+	// in the experiments package; a single net just needs to be clearly
+	// positive.
+	if mean := sum40 / float64(n40); mean < 2 {
+		t.Errorf("mean savings vs g=40u baseline = %.1f%%, want clearly positive", mean)
+	}
+}
+
+func TestInsertUnbufferedShortcut(t *testing.T) {
+	ev := fixture(t)
+	res, err := Insert(ev, ev.MinUnbuffered()*1.01, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Picked != PhaseUnbuffered {
+		t.Errorf("picked %q, want unbuffered", res.Report.Picked)
+	}
+	if res.Solution.Assignment.N() != 0 || res.Solution.TotalWidth != 0 {
+		t.Error("unbuffered solution should have no repeaters")
+	}
+}
+
+func TestInsertImpossibleTarget(t *testing.T) {
+	ev := fixture(t)
+	res, err := Insert(ev, 1e-12, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Feasible {
+		t.Error("1 ps on an 8mm wire should be infeasible")
+	}
+}
+
+func TestInsertInvalidInputs(t *testing.T) {
+	ev := fixture(t)
+	if _, err := Insert(ev, 0, DefaultConfig()); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := Insert(ev, -1e-9, DefaultConfig()); err == nil {
+		t.Error("negative target should error")
+	}
+}
+
+func TestInsertDeterminism(t *testing.T) {
+	ev := fixture(t)
+	tmin := tminFor(t, ev)
+	a, err := Insert(ev, 1.3*tmin, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Insert(ev, 1.3*tmin, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solution.TotalWidth != b.Solution.TotalWidth || a.Solution.Delay != b.Solution.Delay {
+		t.Error("RIP is not deterministic")
+	}
+	if a.Solution.Assignment.N() != b.Solution.Assignment.N() {
+		t.Error("repeater counts differ between identical runs")
+	}
+}
+
+func TestInsertReportsPhases(t *testing.T) {
+	ev := fixture(t)
+	tmin := tminFor(t, ev)
+	res, err := Insert(ev, 1.3*tmin, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if !rep.CoarseDP.Feasible {
+		t.Error("coarse phase should be feasible at 1.3·τmin")
+	}
+	if rep.Refined.Assignment.N() == 0 {
+		t.Error("refine phase should have run")
+	}
+	if rep.Library.Size() == 0 {
+		t.Error("concise library missing")
+	}
+	if len(rep.Candidates) == 0 {
+		t.Error("candidate set missing")
+	}
+	// Candidate set must be sorted, legal, and local to refine locations.
+	for i, x := range rep.Candidates {
+		if i > 0 && rep.Candidates[i] <= rep.Candidates[i-1] {
+			t.Error("candidates not strictly sorted")
+		}
+		if !ev.Line.Legal(x) {
+			t.Errorf("illegal candidate %g", x)
+		}
+	}
+	if rep.Picked == "" {
+		t.Error("picked phase not recorded")
+	}
+	// The concise library must be on the 10u grid within [10,400].
+	for _, w := range rep.Library.Widths() {
+		if w < 10-1e-9 || w > 400+1e-9 {
+			t.Errorf("library width %g outside [10,400]", w)
+		}
+		if math.Abs(w/10-math.Round(w/10)) > 1e-9 {
+			t.Errorf("library width %g off the 10u grid", w)
+		}
+	}
+}
+
+func TestInsertMultiPassRefine(t *testing.T) {
+	ev := fixture(t)
+	tmin := tminFor(t, ev)
+	cfg := DefaultConfig()
+	cfg.RefinePasses = 3
+	multi, err := Insert(ev, 1.3*tmin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Insert(ev, 1.3*tmin, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Solution.TotalWidth > single.Solution.TotalWidth*(1+1e-6) {
+		t.Errorf("extra refine passes should not hurt: %g vs %g",
+			multi.Solution.TotalWidth, single.Solution.TotalWidth)
+	}
+}
+
+func TestInsertRandomNetsAlwaysFeasibleProperty(t *testing.T) {
+	// Across random paper-style nets and targets, RIP must return legal,
+	// feasible solutions whenever τmin-style targets are requested.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		m := 4 + rng.Intn(7)
+		segs := make([]wire.Segment, m)
+		totalLen := 0.0
+		for i := range segs {
+			segs[i] = wire.Segment{
+				Length:   (1000 + 1500*rng.Float64()) * units.Micron,
+				ROhmPerM: []float64{8e4, 6e4}[rng.Intn(2)],
+				CFPerM:   []float64{2.3e-10, 2.1e-10}[rng.Intn(2)],
+			}
+			totalLen += segs[i].Length
+		}
+		zlen := (0.2 + 0.2*rng.Float64()) * totalLen
+		zstart := rng.Float64() * (totalLen - zlen)
+		line, err := wire.New(segs, []wire.Zone{{Start: zstart, End: zstart + zlen}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := delay.NewEvaluator(&wire.Net{Name: "rnd", Line: line, DriverWidth: 120, ReceiverWidth: 60}, tech.T180())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmin := tminFor(t, ev)
+		target := (1.05 + rng.Float64()) * tmin
+		res, err := Insert(ev, target, DefaultConfig())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Solution.Feasible {
+			t.Fatalf("trial %d: infeasible at %.2f·τmin", trial, target/tmin)
+		}
+		if res.Solution.Delay > target*(1+1e-9) {
+			t.Fatalf("trial %d: delay violation", trial)
+		}
+		if err := ev.Validate(res.Solution.Assignment); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestConfigDefaultsFillIn(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	def := DefaultConfig()
+	if cfg.CoarseMin != def.CoarseMin || cfg.LocalWindow != def.LocalWindow ||
+		cfg.RoundGranularity != def.RoundGranularity || cfg.RefinePasses != def.RefinePasses {
+		t.Errorf("withDefaults did not fill defaults: %+v", cfg)
+	}
+}

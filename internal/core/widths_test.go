@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// fixture returns an evaluator over an 8mm three-segment line with a zone.
+func fixture(t *testing.T) *delay.Evaluator {
+	t.Helper()
+	line, err := wire.New([]wire.Segment{
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 3.0e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []wire.Zone{{Start: 3.4e-3, End: 5.0e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "fx", Line: line, DriverWidth: 120, ReceiverWidth: 60}, tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// positionsFx are legal, well-separated repeater slots on the fixture.
+var positionsFx = []float64{1.2e-3, 2.8e-3, 5.4e-3, 6.8e-3}
+
+func TestStageModelDelayMatchesEvaluator(t *testing.T) {
+	ev := fixture(t)
+	m := newStageModel(ev, positionsFx)
+	w := []float64{180, 140, 150, 90}
+	a := delay.Assignment{Positions: positionsFx, Widths: w}
+	got := m.delay(w)
+	want := ev.Total(a)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("stage model delay %g != evaluator %g", got, want)
+	}
+	// Gradients must agree with the evaluator's too.
+	grad := ev.GradWidths(a)
+	for i := 1; i <= len(w); i++ {
+		if g := m.grad(w, i); math.Abs(g-grad[i-1]) > 1e-9*math.Max(math.Abs(grad[i-1]), 1e-18) {
+			t.Errorf("grad[%d] = %g, evaluator %g", i, g, grad[i-1])
+		}
+	}
+}
+
+func TestSolveWidthsHitsTargetAndKKT(t *testing.T) {
+	ev := fixture(t)
+	// A comfortably feasible target: 1.4× the delay-optimal at these
+	// positions.
+	m := newStageModel(ev, positionsFx)
+	wopt := make([]float64, len(positionsFx))
+	m.fixedPoint(math.Inf(1), wopt)
+	target := 1.4 * m.delay(wopt)
+
+	res, err := SolveWidths(ev, positionsFx, target, WidthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. (5): the constraint is active.
+	if math.Abs(res.Delay-target)/target > 1e-6 {
+		t.Errorf("delay %g, want target %g", res.Delay, target)
+	}
+	// Eq. (8): ∂τ/∂w_i = −1/λ for every repeater.
+	a := delay.Assignment{Positions: positionsFx, Widths: res.Widths}
+	grad := ev.GradWidths(a)
+	for i, g := range grad {
+		if math.Abs(g*res.Lambda+1) > 1e-5 {
+			t.Errorf("KKT violated at %d: λ·∂τ/∂w = %g, want −1", i, g*res.Lambda)
+		}
+	}
+	// Power sizing is below the delay-optimal sizing in total.
+	if !(res.TotalWidth < sum(wopt)) {
+		t.Errorf("power sizing (%g) should be smaller than delay-optimal (%g)", res.TotalWidth, sum(wopt))
+	}
+	if !(res.Lambda > 0) {
+		t.Errorf("λ must be positive, got %g", res.Lambda)
+	}
+	for i, w := range res.Widths {
+		if !(w > 0) {
+			t.Errorf("width %d non-positive: %g", i, w)
+		}
+	}
+}
+
+func TestSolveWidthsInfeasible(t *testing.T) {
+	ev := fixture(t)
+	_, err := SolveWidths(ev, positionsFx, 1e-12, WidthOptions{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveWidthsNoRepeaters(t *testing.T) {
+	ev := fixture(t)
+	unbuf := ev.MinUnbuffered()
+	res, err := SolveWidths(ev, nil, unbuf*1.01, WidthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Widths) != 0 || res.TotalWidth != 0 {
+		t.Errorf("empty solve should be empty: %+v", res)
+	}
+	if _, err := SolveWidths(ev, nil, unbuf*0.5, WidthOptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("tight unbuffered target should be infeasible, got %v", err)
+	}
+	if _, err := SolveWidths(ev, nil, -1, WidthOptions{}); err == nil {
+		t.Error("negative target should error")
+	}
+}
+
+func TestSolveWidthsPolishAgreesWithBisection(t *testing.T) {
+	ev := fixture(t)
+	m := newStageModel(ev, positionsFx)
+	wopt := make([]float64, len(positionsFx))
+	m.fixedPoint(math.Inf(1), wopt)
+	target := 1.5 * m.delay(wopt)
+
+	polished, err := SolveWidths(ev, positionsFx, target, WidthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := SolveWidths(ev, positionsFx, target, WidthOptions{SkipPolish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range polished.Widths {
+		rel := math.Abs(polished.Widths[i]-raw.Widths[i]) / raw.Widths[i]
+		if rel > 1e-4 {
+			t.Errorf("width %d: polished %g vs bisection %g", i, polished.Widths[i], raw.Widths[i])
+		}
+	}
+	if math.Abs(polished.Lambda-raw.Lambda)/raw.Lambda > 1e-3 {
+		t.Errorf("λ: polished %g vs bisection %g", polished.Lambda, raw.Lambda)
+	}
+}
+
+func TestSolveWidthsTighterTargetNeedsMoreWidth(t *testing.T) {
+	ev := fixture(t)
+	m := newStageModel(ev, positionsFx)
+	wopt := make([]float64, len(positionsFx))
+	m.fixedPoint(math.Inf(1), wopt)
+	base := m.delay(wopt)
+	prev := 0.0
+	for _, mult := range []float64{2.0, 1.6, 1.3, 1.1} {
+		res, err := SolveWidths(ev, positionsFx, mult*base, WidthOptions{})
+		if err != nil {
+			t.Fatalf("mult %g: %v", mult, err)
+		}
+		if !(res.TotalWidth > prev) {
+			t.Errorf("width should grow as the target tightens: %g at ×%g (prev %g)", res.TotalWidth, mult, prev)
+		}
+		prev = res.TotalWidth
+	}
+}
+
+func TestSolveWidthsMinDelayReported(t *testing.T) {
+	ev := fixture(t)
+	res, err := SolveWidths(ev, positionsFx, 1e-8, WidthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.MinDelay > 0 && res.MinDelay < 1e-8) {
+		t.Errorf("MinDelay = %g", res.MinDelay)
+	}
+	// Asking for exactly the min delay must work (boundary feasible).
+	res2, err := SolveWidths(ev, positionsFx, res.MinDelay*(1+1e-9), WidthOptions{})
+	if err != nil {
+		t.Fatalf("boundary target should be feasible: %v", err)
+	}
+	if res2.Delay > res.MinDelay*(1+1e-6) {
+		t.Errorf("boundary solve delay %g exceeds min %g", res2.Delay, res.MinDelay)
+	}
+}

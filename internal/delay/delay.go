@@ -1,0 +1,313 @@
+// Package delay evaluates the Elmore delay of a repeatered two-pin line
+// (the paper's Eqs. 1–2) and the analytic derivatives the REFINE solver
+// needs: ∂τ/∂w_i (the ingredients of the KKT condition, Eq. 8) and the
+// one-sided location derivatives (∂τ/∂x_i)± (Eqs. 17–18).
+//
+// Conventions follow the paper's Figure 3: repeaters are numbered 1..n from
+// driver to receiver; index 0 is the driver (width w_d at position 0) and
+// index n+1 the receiver (width w_r at position L). Stage i spans
+// [x_i, x_{i+1}] and is driven by repeater i. Each driving stage contributes
+// the self-loading term Rs·Cp ( = (Rs/w_i)·(Cp·w_i) ).
+package delay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Assignment is a candidate repeater insertion solution: n positions
+// (strictly increasing, strictly inside the line) and the matching widths
+// in units of u. n may be zero (unbuffered line).
+type Assignment struct {
+	Positions []float64
+	Widths    []float64
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	return Assignment{
+		Positions: append([]float64(nil), a.Positions...),
+		Widths:    append([]float64(nil), a.Widths...),
+	}
+}
+
+// N returns the number of repeaters.
+func (a Assignment) N() int { return len(a.Positions) }
+
+// TotalWidth returns Σ w_i, the paper's power objective p (Eq. 4).
+func (a Assignment) TotalWidth() float64 {
+	sum := 0.0
+	for _, w := range a.Widths {
+		sum += w
+	}
+	return sum
+}
+
+// Evaluator computes delays and derivatives for one net under one
+// technology. It is cheap to construct and safe for concurrent use.
+type Evaluator struct {
+	Line *wire.Line
+	Tech *tech.Technology
+	// Wd and Wr are the driver and receiver widths in units of u.
+	Wd, Wr float64
+}
+
+// NewEvaluator builds an evaluator for the net under t.
+func NewEvaluator(n *wire.Net, t *tech.Technology) (*Evaluator, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{Line: n.Line, Tech: t, Wd: n.DriverWidth, Wr: n.ReceiverWidth}, nil
+}
+
+// Validate checks that the assignment is structurally legal for this line:
+// sorted strictly increasing interior positions, positive widths, and no
+// repeater strictly inside a forbidden zone.
+func (e *Evaluator) Validate(a Assignment) error {
+	if len(a.Positions) != len(a.Widths) {
+		return fmt.Errorf("delay: %d positions but %d widths", len(a.Positions), len(a.Widths))
+	}
+	total := e.Line.Length()
+	prev := 0.0
+	for i, x := range a.Positions {
+		if !(x > prev) {
+			return fmt.Errorf("delay: position %d (%g) not strictly after previous (%g)", i, x, prev)
+		}
+		if !(x < total) {
+			return fmt.Errorf("delay: position %d (%g) beyond line end (%g)", i, x, total)
+		}
+		if e.Line.InZone(x) {
+			z, _ := e.Line.ZoneAt(x)
+			return fmt.Errorf("delay: repeater %d at %g inside forbidden zone [%g, %g]", i, x, z.Start, z.End)
+		}
+		if !(a.Widths[i] > 0) {
+			return fmt.Errorf("delay: repeater %d has non-positive width %g", i, a.Widths[i])
+		}
+		prev = x
+	}
+	return nil
+}
+
+// StageDelay breaks one stage's Elmore delay into its physical parts.
+type StageDelay struct {
+	// From and To are the stage's endpoints.
+	From, To float64
+	// Self is the driver's parasitic self-loading delay Rs·Cp.
+	Self float64
+	// Drive is (Rs/w_i)·(C_wire + Co·w_next), the driver resistance
+	// charging the stage's total load.
+	Drive float64
+	// WireLoad is R_wire·Co·w_next, the wire resistance charging the
+	// receiving repeater's input capacitance.
+	WireLoad float64
+	// WireSelf is M(from, to), the distributed wire self-delay.
+	WireSelf float64
+}
+
+// Total returns the stage's Elmore delay.
+func (s StageDelay) Total() float64 { return s.Self + s.Drive + s.WireLoad + s.WireSelf }
+
+// widthAt returns w_i with the convention w_0 = Wd, w_{n+1} = Wr.
+func (e *Evaluator) widthAt(a Assignment, i int) float64 {
+	switch {
+	case i == 0:
+		return e.Wd
+	case i == a.N()+1:
+		return e.Wr
+	default:
+		return a.Widths[i-1]
+	}
+}
+
+// positionAt returns x_i with the convention x_0 = 0, x_{n+1} = L.
+func (e *Evaluator) positionAt(a Assignment, i int) float64 {
+	switch {
+	case i == 0:
+		return 0
+	case i == a.N()+1:
+		return e.Line.Length()
+	default:
+		return a.Positions[i-1]
+	}
+}
+
+// Stages returns the per-stage delay breakdown for the assignment
+// (n+1 stages). It does not validate; call Validate first when the
+// assignment comes from untrusted input.
+func (e *Evaluator) Stages(a Assignment) []StageDelay {
+	n := a.N()
+	out := make([]StageDelay, n+1)
+	for i := 0; i <= n; i++ {
+		from := e.positionAt(a, i)
+		to := e.positionAt(a, i+1)
+		wi := e.widthAt(a, i)
+		wnext := e.widthAt(a, i+1)
+		cw := e.Line.C(from, to)
+		rw := e.Line.R(from, to)
+		out[i] = StageDelay{
+			From:     from,
+			To:       to,
+			Self:     e.Tech.Rs * e.Tech.Cp,
+			Drive:    e.Tech.Rs / wi * (cw + e.Tech.Co*wnext),
+			WireLoad: rw * e.Tech.Co * wnext,
+			WireSelf: e.Line.M(from, to),
+		}
+	}
+	return out
+}
+
+// Total returns the total Elmore delay (Eq. 2) of the assignment.
+func (e *Evaluator) Total(a Assignment) float64 {
+	n := a.N()
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		from := e.positionAt(a, i)
+		to := e.positionAt(a, i+1)
+		wi := e.widthAt(a, i)
+		wnext := e.widthAt(a, i+1)
+		sum += e.Tech.Rs*e.Tech.Cp +
+			e.Tech.Rs/wi*(e.Line.C(from, to)+e.Tech.Co*wnext) +
+			e.Line.R(from, to)*e.Tech.Co*wnext +
+			e.Line.M(from, to)
+	}
+	return sum
+}
+
+// Lumped returns the per-stage wire totals (R_i, C_i) of Figure 3:
+// R[i] and C[i] are the wire resistance and capacitance between repeater i
+// and repeater i+1, for i = 0..n.
+func (e *Evaluator) Lumped(a Assignment) (r, c []float64) {
+	n := a.N()
+	r = make([]float64, n+1)
+	c = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		from := e.positionAt(a, i)
+		to := e.positionAt(a, i+1)
+		r[i] = e.Line.R(from, to)
+		c[i] = e.Line.C(from, to)
+	}
+	return r, c
+}
+
+// GradWidths returns ∂τtotal/∂w_i for each repeater i = 1..n:
+//
+//	∂τ/∂w_i = Co·(R_{i-1} + Rs/w_{i-1}) − (Rs/w_i²)·(C_i + Co·w_{i+1}),
+//
+// exactly the bracketed expression of Eq. (8).
+func (e *Evaluator) GradWidths(a Assignment) []float64 {
+	n := a.N()
+	if n == 0 {
+		return nil
+	}
+	rw, cw := e.Lumped(a)
+	grad := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		wprev := e.widthAt(a, i-1)
+		wi := e.widthAt(a, i)
+		wnext := e.widthAt(a, i+1)
+		grad[i-1] = e.Tech.Co*(rw[i-1]+e.Tech.Rs/wprev) -
+			e.Tech.Rs/(wi*wi)*(cw[i]+e.Tech.Co*wnext)
+	}
+	return grad
+}
+
+// LocationDerivs returns the one-sided derivatives (∂τ/∂x_i)± of Eqs.
+// (17)–(18) for each repeater i = 1..n:
+//
+//	(∂τ/∂x_i)_side = Co·r·(w_i − w_{i+1}) + Rs·c·(1/w_{i-1} − 1/w_i)
+//	               + c·R_{i-1} − r·C_i,
+//
+// where (r, c) are the wire densities immediately right (plus) or left
+// (minus) of x_i. Inside a homogeneous segment the two coincide.
+func (e *Evaluator) LocationDerivs(a Assignment) (plus, minus []float64) {
+	n := a.N()
+	if n == 0 {
+		return nil, nil
+	}
+	rw, cw := e.Lumped(a)
+	plus = make([]float64, n)
+	minus = make([]float64, n)
+	for i := 1; i <= n; i++ {
+		x := a.Positions[i-1]
+		wprev := e.widthAt(a, i-1)
+		wi := e.widthAt(a, i)
+		wnext := e.widthAt(a, i+1)
+		common := func(r, c float64) float64 {
+			return e.Tech.Co*r*(wi-wnext) +
+				e.Tech.Rs*c*(1/wprev-1/wi) +
+				c*rw[i-1] - r*cw[i]
+		}
+		rp, cp := e.Line.DensityRight(x)
+		rm, cm := e.Line.DensityLeft(x)
+		plus[i-1] = common(rp, cp)
+		minus[i-1] = common(rm, cm)
+	}
+	return plus, minus
+}
+
+// MinUnbuffered returns the delay of the line with no repeaters at all.
+func (e *Evaluator) MinUnbuffered() float64 {
+	return e.Total(Assignment{})
+}
+
+// ErrInfeasible signals that no assignment in the allowed space can meet
+// the requested timing target.
+var ErrInfeasible = errors.New("delay: timing target infeasible")
+
+// NumericGradWidths estimates ∂τ/∂w_i by central differences; it exists to
+// cross-check GradWidths in tests and deliberately lives in the package so
+// property tests elsewhere can reuse it.
+func (e *Evaluator) NumericGradWidths(a Assignment, h float64) []float64 {
+	if h <= 0 {
+		h = 1e-6
+	}
+	n := a.N()
+	grad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ap := a.Clone()
+		am := a.Clone()
+		ap.Widths[i] += h
+		am.Widths[i] -= h
+		grad[i] = (e.Total(ap) - e.Total(am)) / (2 * h)
+	}
+	return grad
+}
+
+// NumericLocationDeriv estimates the one-sided location derivative of
+// repeater i (0-based) by a forward or backward difference with step h.
+// side > 0 estimates (∂τ/∂x)_+, side < 0 estimates (∂τ/∂x)_-.
+func (e *Evaluator) NumericLocationDeriv(a Assignment, i int, h float64, side int) float64 {
+	if h <= 0 {
+		h = 1e-9
+	}
+	base := e.Total(a)
+	ap := a.Clone()
+	if side >= 0 {
+		ap.Positions[i] += h
+		return (e.Total(ap) - base) / h
+	}
+	ap.Positions[i] -= h
+	return (base - e.Total(ap)) / h
+}
+
+// MaxWidthDelay returns the total delay when every repeater in the
+// assignment keeps its position but takes width w. Used by heuristics to
+// probe feasibility quickly.
+func (e *Evaluator) MaxWidthDelay(a Assignment, w float64) float64 {
+	uniform := a.Clone()
+	for i := range uniform.Widths {
+		uniform.Widths[i] = w
+	}
+	return e.Total(uniform)
+}
+
+// IsFinite reports whether the delay value is a usable number; corrupted
+// assignments produce NaN/Inf and must never propagate silently.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

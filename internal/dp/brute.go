@@ -1,0 +1,83 @@
+package dp
+
+import (
+	"errors"
+	"math"
+
+	"github.com/rip-eda/rip/internal/delay"
+)
+
+// BruteForce exhaustively enumerates every subset of candidate positions
+// and every library width assignment, evaluating each candidate assignment
+// with the full Elmore evaluator. It exists as an oracle for testing the
+// DP's pruning and reconstruction on small instances; its cost is
+// O((|B|+1)^|S|) and it refuses inputs beyond a small work budget.
+func BruteForce(ev *delay.Evaluator, opts Options) (Solution, error) {
+	if opts.Library.Size() == 0 {
+		return Solution{}, errors.New("dp: empty repeater library")
+	}
+	if opts.Objective == MinPower && !(opts.Target > 0) {
+		return Solution{}, errors.New("dp: min-power needs a positive timing target")
+	}
+	positions := opts.Positions
+	if positions == nil {
+		if !(opts.Pitch > 0) {
+			return Solution{}, errors.New("dp: need explicit Positions or a positive Pitch")
+		}
+		positions = ev.Line.LegalPositions(opts.Pitch)
+	}
+	widths := opts.Library.Widths()
+	// states per position: no repeater (0) or width index+1.
+	arity := len(widths) + 1
+	total := 1.0
+	for range positions {
+		total *= float64(arity)
+		if total > 2e6 {
+			return Solution{}, errors.New("dp: instance too large for brute force")
+		}
+	}
+
+	best := Solution{Feasible: false}
+	bestDelay := math.Inf(1)
+	bestWidth := math.Inf(1)
+	choice := make([]int, len(positions))
+	var asg delay.Assignment
+	for {
+		// Build the assignment from the current choice vector.
+		asg.Positions = asg.Positions[:0]
+		asg.Widths = asg.Widths[:0]
+		for i, c := range choice {
+			if c > 0 {
+				asg.Positions = append(asg.Positions, positions[i])
+				asg.Widths = append(asg.Widths, widths[c-1])
+			}
+		}
+		d := ev.Total(asg)
+		w := asg.TotalWidth()
+		switch opts.Objective {
+		case MinPower:
+			if d <= opts.Target && (w < bestWidth || (w == bestWidth && d < bestDelay)) {
+				best = Solution{Assignment: asg.Clone(), Delay: d, TotalWidth: w, Feasible: true}
+				bestDelay, bestWidth = d, w
+			}
+		case MinDelay:
+			if d < bestDelay {
+				best = Solution{Assignment: asg.Clone(), Delay: d, TotalWidth: w, Feasible: true}
+				bestDelay, bestWidth = d, w
+			}
+		}
+		// Next choice vector (odometer).
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < arity {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// smallSetup trims the corpus and target sweep so package tests stay fast;
+// the full-size runs live in the ripbench CLI and the root benchmarks.
+func smallSetup(t *testing.T, nets int, mults []float64) *Setup {
+	t.Helper()
+	s, err := NewSetup(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Nets = s.Nets[:nets]
+	s.Multipliers = mults
+	return s
+}
+
+func TestPrepareComputesTMin(t *testing.T) {
+	s := smallSetup(t, 3, []float64{1.2})
+	cases, err := s.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("got %d cases", len(cases))
+	}
+	for _, c := range cases {
+		if !(c.TMin > 0) {
+			t.Errorf("%s: τmin %g", c.Net.Name, c.TMin)
+		}
+		if !(c.TMin < c.Eval.MinUnbuffered()) {
+			t.Errorf("%s: τmin should beat the unbuffered wire", c.Net.Name)
+		}
+	}
+	// Idempotent.
+	again, err := s.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &cases[0] {
+		t.Error("Prepare should cache")
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	s := smallSetup(t, 2, nil)
+	if _, err := s.Prepare(); err == nil {
+		t.Error("no multipliers should fail")
+	}
+	s2 := smallSetup(t, 2, []float64{1.2})
+	s2.Nets = nil
+	if _, err := s2.Prepare(); err == nil {
+		t.Error("no nets should fail")
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	s := smallSetup(t, 3, []float64{1.1, 1.5, 1.9})
+	res, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if res.RIPViolations != 0 {
+		t.Errorf("RIP violated timing %d times; the paper's pipeline never does", res.RIPViolations)
+	}
+	// The g=40u mean savings should be positive on average (paper: 9.53%).
+	if !(res.Ave.DMean40 > 0) {
+		t.Errorf("mean savings vs g=40u = %.2f%%, want positive", res.Ave.DMean40)
+	}
+	// ΔMax columns are maxima of the per-target savings, so ΔMax ≥ ΔMean.
+	for _, row := range res.Rows {
+		if row.DMax40 < row.DMean40-1e-9 {
+			t.Errorf("%s: ΔMax40 %.2f < ΔMean40 %.2f", row.Net, row.DMax40, row.DMean40)
+		}
+		if row.DMax20 < row.DMean20-1e-9 {
+			t.Errorf("%s: ΔMax20 %.2f < ΔMean20 %.2f", row.Net, row.DMax20, row.DMean20)
+		}
+		if row.V10 < 0 || row.V10 > len(s.Multipliers) {
+			t.Errorf("%s: VDP %d out of range", row.Net, row.V10)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Ave") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1+3+1 {
+		t.Errorf("CSV line count %d, want header+rows+ave", lines)
+	}
+}
+
+func TestFigure7SmallRun(t *testing.T) {
+	s := smallSetup(t, 4, []float64{1.05, 1.3, 1.6, 1.9})
+	res, err := Figure7(s, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.G10) != 4 || len(res.G40) != 4 {
+		t.Fatalf("panel sizes %d, %d", len(res.G10), len(res.G40))
+	}
+	// Targets must ascend and equal mult·τmin.
+	for i, p := range res.G10 {
+		want := s.Multipliers[i] * res.TMin
+		if p.Target != want {
+			t.Errorf("point %d target %g, want %g", i, p.Target, want)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("render output missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a_g10") || !strings.Contains(buf.String(), "b_g40") {
+		t.Error("CSV missing panels")
+	}
+	// Explicit index selection must work and out-of-range must fail.
+	if _, err := Figure7(s, 1); err != nil {
+		t.Errorf("explicit index: %v", err)
+	}
+	if _, err := Figure7(s, 99); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	s := smallSetup(t, 2, []float64{1.2, 1.6})
+	res, err := Table2(s, []float64{40, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	coarse, fine := res.Rows[0], res.Rows[1]
+	if coarse.LibSize != 10 || fine.LibSize != 40 {
+		t.Errorf("library sizes %d, %d; want 10, 40", coarse.LibSize, fine.LibSize)
+	}
+	// The paper's tradeoff: finer DP granularity closes the quality gap
+	// but costs more work.
+	if !(fine.DeltaPct <= coarse.DeltaPct+1e-9) {
+		t.Errorf("savings should shrink with finer gDP: %.2f%% vs %.2f%%", fine.DeltaPct, coarse.DeltaPct)
+	}
+	if !(fine.GeneratedDP > coarse.GeneratedDP) {
+		t.Errorf("finer library must generate more DP options: %d vs %d", fine.GeneratedDP, coarse.GeneratedDP)
+	}
+	if fine.TDP <= 0 || fine.TRIP <= 0 {
+		t.Error("timings not recorded")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Error("render output missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("CSV line count %d, want 3", lines)
+	}
+}
+
+func TestAblationsSmallRun(t *testing.T) {
+	s := smallSetup(t, 2, []float64{1.3})
+	res, err := Ablations(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 6 {
+		t.Fatalf("expected several variants, got %d", len(res.Rows))
+	}
+	if res.Rows[0].Name != "default (paper §6)" {
+		t.Errorf("first row should be the default, got %q", res.Rows[0].Name)
+	}
+	for _, row := range res.Rows {
+		if row.Infeasible > 0 {
+			t.Errorf("variant %q infeasible %d times", row.Name, row.Infeasible)
+		}
+		if !(row.MeanWidth > 0) {
+			t.Errorf("variant %q mean width %g", row.Name, row.MeanWidth)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Error("render output missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultMultipliersMatchPaper(t *testing.T) {
+	m := DefaultMultipliers()
+	if len(m) != 20 {
+		t.Fatalf("got %d multipliers, want 20", len(m))
+	}
+	if m[0] != 1.05 || m[19] != 2.00 {
+		t.Errorf("range [%g, %g], want [1.05, 2.00]", m[0], m[19])
+	}
+}
+
+func TestSetupUsesPaperCorpus(t *testing.T) {
+	s, err := NewSetup(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Nets) != 20 {
+		t.Errorf("corpus size %d, want 20", len(s.Nets))
+	}
+	// Same distribution as netgen.Paper20.
+	ref, err := netgen.Paper20(tech.T180(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if s.Nets[i].Line.Length() != ref[i].Line.Length() {
+			t.Fatalf("net %d differs from Paper20", i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyticCompareSmallRun(t *testing.T) {
+	s := smallSetup(t, 3, []float64{1.15, 1.5})
+	res, err := AnalyticCompare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		total := row.ModelInfeasible + row.RealViolations + row.Compared
+		if total > res.TotalTargets {
+			t.Errorf("%s: bucket counts %d exceed targets %d", row.Net, total, res.TotalTargets)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "analytical baseline") {
+		t.Error("render missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "real_violations") {
+		t.Error("CSV missing header")
+	}
+}
+
+func TestAnalyticBaselineActuallyStruggles(t *testing.T) {
+	// Across a real sweep the closed-form scheme must exhibit the failure
+	// mode the paper describes: at least some real-net violations or
+	// meaningful width overhead somewhere in the corpus.
+	s := smallSetup(t, 4, []float64{1.1, 1.3, 1.6, 1.9})
+	res, err := AnalyticCompare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyTrouble := false
+	for _, row := range res.Rows {
+		if row.RealViolations > 0 || row.ModelInfeasible > 0 || row.MeanWidthVsRIPPct > 1 {
+			anyTrouble = true
+		}
+	}
+	if !anyTrouble {
+		t.Error("analytical baseline matched RIP everywhere — the motivating gap vanished")
+	}
+}
+
+func TestTreeStudySmallRun(t *testing.T) {
+	s := smallSetup(t, 1, []float64{1.3})
+	res, err := TreeStudy(s, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if !row.Feasible {
+			t.Errorf("instance %d infeasible", i)
+			continue
+		}
+		if row.HybridWidth > row.CoarseWidth+1e-9 {
+			t.Errorf("instance %d: hybrid (%g) worse than coarse (%g)", i, row.HybridWidth, row.CoarseWidth)
+		}
+		if row.HybridOptions >= row.FineOptions {
+			t.Errorf("instance %d: hybrid did more DP work than fine DP", i)
+		}
+	}
+	if res.WorkRatio <= 1 {
+		t.Errorf("work ratio %g should exceed 1", res.WorkRatio)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Tree extension") {
+		t.Error("render missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneSweepSmallRun(t *testing.T) {
+	s := smallSetup(t, 2, []float64{1.3, 1.7})
+	res, err := ZoneSweep(s, []float64{0, 0.3}, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	free, zoned := res.Rows[0], res.Rows[1]
+	if free.FractionPct != 0 || zoned.FractionPct != 30 {
+		t.Errorf("fractions: %g, %g", free.FractionPct, zoned.FractionPct)
+	}
+	// Zone-free row compares against itself: zero penalty and inflation.
+	if free.MeanWidthVsFreePct != 0 || free.TMinInflationPct != 0 {
+		t.Errorf("free row should be the reference: %+v", free)
+	}
+	// Zones restrict placement, so τmin cannot shrink.
+	if zoned.TMinInflationPct < -1e-6 {
+		t.Errorf("τmin should not improve under zones: %+v", zoned)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "zone") {
+		t.Error("render missing title")
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

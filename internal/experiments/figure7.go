@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Fig7Point is one sample of the savings-vs-target curve.
+type Fig7Point struct {
+	// Target is the absolute timing constraint in seconds.
+	Target float64
+	// Multiplier is the target relative to τmin.
+	Multiplier float64
+	// ImprovementPct is RIP's power savings over the baseline; only valid
+	// when BaselineViolation is false.
+	ImprovementPct float64
+	// BaselineViolation marks targets the baseline DP cannot meet — the
+	// paper's zone I in Figure 7(a).
+	BaselineViolation bool
+}
+
+// Figure7Result holds both panels of the paper's Figure 7 for one net:
+// (a) the g=10u baseline, (b) the g=40u baseline.
+type Figure7Result struct {
+	NetName string
+	TMin    float64
+	G10     []Fig7Point
+	G40     []Fig7Point
+}
+
+// Figure7 reproduces the paper's Figure 7 on one net of the corpus
+// (netIndex < 0 picks the net with the median τmin, a representative
+// choice). The target sweep uses the setup's multipliers.
+func Figure7(s *Setup, netIndex int) (*Figure7Result, error) {
+	cases, err := s.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	if netIndex < 0 {
+		netIndex = medianTMinIndex(cases)
+	}
+	if netIndex >= len(cases) {
+		return nil, fmt.Errorf("experiments: net index %d out of range (%d nets)", netIndex, len(cases))
+	}
+	c := cases[netIndex]
+	lib10, err := baselineLib(10)
+	if err != nil {
+		return nil, err
+	}
+	lib40, err := baselineLib(40)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{NetName: c.Net.Name, TMin: c.TMin}
+	for _, mult := range s.Multipliers {
+		target := mult * c.TMin
+		rip, _, err := s.solveRIP(c, target)
+		if err != nil {
+			return nil, err
+		}
+		if !rip.Solution.Feasible {
+			return nil, fmt.Errorf("experiments: RIP infeasible on %s at ×%.2f", c.Net.Name, mult)
+		}
+		ours := rip.Solution.TotalWidth
+		b10, _, err := s.solveBaseline(c, lib10, target)
+		if err != nil {
+			return nil, err
+		}
+		p10 := Fig7Point{Target: target, Multiplier: mult, BaselineViolation: !b10.Feasible}
+		if b10.Feasible {
+			p10.ImprovementPct = savingsPct(b10.TotalWidth, ours)
+		}
+		res.G10 = append(res.G10, p10)
+
+		b40, _, err := s.solveBaseline(c, lib40, target)
+		if err != nil {
+			return nil, err
+		}
+		p40 := Fig7Point{Target: target, Multiplier: mult, BaselineViolation: !b40.Feasible}
+		if b40.Feasible {
+			p40.ImprovementPct = savingsPct(b40.TotalWidth, ours)
+		}
+		res.G40 = append(res.G40, p40)
+	}
+	return res, nil
+}
+
+func medianTMinIndex(cases []*Case) int {
+	idx := make([]int, len(cases))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cases[idx[a]].TMin < cases[idx[b]].TMin })
+	return idx[len(idx)/2]
+}
+
+// Render writes both panels as ASCII charts plus the underlying samples.
+func (r *Figure7Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7. Power savings over the DP scheme, net %s (τmin = %s).\n",
+		r.NetName, units.Seconds(r.TMin))
+	fmt.Fprintln(w, "(a) repeater granularity 10u — 'V' marks baseline timing violations (zone I)")
+	renderPanel(w, r.G10)
+	fmt.Fprintln(w, "(b) repeater granularity 40u")
+	renderPanel(w, r.G40)
+}
+
+func renderPanel(w io.Writer, pts []Fig7Point) {
+	const height = 12
+	lo, hi := 0.0, 0.0
+	for _, p := range pts {
+		if p.BaselineViolation {
+			continue
+		}
+		lo = math.Min(lo, p.ImprovementPct)
+		hi = math.Max(hi, p.ImprovementPct)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	rows := make([][]byte, height)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", len(pts)*3))
+	}
+	for i, p := range pts {
+		col := i * 3
+		if p.BaselineViolation {
+			rows[height-1][col] = 'V'
+			continue
+		}
+		level := int((p.ImprovementPct - lo) / span * float64(height-1))
+		rows[height-1-level][col] = '*'
+	}
+	for i, row := range rows {
+		y := hi - span*float64(i)/float64(height-1)
+		fmt.Fprintf(w, "%7.1f%% |%s\n", y, string(row))
+	}
+	fmt.Fprintf(w, "          +%s\n", strings.Repeat("-", len(pts)*3))
+	var b strings.Builder
+	for i, p := range pts {
+		if i%4 == 0 {
+			label := fmt.Sprintf("%.2f", p.Target/units.NanoSecond)
+			b.WriteString(fmt.Sprintf("%-12s", label))
+		}
+	}
+	fmt.Fprintf(w, "           %s (timing constraint, ns)\n", b.String())
+	for _, p := range pts {
+		status := fmt.Sprintf("%+7.2f%%", p.ImprovementPct)
+		if p.BaselineViolation {
+			status = "   VIOL"
+		}
+		fmt.Fprintf(w, "  τt=%-10s (×%.2f): %s\n", units.Seconds(p.Target), p.Multiplier, status)
+	}
+}
+
+// WriteCSV writes both panels as CSV.
+func (r *Figure7Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "panel,net,target_s,multiplier,improvement_pct,baseline_violation"); err != nil {
+		return err
+	}
+	emit := func(panel string, pts []Fig7Point) error {
+		for _, p := range pts {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.6e,%.2f,%.4f,%v\n",
+				panel, r.NetName, p.Target, p.Multiplier, p.ImprovementPct, p.BaselineViolation); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("a_g10", r.G10); err != nil {
+		return err
+	}
+	return emit("b_g40", r.G40)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Table1Row is one net's line in the paper's Table 1.
+type Table1Row struct {
+	// Net names the interconnect.
+	Net string
+	// DMax10 is the maximum power savings (%) of RIP over the g=10u
+	// baseline across targets where the baseline is feasible.
+	DMax10 float64
+	// V10 counts the baseline's timing violations across the 20 targets
+	// (the paper's VDP column; RIP itself never violates).
+	V10 int
+	// DMax20/DMean20 are the max and mean savings vs the g=20u baseline.
+	DMax20, DMean20 float64
+	// DMax40/DMean40 are the max and mean savings vs the g=40u baseline.
+	DMax40, DMean40 float64
+}
+
+// Table1Result is the full reproduction of Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+	// Ave is the column-wise average row (the paper's final row).
+	Ave Table1Row
+	// RIPViolations counts RIP infeasibilities (paper: zero).
+	RIPViolations int
+}
+
+// Table1 reproduces the paper's Table 1: for every net and timing target,
+// solve with RIP and with the size-10 baseline DP at granularities 10u,
+// 20u and 40u, and aggregate the power savings per net.
+func Table1(s *Setup) (*Table1Result, error) {
+	cases, err := s.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	lib10, err := baselineLib(10)
+	if err != nil {
+		return nil, err
+	}
+	lib20, err := baselineLib(20)
+	if err != nil {
+		return nil, err
+	}
+	lib40, err := baselineLib(40)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{}
+	rows := make([]Table1Row, len(cases))
+	ripViol := make([]int, len(cases))
+	err = s.forEachCase(cases, func(ci int, c *Case) error {
+		row := Table1Row{
+			Net:    c.Net.Name,
+			DMax10: math.Inf(-1),
+			DMax20: math.Inf(-1),
+			DMax40: math.Inf(-1),
+		}
+		var sum20, sum40 float64
+		var n20, n40 int
+		for _, mult := range s.Multipliers {
+			target := mult * c.TMin
+			rip, _, err := s.solveRIP(c, target)
+			if err != nil {
+				return fmt.Errorf("rip on %s ×%.2f: %w", c.Net.Name, mult, err)
+			}
+			if !rip.Solution.Feasible {
+				ripViol[ci]++
+				continue
+			}
+			ours := rip.Solution.TotalWidth
+
+			b10, _, err := s.solveBaseline(c, lib10, target)
+			if err != nil {
+				return err
+			}
+			if !b10.Feasible {
+				row.V10++
+			} else if d := savingsPct(b10.TotalWidth, ours); d > row.DMax10 {
+				row.DMax10 = d
+			}
+
+			b20, _, err := s.solveBaseline(c, lib20, target)
+			if err != nil {
+				return err
+			}
+			if b20.Feasible {
+				d := savingsPct(b20.TotalWidth, ours)
+				sum20 += d
+				n20++
+				if d > row.DMax20 {
+					row.DMax20 = d
+				}
+			}
+
+			b40, _, err := s.solveBaseline(c, lib40, target)
+			if err != nil {
+				return err
+			}
+			if b40.Feasible {
+				d := savingsPct(b40.TotalWidth, ours)
+				sum40 += d
+				n40++
+				if d > row.DMax40 {
+					row.DMax40 = d
+				}
+			}
+		}
+		if n20 > 0 {
+			row.DMean20 = sum20 / float64(n20)
+		}
+		if n40 > 0 {
+			row.DMean40 = sum40 / float64(n40)
+		}
+		for _, p := range []*float64{&row.DMax10, &row.DMax20, &row.DMax40} {
+			if math.IsInf(*p, -1) {
+				*p = 0
+			}
+		}
+		rows[ci] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	for _, v := range ripViol {
+		res.RIPViolations += v
+	}
+
+	// Column averages.
+	n := float64(len(res.Rows))
+	for _, r := range res.Rows {
+		res.Ave.DMax10 += r.DMax10 / n
+		res.Ave.V10 += r.V10
+		res.Ave.DMax20 += r.DMax20 / n
+		res.Ave.DMean20 += r.DMean20 / n
+		res.Ave.DMax40 += r.DMax40 / n
+		res.Ave.DMean40 += r.DMean40 / n
+	}
+	res.Ave.Net = "Ave"
+	res.Ave.V10 = res.Ave.V10 / len(res.Rows) // paper reports the mean count
+	return res, nil
+}
+
+// Render writes the result as an ASCII table shaped like the paper's.
+func (r *Table1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 1. Power reduction for two-pin nets (RIP vs DP[14], lib size 10).")
+	fmt.Fprintln(w, "            g=10u           g=20u             g=40u")
+	fmt.Fprintln(w, "Net    ΔMax(%)  VDP    ΔMax(%) ΔMean(%)   ΔMax(%) ΔMean(%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s %7.2f %4d   %7.2f %8.2f   %7.2f %8.2f\n",
+			row.Net, row.DMax10, row.V10, row.DMax20, row.DMean20, row.DMax40, row.DMean40)
+	}
+	fmt.Fprintf(w, "%-6s %7.2f %4d   %7.2f %8.2f   %7.2f %8.2f\n",
+		r.Ave.Net, r.Ave.DMax10, r.Ave.V10, r.Ave.DMax20, r.Ave.DMean20, r.Ave.DMax40, r.Ave.DMean40)
+	if r.RIPViolations > 0 {
+		fmt.Fprintf(w, "WARNING: RIP violated timing %d times (paper: 0)\n", r.RIPViolations)
+	} else {
+		fmt.Fprintln(w, "RIP timing violations: 0 (matches paper)")
+	}
+}
+
+// WriteCSV writes the rows as CSV with a header.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "net,dmax_g10_pct,vdp_g10,dmax_g20_pct,dmean_g20_pct,dmax_g40_pct,dmean_g40_pct"); err != nil {
+		return err
+	}
+	for _, row := range append(r.Rows, r.Ave) {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%d,%.4f,%.4f,%.4f,%.4f\n",
+			row.Net, row.DMax10, row.V10, row.DMax20, row.DMean20, row.DMax40, row.DMean40); err != nil {
+			return err
+		}
+	}
+	return nil
+}

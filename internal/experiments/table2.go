@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/rip-eda/rip/internal/repeater"
+)
+
+// Table2Row is one granularity's line in the paper's Table 2.
+type Table2Row struct {
+	// G is the DP width granularity gDP in units of u.
+	G float64
+	// LibSize is the resulting library size over the fixed (10u, 400u)
+	// width range.
+	LibSize int
+	// DeltaPct is the mean power savings of RIP over the DP scheme across
+	// all feasible cases.
+	DeltaPct float64
+	// Violations counts DP infeasibilities (excluded from DeltaPct).
+	Violations int
+	// TDP and TRIP are the mean per-case wall-clock times.
+	TDP, TRIP time.Duration
+	// Speedup is TDP / TRIP.
+	Speedup float64
+	// GeneratedDP sums the DP's generated partial solutions (a hardware-
+	// independent cost measure alongside wall-clock).
+	GeneratedDP int
+}
+
+// Table2Result is the full reproduction of Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces the paper's Table 2: the DP baseline uses a library
+// with the fixed width range (10u, 400u) and granularity gDP swept over
+// granularities (paper: 40, 30, 20, 10), while RIP runs its standard
+// configuration. As gDP shrinks the DP's quality approaches RIP's but its
+// runtime grows; RIP's runtime stays flat.
+func Table2(s *Setup, granularities []float64) (*Table2Result, error) {
+	if len(granularities) == 0 {
+		granularities = []float64{40, 30, 20, 10}
+	}
+	cases, err := s.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	for _, g := range granularities {
+		lib, err := repeater.Range(10, 400, g)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{G: g, LibSize: lib.Size()}
+		var sumSavings float64
+		var nSavings int
+		var dpTotal, ripTotal time.Duration
+		var nCases int
+		for _, c := range cases {
+			for _, mult := range s.Multipliers {
+				target := mult * c.TMin
+				rip, tRIP, err := s.solveRIP(c, target)
+				if err != nil {
+					return nil, err
+				}
+				base, tDP, err := s.solveBaseline(c, lib, target)
+				if err != nil {
+					return nil, err
+				}
+				dpTotal += tDP
+				ripTotal += tRIP
+				nCases++
+				row.GeneratedDP += base.Stats.Generated
+				if !base.Feasible {
+					row.Violations++
+					continue
+				}
+				if !rip.Solution.Feasible {
+					continue
+				}
+				sumSavings += savingsPct(base.TotalWidth, rip.Solution.TotalWidth)
+				nSavings++
+			}
+		}
+		if nSavings > 0 {
+			row.DeltaPct = sumSavings / float64(nSavings)
+		}
+		if nCases > 0 {
+			row.TDP = dpTotal / time.Duration(nCases)
+			row.TRIP = ripTotal / time.Duration(nCases)
+		}
+		if row.TRIP > 0 {
+			row.Speedup = float64(row.TDP) / float64(row.TRIP)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the result as an ASCII table shaped like the paper's.
+func (r *Table2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 2. Power savings and speedup tradeoff (DP width range (10u,400u)).")
+	fmt.Fprintln(w, "gDP(u)  |lib|   Δ(%)   viol   TDP/case    TRIP/case   speedup   DP options")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%6g %6d %7.2f %6d %11s %11s %8.1fx %12d\n",
+			row.G, row.LibSize, row.DeltaPct, row.Violations,
+			row.TDP.Round(time.Microsecond), row.TRIP.Round(time.Microsecond),
+			row.Speedup, row.GeneratedDP)
+	}
+}
+
+// WriteCSV writes the rows as CSV with a header.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "g_dp_u,lib_size,delta_pct,violations,tdp_ns,trip_ns,speedup,dp_generated"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%g,%d,%.4f,%d,%d,%d,%.3f,%d\n",
+			row.G, row.LibSize, row.DeltaPct, row.Violations,
+			row.TDP.Nanoseconds(), row.TRIP.Nanoseconds(), row.Speedup, row.GeneratedDP); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// TreeRow is one instance of the tree-extension study.
+type TreeRow struct {
+	// Sinks and Sites describe the instance.
+	Sinks, Sites int
+	// HybridWidth and FineWidth are total buffer widths from the tree
+	// RIP pipeline and the fine-grained DP (range 10u–400u step 10u).
+	HybridWidth, FineWidth float64
+	// CoarseWidth is the phase-1 width (what the hybrid starts from).
+	CoarseWidth float64
+	// HybridOptions and FineOptions count DP partial solutions generated
+	// (the hardware-independent cost measure).
+	HybridOptions, FineOptions int
+	// HybridTime and FineTime are wall-clock costs.
+	HybridTime, FineTime time.Duration
+	// Feasible reports whether both solved the instance.
+	Feasible bool
+}
+
+// TreeStudyResult aggregates the §7 tree-extension comparison.
+type TreeStudyResult struct {
+	Rows []TreeRow
+	// GapPct is the mean width excess of the hybrid over the fine DP.
+	GapPct float64
+	// WorkRatio is fine-DP options divided by hybrid options (cost win).
+	WorkRatio float64
+}
+
+// TreeStudy evaluates the tree RIP pipeline (§7 future work) against the
+// expensive fine-grained tree DP on seeded random trees whose required
+// times sit between the unbuffered and best-buffered arrivals.
+func TreeStudy(s *Setup, seed int64, instances int) (*TreeStudyResult, error) {
+	if instances <= 0 {
+		instances = 10
+	}
+	genCfg, err := tree.DefaultGenConfig(s.Tech)
+	if err != nil {
+		return nil, err
+	}
+	fineLib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &TreeStudyResult{}
+	var gapSum float64
+	var gapN int
+	var hybOpts, fineOpts int
+	for i := 0; i < instances; i++ {
+		genCfg.Sinks = 4 + rng.Intn(8)
+		tr, err := tree.Generate(rng, genCfg)
+		if err != nil {
+			return nil, err
+		}
+		opts := tree.Options{Library: fineLib, Tech: s.Tech, DriverWidth: 240}
+		// Pick a RAT requiring buffering: between unbuffered and best.
+		best, err := tree.Insert(tr, tree.Options{Library: fineLib, Tech: s.Tech, DriverWidth: 240, MaxSlack: true})
+		if err != nil {
+			return nil, err
+		}
+		unbuf, err := tr.Evaluate(nil, 240, s.Tech.Rs, s.Tech.Co, s.Tech.Cp)
+		if err != nil {
+			return nil, err
+		}
+		arrUnbuf := genCfg.RAT - unbuf
+		arrBest := genCfg.RAT - best.Slack
+		rat := arrBest + (0.25+0.5*rng.Float64())*(arrUnbuf-arrBest)
+		for _, sink := range tr.Sinks() {
+			sink.SinkRAT = rat
+		}
+
+		t0 := time.Now()
+		hyb, err := tree.InsertHybrid(tr, opts, tree.HybridConfig{})
+		if err != nil {
+			return nil, err
+		}
+		hybTime := time.Since(t0)
+		t0 = time.Now()
+		fine, err := tree.Insert(tr, opts)
+		if err != nil {
+			return nil, err
+		}
+		fineTime := time.Since(t0)
+
+		row := TreeRow{
+			Sinks:         len(tr.Sinks()),
+			Sites:         len(tr.BufferSites()),
+			HybridWidth:   hyb.Solution.TotalWidth,
+			FineWidth:     fine.TotalWidth,
+			CoarseWidth:   hyb.Coarse.TotalWidth,
+			HybridOptions: hyb.Coarse.Stats.Generated + hyb.Final.Stats.Generated,
+			FineOptions:   fine.Stats.Generated,
+			HybridTime:    hybTime,
+			FineTime:      fineTime,
+			Feasible:      hyb.Solution.Feasible && fine.Feasible,
+		}
+		res.Rows = append(res.Rows, row)
+		if row.Feasible && fine.TotalWidth > 0 {
+			gapSum += 100 * (hyb.Solution.TotalWidth - fine.TotalWidth) / fine.TotalWidth
+			gapN++
+			hybOpts += row.HybridOptions
+			fineOpts += row.FineOptions
+		}
+	}
+	if gapN > 0 {
+		res.GapPct = gapSum / float64(gapN)
+	}
+	if hybOpts > 0 {
+		res.WorkRatio = float64(fineOpts) / float64(hybOpts)
+	}
+	return res, nil
+}
+
+// Render writes the study as an ASCII table.
+func (r *TreeStudyResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Tree extension (§7): hybrid pipeline vs fine-grained tree DP.")
+	fmt.Fprintln(w, "sinks  sites   coarse    hybrid      fine   hyb-opts   fine-opts   hyb-time   fine-time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%5d %6d %7.0fu %8.0fu %8.0fu %10d %11d %10s %11s\n",
+			row.Sinks, row.Sites, row.CoarseWidth, row.HybridWidth, row.FineWidth,
+			row.HybridOptions, row.FineOptions,
+			row.HybridTime.Round(time.Microsecond), row.FineTime.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "mean width gap vs fine DP: %+.2f%%, DP work ratio: %.1fx\n", r.GapPct, r.WorkRatio)
+}
+
+// WriteCSV writes the rows as CSV.
+func (r *TreeStudyResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "sinks,sites,coarse_u,hybrid_u,fine_u,hybrid_options,fine_options,hybrid_ns,fine_ns,feasible"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.2f,%.2f,%.2f,%d,%d,%d,%d,%v\n",
+			row.Sinks, row.Sites, row.CoarseWidth, row.HybridWidth, row.FineWidth,
+			row.HybridOptions, row.FineOptions,
+			row.HybridTime.Nanoseconds(), row.FineTime.Nanoseconds(), row.Feasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/repeater"
+)
+
+// ZoneRow is one zone-coverage level of the sweep.
+type ZoneRow struct {
+	// FractionPct is the forbidden-zone share of the net length (%).
+	FractionPct float64
+	// MeanWidth is RIP's mean total repeater width across the sweep's
+	// feasible cases (units of u).
+	MeanWidth float64
+	// MeanWidthVsFreePct is the width penalty relative to the zone-free
+	// version of the same nets.
+	MeanWidthVsFreePct float64
+	// Infeasible counts cases that became untimable at this coverage.
+	Infeasible int
+	// TMinInflationPct is the mean growth of τmin itself versus the
+	// zone-free nets (zones lengthen the best achievable delay).
+	TMinInflationPct float64
+}
+
+// ZoneSweepResult is the full zone-coverage study.
+type ZoneSweepResult struct {
+	Rows []ZoneRow
+}
+
+// ZoneSweep studies how forbidden-zone coverage degrades the power-delay
+// tradeoff — the machinery the paper's problem statement is specifically
+// built to handle. The same seeded nets are regenerated with the zone
+// fraction pinned to each level (0% = unconstrained), τmin is recomputed
+// per level, and RIP solves every net × multiplier case.
+func ZoneSweep(s *Setup, fractions []float64, seed int64, netCount int) (*ZoneSweepResult, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
+	}
+	if netCount <= 0 {
+		netCount = 8
+	}
+	baseCfg, err := netgen.DefaultConfig(s.Tech)
+	if err != nil {
+		return nil, err
+	}
+	refLib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-level per-case widths, aligned by (net, multiplier) index so the
+	// vs-zone-free comparison is paired.
+	level := func(frac float64) ([]float64, []float64, int, error) {
+		cfg := baseCfg
+		if frac == 0 {
+			cfg.ZoneFractionMin, cfg.ZoneFractionMax = 0, 0
+		} else {
+			cfg.ZoneFractionMin, cfg.ZoneFractionMax = frac, frac
+		}
+		nets, err := netgen.Corpus(seed, netCount, cfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		widths := make([]float64, 0, len(nets)*len(s.Multipliers))
+		tmins := make([]float64, 0, len(nets))
+		infeasible := 0
+		for _, n := range nets {
+			ev, err := delay.NewEvaluator(n, s.Tech)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			tmin, err := dp.MinimumDelay(ev, dp.Options{Library: refLib, Pitch: s.Pitch})
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			tmins = append(tmins, tmin)
+			for _, mult := range s.Multipliers {
+				res, err := core.Insert(ev, mult*tmin, s.RIP)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if !res.Solution.Feasible {
+					infeasible++
+					widths = append(widths, -1)
+					continue
+				}
+				widths = append(widths, res.Solution.TotalWidth)
+			}
+		}
+		return widths, tmins, infeasible, nil
+	}
+
+	freeWidths, freeTMins, _, err := level(0)
+	if err != nil {
+		return nil, err
+	}
+	res := &ZoneSweepResult{}
+	for _, frac := range fractions {
+		widths, tmins, infeasible, err := level(frac)
+		if err != nil {
+			return nil, err
+		}
+		row := ZoneRow{FractionPct: frac * 100, Infeasible: infeasible}
+		var sumW, sumPct float64
+		var nW, nPct int
+		for i, w := range widths {
+			if w < 0 {
+				continue
+			}
+			sumW += w
+			nW++
+			if i < len(freeWidths) && freeWidths[i] > 0 {
+				sumPct += 100 * (w - freeWidths[i]) / freeWidths[i]
+				nPct++
+			}
+		}
+		if nW > 0 {
+			row.MeanWidth = sumW / float64(nW)
+		}
+		if nPct > 0 {
+			row.MeanWidthVsFreePct = sumPct / float64(nPct)
+		}
+		var inflation float64
+		for i := range tmins {
+			if i < len(freeTMins) && freeTMins[i] > 0 {
+				inflation += 100 * (tmins[i] - freeTMins[i]) / freeTMins[i]
+			}
+		}
+		if len(tmins) > 0 {
+			row.TMinInflationPct = inflation / float64(len(tmins))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the sweep as an ASCII table.
+func (r *ZoneSweepResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Forbidden-zone coverage sweep (RIP, paired seeded nets).")
+	fmt.Fprintln(w, "zone %   mean width   Δwidth vs free   τmin inflation   infeasible")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%5.0f%% %11.1fu %15.2f%% %15.2f%% %11d\n",
+			row.FractionPct, row.MeanWidth, row.MeanWidthVsFreePct, row.TMinInflationPct, row.Infeasible)
+	}
+}
+
+// WriteCSV writes the rows as CSV.
+func (r *ZoneSweepResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "zone_fraction_pct,mean_width_u,delta_width_vs_free_pct,tmin_inflation_pct,infeasible"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%.1f,%.4f,%.4f,%.4f,%d\n",
+			row.FractionPct, row.MeanWidth, row.MeanWidthVsFreePct, row.TMinInflationPct, row.Infeasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package flow is the chip-level driver a downstream user actually runs:
+// given a floorplan, a list of two-pin connections and a timing policy, it
+// routes every net, runs the RIP pipeline on each, and aggregates repeater
+// count, width and power across the design. Nets are independent, so the
+// flow fans out across workers.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/power"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/route"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// NetSpec is one requested connection.
+type NetSpec struct {
+	// Name identifies the net in reports.
+	Name string
+	// From and To are the terminals.
+	From, To route.Pin
+	// Bends is the staircase bend count (≥ 1).
+	Bends int
+	// TargetMult overrides the plan's timing policy for this net when
+	// positive (target = TargetMult·τmin).
+	TargetMult float64
+}
+
+// Plan is the chip-level context.
+type Plan struct {
+	// Floorplan is the die with macros.
+	Floorplan *route.Floorplan
+	// Tech is the process node.
+	Tech *tech.Technology
+	// Route configures layers and terminal widths.
+	Route route.Config
+	// RIP configures the per-net pipeline.
+	RIP core.Config
+	// TargetMult is the default timing policy: target = TargetMult·τmin
+	// per net (default 1.2).
+	TargetMult float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NetResult is one net's outcome.
+type NetResult struct {
+	Spec   NetSpec
+	Net    *wire.Net
+	TMin   float64
+	Target float64
+	Result core.Result
+	// Err records a per-net failure (routing or solving); the flow
+	// continues with the remaining nets.
+	Err error
+}
+
+// Summary aggregates the design.
+type Summary struct {
+	Results []NetResult
+	// Repeaters is the total inserted repeater count.
+	Repeaters int
+	// TotalWidth is the summed repeater width (units of u).
+	TotalWidth float64
+	// RepeaterPowerW and WirePowerW are the design-level power totals.
+	RepeaterPowerW, WirePowerW float64
+	// Infeasible counts nets whose target could not be met.
+	Infeasible int
+	// Failed counts nets that errored (routing or internal failure).
+	Failed int
+}
+
+// Run executes the flow for all nets.
+func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
+	if plan == nil || plan.Floorplan == nil {
+		return nil, errors.New("flow: nil plan or floorplan")
+	}
+	if err := plan.Floorplan.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nets) == 0 {
+		return nil, errors.New("flow: no nets")
+	}
+	mult := plan.TargetMult
+	if mult <= 0 {
+		mult = 1.2
+	}
+	workers := plan.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	refLib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := power.NewModel(plan.Tech)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]NetResult, len(nets))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range nets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec NetSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = solveOne(plan, spec, mult, refLib)
+		}(i, spec)
+	}
+	wg.Wait()
+
+	sum := &Summary{Results: results}
+	for _, r := range results {
+		if r.Err != nil {
+			sum.Failed++
+			continue
+		}
+		if !r.Result.Solution.Feasible {
+			sum.Infeasible++
+			continue
+		}
+		sol := r.Result.Solution
+		sum.Repeaters += sol.Assignment.N()
+		sum.TotalWidth += sol.TotalWidth
+		sum.WirePowerW += pm.Wire(r.Net.Line.TotalC())
+	}
+	sum.RepeaterPowerW = pm.Repeater(sum.TotalWidth)
+	return sum, nil
+}
+
+func solveOne(plan *Plan, spec NetSpec, defaultMult float64, refLib repeater.Library) NetResult {
+	out := NetResult{Spec: spec}
+	bends := spec.Bends
+	if bends <= 0 {
+		bends = 1
+	}
+	net, err := route.Route(plan.Floorplan, spec.From, spec.To, bends, plan.Route, spec.Name)
+	if err != nil {
+		out.Err = fmt.Errorf("flow: routing %s: %w", spec.Name, err)
+		return out
+	}
+	out.Net = net
+	ev, err := delay.NewEvaluator(net, plan.Tech)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	tmin, err := dp.MinimumDelay(ev, dp.Options{Library: refLib, Pitch: 200 * units.Micron})
+	if err != nil {
+		out.Err = fmt.Errorf("flow: τmin for %s: %w", spec.Name, err)
+		return out
+	}
+	out.TMin = tmin
+	mult := spec.TargetMult
+	if mult <= 0 {
+		mult = defaultMult
+	}
+	out.Target = mult * tmin
+	res, err := core.Insert(ev, out.Target, plan.RIP)
+	if err != nil {
+		out.Err = fmt.Errorf("flow: solving %s: %w", spec.Name, err)
+		return out
+	}
+	out.Result = res
+	return out
+}
+
+// Render writes the design summary and a per-net table.
+func (s *Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "chip flow: %d nets (%d infeasible, %d failed)\n",
+		len(s.Results), s.Infeasible, s.Failed)
+	fmt.Fprintf(w, "totals: %d repeaters, Σw %.0fu, repeater power %s, wire power %s\n",
+		s.Repeaters, s.TotalWidth, units.Watts(s.RepeaterPowerW), units.Watts(s.WirePowerW))
+	fmt.Fprintln(w, "net            length    zones  reps      Σw       τmin      target     delay   status")
+	rows := append([]NetResult(nil), s.Results...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Spec.Name < rows[j].Spec.Name })
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-12s %s\n", r.Spec.Name, r.Err)
+			continue
+		}
+		status := "ok"
+		if !r.Result.Solution.Feasible {
+			status = "INFEASIBLE"
+		}
+		sol := r.Result.Solution
+		fmt.Fprintf(w, "%-12s %9s %7d %5d %7.0fu %10s %10s %10s   %s\n",
+			r.Spec.Name, units.Meters(r.Net.Line.Length()), len(r.Net.Line.Zones()),
+			sol.Assignment.N(), sol.TotalWidth,
+			units.Seconds(r.TMin), units.Seconds(r.Target), units.Seconds(sol.Delay), status)
+	}
+}

@@ -1,0 +1,151 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/route"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+func plan(t *testing.T) *Plan {
+	t.Helper()
+	tt := tech.T180()
+	fp := &route.Floorplan{
+		Width:  20e-3,
+		Height: 16e-3,
+		Macros: []route.Rect{
+			{X1: 5e-3, Y1: 2e-3, X2: 9e-3, Y2: 7e-3},
+			{X1: 12e-3, Y1: 8e-3, X2: 16e-3, Y2: 13e-3},
+		},
+	}
+	rc, err := route.DefaultConfig(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Plan{
+		Floorplan:  fp,
+		Tech:       tt,
+		Route:      rc,
+		RIP:        core.DefaultConfig(),
+		TargetMult: 1.25,
+	}
+}
+
+func specs() []NetSpec {
+	return []NetSpec{
+		{Name: "clkroot", From: route.Pin{X: 1e-3, Y: 1e-3}, To: route.Pin{X: 18e-3, Y: 14e-3}, Bends: 3},
+		{Name: "dbus0", From: route.Pin{X: 2e-3, Y: 8e-3}, To: route.Pin{X: 17e-3, Y: 3e-3}, Bends: 1},
+		{Name: "dbus1", From: route.Pin{X: 2e-3, Y: 9e-3}, To: route.Pin{X: 17e-3, Y: 4e-3}, Bends: 5},
+		{Name: "irq", From: route.Pin{X: 0.5e-3, Y: 15e-3}, To: route.Pin{X: 10e-3, Y: 0.5e-3}, Bends: 3, TargetMult: 1.6},
+	}
+}
+
+func TestRunFullFlow(t *testing.T) {
+	sum, err := Run(plan(t), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 4 {
+		t.Fatalf("got %d results", len(sum.Results))
+	}
+	if sum.Failed != 0 {
+		for _, r := range sum.Results {
+			if r.Err != nil {
+				t.Logf("%s: %v", r.Spec.Name, r.Err)
+			}
+		}
+		t.Fatalf("%d nets failed", sum.Failed)
+	}
+	if sum.Infeasible != 0 {
+		t.Fatalf("%d nets infeasible at 1.25·τmin", sum.Infeasible)
+	}
+	if sum.Repeaters == 0 || sum.TotalWidth <= 0 {
+		t.Errorf("expected repeaters across the design: %+v", sum)
+	}
+	if sum.RepeaterPowerW <= 0 || sum.WirePowerW <= 0 {
+		t.Errorf("power totals missing: %+v", sum)
+	}
+	// Per-net targets respected; per-net override honored.
+	for _, r := range sum.Results {
+		if r.Result.Solution.Delay > r.Target*(1+1e-9) {
+			t.Errorf("%s: delay %g exceeds target %g", r.Spec.Name, r.Result.Solution.Delay, r.Target)
+		}
+		wantMult := 1.25
+		if r.Spec.TargetMult > 0 {
+			wantMult = r.Spec.TargetMult
+		}
+		if got := r.Target / r.TMin; got < wantMult*0.999 || got > wantMult*1.001 {
+			t.Errorf("%s: target multiple %g, want %g", r.Spec.Name, got, wantMult)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	p1 := plan(t)
+	p1.Workers = 1
+	serial, err := Run(p1, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8 := plan(t)
+	p8.Workers = 8
+	parallel, err := Run(p8, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalWidth != parallel.TotalWidth || serial.Repeaters != parallel.Repeaters {
+		t.Errorf("parallelism changed results: %+v vs %+v", serial, parallel)
+	}
+}
+
+func TestRunPerNetFailureIsIsolated(t *testing.T) {
+	bad := specs()
+	bad = append(bad, NetSpec{Name: "brokenpin", From: route.Pin{X: 6e-3, Y: 4e-3}, To: route.Pin{X: 1e-3, Y: 1e-3}, Bends: 1})
+	sum, err := Run(plan(t), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 1 {
+		t.Fatalf("want exactly one failed net, got %d", sum.Failed)
+	}
+	// The others still solved.
+	if sum.Repeaters == 0 {
+		t.Error("healthy nets should still be solved")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	if _, err := Run(nil, specs()); err == nil {
+		t.Error("nil plan should fail")
+	}
+	p := plan(t)
+	if _, err := Run(p, nil); err == nil {
+		t.Error("no nets should fail")
+	}
+	p.Tech = &tech.Technology{}
+	if _, err := Run(p, specs()); err == nil {
+		t.Error("invalid tech should fail")
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	sum, err := Run(plan(t), specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sum.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"chip flow", "totals:", "clkroot", "dbus0", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: clkroot before dbus0 before irq.
+	if strings.Index(out, "clkroot") > strings.Index(out, "dbus0") {
+		t.Error("per-net table not sorted")
+	}
+}

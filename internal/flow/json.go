@@ -1,0 +1,125 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/rip-eda/rip/internal/route"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// designJSON is the on-disk chip description consumed by cmd/chipflow:
+// die and macro coordinates in µm, one entry per net. Example:
+//
+//	{
+//	  "die": {"width_um": 20000, "height_um": 16000},
+//	  "macros": [{"x1_um": 5000, "y1_um": 2000, "x2_um": 9000, "y2_um": 7000}],
+//	  "nets": [
+//	    {"name": "clk", "from": {"x_um": 1000, "y_um": 1000},
+//	     "to": {"x_um": 18000, "y_um": 14000}, "bends": 3, "target_mult": 1.1}
+//	  ]
+//	}
+type designJSON struct {
+	Die    dieJSON       `json:"die"`
+	Macros []macroJSON   `json:"macros,omitempty"`
+	Nets   []netSpecJSON `json:"nets"`
+}
+
+type dieJSON struct {
+	WidthUM  float64 `json:"width_um"`
+	HeightUM float64 `json:"height_um"`
+}
+
+type macroJSON struct {
+	X1UM float64 `json:"x1_um"`
+	Y1UM float64 `json:"y1_um"`
+	X2UM float64 `json:"x2_um"`
+	Y2UM float64 `json:"y2_um"`
+}
+
+type pinJSON struct {
+	XUM float64 `json:"x_um"`
+	YUM float64 `json:"y_um"`
+}
+
+type netSpecJSON struct {
+	Name       string  `json:"name"`
+	From       pinJSON `json:"from"`
+	To         pinJSON `json:"to"`
+	Bends      int     `json:"bends,omitempty"`
+	TargetMult float64 `json:"target_mult,omitempty"`
+}
+
+// ReadDesign parses a chip description: the floorplan and the net list.
+func ReadDesign(r io.Reader) (*route.Floorplan, []NetSpec, error) {
+	var d designJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, nil, fmt.Errorf("flow: decoding design: %w", err)
+	}
+	fp := &route.Floorplan{
+		Width:  units.Microns(d.Die.WidthUM),
+		Height: units.Microns(d.Die.HeightUM),
+	}
+	for _, m := range d.Macros {
+		fp.Macros = append(fp.Macros, route.Rect{
+			X1: units.Microns(m.X1UM), Y1: units.Microns(m.Y1UM),
+			X2: units.Microns(m.X2UM), Y2: units.Microns(m.Y2UM),
+		})
+	}
+	if err := fp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(d.Nets) == 0 {
+		return nil, nil, fmt.Errorf("flow: design has no nets")
+	}
+	specs := make([]NetSpec, len(d.Nets))
+	seen := make(map[string]bool, len(d.Nets))
+	for i, n := range d.Nets {
+		if n.Name == "" {
+			return nil, nil, fmt.Errorf("flow: net %d has no name", i)
+		}
+		if seen[n.Name] {
+			return nil, nil, fmt.Errorf("flow: duplicate net name %q", n.Name)
+		}
+		seen[n.Name] = true
+		specs[i] = NetSpec{
+			Name:       n.Name,
+			From:       route.Pin{X: units.Microns(n.From.XUM), Y: units.Microns(n.From.YUM)},
+			To:         route.Pin{X: units.Microns(n.To.XUM), Y: units.Microns(n.To.YUM)},
+			Bends:      n.Bends,
+			TargetMult: n.TargetMult,
+		}
+	}
+	return fp, specs, nil
+}
+
+// WriteDesign serializes a floorplan and net list (µm units, indented).
+func WriteDesign(w io.Writer, fp *route.Floorplan, specs []NetSpec) error {
+	if err := fp.Validate(); err != nil {
+		return err
+	}
+	d := designJSON{
+		Die: dieJSON{WidthUM: units.ToMicrons(fp.Width), HeightUM: units.ToMicrons(fp.Height)},
+	}
+	for _, m := range fp.Macros {
+		d.Macros = append(d.Macros, macroJSON{
+			X1UM: units.ToMicrons(m.X1), Y1UM: units.ToMicrons(m.Y1),
+			X2UM: units.ToMicrons(m.X2), Y2UM: units.ToMicrons(m.Y2),
+		})
+	}
+	for _, s := range specs {
+		d.Nets = append(d.Nets, netSpecJSON{
+			Name:       s.Name,
+			From:       pinJSON{XUM: units.ToMicrons(s.From.X), YUM: units.ToMicrons(s.From.Y)},
+			To:         pinJSON{XUM: units.ToMicrons(s.To.X), YUM: units.ToMicrons(s.To.Y)},
+			Bends:      s.Bends,
+			TargetMult: s.TargetMult,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,87 @@
+package flow
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/route"
+)
+
+func TestDesignJSONRoundTrip(t *testing.T) {
+	fp := &route.Floorplan{
+		Width:  20e-3,
+		Height: 16e-3,
+		Macros: []route.Rect{{X1: 5e-3, Y1: 2e-3, X2: 9e-3, Y2: 7e-3}},
+	}
+	specs := []NetSpec{
+		{Name: "a", From: route.Pin{X: 1e-3, Y: 1e-3}, To: route.Pin{X: 18e-3, Y: 14e-3}, Bends: 3, TargetMult: 1.1},
+		{Name: "b", From: route.Pin{X: 2e-3, Y: 8e-3}, To: route.Pin{X: 17e-3, Y: 3e-3}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, fp, specs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "width_um") {
+		t.Error("design JSON should use µm units")
+	}
+	fp2, specs2, err := ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp2.Width-fp.Width) > 1e-12 || len(fp2.Macros) != 1 {
+		t.Errorf("floorplan mismatch: %+v", fp2)
+	}
+	if len(specs2) != 2 || specs2[0].Name != "a" || specs2[0].TargetMult != 1.1 {
+		t.Errorf("specs mismatch: %+v", specs2)
+	}
+	if math.Abs(specs2[1].To.X-17e-3) > 1e-12 {
+		t.Errorf("pin mismatch: %+v", specs2[1])
+	}
+}
+
+func TestReadDesignValidation(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"die":{"width_um":0,"height_um":100},"nets":[{"name":"x","from":{},"to":{}}]}`,                                         // bad die
+		`{"die":{"width_um":100,"height_um":100},"nets":[]}`,                                                                     // no nets
+		`{"die":{"width_um":100,"height_um":100},"nets":[{"from":{},"to":{}}]}`,                                                  // unnamed net
+		`{"die":{"width_um":100,"height_um":100},"unknown":1,"nets":[{"name":"x"}]}`,                                             // unknown field
+		`{"die":{"width_um":100,"height_um":100},"nets":[{"name":"x"},{"name":"x"}]}`,                                            // duplicate
+		`{"die":{"width_um":100,"height_um":100},"macros":[{"x1_um":50,"y1_um":0,"x2_um":40,"y2_um":10}],"nets":[{"name":"x"}]}`, // inverted macro
+	}
+	for i, c := range cases {
+		if _, _, err := ReadDesign(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestWriteDesignValidates(t *testing.T) {
+	bad := &route.Floorplan{Width: -1, Height: 1}
+	if err := WriteDesign(&bytes.Buffer{}, bad, nil); err == nil {
+		t.Error("invalid floorplan should fail")
+	}
+}
+
+func TestDesignEndToEndThroughFlow(t *testing.T) {
+	// A design written, read back, and run — the chipflow binary's path.
+	p := plan(t)
+	var buf bytes.Buffer
+	if err := WriteDesign(&buf, p.Floorplan, specs()); err != nil {
+		t.Fatal(err)
+	}
+	fp, sp, err := ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Floorplan = fp
+	sum, err := Run(p, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 || sum.Infeasible != 0 {
+		t.Errorf("round-tripped design should solve cleanly: %+v", sum)
+	}
+}

@@ -1,0 +1,210 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+func fixture(t *testing.T) (*delay.Evaluator, *wire.Line) {
+	t.Helper()
+	line, err := wire.New([]wire.Segment{
+		{Length: 2.0e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 3.0e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.0e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "m", Line: line, DriverWidth: 240, ReceiverWidth: 80}, tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, line
+}
+
+func TestSinglePoleExact(t *testing.T) {
+	// One resistor, one capacitor: m1 = RC, m2 = (RC)², D2M = ln2·RC.
+	m := ladderMoments([]float64{1000}, []float64{1e-12})
+	rc := 1000 * 1e-12
+	if math.Abs(m.M1-rc)/rc > 1e-12 {
+		t.Errorf("m1 = %g, want %g", m.M1, rc)
+	}
+	if math.Abs(m.M2-rc*rc)/(rc*rc) > 1e-12 {
+		t.Errorf("m2 = %g, want %g", m.M2, rc*rc)
+	}
+	if d := m.D2M(); math.Abs(d-math.Ln2*rc)/(math.Ln2*rc) > 1e-12 {
+		t.Errorf("D2M = %g, want ln2·RC = %g", d, math.Ln2*rc)
+	}
+}
+
+func TestTwoNodeLadderHandComputed(t *testing.T) {
+	// R1=1k → node0 (C=1pF) → R2=2k → node1 (C=3pF).
+	res := []float64{1e3, 2e3}
+	caps := []float64{1e-12, 3e-12}
+	// m1(load) = C0·R1 + C1·(R1+R2) = 1e-9 + 9e-9 = 1e-8.
+	// m1(node0) = C0·R1 + C1·R1 = 4e-9.
+	// m2(load) = C0·R1·m1(0) + C1·(R1+R2)·m1(1) = 1e-12·1e3·4e-9 + 3e-12·3e3·1e-8
+	//          = 4e-18 + 9e-17 = 9.4e-17.
+	m := ladderMoments(res, caps)
+	if math.Abs(m.M1-1e-8)/1e-8 > 1e-12 {
+		t.Errorf("m1 = %g, want 1e-8", m.M1)
+	}
+	if math.Abs(m.M2-9.4e-17)/9.4e-17 > 1e-12 {
+		t.Errorf("m2 = %g, want 9.4e-17", m.M2)
+	}
+}
+
+func TestStageM1MatchesElmoreEvaluator(t *testing.T) {
+	// The first moment from the ladder must equal the delay package's
+	// per-stage Elmore — two independent implementations of Eq. (1).
+	ev, line := fixture(t)
+	a := delay.Assignment{Positions: []float64{2.5e-3, 5.5e-3}, Widths: []float64{180, 120}}
+	stages := ev.Stages(a)
+	bounds := []struct {
+		from, to      float64
+		wDrive, wLoad float64
+	}{
+		{0, 2.5e-3, 240, 180},
+		{2.5e-3, 5.5e-3, 180, 120},
+		{5.5e-3, 7e-3, 120, 80},
+	}
+	for i, bnd := range bounds {
+		sm, err := Stage(line, ev.Tech, bnd.from, bnd.to, bnd.wDrive, bnd.wLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := stages[i].Total()
+		if math.Abs(sm.M1-want)/want > 1e-12 {
+			t.Errorf("stage %d: ladder m1 %g != Elmore %g", i, sm.M1, want)
+		}
+	}
+}
+
+func TestAssignmentElmoreMetricMatchesEvaluator(t *testing.T) {
+	ev, _ := fixture(t)
+	a := delay.Assignment{Positions: []float64{1.8e-3, 4.4e-3}, Widths: []float64{200, 140}}
+	got, err := Assignment(ev, a, Elmore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ev.Total(a)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("moments Elmore %g != evaluator %g", got, want)
+	}
+}
+
+func TestD2MTighterThanElmore(t *testing.T) {
+	ev, _ := fixture(t)
+	a := delay.Assignment{Positions: []float64{2.2e-3, 4.8e-3}, Widths: []float64{180, 130}}
+	c, err := Both(ev, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.D2M < c.Elmore) {
+		t.Errorf("D2M (%g) should be tighter than Elmore (%g) on RC ladders", c.D2M, c.Elmore)
+	}
+	if r := c.Ratio(); !(r > 0.4 && r < 1.0) {
+		t.Errorf("D2M/Elmore ratio %g outside the plausible band", r)
+	}
+}
+
+// Property: for random ladders, m1 and m2 are positive and D2M never
+// exceeds the Elmore metric (m2 ≤ m1² on RC ladders ⇒ √m2 ≤ m1 ⇒
+// D2M = ln2·m1²/√m2 ≥ ln2·m1, and D2M ≤ m1 because √m2 ≥ ln2·m1 — the
+// bound we assert is the weaker sandwich ln2·m1 ≤ D2M ≤ m1).
+func TestD2MSandwichProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		n := 2 + int(math.Abs(float64(seed%8)))
+		res := make([]float64, n)
+		caps := make([]float64, n)
+		for i := range res {
+			res[i] = 100 + rng.Float64()*5000
+			caps[i] = (10 + rng.Float64()*500) * 1e-15
+		}
+		m := ladderMoments(res, caps)
+		if !(m.M1 > 0 && m.M2 > 0) {
+			return false
+		}
+		d := m.D2M()
+		return d >= math.Ln2*m.M1*(1-1e-12) && d <= m.M1*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageValidation(t *testing.T) {
+	_, line := fixture(t)
+	tt := tech.T180()
+	if _, err := Stage(line, tt, 0, 1e-3, 0, 100); err == nil {
+		t.Error("zero drive width should fail")
+	}
+	if _, err := Stage(line, tt, 0, 1e-3, 100, -1); err == nil {
+		t.Error("negative load width should fail")
+	}
+	if _, err := Stage(line, tt, 2e-3, 1e-3, 100, 100); err == nil {
+		t.Error("inverted interval should fail")
+	}
+}
+
+func TestZeroLengthStage(t *testing.T) {
+	// A zero-length stage is just the driver driving the load cap.
+	_, line := fixture(t)
+	tt := tech.T180()
+	sm, err := Stage(line, tt, 1e-3, 1e-3, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tt.Rs / 100 * (tt.Cp*100 + tt.Co*50)
+	if math.Abs(sm.M1-want)/want > 1e-12 {
+		t.Errorf("degenerate stage m1 = %g, want %g", sm.M1, want)
+	}
+}
+
+func TestAssignmentUnknownMetric(t *testing.T) {
+	ev, _ := fixture(t)
+	if _, err := Assignment(ev, delay.Assignment{}, Metric(99)); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if Metric(99).String() == "" || Elmore.String() != "elmore" || D2M.String() != "d2m" {
+		t.Error("Metric.String misbehaves")
+	}
+}
+
+func TestMoreRepeatersApproachSinglePoleRatio(t *testing.T) {
+	// More repeaters make each stage driver-dominated (the Rs/w source
+	// resistance outweighs the short wire piece), so the response looks
+	// more like a single pole and D2M/Elmore falls toward ln2 ≈ 0.693.
+	// A single repeater leaves long distributed stages whose ratio sits
+	// higher. Both must stay inside the [ln2, 1] sandwich.
+	ev, _ := fixture(t)
+	one := delay.Assignment{Positions: []float64{3.5e-3}, Widths: []float64{200}}
+	four := delay.Assignment{
+		Positions: []float64{1.4e-3, 2.8e-3, 4.2e-3, 5.6e-3},
+		Widths:    []float64{200, 200, 200, 200},
+	}
+	c1, err := Both(ev, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := Both(ev, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c4.Ratio() < c1.Ratio()) {
+		t.Errorf("segmentation should pull D2M toward the single-pole ratio: 1-rep %g, 4-rep %g",
+			c1.Ratio(), c4.Ratio())
+	}
+	for _, r := range []float64{c1.Ratio(), c4.Ratio()} {
+		if r < math.Ln2-1e-9 || r > 1+1e-9 {
+			t.Errorf("ratio %g outside [ln2, 1]", r)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package netgen generates random two-pin interconnects following the RIP
+// paper's experimental setup (§6) exactly:
+//
+//   - each net has 4–10 segments,
+//   - each segment is 1000–2500 µm long,
+//   - segments are routed on metal4 and metal5 only,
+//   - one forbidden zone per net, 20–40 % of the total length, its
+//     location uniformly distributed along the interconnect.
+//
+// Generation is fully deterministic given a seed, which is what lets the
+// experiment harness reproduce the paper's 20-net corpus bit-for-bit
+// across runs.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Config describes the random net distribution. DefaultConfig matches §6.
+type Config struct {
+	// MinSegments and MaxSegments bound the per-net segment count.
+	MinSegments, MaxSegments int
+	// MinSegLen and MaxSegLen bound each segment's length in meters.
+	MinSegLen, MaxSegLen float64
+	// Layers are the candidate routing layers (chosen uniformly per
+	// segment).
+	Layers []tech.Layer
+	// ZoneFractionMin and ZoneFractionMax bound the forbidden-zone length
+	// as a fraction of the net length. Zero disables zones.
+	ZoneFractionMin, ZoneFractionMax float64
+	// DriverWidth and ReceiverWidth are the fixed terminal sizes in u.
+	DriverWidth, ReceiverWidth float64
+}
+
+// DefaultConfig returns the paper's §6 distribution over the given
+// technology's metal4/metal5 layers.
+func DefaultConfig(t *tech.Technology) (Config, error) {
+	m4, err := t.Layer("metal4")
+	if err != nil {
+		return Config{}, err
+	}
+	m5, err := t.Layer("metal5")
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		MinSegments:     4,
+		MaxSegments:     10,
+		MinSegLen:       1000 * units.Micron,
+		MaxSegLen:       2500 * units.Micron,
+		Layers:          []tech.Layer{m4, m5},
+		ZoneFractionMin: 0.20,
+		ZoneFractionMax: 0.40,
+		DriverWidth:     240,
+		ReceiverWidth:   80,
+	}, nil
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.MinSegments < 1 || c.MaxSegments < c.MinSegments:
+		return fmt.Errorf("netgen: bad segment count range [%d, %d]", c.MinSegments, c.MaxSegments)
+	case !(c.MinSegLen > 0) || c.MaxSegLen < c.MinSegLen:
+		return fmt.Errorf("netgen: bad segment length range [%g, %g]", c.MinSegLen, c.MaxSegLen)
+	case len(c.Layers) == 0:
+		return fmt.Errorf("netgen: no layers")
+	case c.ZoneFractionMin < 0 || c.ZoneFractionMax > 0.9 || c.ZoneFractionMax < c.ZoneFractionMin:
+		return fmt.Errorf("netgen: bad zone fraction range [%g, %g]", c.ZoneFractionMin, c.ZoneFractionMax)
+	case !(c.DriverWidth > 0) || !(c.ReceiverWidth > 0):
+		return fmt.Errorf("netgen: terminal widths must be positive")
+	}
+	return nil
+}
+
+// Generate produces one random net named name from the distribution.
+func Generate(rng *rand.Rand, cfg Config, name string) (*wire.Net, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.MinSegments + rng.Intn(cfg.MaxSegments-cfg.MinSegments+1)
+	segs := make([]wire.Segment, m)
+	total := 0.0
+	for i := range segs {
+		l := cfg.Layers[rng.Intn(len(cfg.Layers))]
+		length := cfg.MinSegLen + rng.Float64()*(cfg.MaxSegLen-cfg.MinSegLen)
+		segs[i] = wire.Segment{Length: length, ROhmPerM: l.ROhmPerM, CFPerM: l.CFPerM, Layer: l.Name}
+		total += length
+	}
+	var zones []wire.Zone
+	if cfg.ZoneFractionMax > 0 {
+		frac := cfg.ZoneFractionMin + rng.Float64()*(cfg.ZoneFractionMax-cfg.ZoneFractionMin)
+		zlen := frac * total
+		zstart := rng.Float64() * (total - zlen)
+		zones = []wire.Zone{{Start: zstart, End: zstart + zlen}}
+	}
+	line, err := wire.New(segs, zones)
+	if err != nil {
+		return nil, fmt.Errorf("netgen: %w", err)
+	}
+	net := &wire.Net{
+		Name:          name,
+		Line:          line,
+		DriverWidth:   cfg.DriverWidth,
+		ReceiverWidth: cfg.ReceiverWidth,
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Corpus generates count nets deterministically from the seed.
+func Corpus(seed int64, count int, cfg Config) ([]*wire.Net, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("netgen: count must be positive, got %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nets := make([]*wire.Net, count)
+	for i := range nets {
+		n, err := Generate(rng, cfg, fmt.Sprintf("net%02d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = n
+	}
+	return nets, nil
+}
+
+// Paper20 returns the 20-net corpus used throughout the experiments, on
+// the given technology, for the given seed.
+func Paper20(t *tech.Technology, seed int64) ([]*wire.Net, error) {
+	cfg, err := DefaultConfig(t)
+	if err != nil {
+		return nil, err
+	}
+	return Corpus(seed, 20, cfg)
+}

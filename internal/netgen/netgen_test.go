@@ -1,0 +1,158 @@
+package netgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg, err := DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinSegments != 4 || cfg.MaxSegments != 10 {
+		t.Errorf("segment range [%d,%d], want [4,10]", cfg.MinSegments, cfg.MaxSegments)
+	}
+	if cfg.MinSegLen != 1000*units.Micron || cfg.MaxSegLen != 2500*units.Micron {
+		t.Errorf("segment length range [%g,%g]", cfg.MinSegLen, cfg.MaxSegLen)
+	}
+	if cfg.ZoneFractionMin != 0.20 || cfg.ZoneFractionMax != 0.40 {
+		t.Errorf("zone fraction range [%g,%g]", cfg.ZoneFractionMin, cfg.ZoneFractionMax)
+	}
+	if len(cfg.Layers) != 2 {
+		t.Errorf("want metal4+metal5, got %v", cfg.Layers)
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	cfg, err := DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		n, err := Generate(rng, cfg, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := n.Line.Segments()
+		if len(segs) < 4 || len(segs) > 10 {
+			t.Fatalf("segment count %d outside [4,10]", len(segs))
+		}
+		for _, s := range segs {
+			if s.Length < 1000*units.Micron-1e-12 || s.Length > 2500*units.Micron+1e-12 {
+				t.Fatalf("segment length %g outside range", s.Length)
+			}
+			if s.Layer != "metal4" && s.Layer != "metal5" {
+				t.Fatalf("unexpected layer %q", s.Layer)
+			}
+		}
+		zones := n.Line.Zones()
+		if len(zones) != 1 {
+			t.Fatalf("want exactly one zone, got %d", len(zones))
+		}
+		frac := zones[0].Length() / n.Line.Length()
+		if frac < 0.20-1e-9 || frac > 0.40+1e-9 {
+			t.Fatalf("zone fraction %g outside [0.2, 0.4]", frac)
+		}
+		if zones[0].Start < 0 || zones[0].End > n.Line.Length()+1e-15 {
+			t.Fatal("zone outside the line")
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a, err := Paper20(tech.T180(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Paper20(tech.T180(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("corpus sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Line.Length() != b[i].Line.Length() {
+			t.Fatalf("net %d differs between identical seeds", i)
+		}
+		if a[i].Name != b[i].Name {
+			t.Fatalf("net names differ: %q vs %q", a[i].Name, b[i].Name)
+		}
+	}
+	c, err := Paper20(tech.T180(), 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Line.Length() != c[i].Line.Length() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestCorpusLengthScale(t *testing.T) {
+	// Sanity: nets average roughly 4–25mm — global-wire scale.
+	nets, err := Paper20(tech.T180(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		l := n.Line.Length()
+		if l < 4e-3-1e-9 || l > 25e-3+1e-9 {
+			t.Errorf("net %s length %s outside global-wire scale", n.Name, units.Meters(l))
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good, err := DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cases := []func(*Config){
+		func(c *Config) { c.MinSegments = 0 },
+		func(c *Config) { c.MaxSegments = 2 },
+		func(c *Config) { c.MinSegLen = 0 },
+		func(c *Config) { c.MaxSegLen = c.MinSegLen / 2 },
+		func(c *Config) { c.Layers = nil },
+		func(c *Config) { c.ZoneFractionMin = -0.1 },
+		func(c *Config) { c.ZoneFractionMax = 0.95 },
+		func(c *Config) { c.DriverWidth = 0 },
+	}
+	for i, mut := range cases {
+		cfg := good
+		mut(&cfg)
+		if _, err := Generate(rng, cfg, "bad"); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := Corpus(7, 0, good); err == nil {
+		t.Error("zero count should fail")
+	}
+}
+
+func TestZonesDisabled(t *testing.T) {
+	cfg, err := DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ZoneFractionMin, cfg.ZoneFractionMax = 0, 0
+	rng := rand.New(rand.NewSource(2))
+	n, err := Generate(rng, cfg, "nz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Line.Zones()) != 0 {
+		t.Error("zones should be disabled")
+	}
+}

@@ -1,0 +1,139 @@
+// Package numeric provides the small dense-numerics toolkit the analytical
+// repeater-insertion solver needs: a dense linear solver, a damped
+// Newton–Raphson iteration for nonlinear systems, and bracketing scalar
+// root finders. Everything is stdlib-only and allocation-conscious; the
+// systems involved are tiny (one row per repeater), so simplicity and
+// robustness win over asymptotics.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when Gaussian elimination meets a pivot that is
+// numerically zero, i.e. the system has no unique solution.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// Matrix is a dense row-major matrix. The zero value is empty; use NewMatrix
+// to allocate one with a given shape.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("numeric: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Solve solves the square system a·x = b in place on copies, using Gaussian
+// elimination with scaled partial pivoting, and returns x. It returns
+// ErrSingular when the matrix is (numerically) rank deficient.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("numeric: Solve needs a square matrix, got %dx%d", n, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("numeric: rhs length %d does not match matrix size %d", len(b), n)
+	}
+	// Work on copies so callers keep their inputs.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	// Row scale factors for scaled partial pivoting.
+	scale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(m.At(i, j)); v > s {
+				s = v
+			}
+		}
+		if s == 0 {
+			return nil, ErrSingular
+		}
+		scale[i] = s
+	}
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pick pivot row.
+		best, bestv := -1, 0.0
+		for i := k; i < n; i++ {
+			v := math.Abs(m.At(perm[i], k)) / scale[perm[i]]
+			if v > bestv {
+				best, bestv = i, v
+			}
+		}
+		if best < 0 || bestv < 1e-300 {
+			return nil, ErrSingular
+		}
+		perm[k], perm[best] = perm[best], perm[k]
+		pk := perm[k]
+		piv := m.At(pk, k)
+		for i := k + 1; i < n; i++ {
+			pi := perm[i]
+			f := m.At(pi, k) / piv
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				m.Set(pi, j, m.At(pi, j)-f*m.At(pk, j))
+			}
+			x[pi] -= f * x[pk]
+		}
+	}
+	// Back substitution into the permuted order.
+	out := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		pk := perm[k]
+		sum := x[pk]
+		for j := k + 1; j < n; j++ {
+			sum -= m.At(pk, j) * out[j]
+		}
+		piv := m.At(pk, k)
+		if math.Abs(piv) < 1e-300 {
+			return nil, ErrSingular
+		}
+		out[k] = sum / piv
+	}
+	return out, nil
+}
+
+// Residual returns the max-norm of a·x − b, useful for verifying solutions.
+func Residual(a *Matrix, x, b []float64) float64 {
+	worst := 0.0
+	for i := 0; i < a.Rows; i++ {
+		sum := 0.0
+		for j := 0; j < a.Cols; j++ {
+			sum += a.At(i, j) * x[j]
+		}
+		if r := math.Abs(sum - b[i]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

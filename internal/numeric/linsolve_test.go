@@ -1,0 +1,151 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got (%g, %g), want (1, 3)", x[0], x[1])
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("got (%g, %g), want (7, 2)", x[0], x[1])
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected error on singular matrix")
+	}
+	zero := NewMatrix(2, 2)
+	if _, err := Solve(zero, []float64{1, 2}); err == nil {
+		t.Error("expected error on zero matrix")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected error on non-square matrix")
+	}
+	sq := NewMatrix(2, 2)
+	sq.Set(0, 0, 1)
+	sq.Set(1, 1, 1)
+	if _, err := Solve(sq, []float64{1}); err == nil {
+		t.Error("expected error on rhs length mismatch")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	before := a.Clone()
+	b := []float64{4, 5}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != before.Data[i] {
+			t.Fatal("Solve mutated the input matrix")
+		}
+	}
+	if b[0] != 4 || b[1] != 5 {
+		t.Fatal("Solve mutated the rhs")
+	}
+}
+
+// Property: for random well-conditioned systems built from a known solution,
+// Solve recovers the solution to high accuracy.
+func TestSolveRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		n := 1 + int(seed%7)
+		if n < 1 {
+			n = 1
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			a.Set(i, i, a.At(i, i)+float64(n)+2)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64() * 10
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * want[j]
+			}
+			b[i] = s
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-8*math.Max(1, math.Abs(want[i])) {
+				return false
+			}
+		}
+		return Residual(a, x, b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNoConvergence = errors.New("numeric: no convergence")
+
+// System describes a nonlinear system F(x)=0 with an analytic Jacobian.
+// Eval must fill f (len n) with F(x); Jacobian must fill jac (n×n) with
+// ∂F_i/∂x_j. Implementations may assume len(x)==n.
+type System interface {
+	Dim() int
+	Eval(x, f []float64)
+	Jacobian(x []float64, jac *Matrix)
+}
+
+// NewtonOptions tunes NewtonSolve. The zero value is replaced by defaults.
+type NewtonOptions struct {
+	// MaxIter bounds the number of Newton steps (default 100).
+	MaxIter int
+	// Tol is the max-norm tolerance on F(x) at which the iteration stops
+	// (default 1e-10).
+	Tol float64
+	// MinStep aborts the line search when the damping factor falls below
+	// this value (default 1e-8).
+	MinStep float64
+	// Clamp, when non-nil, is applied to the candidate iterate after every
+	// step; it can project the iterate back into the feasible domain
+	// (e.g. keep repeater widths positive).
+	Clamp func(x []float64)
+}
+
+func (o NewtonOptions) withDefaults() NewtonOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MinStep <= 0 {
+		o.MinStep = 1e-8
+	}
+	return o
+}
+
+// NewtonResult reports the outcome of NewtonSolve.
+type NewtonResult struct {
+	X          []float64 // final iterate
+	Iterations int       // Newton steps taken
+	Residual   float64   // max-norm of F at X
+	Converged  bool
+}
+
+// NewtonSolve runs a damped Newton–Raphson iteration on sys starting from x0.
+// Each step solves J·δ = −F and backtracks (halving) until the residual
+// norm decreases, which makes the iteration robust far from the solution.
+// On success the returned iterate satisfies ‖F‖∞ ≤ opts.Tol.
+func NewtonSolve(sys System, x0 []float64, opts NewtonOptions) (NewtonResult, error) {
+	opts = opts.withDefaults()
+	n := sys.Dim()
+	if len(x0) != n {
+		return NewtonResult{}, errors.New("numeric: x0 length does not match system dimension")
+	}
+	x := make([]float64, n)
+	copy(x, x0)
+	if opts.Clamp != nil {
+		opts.Clamp(x)
+	}
+	f := make([]float64, n)
+	trial := make([]float64, n)
+	ftrial := make([]float64, n)
+	jac := NewMatrix(n, n)
+
+	sys.Eval(x, f)
+	res := maxNorm(f)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if res <= opts.Tol {
+			return NewtonResult{X: x, Iterations: iter - 1, Residual: res, Converged: true}, nil
+		}
+		sys.Jacobian(x, jac)
+		neg := make([]float64, n)
+		for i, v := range f {
+			neg[i] = -v
+		}
+		delta, err := Solve(jac, neg)
+		if err != nil {
+			return NewtonResult{X: x, Iterations: iter - 1, Residual: res}, err
+		}
+		// Backtracking line search on the residual norm.
+		step := 1.0
+		improved := false
+		for step >= opts.MinStep {
+			for i := range trial {
+				trial[i] = x[i] + step*delta[i]
+			}
+			if opts.Clamp != nil {
+				opts.Clamp(trial)
+			}
+			sys.Eval(trial, ftrial)
+			if r := maxNorm(ftrial); r < res && !math.IsNaN(r) {
+				copy(x, trial)
+				copy(f, ftrial)
+				res = r
+				improved = true
+				break
+			}
+			step /= 2
+		}
+		if !improved {
+			return NewtonResult{X: x, Iterations: iter, Residual: res}, ErrNoConvergence
+		}
+	}
+	if res <= opts.Tol {
+		return NewtonResult{X: x, Iterations: opts.MaxIter, Residual: res, Converged: true}, nil
+	}
+	return NewtonResult{X: x, Iterations: opts.MaxIter, Residual: res}, ErrNoConvergence
+}
+
+func maxNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+// quadSystem is F(x) = (x0²−4, x1−x0) with roots (±2, ±2).
+type quadSystem struct{}
+
+func (quadSystem) Dim() int { return 2 }
+func (quadSystem) Eval(x, f []float64) {
+	f[0] = x[0]*x[0] - 4
+	f[1] = x[1] - x[0]
+}
+func (quadSystem) Jacobian(x []float64, jac *Matrix) {
+	jac.Set(0, 0, 2*x[0])
+	jac.Set(0, 1, 0)
+	jac.Set(1, 0, -1)
+	jac.Set(1, 1, 1)
+}
+
+func TestNewtonSolveQuadratic(t *testing.T) {
+	res, err := NewtonSolve(quadSystem{}, []float64{3, 0}, NewtonOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[1]-2) > 1e-8 {
+		t.Errorf("root = %v, want (2, 2)", res.X)
+	}
+}
+
+// rosenGrad is the gradient system of the Rosenbrock function; its unique
+// root is (1, 1). This exercises the damping logic: undamped Newton from
+// far-away starts can overshoot badly.
+type rosenGrad struct{}
+
+func (rosenGrad) Dim() int { return 2 }
+func (rosenGrad) Eval(x, f []float64) {
+	f[0] = -2*(1-x[0]) - 400*x[0]*(x[1]-x[0]*x[0])
+	f[1] = 200 * (x[1] - x[0]*x[0])
+}
+func (rosenGrad) Jacobian(x []float64, jac *Matrix) {
+	jac.Set(0, 0, 2-400*x[1]+1200*x[0]*x[0])
+	jac.Set(0, 1, -400*x[0])
+	jac.Set(1, 0, -400*x[0])
+	jac.Set(1, 1, 200)
+}
+
+func TestNewtonSolveRosenbrockGradient(t *testing.T) {
+	res, err := NewtonSolve(rosenGrad{}, []float64{-1.2, 1}, NewtonOptions{MaxIter: 500, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-1) > 1e-6 {
+		t.Errorf("root = %v, want (1, 1)", res.X)
+	}
+}
+
+func TestNewtonSolveClamp(t *testing.T) {
+	// Root of x² − 4 with domain clamped to positives must pick +2 even
+	// when Newton would wander negative.
+	sys := quadSystem{}
+	clamp := func(x []float64) {
+		for i := range x {
+			if x[i] < 0.1 {
+				x[i] = 0.1
+			}
+		}
+	}
+	res, err := NewtonSolve(sys, []float64{0.5, 0.5}, NewtonOptions{Clamp: clamp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-8 {
+		t.Errorf("clamped root = %v, want x0 = 2", res.X)
+	}
+}
+
+func TestNewtonSolveDimensionMismatch(t *testing.T) {
+	if _, err := NewtonSolve(quadSystem{}, []float64{1}, NewtonOptions{}); err == nil {
+		t.Error("expected error for wrong x0 length")
+	}
+}
+
+// flatSystem has no root (F ≡ 1) so Newton must report failure.
+type flatSystem struct{}
+
+func (flatSystem) Dim() int { return 1 }
+func (flatSystem) Eval(x, f []float64) {
+	f[0] = 1
+}
+func (flatSystem) Jacobian(x []float64, jac *Matrix) {
+	jac.Set(0, 0, 1e-3)
+}
+
+func TestNewtonSolveNoRoot(t *testing.T) {
+	_, err := NewtonSolve(flatSystem{}, []float64{0}, NewtonOptions{MaxIter: 20})
+	if err == nil {
+		t.Error("expected failure when no root exists")
+	}
+}

@@ -1,0 +1,158 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a bracketing search cannot find a sign
+// change for the target function.
+var ErrNoBracket = errors.New("numeric: could not bracket root")
+
+// BracketGrowing searches for an interval [lo, hi] with f(lo) and f(hi) of
+// opposite signs by geometrically growing hi from start by factor until
+// maxExpand doublings have been tried. It is intended for monotone
+// functions such as τtotal(λ) − τt, where the caller knows the direction.
+func BracketGrowing(f func(float64) float64, start, factor float64, maxExpand int) (lo, hi float64, err error) {
+	if factor <= 1 {
+		factor = 2
+	}
+	lo, hi = start, start*factor
+	flo := f(lo)
+	if flo == 0 {
+		return lo, lo, nil
+	}
+	for i := 0; i < maxExpand; i++ {
+		fhi := f(hi)
+		if fhi == 0 {
+			return hi, hi, nil
+		}
+		if (flo < 0) != (fhi < 0) {
+			return lo, hi, nil
+		}
+		lo, flo = hi, fhi
+		hi *= factor
+	}
+	return 0, 0, ErrNoBracket
+}
+
+// Bisect finds a root of f within [lo, hi], assuming f(lo) and f(hi) have
+// opposite signs. It runs until the interval width relative to its midpoint
+// drops below tol or maxIter halvings have happened, and returns the
+// midpoint. Bisection is deliberately chosen over faster methods where the
+// callers' functions are expensive but extremely well behaved (monotone).
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	flo := f(lo)
+	if flo == 0 {
+		return lo, nil
+	}
+	fhi := f(hi)
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo < 0) == (fhi < 0) {
+		return 0, ErrNoBracket
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for i := 0; i < maxIter; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm < 0) == (flo < 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+		if math.Abs(hi-lo) <= tol*math.Max(1, math.Abs(0.5*(lo+hi))) {
+			return 0.5 * (lo + hi), nil
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection fallback). f(lo) and f(hi) must
+// have opposite signs. It converges superlinearly on smooth functions while
+// retaining bisection's robustness.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa < 0) == (fb < 0) {
+		return 0, ErrNoBracket
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	if tol <= 0 {
+		tol = 1e-14
+	}
+	c, fc := a, fa
+	d, e := b-a, b-a
+	for i := 0; i < maxIter; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.SmallestNonzeroFloat64*math.Abs(b) + 0.5*tol
+		xm := 0.5 * (c - b)
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			s := fb / fa
+			var p, q float64
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			min1 := 3*xm*q - math.Abs(tol1*q)
+			min2 := math.Abs(e * q)
+			if 2*p < math.Min(min1, min2) {
+				e, d = d, p/q
+			} else {
+				d, e = xm, xm
+			}
+		} else {
+			d, e = xm, xm
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if (fb < 0) == (fc < 0) {
+			c, fc = a, fa
+			d, e = b-a, b-a
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,100 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %g, want √2", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 1e-12, 0); err != nil || r != 0 {
+		t.Errorf("endpoint root: got %g, %v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 1e-12, 0); err != nil || r != 0 {
+		t.Errorf("endpoint root hi: got %g, %v", r, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12, 0); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestBrentAgainstBisect(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	rBrent, err := Brent(f, 0, 1, 1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBis, err := Bisect(f, 0, 1, 1e-13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rBrent-rBis) > 1e-9 {
+		t.Errorf("Brent %g and Bisect %g disagree", rBrent, rBis)
+	}
+	// Known Dottie number.
+	if math.Abs(rBrent-0.7390851332151607) > 1e-10 {
+		t.Errorf("Brent = %.15f, want Dottie number", rBrent)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -1, 1, 0, 0); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestBracketGrowing(t *testing.T) {
+	// f is monotone decreasing with a root at 100.
+	f := func(x float64) float64 { return 100 - x }
+	lo, hi, err := BracketGrowing(f, 1, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 100 && hi >= 100) {
+		t.Errorf("bracket [%g, %g] does not contain 100", lo, hi)
+	}
+}
+
+func TestBracketGrowingFailure(t *testing.T) {
+	f := func(x float64) float64 { return 1.0 }
+	if _, _, err := BracketGrowing(f, 1, 2, 10); err == nil {
+		t.Error("expected ErrNoBracket for constant function")
+	}
+}
+
+// Property: for random monotone cubics with a root inside the bracket,
+// Brent and Bisect agree and land on a true root.
+func TestRootFindersProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 5) + 0.5 // slope
+		b = math.Mod(b, 10)                // root location
+		g := func(x float64) float64 { return a * (x - b) * (1 + (x-b)*(x-b)) }
+		lo, hi := b-7, b+9
+		r1, err1 := Bisect(g, lo, hi, 1e-13, 0)
+		r2, err2 := Brent(g, lo, hi, 1e-14, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1-b) < 1e-6 && math.Abs(r2-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

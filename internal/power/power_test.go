@@ -1,0 +1,105 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidates(t *testing.T) {
+	bad := tech.T180()
+	bad.Vdd = 0
+	if _, err := NewModel(bad); err == nil {
+		t.Error("invalid tech should fail")
+	}
+}
+
+func TestPerUnitWidthHandComputed(t *testing.T) {
+	tt := tech.T180()
+	m := model(t)
+	want := tt.Activity*tt.Vdd*tt.Vdd*tt.Freq*(tt.Co+tt.Cp) + tt.LeakWPerUnit
+	if got := m.PerUnitWidth(); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("PerUnitWidth = %g, want %g", got, want)
+	}
+}
+
+func TestRepeaterLinearInWidth(t *testing.T) {
+	m := model(t)
+	p1 := m.Repeater(100)
+	p2 := m.Repeater(200)
+	if math.Abs(p2-2*p1)/p2 > 1e-12 {
+		t.Errorf("power should be linear in width: %g vs %g", p1, p2)
+	}
+	if m.Repeater(-5) != 0 {
+		t.Error("negative width should clamp to 0")
+	}
+}
+
+// Property: percentage savings computed on watts equal percentage savings
+// computed on total width — the identity that justifies optimizing Σw.
+func TestSavingsEquivalenceProperty(t *testing.T) {
+	m := model(t)
+	f := func(wBase, wOurs float64) bool {
+		wBase = 1 + math.Abs(math.Mod(wBase, 1e4))
+		wOurs = math.Abs(math.Mod(wOurs, wBase))
+		onW, err1 := SavingsPercent(m.Repeater(wBase), m.Repeater(wOurs))
+		onWidth, err2 := SavingsPercent(wBase, wOurs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(onW-onWidth) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWirePower(t *testing.T) {
+	tt := tech.T180()
+	m := model(t)
+	c := 2e-12 // 2 pF of wire
+	want := tt.Activity * tt.Vdd * tt.Vdd * tt.Freq * c
+	if got := m.Wire(c); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Wire = %g, want %g", got, want)
+	}
+	if m.Wire(-1) != 0 {
+		t.Error("negative capacitance should clamp to 0")
+	}
+}
+
+func TestReportAndBreakdown(t *testing.T) {
+	m := model(t)
+	b := m.Report(500, 2e-12)
+	if b.RepeaterW <= 0 || b.WireW <= 0 {
+		t.Fatalf("breakdown should be positive: %+v", b)
+	}
+	if math.Abs(b.TotalW()-(b.RepeaterW+b.WireW)) > 1e-18 {
+		t.Error("TotalW mismatch")
+	}
+}
+
+func TestSavingsPercent(t *testing.T) {
+	got, err := SavingsPercent(200, 150)
+	if err != nil || math.Abs(got-25) > 1e-12 {
+		t.Errorf("SavingsPercent = %g, %v; want 25", got, err)
+	}
+	if _, err := SavingsPercent(0, 10); err == nil {
+		t.Error("zero baseline should error")
+	}
+	// Negative savings (we are worse) are representable.
+	got, err = SavingsPercent(100, 110)
+	if err != nil || math.Abs(got+10) > 1e-12 {
+		t.Errorf("negative savings = %g, %v; want -10", got, err)
+	}
+}

@@ -1,0 +1,181 @@
+package repeater
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPaperLibraries(t *testing.T) {
+	// The coarse RIP library: {80,160,240,320,400}u.
+	coarse, err := Uniform(80, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{80, 160, 240, 320, 400}
+	got := coarse.Widths()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("coarse[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Table 1 baseline, g = 40u: {10,50,...,370}u.
+	base, err := Uniform(10, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Min() != 10 || base.Max() != 370 || base.Size() != 10 {
+		t.Errorf("baseline lib = %v", base.Widths())
+	}
+}
+
+func TestRange(t *testing.T) {
+	// Table 2: range (10u, 400u), gDP = 40u → 10 entries 10,50,...,370?
+	// No: Range is inclusive of max when it lands on the grid; with min 10
+	// step 40 the last grid point ≤ 400 is 370.
+	lib, err := Range(10, 400, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Size() != 10 || lib.Max() != 370 {
+		t.Errorf("Range(10,400,40) = %v", lib.Widths())
+	}
+	lib, err = Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Size() != 40 || lib.Max() != 400 {
+		t.Errorf("Range(10,400,10) size=%d max=%g", lib.Size(), lib.Max())
+	}
+	if _, err := Range(10, 5, 10); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestNewLibraryValidation(t *testing.T) {
+	if _, err := NewLibrary(nil); err == nil {
+		t.Error("empty library should fail")
+	}
+	if _, err := NewLibrary([]float64{10, -5}); err == nil {
+		t.Error("negative width should fail")
+	}
+	if _, err := NewLibrary([]float64{math.NaN()}); err == nil {
+		t.Error("NaN width should fail")
+	}
+	lib, err := NewLibrary([]float64{40, 10, 40, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lib.Widths()
+	want := []float64{10, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("widths[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcise(t *testing.T) {
+	// REFINE widths snapped to the enclosing 10u grid points, clamped into
+	// [10, 400]: 87.3→{80,90}, 152.9/152.1→{150,160}, 3→10, 521→400.
+	lib, err := Concise([]float64{87.3, 152.9, 152.1, 3.0, 521.0}, 10, 10, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lib.Widths()
+	want := []float64{10, 80, 90, 150, 160, 400}
+	if len(got) != len(want) {
+		t.Fatalf("Concise = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Concise[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := Concise(nil, 10, 10, 400); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Concise([]float64{10}, 0, 10, 400); err == nil {
+		t.Error("zero granularity should fail")
+	}
+}
+
+func TestConciseContainsEnclosingNeighbors(t *testing.T) {
+	// The feasibility guarantee: for every input width inside the clamp
+	// range, the library contains a width ≥ it and a width ≤ it.
+	in := []float64{33.7, 24.4, 125.2, 87.5, 390.01}
+	lib, err := Concise(in, 10, 10, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range in {
+		up, down := false, false
+		for _, lw := range lib.Widths() {
+			if lw >= w {
+				up = true
+			}
+			if lw <= w {
+				down = true
+			}
+		}
+		if !up || !down {
+			t.Errorf("width %g lacks enclosing neighbors in %v", w, lib.Widths())
+		}
+	}
+}
+
+func TestRound(t *testing.T) {
+	lib, _ := NewLibrary([]float64{10, 20, 40})
+	cases := []struct{ in, want float64 }{
+		{5, 10}, {10, 10}, {14, 10}, {15, 10}, {16, 20}, {29, 20}, {31, 40}, {100, 40},
+	}
+	for _, c := range cases {
+		if got := lib.Round(c.in); got != c.want {
+			t.Errorf("Round(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundPropertyNearest(t *testing.T) {
+	lib, _ := Uniform(10, 10, 40)
+	f := func(w float64) bool {
+		w = math.Abs(math.Mod(w, 500))
+		r := lib.Round(w)
+		// No library entry may be strictly closer than the returned one.
+		for _, cand := range lib.Widths() {
+			if math.Abs(cand-w) < math.Abs(r-w)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	lib, _ := Uniform(10, 10, 5)
+	if !lib.Contains(30) {
+		t.Error("30 should be in the library")
+	}
+	if lib.Contains(35) {
+		t.Error("35 should not be in the library")
+	}
+	if !lib.Contains(30 + 1e-12) {
+		t.Error("tiny float slack should be tolerated")
+	}
+}
+
+func TestString(t *testing.T) {
+	lib, _ := Uniform(80, 80, 2)
+	if got := lib.String(); got != "{80u,160u}" {
+		t.Errorf("String = %q", got)
+	}
+}

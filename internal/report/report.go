@@ -1,0 +1,140 @@
+// Package report renders a solved repeater insertion instance as a
+// human-readable engineering report: net summary, pipeline phases, the
+// per-stage delay budget, power breakdown, delay-metric cross-check and an
+// ASCII sketch of the line. The ripcli tool and the chip-flow example use
+// it; keeping it in one place keeps every consumer's output consistent.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/moments"
+	"github.com/rip-eda/rip/internal/power"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Options controls optional report sections.
+type Options struct {
+	// Stages includes the per-stage Elmore breakdown.
+	Stages bool
+	// Metrics includes the Elmore-vs-D2M comparison.
+	Metrics bool
+	// Sketch includes the ASCII line drawing.
+	Sketch bool
+	// SketchWidth is the sketch's column count (default 64).
+	SketchWidth int
+}
+
+// Write renders the full report for a solved instance.
+func Write(w io.Writer, net *wire.Net, t *tech.Technology, res core.Result, target float64, opts Options) error {
+	if err := net.Validate(); err != nil {
+		return err
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	ev, err := delay.NewEvaluator(net, t)
+	if err != nil {
+		return err
+	}
+	pm, err := power.NewModel(t)
+	if err != nil {
+		return err
+	}
+	sol := res.Solution
+
+	fmt.Fprintf(w, "=== %s ===\n", net.Name)
+	fmt.Fprintf(w, "line: %s over %d segments, %d forbidden zones; driver %gu, receiver %gu\n",
+		units.Meters(net.Line.Length()), net.Line.NumSegments(), len(net.Line.Zones()),
+		net.DriverWidth, net.ReceiverWidth)
+	fmt.Fprintf(w, "wire totals: R %.1f Ω, C %s\n", net.Line.TotalR(), units.Farads(net.Line.TotalC()))
+	fmt.Fprintf(w, "target: %s\n", units.Seconds(target))
+
+	if !sol.Feasible {
+		fmt.Fprintln(w, "RESULT: INFEASIBLE — no assignment in the searched space meets the target")
+		return nil
+	}
+	fmt.Fprintf(w, "result: %d repeaters, Σw = %.1fu, delay %s (slack %s), phase %q\n",
+		sol.Assignment.N(), sol.TotalWidth, units.Seconds(sol.Delay),
+		units.Seconds(target-sol.Delay), res.Report.Picked)
+	for i := range sol.Assignment.Positions {
+		fmt.Fprintf(w, "  r%-2d  x = %-10s  w = %.0fu\n", i+1,
+			units.Meters(sol.Assignment.Positions[i]), sol.Assignment.Widths[i])
+	}
+
+	b := pm.Report(sol.TotalWidth, net.Line.TotalC())
+	fmt.Fprintf(w, "power: repeaters %s + wire %s = %s\n",
+		units.Watts(b.RepeaterW), units.Watts(b.WireW), units.Watts(b.TotalW()))
+
+	rep := res.Report
+	if rep.Picked != core.PhaseUnbuffered {
+		fmt.Fprintf(w, "phases: coarse DP %.1fu (%s) → REFINE %.1fu continuous (%s, %d moves) → final DP %.1fu (%s)\n",
+			rep.CoarseDP.TotalWidth, rep.CoarseTime.Round(1000),
+			rep.Refined.TotalWidth, rep.RefineTime.Round(1000), rep.Refined.Moves,
+			rep.FinalDP.TotalWidth, rep.FinalTime.Round(1000))
+		if rep.Library.Size() > 0 {
+			fmt.Fprintf(w, "concise library: %s over %d candidate locations\n",
+				rep.Library, len(rep.Candidates))
+		}
+	}
+
+	if opts.Stages {
+		fmt.Fprintln(w, "stage breakdown (Elmore):")
+		fmt.Fprintln(w, "  stage      from →  to          self     drive   wireload  wireself     total")
+		for i, s := range ev.Stages(sol.Assignment) {
+			fmt.Fprintf(w, "  %-5d %9s → %-9s %9s %9s %9s %9s %9s\n", i,
+				units.Meters(s.From), units.Meters(s.To),
+				units.Seconds(s.Self), units.Seconds(s.Drive),
+				units.Seconds(s.WireLoad), units.Seconds(s.WireSelf), units.Seconds(s.Total()))
+		}
+	}
+
+	if opts.Metrics {
+		m, err := moments.Both(ev, sol.Assignment)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: Elmore %s (optimizer bound), D2M %s (ratio %.3f)\n",
+			units.Seconds(m.Elmore), units.Seconds(m.D2M), m.Ratio())
+	}
+
+	if opts.Sketch {
+		cols := opts.SketchWidth
+		if cols <= 0 {
+			cols = 64
+		}
+		fmt.Fprintf(w, "driver %s receiver\n", Sketch(net.Line, sol.Assignment, cols))
+	}
+	return nil
+}
+
+// Sketch draws the line as a character row: '=' wire, 'X' forbidden zone,
+// '|' repeater.
+func Sketch(line *wire.Line, a delay.Assignment, cols int) string {
+	if cols <= 0 {
+		cols = 64
+	}
+	row := []byte(strings.Repeat("=", cols))
+	total := line.Length()
+	for _, z := range line.Zones() {
+		lo := int(z.Start / total * float64(cols))
+		hi := int(z.End / total * float64(cols))
+		for c := lo; c < hi && c < cols; c++ {
+			row[c] = 'X'
+		}
+	}
+	for _, x := range a.Positions {
+		c := int(x / total * float64(cols))
+		if c >= cols {
+			c = cols - 1
+		}
+		row[c] = '|'
+	}
+	return string(row)
+}

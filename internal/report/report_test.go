@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+func solved(t *testing.T) (*wire.Net, *tech.Technology, core.Result, float64) {
+	t.Helper()
+	tt := tech.T180()
+	line, err := wire.New([]wire.Segment{
+		{Length: 5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 5e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+	}, []wire.Zone{{Start: 4e-3, End: 6e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &wire.Net{Name: "rpt", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	ev, err := delay.NewEvaluator(net, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmin, err := dp.MinimumDelay(ev, dp.Options{Library: lib, Pitch: 200 * units.Micron})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 1.3 * tmin
+	res, err := core.Insert(ev, target, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tt, res, target
+}
+
+func TestWriteFullReport(t *testing.T) {
+	net, tt, res, target := solved(t)
+	var buf bytes.Buffer
+	err := Write(&buf, net, tt, res, target, Options{Stages: true, Metrics: true, Sketch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== rpt ===",
+		"forbidden zones",
+		"result:",
+		"power:",
+		"phases:",
+		"stage breakdown",
+		"metrics:",
+		"driver",
+		"receiver",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMinimalReport(t *testing.T) {
+	net, tt, res, target := solved(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, net, tt, res, target, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "stage breakdown") || strings.Contains(out, "metrics:") {
+		t.Error("optional sections should be off by default")
+	}
+}
+
+func TestWriteInfeasible(t *testing.T) {
+	net, tt, _, _ := solved(t)
+	ev, err := delay.NewEvaluator(net, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Insert(ev, 1e-12, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, net, tt, res, 1e-12, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "INFEASIBLE") {
+		t.Errorf("expected infeasible marker:\n%s", buf.String())
+	}
+}
+
+func TestWriteRejectsInvalidInputs(t *testing.T) {
+	net, tt, res, target := solved(t)
+	bad := *net
+	bad.DriverWidth = 0
+	if err := Write(&bytes.Buffer{}, &bad, tt, res, target, Options{}); err == nil {
+		t.Error("invalid net should fail")
+	}
+	badTech := tech.T180()
+	badTech.Rs = 0
+	if err := Write(&bytes.Buffer{}, net, badTech, res, target, Options{}); err == nil {
+		t.Error("invalid tech should fail")
+	}
+}
+
+func TestSketchGeometry(t *testing.T) {
+	net, _, res, _ := solved(t)
+	s := Sketch(net.Line, res.Solution.Assignment, 50)
+	if len(s) != 50 {
+		t.Fatalf("sketch width %d, want 50", len(s))
+	}
+	// Zone occupies [4,6]mm of a 10mm line → columns 20..29 are X
+	// except where a repeater overwrites (repeaters never sit strictly
+	// inside the zone, but a boundary repeater can land on an edge column).
+	for c := 21; c < 29; c++ {
+		if s[c] != 'X' && s[c] != '|' {
+			t.Errorf("column %d = %q, want zone marker", c, s[c])
+		}
+	}
+	if !strings.ContainsRune(s, '|') && res.Solution.Assignment.N() > 0 {
+		t.Error("repeaters missing from sketch")
+	}
+	// Default width fallback.
+	if len(Sketch(net.Line, res.Solution.Assignment, 0)) != 64 {
+		t.Error("default sketch width should be 64")
+	}
+}

@@ -1,0 +1,268 @@
+// Package route is the geometric front-end the paper assumes: it turns a
+// floorplan (die with macro blocks) and a pin pair into the multi-segment,
+// multi-layer two-pin net of Problem LPRI. Routes are staircases of
+// alternating horizontal and vertical runs; horizontal runs ride the
+// H layer (metal4 by convention), vertical runs the V layer (metal5) —
+// which is where the paper's "multi-layer" segment structure comes from.
+// Wherever the path crosses a macro the corresponding stretch of the line
+// becomes a forbidden zone ("the interconnect may go through some
+// macro-blocks, in which no repeater can be placed").
+package route
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Rect is an axis-aligned rectangle in die coordinates (meters).
+type Rect struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Valid reports whether the rectangle is non-degenerate and normalized.
+func (r Rect) Valid() bool { return r.X2 > r.X1 && r.Y2 > r.Y1 }
+
+// Contains reports whether the point lies strictly inside the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x > r.X1 && x < r.X2 && y > r.Y1 && y < r.Y2
+}
+
+// Floorplan is a die outline with macro blocks.
+type Floorplan struct {
+	// Width and Height are the die extents in meters.
+	Width, Height float64
+	// Macros are the blocked rectangles. They may touch; repeaters are
+	// forbidden strictly inside any of them.
+	Macros []Rect
+}
+
+// Validate checks the floorplan's geometry.
+func (f *Floorplan) Validate() error {
+	if f == nil {
+		return errors.New("route: nil floorplan")
+	}
+	if !(f.Width > 0) || !(f.Height > 0) {
+		return fmt.Errorf("route: die must have positive extents, got %g×%g", f.Width, f.Height)
+	}
+	for i, m := range f.Macros {
+		if !m.Valid() {
+			return fmt.Errorf("route: macro %d is degenerate: %+v", i, m)
+		}
+		if m.X1 < 0 || m.Y1 < 0 || m.X2 > f.Width || m.Y2 > f.Height {
+			return fmt.Errorf("route: macro %d outside the die: %+v", i, m)
+		}
+	}
+	return nil
+}
+
+// InMacro reports whether the point lies strictly inside any macro.
+func (f *Floorplan) InMacro(x, y float64) bool {
+	for _, m := range f.Macros {
+		if m.Contains(x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pin is a net terminal in die coordinates.
+type Pin struct {
+	X, Y float64
+}
+
+// Config selects the layers and terminal sizes for routed nets.
+type Config struct {
+	// HLayer carries horizontal runs, VLayer vertical runs.
+	HLayer, VLayer tech.Layer
+	// DriverWidth and ReceiverWidth are the terminal sizes in u.
+	DriverWidth, ReceiverWidth float64
+}
+
+// DefaultConfig uses the node's metal4 (horizontal) and metal5 (vertical)
+// with the corpus terminal sizes.
+func DefaultConfig(t *tech.Technology) (Config, error) {
+	m4, err := t.Layer("metal4")
+	if err != nil {
+		return Config{}, err
+	}
+	m5, err := t.Layer("metal5")
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{HLayer: m4, VLayer: m5, DriverWidth: 240, ReceiverWidth: 80}, nil
+}
+
+// run is one straight route piece.
+type run struct {
+	x1, y1, x2, y2 float64
+	horizontal     bool
+}
+
+func (r run) length() float64 {
+	return math.Abs(r.x2-r.x1) + math.Abs(r.y2-r.y1)
+}
+
+// Route builds the net for a staircase route from `from` to `to` with the
+// given number of bends (≥ 1 gives bends+1 runs; 1 is the classic L
+// shape). Intermediate corners are evenly interpolated. Pins must lie on
+// the die and outside macros (a pin inside a macro could never be reached
+// by a repeater-driven wire).
+func Route(f *Floorplan, from, to Pin, bends int, cfg Config, name string) (*wire.Net, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if bends < 1 {
+		return nil, fmt.Errorf("route: need at least one bend, got %d", bends)
+	}
+	for _, p := range []Pin{from, to} {
+		if p.X < 0 || p.X > f.Width || p.Y < 0 || p.Y > f.Height {
+			return nil, fmt.Errorf("route: pin (%g, %g) outside the die", p.X, p.Y)
+		}
+		if f.InMacro(p.X, p.Y) {
+			return nil, fmt.Errorf("route: pin (%g, %g) inside a macro", p.X, p.Y)
+		}
+	}
+	runs := staircase(from, to, bends)
+	// Drop zero-length runs (aligned pins).
+	kept := runs[:0]
+	for _, r := range runs {
+		if r.length() > 0 {
+			kept = append(kept, r)
+		}
+	}
+	runs = kept
+	if len(runs) == 0 {
+		return nil, errors.New("route: pins coincide")
+	}
+
+	// Build segments and collect forbidden intervals along the length.
+	var segs []wire.Segment
+	var zones []wire.Zone
+	offset := 0.0
+	for _, r := range runs {
+		layer := cfg.VLayer
+		if r.horizontal {
+			layer = cfg.HLayer
+		}
+		segs = append(segs, wire.Segment{
+			Length:   r.length(),
+			ROhmPerM: layer.ROhmPerM,
+			CFPerM:   layer.CFPerM,
+			Layer:    layer.Name,
+		})
+		for _, m := range f.Macros {
+			if lo, hi, ok := clipRun(r, m); ok {
+				zones = append(zones, wire.Zone{Start: offset + lo, End: offset + hi})
+			}
+		}
+		offset += r.length()
+	}
+	zones = mergeZones(zones)
+	line, err := wire.New(segs, zones)
+	if err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	net := &wire.Net{
+		Name:          name,
+		Line:          line,
+		DriverWidth:   cfg.DriverWidth,
+		ReceiverWidth: cfg.ReceiverWidth,
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// staircase interpolates bends+1 alternating runs from a to b, starting
+// horizontally.
+func staircase(a, b Pin, bends int) []run {
+	nH := (bends + 2) / 2 // horizontal runs
+	nV := (bends + 1) / 2 // vertical runs
+	dx := (b.X - a.X) / float64(nH)
+	dy := (b.Y - a.Y) / float64(nV)
+	var runs []run
+	x, y := a.X, a.Y
+	horizontal := true
+	for i := 0; i <= bends; i++ {
+		if horizontal {
+			nx := x + dx
+			runs = append(runs, run{x1: x, y1: y, x2: nx, y2: y, horizontal: true})
+			x = nx
+		} else {
+			ny := y + dy
+			runs = append(runs, run{x1: x, y1: y, x2: x, y2: ny, horizontal: false})
+			y = ny
+		}
+		horizontal = !horizontal
+	}
+	return runs
+}
+
+// clipRun intersects a straight run with a rectangle and returns the
+// blocked interval as distances from the run's start.
+func clipRun(r run, m Rect) (lo, hi float64, ok bool) {
+	if r.horizontal {
+		if r.y1 <= m.Y1 || r.y1 >= m.Y2 {
+			return 0, 0, false
+		}
+		x1, x2 := r.x1, r.x2
+		rev := false
+		if x2 < x1 {
+			x1, x2 = x2, x1
+			rev = true
+		}
+		clipLo := math.Max(x1, m.X1)
+		clipHi := math.Min(x2, m.X2)
+		if clipHi <= clipLo {
+			return 0, 0, false
+		}
+		if rev {
+			return r.x1 - clipHi, r.x1 - clipLo, true
+		}
+		return clipLo - r.x1, clipHi - r.x1, true
+	}
+	if r.x1 <= m.X1 || r.x1 >= m.X2 {
+		return 0, 0, false
+	}
+	y1, y2 := r.y1, r.y2
+	rev := false
+	if y2 < y1 {
+		y1, y2 = y2, y1
+		rev = true
+	}
+	clipLo := math.Max(y1, m.Y1)
+	clipHi := math.Min(y2, m.Y2)
+	if clipHi <= clipLo {
+		return 0, 0, false
+	}
+	if rev {
+		return r.y1 - clipHi, r.y1 - clipLo, true
+	}
+	return clipLo - r.y1, clipHi - r.y1, true
+}
+
+// mergeZones sorts and merges overlapping or touching intervals.
+func mergeZones(zones []wire.Zone) []wire.Zone {
+	if len(zones) <= 1 {
+		return zones
+	}
+	sort.Slice(zones, func(i, j int) bool { return zones[i].Start < zones[j].Start })
+	out := zones[:1]
+	for _, z := range zones[1:] {
+		last := &out[len(out)-1]
+		if z.Start <= last.End {
+			if z.End > last.End {
+				last.End = z.End
+			}
+			continue
+		}
+		out = append(out, z)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+func cfg(t *testing.T) Config {
+	t.Helper()
+	c, err := DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func die(t *testing.T, macros ...Rect) *Floorplan {
+	t.Helper()
+	f := &Floorplan{Width: 20e-3, Height: 20e-3, Macros: macros}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFloorplanValidate(t *testing.T) {
+	var nilF *Floorplan
+	if err := nilF.Validate(); err == nil {
+		t.Error("nil floorplan should fail")
+	}
+	bad := []*Floorplan{
+		{Width: 0, Height: 1},
+		{Width: 1, Height: 1, Macros: []Rect{{X1: 1, Y1: 0, X2: 0, Y2: 1}}},         // inverted
+		{Width: 1, Height: 1, Macros: []Rect{{X1: 0.5, Y1: 0.5, X2: 1.5, Y2: 0.8}}}, // outside
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRouteLengthIsManhattan(t *testing.T) {
+	f := die(t)
+	from, to := Pin{X: 1e-3, Y: 2e-3}, Pin{X: 13e-3, Y: 11e-3}
+	for _, bends := range []int{1, 3, 5, 7} {
+		net, err := Route(f, from, to, bends, cfg(t), "r")
+		if err != nil {
+			t.Fatalf("bends %d: %v", bends, err)
+		}
+		want := math.Abs(to.X-from.X) + math.Abs(to.Y-from.Y)
+		if got := net.Line.Length(); math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("bends %d: length %g, want Manhattan %g", bends, got, want)
+		}
+		if got := net.Line.NumSegments(); got != bends+1 {
+			t.Errorf("bends %d: %d segments, want %d", bends, got, bends+1)
+		}
+	}
+}
+
+func TestLayersAlternate(t *testing.T) {
+	f := die(t)
+	net, err := Route(f, Pin{X: 1e-3, Y: 1e-3}, Pin{X: 15e-3, Y: 13e-3}, 5, cfg(t), "alt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range net.Line.Segments() {
+		want := "metal4"
+		if i%2 == 1 {
+			want = "metal5"
+		}
+		if s.Layer != want {
+			t.Errorf("segment %d on %s, want %s", i, s.Layer, want)
+		}
+	}
+}
+
+func TestMacroCrossingBecomesZone(t *testing.T) {
+	// A single horizontal route crossing one macro: zone = the clip.
+	f := die(t, Rect{X1: 5e-3, Y1: 0.5e-3, X2: 8e-3, Y2: 3e-3})
+	// Route at y=2mm from x=1mm to x=15mm: first run is horizontal and
+	// passes through the macro between 5 and 8 mm.
+	net, err := Route(f, Pin{X: 1e-3, Y: 2e-3}, Pin{X: 15e-3, Y: 2.0001e-3}, 1, cfg(t), "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := net.Line.Zones()
+	if len(zones) != 1 {
+		t.Fatalf("want 1 zone, got %d: %+v", len(zones), zones)
+	}
+	// Along-the-line coordinates: the horizontal run starts at x=1mm.
+	if math.Abs(zones[0].Start-4e-3) > 1e-9 || math.Abs(zones[0].End-7e-3) > 1e-9 {
+		t.Errorf("zone [%g, %g], want [4mm, 7mm]", zones[0].Start, zones[0].End)
+	}
+}
+
+func TestReversedRunClipping(t *testing.T) {
+	// Right-to-left route through a macro: the zone must land on the
+	// correct along-the-line interval.
+	f := die(t, Rect{X1: 5e-3, Y1: 1e-3, X2: 8e-3, Y2: 3e-3})
+	net, err := Route(f, Pin{X: 15e-3, Y: 2e-3}, Pin{X: 1e-3, Y: 2.0001e-3}, 1, cfg(t), "rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := net.Line.Zones()
+	if len(zones) != 1 {
+		t.Fatalf("want 1 zone, got %d", len(zones))
+	}
+	// Distance from start (x=15mm) to macro right edge (8mm) is 7mm.
+	if math.Abs(zones[0].Start-7e-3) > 1e-9 || math.Abs(zones[0].End-10e-3) > 1e-9 {
+		t.Errorf("zone [%g, %g], want [7mm, 10mm]", zones[0].Start, zones[0].End)
+	}
+}
+
+func TestOverlappingMacrosMerge(t *testing.T) {
+	f := die(t,
+		Rect{X1: 4e-3, Y1: 1e-3, X2: 6e-3, Y2: 3e-3},
+		Rect{X1: 5e-3, Y1: 1e-3, X2: 9e-3, Y2: 3e-3},
+	)
+	net, err := Route(f, Pin{X: 1e-3, Y: 2e-3}, Pin{X: 15e-3, Y: 2.0001e-3}, 1, cfg(t), "merge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := net.Line.Zones()
+	if len(zones) != 1 {
+		t.Fatalf("overlapping macros should merge into one zone, got %d", len(zones))
+	}
+	if math.Abs(zones[0].Start-3e-3) > 1e-9 || math.Abs(zones[0].End-8e-3) > 1e-9 {
+		t.Errorf("merged zone [%g, %g], want [3mm, 8mm]", zones[0].Start, zones[0].End)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	f := die(t, Rect{X1: 5e-3, Y1: 5e-3, X2: 8e-3, Y2: 8e-3})
+	c := cfg(t)
+	if _, err := Route(f, Pin{X: -1, Y: 0}, Pin{X: 1e-3, Y: 1e-3}, 1, c, "x"); err == nil {
+		t.Error("pin off die should fail")
+	}
+	if _, err := Route(f, Pin{X: 6e-3, Y: 6e-3}, Pin{X: 1e-3, Y: 1e-3}, 1, c, "x"); err == nil {
+		t.Error("pin inside macro should fail")
+	}
+	if _, err := Route(f, Pin{X: 1e-3, Y: 1e-3}, Pin{X: 2e-3, Y: 2e-3}, 0, c, "x"); err == nil {
+		t.Error("zero bends should fail")
+	}
+	if _, err := Route(f, Pin{X: 1e-3, Y: 1e-3}, Pin{X: 1e-3, Y: 1e-3}, 1, c, "x"); err == nil {
+		t.Error("coincident pins should fail")
+	}
+}
+
+func TestAlignedPinsDropEmptyRuns(t *testing.T) {
+	// Horizontally aligned pins: vertical runs are empty and dropped.
+	f := die(t)
+	net, err := Route(f, Pin{X: 1e-3, Y: 5e-3}, Pin{X: 11e-3, Y: 5e-3}, 3, cfg(t), "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range net.Line.Segments() {
+		if s.Layer != "metal4" {
+			t.Errorf("aligned route should be all horizontal, got %s", s.Layer)
+		}
+	}
+	if math.Abs(net.Line.Length()-10e-3) > 1e-12 {
+		t.Errorf("length %g, want 10mm", net.Line.Length())
+	}
+}
+
+func TestRandomRoutesAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := cfg(t)
+	for trial := 0; trial < 100; trial++ {
+		// Random macros, random pins outside them.
+		var macros []Rect
+		f := &Floorplan{Width: 20e-3, Height: 20e-3}
+		for i := 0; i < 3; i++ {
+			x := rng.Float64() * 16e-3
+			y := rng.Float64() * 16e-3
+			macros = append(macros, Rect{X1: x, Y1: y, X2: x + 1e-3 + rng.Float64()*3e-3, Y2: y + 1e-3 + rng.Float64()*3e-3})
+		}
+		f.Macros = macros
+		pin := func() Pin {
+			for {
+				p := Pin{X: rng.Float64() * 20e-3, Y: rng.Float64() * 20e-3}
+				if !f.InMacro(p.X, p.Y) {
+					return p
+				}
+			}
+		}
+		from, to := pin(), pin()
+		if math.Abs(from.X-to.X)+math.Abs(from.Y-to.Y) < 2e-3 {
+			continue
+		}
+		net, err := Route(f, from, to, 1+rng.Intn(7), c, "rnd")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid net: %v", trial, err)
+		}
+		// Zones must be inside the line and sorted.
+		prev := 0.0
+		for _, z := range net.Line.Zones() {
+			if z.Start < prev || z.End > net.Line.Length()+1e-12 {
+				t.Fatalf("trial %d: bad zone %+v", trial, z)
+			}
+			prev = z.End
+		}
+	}
+}
+
+func TestRoutedNetSolvesEndToEnd(t *testing.T) {
+	// A routed net must flow through the whole pipeline.
+	f := die(t, Rect{X1: 6e-3, Y1: 2e-3, X2: 10e-3, Y2: 9e-3})
+	net, err := Route(f, Pin{X: 1e-3, Y: 4e-3}, Pin{X: 17e-3, Y: 12e-3}, 3, cfg(t), "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Line.Length() < 10*units.Micron {
+		t.Fatal("degenerate route")
+	}
+	// Zone presence depends on geometry; this route crosses the macro.
+	if len(net.Line.Zones()) == 0 {
+		t.Error("expected the route to cross the macro")
+	}
+}

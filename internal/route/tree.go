@@ -1,0 +1,254 @@
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// TreeSink is one sink terminal of a routed tree: its location, load and
+// required arrival time.
+type TreeSink struct {
+	Pin  Pin
+	CapF float64
+	RAT  float64
+}
+
+// RouteTree builds an RC tree over the floorplan with a nearest-point
+// Steiner heuristic: each sink attaches to the closest point of the
+// growing tree — an existing node or the interior of an existing edge, in
+// which case the edge is split at a new tap node — via an L-shaped
+// (horizontal-then-vertical) connection. Horizontal runs take the H layer,
+// vertical runs the V layer. Corner and tap nodes become buffer sites
+// unless they fall strictly inside a macro; sink pins themselves may sit
+// inside macros (a macro's input pin is a normal sink).
+//
+// The tree model places buffers at nodes only, so macros suppress buffer
+// sites rather than producing interval zones as on two-pin lines; that is
+// exactly the discrete-site abstraction the tree DP works in.
+func RouteTree(f *Floorplan, driver Pin, sinks []TreeSink, cfg Config) (*tree.Tree, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("route: tree needs at least one sink")
+	}
+	pins := append([]Pin{driver}, pinsOf(sinks)...)
+	for i, p := range pins {
+		if p.X < 0 || p.X > f.Width || p.Y < 0 || p.Y > f.Height {
+			return nil, fmt.Errorf("route: tree pin %d (%g, %g) outside the die", i, p.X, p.Y)
+		}
+	}
+	for i, s := range sinks {
+		if !(s.CapF > 0) {
+			return nil, fmt.Errorf("route: sink %d needs positive load, got %g", i, s.CapF)
+		}
+	}
+
+	b := &treeBuilder{f: f, cfg: cfg}
+	root := b.newNode(driver)
+	b.attachable = []int{0}
+	remaining := make([]int, len(sinks))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		// Pick the unconnected sink closest to the tree (over nodes and
+		// edge interiors) — a Prim-style growth order.
+		bestSink := -1
+		bestDist := math.Inf(1)
+		var bestHook hook
+		for ri, si := range remaining {
+			h, d := b.nearest(sinks[si].Pin)
+			if d < bestDist {
+				bestSink, bestDist, bestHook = ri, d, h
+			}
+		}
+		si := remaining[bestSink]
+		remaining = append(remaining[:bestSink], remaining[bestSink+1:]...)
+		hookIdx := b.resolve(bestHook)
+		b.attach(hookIdx, sinks[si])
+	}
+	return tree.New(root)
+}
+
+func pinsOf(sinks []TreeSink) []Pin {
+	out := make([]Pin, len(sinks))
+	for i, s := range sinks {
+		out[i] = s.Pin
+	}
+	return out
+}
+
+// tEdge is one straight (axis-aligned) routed wire between two tree nodes.
+type tEdge struct {
+	parent, child int
+	a, b          Pin
+	layer         tech.Layer
+}
+
+func (e tEdge) length() float64 {
+	return math.Abs(e.b.X-e.a.X) + math.Abs(e.b.Y-e.a.Y)
+}
+
+// hook is a prospective attachment point: an existing node (edge < 0) or a
+// point on an edge interior (split required).
+type hook struct {
+	node int
+	edge int
+	at   Pin
+}
+
+// treeBuilder grows the tree; node indices align with positions.
+type treeBuilder struct {
+	f          *Floorplan
+	cfg        Config
+	nodes      []*tree.Node
+	positions  []Pin
+	attachable []int
+	edges      []tEdge
+	nextID     int
+}
+
+func (b *treeBuilder) newNode(at Pin) *tree.Node {
+	n := &tree.Node{ID: b.nextID}
+	b.nextID++
+	b.nodes = append(b.nodes, n)
+	b.positions = append(b.positions, at)
+	return n
+}
+
+// nearest finds the closest attachment point for p over attachable nodes
+// and edge interiors, returning the hook and its Manhattan distance.
+func (b *treeBuilder) nearest(p Pin) (hook, float64) {
+	best := hook{node: -1, edge: -1}
+	bestD := math.Inf(1)
+	for _, ni := range b.attachable {
+		np := b.positions[ni]
+		d := math.Abs(p.X-np.X) + math.Abs(p.Y-np.Y)
+		if d < bestD {
+			best, bestD = hook{node: ni, edge: -1, at: np}, d
+		}
+	}
+	for ei, e := range b.edges {
+		q := nearestOnSegment(e.a, e.b, p)
+		d := math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+		if d < bestD-1e-15 {
+			best, bestD = hook{node: -1, edge: ei, at: q}, d
+		}
+	}
+	return best, bestD
+}
+
+// nearestOnSegment projects p onto the axis-aligned segment a–b.
+func nearestOnSegment(a, b, p Pin) Pin {
+	if a.Y == b.Y { // horizontal
+		x := math.Min(math.Max(p.X, math.Min(a.X, b.X)), math.Max(a.X, b.X))
+		return Pin{X: x, Y: a.Y}
+	}
+	y := math.Min(math.Max(p.Y, math.Min(a.Y, b.Y)), math.Max(a.Y, b.Y))
+	return Pin{X: a.X, Y: y}
+}
+
+// resolve turns a hook into a node index, splitting an edge when the hook
+// sits strictly inside one.
+func (b *treeBuilder) resolve(h hook) int {
+	if h.edge < 0 {
+		return h.node
+	}
+	e := b.edges[h.edge]
+	// Endpoint hits reuse the existing nodes — except a sink endpoint,
+	// which must stay a leaf; splitting there creates a coincident tap.
+	const eps = 1e-12
+	if samePin(h.at, e.a, eps) {
+		return e.parent
+	}
+	if samePin(h.at, e.b, eps) && b.nodes[e.child].SinkCap == 0 {
+		return e.child
+	}
+	return b.split(h.edge, h.at)
+}
+
+func samePin(a, b Pin, eps float64) bool {
+	return math.Abs(a.X-b.X) <= eps && math.Abs(a.Y-b.Y) <= eps
+}
+
+// split divides edge ei at point `at`, inserting a tap node. The tap
+// becomes a buffer site when outside macros and is attachable.
+func (b *treeBuilder) split(ei int, at Pin) int {
+	e := b.edges[ei]
+	parent := b.nodes[e.parent]
+	child := b.nodes[e.child]
+	tap := b.newNode(at)
+	tapIdx := len(b.nodes) - 1
+	tap.BufferSite = !b.f.InMacro(at.X, at.Y)
+	b.attachable = append(b.attachable, tapIdx)
+
+	l1 := math.Abs(at.X-e.a.X) + math.Abs(at.Y-e.a.Y)
+	l2 := math.Abs(e.b.X-at.X) + math.Abs(e.b.Y-at.Y)
+	// Parent keeps the tap as child; tap adopts the old child.
+	tap.EdgeR = l1 * e.layer.ROhmPerM
+	tap.EdgeC = l1 * e.layer.CFPerM
+	child.EdgeR = l2 * e.layer.ROhmPerM
+	child.EdgeC = l2 * e.layer.CFPerM
+	for i, c := range parent.Children {
+		if c == child {
+			parent.Children[i] = tap
+			break
+		}
+	}
+	tap.Children = append(tap.Children, child)
+	// Replace the edge with its two halves.
+	b.edges[ei] = tEdge{parent: e.parent, child: tapIdx, a: e.a, b: at, layer: e.layer}
+	b.edges = append(b.edges, tEdge{parent: tapIdx, child: e.child, a: at, b: e.b, layer: e.layer})
+	return tapIdx
+}
+
+// addEdge wires nodes pi→ci along a straight run.
+func (b *treeBuilder) addEdge(pi, ci int, a, to Pin, layer tech.Layer) {
+	l := math.Abs(to.X-a.X) + math.Abs(to.Y-a.Y)
+	child := b.nodes[ci]
+	child.EdgeR = l * layer.ROhmPerM
+	child.EdgeC = l * layer.CFPerM
+	b.nodes[pi].Children = append(b.nodes[pi].Children, child)
+	b.edges = append(b.edges, tEdge{parent: pi, child: ci, a: a, b: to, layer: layer})
+}
+
+// attach connects a sink to tree node ni with an L path: horizontal run
+// first (H layer), then vertical (V layer). A corner node is created when
+// both runs are non-empty.
+func (b *treeBuilder) attach(ni int, s TreeSink) {
+	at := b.positions[ni]
+	dx := s.Pin.X - at.X
+	dy := s.Pin.Y - at.Y
+
+	hookIdx := ni
+	hookAt := at
+	if dx != 0 && dy != 0 {
+		corner := Pin{X: s.Pin.X, Y: at.Y}
+		c := b.newNode(corner)
+		ci := len(b.nodes) - 1
+		c.BufferSite = !b.f.InMacro(corner.X, corner.Y)
+		b.attachable = append(b.attachable, ci)
+		b.addEdge(hookIdx, ci, hookAt, corner, b.cfg.HLayer)
+		hookIdx, hookAt = ci, corner
+	}
+	leaf := b.newNode(s.Pin)
+	li := len(b.nodes) - 1
+	leaf.SinkCap = s.CapF
+	leaf.SinkRAT = s.RAT
+	switch {
+	case hookAt.Y != s.Pin.Y:
+		b.addEdge(hookIdx, li, hookAt, s.Pin, b.cfg.VLayer)
+	case hookAt.X != s.Pin.X:
+		b.addEdge(hookIdx, li, hookAt, s.Pin, b.cfg.HLayer)
+	default:
+		// Sink coincides with the hookup point: minimal stub keeps the
+		// sink a leaf with a parent edge.
+		leaf.EdgeR = 1e-3
+		leaf.EdgeC = 1e-18
+		b.nodes[hookIdx].Children = append(b.nodes[hookIdx].Children, leaf)
+	}
+}

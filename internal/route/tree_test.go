@@ -1,0 +1,181 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/tree"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+func sinksAt(pins []Pin) []TreeSink {
+	out := make([]TreeSink, len(pins))
+	for i, p := range pins {
+		out[i] = TreeSink{Pin: p, CapF: 40 * units.FemtoFarad, RAT: 2 * units.NanoSecond}
+	}
+	return out
+}
+
+func TestRouteTreeBasicStructure(t *testing.T) {
+	f := die(t)
+	driver := Pin{X: 1e-3, Y: 1e-3}
+	sinks := sinksAt([]Pin{
+		{X: 10e-3, Y: 4e-3},
+		{X: 12e-3, Y: 12e-3},
+		{X: 4e-3, Y: 9e-3},
+	})
+	tr, err := RouteTree(f, driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Sinks()); got != 3 {
+		t.Fatalf("%d sinks, want 3", got)
+	}
+	// Every sink keeps its load and RAT.
+	for _, s := range tr.Sinks() {
+		if s.SinkCap != 40*units.FemtoFarad || s.SinkRAT != 2*units.NanoSecond {
+			t.Errorf("sink parameters lost: %+v", s)
+		}
+	}
+	// Total wire capacitance is at least the direct-line lower bound for
+	// the farthest sink and at most the sum of all star paths.
+	sumStar := 0.0
+	for _, s := range sinks {
+		d := math.Abs(s.Pin.X-driver.X) + math.Abs(s.Pin.Y-driver.Y)
+		sumStar += d
+	}
+	maxC := math.Max(cfg(t).HLayer.CFPerM, cfg(t).VLayer.CFPerM)
+	if tot := tr.TotalEdgeC(); tot > sumStar*maxC*1.001 {
+		t.Errorf("tree wire cap %g exceeds star upper bound %g — sharing failed", tot, sumStar*maxC)
+	}
+}
+
+func TestRouteTreeSharingBeatsStar(t *testing.T) {
+	// Two far sinks close to each other: the greedy heuristic should share
+	// the trunk, making total wirelength well below the star topology.
+	f := die(t)
+	driver := Pin{X: 1e-3, Y: 1e-3}
+	sinks := sinksAt([]Pin{
+		{X: 15e-3, Y: 14e-3},
+		{X: 15.5e-3, Y: 14.5e-3},
+	})
+	tr, err := RouteTree(f, driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg(t)
+	minC := math.Min(c.HLayer.CFPerM, c.VLayer.CFPerM)
+	star := (27.5e-3 + 28.5e-3) * minC // both full paths, lower cap bound
+	if tot := tr.TotalEdgeC(); tot > star*0.75 {
+		t.Errorf("expected trunk sharing: tree cap %g vs star bound %g", tot, star)
+	}
+}
+
+func TestRouteTreeBufferSitesAvoidMacros(t *testing.T) {
+	// A corner that lands inside a macro must not be a buffer site.
+	f := die(t, Rect{X1: 9e-3, Y1: 0.5e-3, X2: 12e-3, Y2: 3e-3})
+	driver := Pin{X: 1e-3, Y: 1e-3}
+	// L-route corner at (10.5e-3, 1e-3) is inside the macro.
+	sinks := sinksAt([]Pin{{X: 10.5e-3, Y: 8e-3}})
+	tr, err := RouteTree(f, driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites := tr.BufferSites(); len(sites) != 0 {
+		t.Errorf("corner inside macro should not be a buffer site, got %d sites", len(sites))
+	}
+	// Same route without the macro: the corner is a site.
+	clean, err := RouteTree(die(t), driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites := clean.BufferSites(); len(sites) != 1 {
+		t.Errorf("expected exactly the corner site, got %d", len(sites))
+	}
+}
+
+func TestRouteTreeValidation(t *testing.T) {
+	f := die(t)
+	c := cfg(t)
+	if _, err := RouteTree(f, Pin{X: 1, Y: 1}, nil, c); err == nil {
+		t.Error("no sinks should fail")
+	}
+	if _, err := RouteTree(f, Pin{X: -1, Y: 0}, sinksAt([]Pin{{X: 1e-3, Y: 1e-3}}), c); err == nil {
+		t.Error("driver off die should fail")
+	}
+	bad := sinksAt([]Pin{{X: 1e-3, Y: 1e-3}})
+	bad[0].CapF = 0
+	if _, err := RouteTree(f, Pin{X: 2e-3, Y: 2e-3}, bad, c); err == nil {
+		t.Error("zero sink cap should fail")
+	}
+}
+
+func TestRouteTreeAlignedAndCoincidentSinks(t *testing.T) {
+	f := die(t)
+	driver := Pin{X: 5e-3, Y: 5e-3}
+	sinks := sinksAt([]Pin{
+		{X: 12e-3, Y: 5e-3}, // horizontally aligned: no corner
+		{X: 5e-3, Y: 11e-3}, // vertically aligned: no corner
+	})
+	tr, err := RouteTree(f, driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Sinks()); got != 2 {
+		t.Fatalf("%d sinks, want 2", got)
+	}
+}
+
+func TestRoutedTreeSolvesWithHybrid(t *testing.T) {
+	// End to end: geometry → tree → tree-RIP.
+	f := die(t, Rect{X1: 7e-3, Y1: 6e-3, X2: 11e-3, Y2: 10e-3})
+	tt := tech.T180()
+	driver := Pin{X: 0.5e-3, Y: 0.5e-3}
+	rng := rand.New(rand.NewSource(3))
+	var pins []Pin
+	for i := 0; i < 6; i++ {
+		pins = append(pins, Pin{X: 4e-3 + rng.Float64()*15e-3, Y: 4e-3 + rng.Float64()*11e-3})
+	}
+	sinks := sinksAt(pins)
+	tr, err := RouteTree(f, driver, sinks, cfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tree.Options{Library: lib, Tech: tt, DriverWidth: 240}
+	// Find a demanding-but-feasible RAT.
+	best, err := tree.Insert(tr, tree.Options{Library: lib, Tech: tt, DriverWidth: 240, MaxSlack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuf, err := tr.Evaluate(nil, 240, tt.Rs, tt.Co, tt.Cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrBest := 2*units.NanoSecond - best.Slack
+	arrUnbuf := 2*units.NanoSecond - unbuf
+	rat := arrBest + 0.4*(arrUnbuf-arrBest)
+	for _, s := range tr.Sinks() {
+		s.SinkRAT = rat
+	}
+	res, err := tree.InsertHybrid(tr, opts, tree.HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible {
+		t.Fatal("routed tree should be buffereable at a mid RAT")
+	}
+	slack, err := tr.Evaluate(res.Solution.Buffers, 240, tt.Rs, tt.Co, tt.Cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slack < -1e-15 {
+		t.Errorf("hybrid placement violates timing on the routed tree: %g", slack)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim is a small transient simulator for the RC ladder circuits
+// the delay models abstract: it integrates the exact linear ODE of a
+// repeater stage's switch-level circuit (voltage step behind the driver
+// resistance, π-model wire, capacitive load) with the unconditionally
+// stable backward-Euler method and measures true 50 % step-response
+// delays.
+//
+// Its role in the repo is validation, not optimization: Elmore (m1) is
+// provably an upper bound on the 50 % delay of an RC ladder, and the D2M
+// metric is a tighter estimate; the tests in this package check both
+// claims against the simulated ground truth for the exact circuits the
+// optimizer reasons about. That closes the loop between the paper's
+// analytical model (Eq. 1) and first principles.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Ladder is a source-driven RC ladder: res[i] connects node i−1 to node i
+// (res[0] connects the ideal step source to node 0) and caps[i] loads
+// node i to ground. It is the circuit of the paper's Figure 2.
+type Ladder struct {
+	Res  []float64
+	Caps []float64
+}
+
+// Validate checks shape and positivity (capacitances may be zero;
+// resistances must be positive so the system stays well posed).
+func (l *Ladder) Validate() error {
+	if len(l.Res) == 0 || len(l.Res) != len(l.Caps) {
+		return fmt.Errorf("sim: ladder needs matching res/caps, got %d/%d", len(l.Res), len(l.Caps))
+	}
+	for i, r := range l.Res {
+		if !(r > 0) {
+			return fmt.Errorf("sim: resistance %d must be positive, got %g", i, r)
+		}
+	}
+	totalC := 0.0
+	for i, c := range l.Caps {
+		if c < 0 {
+			return fmt.Errorf("sim: capacitance %d must be non-negative, got %g", i, c)
+		}
+		totalC += c
+	}
+	if totalC <= 0 {
+		return errors.New("sim: ladder has no capacitance")
+	}
+	return nil
+}
+
+// StageLadder builds the ladder of one repeater stage: driver of width
+// wDrive at position from, the wire interval [from, to] as one π per
+// homogeneous piece, and the receiving repeater of width wLoad. It is the
+// same construction the moments package uses, which is exactly the point:
+// simulation, Elmore and D2M all describe one circuit.
+func StageLadder(line *wire.Line, t *tech.Technology, from, to, wDrive, wLoad float64) (*Ladder, error) {
+	if !(wDrive > 0) || !(wLoad > 0) {
+		return nil, fmt.Errorf("sim: stage widths must be positive, got %g, %g", wDrive, wLoad)
+	}
+	pieces := line.Pieces(from, to)
+	k := len(pieces)
+	l := &Ladder{Res: make([]float64, k+1), Caps: make([]float64, k+1)}
+	l.Res[0] = t.Rs / wDrive
+	l.Caps[0] = t.Cp * wDrive
+	for i, p := range pieces {
+		half := p.C() / 2
+		l.Caps[i] += half
+		l.Caps[i+1] += half
+		l.Res[i+1] = p.R()
+	}
+	l.Caps[k] += t.Co * wLoad
+	return l, nil
+}
+
+// Elmore returns the ladder's first moment at the last node — the value
+// the optimizer's delay model assigns this circuit.
+func (l *Ladder) Elmore() float64 {
+	n := len(l.Caps)
+	rpre := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += l.Res[i]
+		rpre[i] = acc
+	}
+	m1 := 0.0
+	for i := 0; i < n; i++ {
+		m1 += l.Caps[i] * rpre[i]
+	}
+	return m1
+}
+
+// Transient integrates the unit-step response with backward Euler and
+// returns the node voltages at each stored sample. dt is the time step,
+// steps the number of steps. The backward-Euler update solves
+// (C/dt + G)·v_{k+1} = C/dt·v_k + b where G is the ladder conductance
+// matrix and b injects the source through res[0]; the tridiagonal system
+// is solved by the Thomas algorithm in O(n) per step.
+func (l *Ladder) Transient(dt float64, steps int) ([][]float64, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if !(dt > 0) || steps <= 0 {
+		return nil, fmt.Errorf("sim: need positive dt and steps, got %g, %d", dt, steps)
+	}
+	n := len(l.Caps)
+	// Conductances between nodes; g[i] couples node i−1 and node i.
+	g := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g[i] = 1 / l.Res[i]
+	}
+	// Tridiagonal system coefficients (constant over time).
+	diag := make([]float64, n)
+	lower := make([]float64, n) // lower[i] couples node i to i−1
+	upper := make([]float64, n) // upper[i] couples node i to i+1
+	for i := 0; i < n; i++ {
+		diag[i] = l.Caps[i]/dt + g[i]
+		if i+1 < n {
+			diag[i] += g[i+1]
+			upper[i] = -g[i+1]
+			lower[i+1] = -g[i+1]
+		}
+	}
+	v := make([]float64, n)
+	out := make([][]float64, 0, steps)
+	rhs := make([]float64, n)
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			rhs[i] = l.Caps[i] / dt * v[i]
+		}
+		rhs[0] += g[0] // unit step source through res[0]
+		// Thomas algorithm.
+		cp[0] = upper[0] / diag[0]
+		dp[0] = rhs[0] / diag[0]
+		for i := 1; i < n; i++ {
+			m := diag[i] - lower[i]*cp[i-1]
+			if i+1 < n {
+				cp[i] = upper[i] / m
+			}
+			dp[i] = (rhs[i] - lower[i]*dp[i-1]) / m
+		}
+		v[n-1] = dp[n-1]
+		for i := n - 2; i >= 0; i-- {
+			v[i] = dp[i] - cp[i]*v[i+1]
+		}
+		sample := make([]float64, n)
+		copy(sample, v)
+		out = append(out, sample)
+	}
+	return out, nil
+}
+
+// Delay50 simulates the step response and returns the time the last node
+// crosses 50 % of the final value, with linear interpolation between
+// samples. The horizon is horizonFactor×Elmore (default 8 when ≤ 0), which
+// comfortably covers the settling of any RC ladder; it returns an error if
+// the waveform never crosses within the horizon.
+func (l *Ladder) Delay50(stepsPerElmore int, horizonFactor float64) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if stepsPerElmore <= 0 {
+		stepsPerElmore = 200
+	}
+	if horizonFactor <= 0 {
+		horizonFactor = 8
+	}
+	el := l.Elmore()
+	if !(el > 0) {
+		return 0, errors.New("sim: ladder has zero Elmore delay")
+	}
+	dt := el / float64(stepsPerElmore)
+	steps := int(horizonFactor * float64(stepsPerElmore))
+	wave, err := l.Transient(dt, steps)
+	if err != nil {
+		return 0, err
+	}
+	last := len(wave[0]) - 1
+	prev := 0.0
+	for s, v := range wave {
+		cur := v[last]
+		if cur >= 0.5 {
+			// Linear interpolation between samples s-1 and s.
+			t0 := float64(s) * dt // end of step s is (s+1)*dt; crossing in (s*dt,(s+1)*dt]
+			frac := 0.0
+			if cur != prev {
+				frac = (0.5 - prev) / (cur - prev)
+			}
+			return t0 + frac*dt, nil
+		}
+		prev = cur
+	}
+	return 0, fmt.Errorf("sim: no 50%% crossing within %g·Elmore (reached %.3f)", horizonFactor, prev)
+}
+
+// StageDelay50 is the convenience wrapper: build the stage ladder and
+// simulate its 50 % delay.
+func StageDelay50(line *wire.Line, t *tech.Technology, from, to, wDrive, wLoad float64) (float64, error) {
+	l, err := StageLadder(line, t, from, to, wDrive, wLoad)
+	if err != nil {
+		return 0, err
+	}
+	return l.Delay50(0, 0)
+}
+
+// TotalDelay50 simulates every stage of an assignment and sums the 50 %
+// delays — the simulated analogue of the paper's Eq. (2). positions and
+// widths follow the delay.Assignment convention; wd and wr are the
+// terminal widths.
+func TotalDelay50(line *wire.Line, t *tech.Technology, positions, widths []float64, wd, wr float64) (float64, error) {
+	if len(positions) != len(widths) {
+		return 0, fmt.Errorf("sim: %d positions but %d widths", len(positions), len(widths))
+	}
+	n := len(positions)
+	total := 0.0
+	for i := 0; i <= n; i++ {
+		from, wDrive := 0.0, wd
+		if i > 0 {
+			from, wDrive = positions[i-1], widths[i-1]
+		}
+		to, wLoad := line.Length(), wr
+		if i < n {
+			to, wLoad = positions[i], widths[i]
+		}
+		d, err := StageDelay50(line, t, from, to, wDrive, wLoad)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	if math.IsNaN(total) {
+		return 0, errors.New("sim: NaN delay")
+	}
+	return total, nil
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/moments"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+func line3(t *testing.T) *wire.Line {
+	t.Helper()
+	l, err := wire.New([]wire.Segment{
+		{Length: 2.0e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 3.0e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.0e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Ladder{
+		{},
+		{Res: []float64{1}, Caps: nil},
+		{Res: []float64{0}, Caps: []float64{1e-12}},
+		{Res: []float64{1}, Caps: []float64{-1e-12}},
+		{Res: []float64{1}, Caps: []float64{0}},
+	}
+	for i, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Ladder{Res: []float64{1e3}, Caps: []float64{1e-12}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good ladder rejected: %v", err)
+	}
+}
+
+func TestSinglePoleAgainstClosedForm(t *testing.T) {
+	// One RC: v(t) = 1 − e^{−t/RC}. 50% delay = RC·ln2 exactly.
+	l := Ladder{Res: []float64{1e3}, Caps: []float64{1e-12}}
+	rc := 1e-9
+	d, err := l.Delay50(2000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rc * math.Ln2
+	if math.Abs(d-want)/want > 2e-3 {
+		t.Errorf("simulated 50%% delay %g, closed form %g", d, want)
+	}
+}
+
+func TestTransientMonotoneAndSettles(t *testing.T) {
+	l := Ladder{Res: []float64{1e3, 2e3, 500}, Caps: []float64{1e-13, 2e-13, 3e-13}}
+	wave, err := l.Transient(l.Elmore()/100, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(wave[0]) - 1
+	prev := 0.0
+	for s, v := range wave {
+		if v[last] < prev-1e-12 {
+			t.Fatalf("step response not monotone at sample %d", s)
+		}
+		prev = v[last]
+	}
+	if prev < 0.999 {
+		t.Errorf("response settled at %.4f, want ≈1", prev)
+	}
+	// Upstream nodes lead downstream nodes.
+	mid := len(wave) / 8
+	for i := 0; i < last; i++ {
+		if wave[mid][i] < wave[mid][i+1]-1e-9 {
+			t.Errorf("node %d should lead node %d early in the transient", i, i+1)
+		}
+	}
+}
+
+func TestElmoreUpperBoundsSimulatedDelay(t *testing.T) {
+	// The defining property of the Elmore metric on RC ladders.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		l := Ladder{Res: make([]float64, n), Caps: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			l.Res[i] = 100 + rng.Float64()*4000
+			l.Caps[i] = (20 + rng.Float64()*400) * 1e-15
+		}
+		d, err := l.Delay50(500, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > l.Elmore()*(1+1e-3) {
+			t.Fatalf("trial %d: simulated delay %g exceeds Elmore %g", trial, d, l.Elmore())
+		}
+		// And the bound is not absurdly loose: ≥ ln2·Elmore/2.
+		if d < math.Ln2*l.Elmore()/2 {
+			t.Fatalf("trial %d: simulated delay %g implausibly small vs Elmore %g", trial, d, l.Elmore())
+		}
+	}
+}
+
+func TestD2MTracksSimulationBetterThanElmore(t *testing.T) {
+	// On the actual repeater stages the optimizer builds, D2M should be a
+	// uniformly better predictor of the simulated 50% delay than raw
+	// Elmore — the justification for shipping the moments package.
+	line := line3(t)
+	tt := tech.T180()
+	stages := []struct{ from, to, wd, wl float64 }{
+		{0, 2.5e-3, 240, 180},
+		{2.5e-3, 5.2e-3, 180, 120},
+		{5.2e-3, 7e-3, 120, 80},
+	}
+	for i, s := range stages {
+		simD, err := StageDelay50(line, tt, s.from, s.to, s.wd, s.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := moments.Stage(line, tt, s.from, s.to, s.wd, s.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errElmore := math.Abs(m.ElmoreDelay() - simD)
+		errD2M := math.Abs(m.D2M() - simD)
+		if errD2M >= errElmore {
+			t.Errorf("stage %d: D2M error %g not better than Elmore error %g (sim %g)",
+				i, errD2M, errElmore, simD)
+		}
+		// D2M within 20% of simulation on these stages.
+		if errD2M/simD > 0.20 {
+			t.Errorf("stage %d: D2M off by %.1f%%", i, 100*errD2M/simD)
+		}
+	}
+}
+
+func TestStageLadderMatchesMomentsCircuit(t *testing.T) {
+	// The sim and moments packages must build the same circuit: equal m1.
+	line := line3(t)
+	tt := tech.T180()
+	l, err := StageLadder(line, tt, 1e-3, 6e-3, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := moments.Stage(line, tt, 1e-3, 6e-3, 200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Elmore()-m.M1)/m.M1 > 1e-12 {
+		t.Errorf("sim Elmore %g != moments m1 %g", l.Elmore(), m.M1)
+	}
+}
+
+func TestTotalDelay50EndToEnd(t *testing.T) {
+	// Simulated total delay of a full assignment: bounded by the Elmore
+	// total, and the optimizer's timing guarantee therefore holds in
+	// simulation too (Elmore feasible ⇒ simulated feasible).
+	line := line3(t)
+	tt := tech.T180()
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "s", Line: line, DriverWidth: 240, ReceiverWidth: 80}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := delay.Assignment{Positions: []float64{2.4e-3, 4.9e-3}, Widths: []float64{190, 130}}
+	simD, err := TotalDelay50(line, tt, a.Positions, a.Widths, 240, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elmoreD := ev.Total(a)
+	if simD > elmoreD*(1+1e-3) {
+		t.Errorf("simulated %g exceeds Elmore %g", simD, elmoreD)
+	}
+	if simD < elmoreD*0.4 {
+		t.Errorf("simulated %g implausibly below Elmore %g", simD, elmoreD)
+	}
+	if _, err := TotalDelay50(line, tt, []float64{1e-3}, nil, 240, 80); err == nil {
+		t.Error("mismatched positions/widths should fail")
+	}
+}
+
+func TestDelay50InputValidation(t *testing.T) {
+	l := Ladder{Res: []float64{1e3}, Caps: []float64{1e-12}}
+	if _, err := l.Transient(0, 10); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if _, err := l.Transient(1e-12, 0); err == nil {
+		t.Error("zero steps should fail")
+	}
+	bad := Ladder{Res: []float64{0}, Caps: []float64{1e-12}}
+	if _, err := bad.Delay50(0, 0); err == nil {
+		t.Error("invalid ladder should fail")
+	}
+}
+
+func TestBackwardEulerConvergence(t *testing.T) {
+	// Refining the time step must converge to a stable answer.
+	l := Ladder{Res: []float64{1.5e3, 800}, Caps: []float64{2e-13, 4e-13}}
+	coarse, err := l.Delay50(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := l.Delay50(2000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finer, err := l.Delay50(4000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fine-finer)/finer > 1e-3 {
+		t.Errorf("no convergence: %g vs %g", fine, finer)
+	}
+	// Backward Euler overdamps; coarse grids shift the crossing but must
+	// stay within a few percent.
+	if math.Abs(coarse-finer)/finer > 0.05 {
+		t.Errorf("coarse step too far off: %g vs %g", coarse, finer)
+	}
+}

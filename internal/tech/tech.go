@@ -1,0 +1,224 @@
+// Package tech models the process technology a repeater-insertion run is
+// performed against: the electrical view of a unit-width repeater, the
+// supply/clocking context used to convert repeater width into watts, and the
+// RC densities of the routing layers.
+//
+// The RIP paper evaluates on a 0.18 µm process whose device data is not
+// published; T180 below is a synthetic-but-calibrated stand-in whose derived
+// optima (Bakoglu spacing ≈ 1.3 mm, delay-optimal sizing ≈ 107u) land inside
+// the parameter ranges the paper itself uses (segments of 1000–2500 µm,
+// repeater widths in (10u, 400u)). Scaled 130/90/65 nm nodes are provided
+// for the technology-scaling example and tests. See DESIGN.md §4.
+package tech
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Layer describes one routing layer's per-unit-length parasitics in SI
+// units (Ω/m and F/m).
+type Layer struct {
+	// Name identifies the layer ("metal4", "metal5", ...).
+	Name string `json:"name"`
+	// ROhmPerM is the wire resistance density in Ω/m.
+	ROhmPerM float64 `json:"r_ohm_per_m"`
+	// CFPerM is the wire capacitance density in F/m.
+	CFPerM float64 `json:"c_f_per_m"`
+}
+
+// Technology aggregates the device and interconnect parameters of a node.
+// All repeater quantities are per unit width: a repeater of width w (in
+// multiples of the minimal width u) has output resistance Rs/w, input
+// capacitance Co·w and output (drain) parasitic capacitance Cp·w, the
+// switch-level RC model of the paper's Figure 2.
+type Technology struct {
+	// Name labels the node, e.g. "synthetic-180nm".
+	Name string `json:"name"`
+	// Rs is the output resistance of a unit-width repeater in Ω.
+	Rs float64 `json:"rs_ohm"`
+	// Co is the input (gate) capacitance of a unit-width repeater in F.
+	Co float64 `json:"co_f"`
+	// Cp is the output (parasitic drain) capacitance of a unit-width
+	// repeater in F.
+	Cp float64 `json:"cp_f"`
+	// Vdd is the supply voltage in volts.
+	Vdd float64 `json:"vdd_v"`
+	// Freq is the switching frequency used for dynamic power, in Hz.
+	Freq float64 `json:"freq_hz"`
+	// Activity is the signal activity factor α of Eq. (3).
+	Activity float64 `json:"activity"`
+	// LeakWPerUnit is the leakage power β of Eq. (3), in W per unit of
+	// repeater width.
+	LeakWPerUnit float64 `json:"leak_w_per_unit"`
+	// Layers lists the available routing layers.
+	Layers []Layer `json:"layers"`
+}
+
+// T180 returns the default synthetic 0.18 µm node used throughout the
+// reproduction. Parameters are chosen so the classic closed-form optima for
+// global wires land in the ranges the paper reports (see package comment):
+// the delay-optimal repeater width on metal4 is ≈250u — comfortably above
+// the g=10u baseline library's 100u cap, which is what makes that baseline
+// violate tight timing targets (the paper's VDP column and Figure 7(a)
+// zone I) — and the optimal spacing is ≈1.9 mm, on the scale of the
+// paper's 1000–2500 µm segments.
+func T180() *Technology {
+	return &Technology{
+		Name:         "synthetic-180nm",
+		Rs:           20000,
+		Co:           0.9 * units.FemtoFarad,
+		Cp:           0.7 * units.FemtoFarad,
+		Vdd:          1.8,
+		Freq:         500e6,
+		Activity:     0.15,
+		LeakWPerUnit: 5 * 1e-9, // 5 nW per unit width
+		Layers: []Layer{
+			{Name: "metal4", ROhmPerM: units.OhmPerMicron(0.080), CFPerM: units.FFPerMicron(0.230)},
+			{Name: "metal5", ROhmPerM: units.OhmPerMicron(0.060), CFPerM: units.FFPerMicron(0.210)},
+		},
+	}
+}
+
+// T130 returns a synthetic 130 nm node (scaled from T180).
+func T130() *Technology { return scaled(T180(), "synthetic-130nm", 0.72, 1.5) }
+
+// T90 returns a synthetic 90 nm node (scaled from T180).
+func T90() *Technology { return scaled(T180(), "synthetic-90nm", 0.50, 1.2) }
+
+// T65 returns a synthetic 65 nm node (scaled from T180).
+func T65() *Technology { return scaled(T180(), "synthetic-65nm", 0.36, 1.0) }
+
+// scaled derives a shrunk node from base: device caps scale with the linear
+// shrink s, device resistance stays roughly constant (scaled drive per µm of
+// gate width offsets thinner oxide), wire resistance grows as 1/s (thinner,
+// narrower wires) and wire capacitance per length stays roughly flat.
+func scaled(base *Technology, name string, s, vdd float64) *Technology {
+	t := *base
+	t.Name = name
+	t.Co = base.Co * s
+	t.Cp = base.Cp * s
+	t.Vdd = vdd
+	t.Freq = base.Freq / s
+	t.LeakWPerUnit = base.LeakWPerUnit * 3 * (1 - s)
+	layers := make([]Layer, len(base.Layers))
+	for i, l := range base.Layers {
+		layers[i] = Layer{Name: l.Name, ROhmPerM: l.ROhmPerM / s, CFPerM: l.CFPerM}
+	}
+	t.Layers = layers
+	return &t
+}
+
+// Builtin returns the named built-in node: "180nm", "130nm", "90nm" or
+// "65nm". It returns an error for unknown names, listing the valid ones.
+func Builtin(name string) (*Technology, error) {
+	switch name {
+	case "180nm", "t180":
+		return T180(), nil
+	case "130nm", "t130":
+		return T130(), nil
+	case "90nm", "t90":
+		return T90(), nil
+	case "65nm", "t65":
+		return T65(), nil
+	}
+	return nil, fmt.Errorf("tech: unknown built-in node %q (want 180nm, 130nm, 90nm or 65nm)", name)
+}
+
+// Validate checks the node for physical plausibility: strictly positive
+// device parameters, an activity factor in (0, 1], and at least one layer
+// with positive densities.
+func (t *Technology) Validate() error {
+	if t == nil {
+		return errors.New("tech: nil technology")
+	}
+	switch {
+	case !(t.Rs > 0):
+		return fmt.Errorf("tech %s: Rs must be positive, got %g", t.Name, t.Rs)
+	case !(t.Co > 0):
+		return fmt.Errorf("tech %s: Co must be positive, got %g", t.Name, t.Co)
+	case t.Cp < 0:
+		return fmt.Errorf("tech %s: Cp must be non-negative, got %g", t.Name, t.Cp)
+	case !(t.Vdd > 0):
+		return fmt.Errorf("tech %s: Vdd must be positive, got %g", t.Name, t.Vdd)
+	case !(t.Freq > 0):
+		return fmt.Errorf("tech %s: Freq must be positive, got %g", t.Name, t.Freq)
+	case !(t.Activity > 0) || t.Activity > 1:
+		return fmt.Errorf("tech %s: Activity must be in (0,1], got %g", t.Name, t.Activity)
+	case t.LeakWPerUnit < 0:
+		return fmt.Errorf("tech %s: LeakWPerUnit must be non-negative, got %g", t.Name, t.LeakWPerUnit)
+	case len(t.Layers) == 0:
+		return fmt.Errorf("tech %s: at least one routing layer required", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Layers))
+	for _, l := range t.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("tech %s: layer with empty name", t.Name)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("tech %s: duplicate layer %q", t.Name, l.Name)
+		}
+		seen[l.Name] = true
+		if !(l.ROhmPerM > 0) || !(l.CFPerM > 0) {
+			return fmt.Errorf("tech %s: layer %q needs positive densities, got r=%g c=%g",
+				t.Name, l.Name, l.ROhmPerM, l.CFPerM)
+		}
+	}
+	return nil
+}
+
+// Layer returns the named routing layer.
+func (t *Technology) Layer(name string) (Layer, error) {
+	for _, l := range t.Layers {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	names := make([]string, 0, len(t.Layers))
+	for _, l := range t.Layers {
+		names = append(names, l.Name)
+	}
+	sort.Strings(names)
+	return Layer{}, fmt.Errorf("tech %s: no layer %q (have %v)", t.Name, name, names)
+}
+
+// OptimalSpacing returns the classic delay-optimal repeater spacing
+// l = √(2·Rs·(Co+Cp)/(r·c)) in meters for the given layer, the textbook
+// (Bakoglu) first-order answer. The library uses it for sanity checks and
+// initial guesses, not as a final result.
+func (t *Technology) OptimalSpacing(l Layer) float64 {
+	return math.Sqrt(2 * t.Rs * (t.Co + t.Cp) / (l.ROhmPerM * l.CFPerM))
+}
+
+// OptimalWidth returns the classic delay-optimal repeater width
+// h = √(Rs·c/(r·Co)) in units of the minimal width for the given layer.
+func (t *Technology) OptimalWidth(l Layer) float64 {
+	return math.Sqrt(t.Rs * l.CFPerM / (l.ROhmPerM * t.Co))
+}
+
+// Write serializes the node as indented JSON.
+func (t *Technology) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Read parses a node from JSON and validates it.
+func Read(r io.Reader) (*Technology, error) {
+	var t Technology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("tech: decoding: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,139 @@
+package tech
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/units"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, name := range []string{"180nm", "130nm", "90nm", "65nm"} {
+		tt, err := Builtin(name)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", name, err)
+		}
+		if err := tt.Validate(); err != nil {
+			t.Errorf("%s does not validate: %v", name, err)
+		}
+	}
+	if _, err := Builtin("28nm"); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+func TestT180CalibrationMatchesPaperRanges(t *testing.T) {
+	// The derived classic optima must be consistent with the paper's own
+	// parameter ranges: segments 1000–2500 µm and widths in (10u, 400u).
+	tt := T180()
+	m4, err := tt.Layer("metal4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spacing := tt.OptimalSpacing(m4)
+	if spacing < 800*units.Micron || spacing > 2500*units.Micron {
+		t.Errorf("optimal spacing %s outside the paper's segment-length scale", units.Meters(spacing))
+	}
+	width := tt.OptimalWidth(m4)
+	if width < 40 || width > 400 {
+		t.Errorf("optimal width %.1fu outside the paper's library range (10u,400u)", width)
+	}
+}
+
+func TestLayerLookup(t *testing.T) {
+	tt := T180()
+	if _, err := tt.Layer("metal5"); err != nil {
+		t.Errorf("metal5 should exist: %v", err)
+	}
+	if _, err := tt.Layer("metal9"); err == nil {
+		t.Error("expected error for missing layer")
+	} else if !strings.Contains(err.Error(), "metal4") {
+		t.Errorf("error should list available layers, got %v", err)
+	}
+}
+
+func TestValidateRejectsBadNodes(t *testing.T) {
+	mk := func(mut func(*Technology)) *Technology {
+		tt := T180()
+		mut(tt)
+		return tt
+	}
+	bad := []*Technology{
+		nil,
+		mk(func(t *Technology) { t.Rs = 0 }),
+		mk(func(t *Technology) { t.Co = -1 }),
+		mk(func(t *Technology) { t.Cp = -1 }),
+		mk(func(t *Technology) { t.Vdd = 0 }),
+		mk(func(t *Technology) { t.Freq = 0 }),
+		mk(func(t *Technology) { t.Activity = 0 }),
+		mk(func(t *Technology) { t.Activity = 1.5 }),
+		mk(func(t *Technology) { t.LeakWPerUnit = -1 }),
+		mk(func(t *Technology) { t.Layers = nil }),
+		mk(func(t *Technology) { t.Layers[0].Name = "" }),
+		mk(func(t *Technology) { t.Layers[1].Name = t.Layers[0].Name }),
+		mk(func(t *Technology) { t.Layers[0].ROhmPerM = 0 }),
+		mk(func(t *Technology) { t.Layers[0].CFPerM = -2 }),
+	}
+	for i, tt := range bad {
+		if err := tt.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := T180()
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Rs != orig.Rs || len(back.Layers) != len(orig.Layers) {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, orig)
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Error("expected validation failure for incomplete node")
+	}
+	if _, err := Read(strings.NewReader(`{bogus`)); err == nil {
+		t.Error("expected decode failure for malformed JSON")
+	}
+	if _, err := Read(strings.NewReader(`{"name":"x","unknown_field":1}`)); err == nil {
+		t.Error("expected failure for unknown field")
+	}
+}
+
+func TestScalingMonotonicity(t *testing.T) {
+	// Shrinking the node shrinks the device caps and raises wire
+	// resistance density.
+	t180, t90 := T180(), T90()
+	if !(t90.Co < t180.Co) {
+		t.Errorf("Co should shrink: %g vs %g", t90.Co, t180.Co)
+	}
+	if !(t90.Layers[0].ROhmPerM > t180.Layers[0].ROhmPerM) {
+		t.Errorf("wire r density should grow when shrinking")
+	}
+	if !(t90.Vdd < t180.Vdd) {
+		t.Errorf("Vdd should drop when shrinking")
+	}
+}
+
+func TestOptimalFormulas(t *testing.T) {
+	tt := T180()
+	l := Layer{Name: "x", ROhmPerM: 1, CFPerM: 1}
+	wantSpacing := math.Sqrt(2 * tt.Rs * (tt.Co + tt.Cp))
+	if got := tt.OptimalSpacing(l); math.Abs(got-wantSpacing) > 1e-12*wantSpacing {
+		t.Errorf("OptimalSpacing = %g, want %g", got, wantSpacing)
+	}
+	wantWidth := math.Sqrt(tt.Rs / tt.Co)
+	if got := tt.OptimalWidth(l); math.Abs(got-wantWidth) > 1e-12*wantWidth {
+		t.Errorf("OptimalWidth = %g, want %g", got, wantWidth)
+	}
+}

@@ -1,0 +1,108 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// GenConfig describes the random tree distribution used by tests, examples
+// and the tree ablation bench.
+type GenConfig struct {
+	// Sinks is the number of sink leaves (≥ 1).
+	Sinks int
+	// EdgeLenMin/Max bound each edge's wire length in meters; edge RC
+	// densities come from the layer.
+	EdgeLenMin, EdgeLenMax float64
+	// Layer supplies the wire RC densities.
+	Layer tech.Layer
+	// SinkCapMin/Max bound the sink loads in farads.
+	SinkCapMin, SinkCapMax float64
+	// RAT is the required arrival time applied to every sink.
+	RAT float64
+	// BufferEveryNode marks all internal nodes as buffer sites when true;
+	// otherwise only branch points.
+	BufferEveryNode bool
+}
+
+// DefaultGenConfig returns a plausible global-net distribution on the
+// node's metal4: 8 sinks, 0.4–1.2 mm edges, 20–80 fF sinks.
+func DefaultGenConfig(t *tech.Technology) (GenConfig, error) {
+	m4, err := t.Layer("metal4")
+	if err != nil {
+		return GenConfig{}, err
+	}
+	return GenConfig{
+		Sinks:           8,
+		EdgeLenMin:      400 * units.Micron,
+		EdgeLenMax:      1200 * units.Micron,
+		Layer:           m4,
+		SinkCapMin:      20 * units.FemtoFarad,
+		SinkCapMax:      80 * units.FemtoFarad,
+		RAT:             1.5 * units.NanoSecond,
+		BufferEveryNode: true,
+	}, nil
+}
+
+// Generate builds a random binary tree with the configured sink count.
+// Topology: start from a root, repeatedly split a random leaf until the
+// sink budget is reached, then attach sink parameters to the leaves.
+func Generate(rng *rand.Rand, cfg GenConfig) (*Tree, error) {
+	if cfg.Sinks < 1 {
+		return nil, fmt.Errorf("tree: need at least one sink, got %d", cfg.Sinks)
+	}
+	if !(cfg.EdgeLenMin > 0) || cfg.EdgeLenMax < cfg.EdgeLenMin {
+		return nil, fmt.Errorf("tree: bad edge length range [%g, %g]", cfg.EdgeLenMin, cfg.EdgeLenMax)
+	}
+	if !(cfg.SinkCapMin > 0) || cfg.SinkCapMax < cfg.SinkCapMin {
+		return nil, fmt.Errorf("tree: bad sink cap range [%g, %g]", cfg.SinkCapMin, cfg.SinkCapMax)
+	}
+	nextID := 0
+	newNode := func() *Node {
+		n := &Node{ID: nextID}
+		nextID++
+		return n
+	}
+	edge := func(n *Node) {
+		l := cfg.EdgeLenMin + rng.Float64()*(cfg.EdgeLenMax-cfg.EdgeLenMin)
+		n.EdgeR = l * cfg.Layer.ROhmPerM
+		n.EdgeC = l * cfg.Layer.CFPerM
+	}
+	root := newNode()
+	leaves := []*Node{}
+	// The root drives one initial child to keep the driver stage explicit.
+	first := newNode()
+	edge(first)
+	root.Children = []*Node{first}
+	leaves = append(leaves, first)
+	for len(leaves) < cfg.Sinks {
+		// Split a random leaf into two children.
+		i := rng.Intn(len(leaves))
+		leaf := leaves[i]
+		a, b := newNode(), newNode()
+		edge(a)
+		edge(b)
+		leaf.Children = []*Node{a, b}
+		leaves[i] = a
+		leaves = append(leaves, b)
+	}
+	for _, leaf := range leaves {
+		leaf.SinkCap = cfg.SinkCapMin + rng.Float64()*(cfg.SinkCapMax-cfg.SinkCapMin)
+		leaf.SinkRAT = cfg.RAT
+	}
+	// Buffer sites: internal nodes (never sinks; the root hosts the fixed
+	// driver so it is not a site either).
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		for _, c := range n.Children {
+			mark(c)
+		}
+		if n.SinkCap == 0 && n != root {
+			n.BufferSite = cfg.BufferEveryNode || len(n.Children) > 1
+		}
+	}
+	mark(root)
+	return New(root)
+}

@@ -1,0 +1,249 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rip-eda/rip/internal/repeater"
+)
+
+// HybridConfig parameterizes InsertHybrid, the tree analogue of the RIP
+// pipeline. Defaults mirror the two-pin configuration (§6).
+type HybridConfig struct {
+	// CoarseMin, CoarseStep, CoarseSize build the phase-1 library
+	// (default 80u × 5).
+	CoarseMin, CoarseStep float64
+	CoarseSize            int
+	// RoundGranularity is the concise-library width grid (default 10u).
+	RoundGranularity float64
+	// MinWidth/MaxWidth clamp the concise library (default 10u/400u).
+	MinWidth, MaxWidth float64
+	// MaxSweeps bounds the width-refinement coordinate-descent sweeps
+	// (default 20).
+	MaxSweeps int
+	// Epsilon stops refinement when a sweep improves total width by less
+	// (relative; default 1e-3).
+	Epsilon float64
+}
+
+func (c HybridConfig) withDefaults() HybridConfig {
+	if c.CoarseMin <= 0 {
+		c.CoarseMin = 80
+	}
+	if c.CoarseStep <= 0 {
+		c.CoarseStep = 80
+	}
+	if c.CoarseSize <= 0 {
+		c.CoarseSize = 5
+	}
+	if c.RoundGranularity <= 0 {
+		c.RoundGranularity = 10
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = 10
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 400
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 20
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-3
+	}
+	return c
+}
+
+// HybridResult reports the tree pipeline's phases.
+type HybridResult struct {
+	// Solution is the best feasible discrete placement found.
+	Solution Solution
+	// Coarse is the phase-1 DP solution.
+	Coarse Solution
+	// Continuous is the refined continuous width per buffered node.
+	Continuous map[int]float64
+	// Library is the synthesized concise library.
+	Library repeater.Library
+	// Final is the phase-3 DP solution.
+	Final Solution
+	// Picked names the phase that won: "final-dp", "coarse-dp" or
+	// "rounded-refine".
+	Picked string
+}
+
+// InsertHybrid runs the paper's §7 program on a tree: a coarse power-aware
+// DP fixes the buffer topology, continuous per-buffer width refinement
+// (coordinate descent against the exact slack evaluator) plays the role of
+// REFINE — tree nodes are discrete so there is no movement phase — and a
+// final DP over the concise rounded library re-discretizes. The result is
+// never worse than the coarse phase.
+func InsertHybrid(t *Tree, opts Options, cfg HybridConfig) (HybridResult, error) {
+	if opts.MaxSlack {
+		return HybridResult{}, errors.New("tree: InsertHybrid is a min-power pipeline; use Insert for MaxSlack")
+	}
+	cfg = cfg.withDefaults()
+	coarseLib, err := repeater.Uniform(cfg.CoarseMin, cfg.CoarseStep, cfg.CoarseSize)
+	if err != nil {
+		return HybridResult{}, err
+	}
+
+	// Phase 1: coarse DP.
+	coarseOpts := opts
+	coarseOpts.Library = coarseLib
+	coarse, err := Insert(t, coarseOpts)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	res := HybridResult{Coarse: coarse}
+	if !coarse.Feasible {
+		// The coarse library reaches 400u; infeasible here means the RAT
+		// is (very likely) unreachable. Report infeasible.
+		res.Solution = coarse
+		res.Picked = "coarse-dp"
+		return res, nil
+	}
+	if len(coarse.Buffers) == 0 {
+		res.Solution = coarse
+		res.Picked = "coarse-dp"
+		return res, nil
+	}
+
+	// Phase 2: continuous width refinement on the fixed buffer set.
+	continuous, err := refineTreeWidths(t, opts, coarse.Buffers, cfg)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	res.Continuous = continuous
+
+	// Phase 3: concise library + final DP.
+	widths := make([]float64, 0, len(continuous))
+	for _, w := range continuous {
+		widths = append(widths, w)
+	}
+	lib, err := repeater.Concise(widths, cfg.RoundGranularity, cfg.MinWidth, cfg.MaxWidth)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	res.Library = lib
+	finalOpts := opts
+	finalOpts.Library = lib
+	final, err := Insert(t, finalOpts)
+	if err != nil {
+		return HybridResult{}, err
+	}
+	res.Final = final
+
+	// Pick the best feasible: final DP, coarse DP, or ceil-rounded
+	// continuous widths on the fixed topology.
+	best := coarse
+	picked := "coarse-dp"
+	if final.Feasible && final.TotalWidth < best.TotalWidth {
+		best = final
+		picked = "final-dp"
+	}
+	if rounded, ok := roundedTree(t, opts, continuous, lib); ok && rounded.TotalWidth < best.TotalWidth {
+		best = rounded
+		picked = "rounded-refine"
+	}
+	res.Solution = best
+	res.Picked = picked
+	return res, nil
+}
+
+// refineTreeWidths minimizes Σw over continuous widths for a fixed buffer
+// node set, keeping worst slack ≥ 0, by cyclic coordinate descent: each
+// buffer's width is reduced to the smallest value that keeps the tree
+// feasible (bisection against the exact evaluator), sweeping until a full
+// sweep improves total width by less than cfg.Epsilon.
+func refineTreeWidths(t *Tree, opts Options, initial map[int]float64, cfg HybridConfig) (map[int]float64, error) {
+	ts := opts.Tech
+	cur := make(map[int]float64, len(initial))
+	ids := make([]int, 0, len(initial))
+	for id, w := range initial {
+		cur[id] = w
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	slack := func() (float64, error) {
+		return t.Evaluate(cur, opts.DriverWidth, ts.Rs, ts.Co, ts.Cp)
+	}
+	s0, err := slack()
+	if err != nil {
+		return nil, err
+	}
+	if s0 < 0 {
+		return nil, fmt.Errorf("tree: initial placement infeasible (slack %g)", s0)
+	}
+	total := func() float64 {
+		sum := 0.0
+		for _, w := range cur {
+			sum += w
+		}
+		return sum
+	}
+	prev := total()
+	const minW = 1e-3
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		for _, id := range ids {
+			hi := cur[id] // feasible by invariant
+			lo := minW
+			cur[id] = lo
+			s, err := slack()
+			if err != nil {
+				return nil, err
+			}
+			if s >= 0 {
+				// Even (near) zero width is feasible; keep the floor.
+				continue
+			}
+			// Bisect the smallest feasible width in (lo, hi].
+			for iter := 0; iter < 60 && (hi-lo) > 1e-9*math.Max(1, hi); iter++ {
+				mid := 0.5 * (lo + hi)
+				cur[id] = mid
+				s, err := slack()
+				if err != nil {
+					return nil, err
+				}
+				if s >= 0 {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			cur[id] = hi
+		}
+		now := total()
+		if prev-now < cfg.Epsilon*prev {
+			break
+		}
+		prev = now
+	}
+	return cur, nil
+}
+
+// roundedTree rounds the continuous widths up to the next library entry
+// and keeps the result when still feasible.
+func roundedTree(t *Tree, opts Options, continuous map[int]float64, lib repeater.Library) (Solution, bool) {
+	widths := lib.Widths()
+	buffers := make(map[int]float64, len(continuous))
+	total := 0.0
+	for id, w := range continuous {
+		up := widths[len(widths)-1]
+		for _, lw := range widths {
+			if lw >= w {
+				up = lw
+				break
+			}
+		}
+		buffers[id] = up
+		total += up
+	}
+	ts := opts.Tech
+	slack, err := t.Evaluate(buffers, opts.DriverWidth, ts.Rs, ts.Co, ts.Cp)
+	if err != nil || slack < 0 {
+		return Solution{}, false
+	}
+	return Solution{Buffers: buffers, Slack: slack, TotalWidth: total, Feasible: true}, true
+}

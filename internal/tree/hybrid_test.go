@@ -1,0 +1,200 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// hybridFixture builds a random tree with a RAT that requires buffering
+// but is reachable (midway between unbuffered and best-buffered arrival).
+func hybridFixture(t *testing.T, seed int64, sinks int) (*Tree, Options) {
+	t.Helper()
+	tt := tech.T180()
+	cfg, err := DefaultGenConfig(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sinks = sinks
+	rng := rand.New(rand.NewSource(seed))
+	tr, err := Generate(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Library: rich, Tech: tt, DriverWidth: 240}
+	best, err := Insert(tr, Options{Library: rich, Tech: tt, DriverWidth: 240, MaxSlack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuf, err := tr.Evaluate(nil, 240, tt.Rs, tt.Co, tt.Cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrUnbuf := cfg.RAT - unbuf
+	arrBest := cfg.RAT - best.Slack
+	rat := arrBest + 0.35*(arrUnbuf-arrBest)
+	for _, s := range tr.Sinks() {
+		s.SinkRAT = rat
+	}
+	return tr, opts
+}
+
+func TestHybridNeverWorseThanCoarse(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		tr, opts := hybridFixture(t, seed, 6)
+		res, err := InsertHybrid(tr, opts, HybridConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Solution.Feasible {
+			if res.Coarse.Feasible {
+				t.Fatalf("seed %d: hybrid infeasible but coarse feasible", seed)
+			}
+			continue
+		}
+		if res.Coarse.Feasible && res.Solution.TotalWidth > res.Coarse.TotalWidth+1e-9 {
+			t.Errorf("seed %d: hybrid (%g) worse than coarse (%g)",
+				seed, res.Solution.TotalWidth, res.Coarse.TotalWidth)
+		}
+		// Independent feasibility check.
+		tt := opts.Tech
+		slack, err := tr.Evaluate(res.Solution.Buffers, opts.DriverWidth, tt.Rs, tt.Co, tt.Cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slack < -1e-15 {
+			t.Errorf("seed %d: hybrid placement violates timing (slack %g)", seed, slack)
+		}
+	}
+}
+
+func TestHybridApproachesFineDP(t *testing.T) {
+	// The hybrid should land within a modest factor of the expensive
+	// fine-grained DP while generating far fewer DP options.
+	var hybridSum, fineSum float64
+	var hybridOpts, fineOpts int
+	fineLib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{11, 12, 13} {
+		tr, opts := hybridFixture(t, seed, 6)
+		res, err := InsertHybrid(tr, opts, HybridConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fOpts := opts
+		fOpts.Library = fineLib
+		fine, err := Insert(tr, fOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solution.Feasible || !fine.Feasible {
+			continue
+		}
+		hybridSum += res.Solution.TotalWidth
+		fineSum += fine.TotalWidth
+		hybridOpts += res.Coarse.Stats.Generated + res.Final.Stats.Generated
+		fineOpts += fine.Stats.Generated
+	}
+	if fineSum == 0 {
+		t.Skip("no comparable instances")
+	}
+	if hybridSum > fineSum*1.25 {
+		t.Errorf("hybrid total %g more than 25%% worse than fine DP %g", hybridSum, fineSum)
+	}
+	if hybridOpts >= fineOpts {
+		t.Errorf("hybrid should do less DP work: %d vs %d options", hybridOpts, fineOpts)
+	}
+}
+
+func TestHybridRefinementShrinksWidths(t *testing.T) {
+	tr, opts := hybridFixture(t, 21, 7)
+	res, err := InsertHybrid(tr, opts, HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coarse.Feasible || len(res.Continuous) == 0 {
+		t.Skip("coarse phase empty")
+	}
+	var contSum float64
+	for _, w := range res.Continuous {
+		contSum += w
+	}
+	if contSum > res.Coarse.TotalWidth+1e-9 {
+		t.Errorf("continuous refinement (%g) should not exceed coarse widths (%g)",
+			contSum, res.Coarse.TotalWidth)
+	}
+	// The concise library must bracket the continuous widths.
+	for _, w := range res.Continuous {
+		if w >= 10 && w <= 400 {
+			found := false
+			for _, lw := range res.Library.Widths() {
+				if lw >= w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no library width ≥ continuous %g", w)
+			}
+		}
+	}
+}
+
+func TestHybridRejectsMaxSlack(t *testing.T) {
+	tr, opts := hybridFixture(t, 31, 4)
+	opts.MaxSlack = true
+	if _, err := InsertHybrid(tr, opts, HybridConfig{}); err == nil {
+		t.Error("MaxSlack should be rejected")
+	}
+}
+
+func TestHybridInfeasibleRAT(t *testing.T) {
+	tr, opts := hybridFixture(t, 41, 4)
+	for _, s := range tr.Sinks() {
+		s.SinkRAT = 1e-15
+	}
+	res, err := InsertHybrid(tr, opts, HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Feasible {
+		t.Error("1 fs RAT should be infeasible")
+	}
+}
+
+func TestHybridLooseRATNoBuffers(t *testing.T) {
+	tr, opts := hybridFixture(t, 51, 4)
+	for _, s := range tr.Sinks() {
+		s.SinkRAT = 1 // a full second
+	}
+	res, err := InsertHybrid(tr, opts, HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible || len(res.Solution.Buffers) != 0 {
+		t.Errorf("loose RAT should need no buffers: %+v", res.Solution)
+	}
+}
+
+func TestHybridDeterminism(t *testing.T) {
+	tr, opts := hybridFixture(t, 61, 6)
+	a, err := InsertHybrid(tr, opts, HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InsertHybrid(tr, opts, HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Solution.TotalWidth != b.Solution.TotalWidth || a.Picked != b.Picked {
+		t.Error("hybrid is not deterministic")
+	}
+}

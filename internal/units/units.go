@@ -1,0 +1,140 @@
+// Package units centralizes the physical units used throughout the library
+// and provides human-readable formatting for reports and traces.
+//
+// All quantities in this module are SI internally:
+//
+//	length      meters (m)
+//	resistance  ohms (Ω)
+//	capacitance farads (F)
+//	time        seconds (s)
+//	power       watts (W)
+//
+// Interconnect literature (and the RIP paper) quotes lengths in µm,
+// per-unit-length resistance in Ω/µm and capacitance in fF/µm; the constants
+// below convert those conventions to SI without sprinkling magic powers of
+// ten across the codebase.
+package units
+
+import "fmt"
+
+// Length conversions.
+const (
+	// Micron is one micrometer in meters. The paper quotes all segment
+	// lengths, pitches and zone extents in µm.
+	Micron = 1e-6
+	// Millimeter is one millimeter in meters.
+	Millimeter = 1e-3
+)
+
+// Capacitance conversions.
+const (
+	// FemtoFarad is one fF in farads.
+	FemtoFarad = 1e-15
+	// PicoFarad is one pF in farads.
+	PicoFarad = 1e-12
+)
+
+// Time conversions.
+const (
+	// PicoSecond is one ps in seconds.
+	PicoSecond = 1e-12
+	// NanoSecond is one ns in seconds.
+	NanoSecond = 1e-9
+)
+
+// Power conversions.
+const (
+	// MicroWatt is one µW in watts.
+	MicroWatt = 1e-6
+	// MilliWatt is one mW in watts.
+	MilliWatt = 1e-3
+)
+
+// OhmPerMicron converts a resistance density quoted in Ω/µm to Ω/m.
+func OhmPerMicron(r float64) float64 { return r / Micron }
+
+// FFPerMicron converts a capacitance density quoted in fF/µm to F/m.
+func FFPerMicron(c float64) float64 { return c * FemtoFarad / Micron }
+
+// Microns converts a length quoted in µm to meters.
+func Microns(l float64) float64 { return l * Micron }
+
+// ToMicrons converts a length in meters to µm.
+func ToMicrons(l float64) float64 { return l / Micron }
+
+// Seconds formats a duration given in seconds using an engineering scale
+// (ps, ns, µs or s) chosen by magnitude.
+func Seconds(t float64) string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 s"
+	case abs < 1e-9:
+		return fmt.Sprintf("%.2f ps", t/PicoSecond)
+	case abs < 1e-6:
+		return fmt.Sprintf("%.3f ns", t/NanoSecond)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3f µs", t/1e-6)
+	case abs < 1:
+		return fmt.Sprintf("%.3f ms", t/1e-3)
+	default:
+		return fmt.Sprintf("%.3f s", t)
+	}
+}
+
+// Farads formats a capacitance given in farads (fF or pF by magnitude).
+func Farads(c float64) string {
+	abs := c
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 F"
+	case abs < 1e-12:
+		return fmt.Sprintf("%.2f fF", c/FemtoFarad)
+	case abs < 1e-9:
+		return fmt.Sprintf("%.3f pF", c/PicoFarad)
+	default:
+		return fmt.Sprintf("%.3g F", c)
+	}
+}
+
+// Meters formats a length given in meters (µm or mm by magnitude).
+func Meters(l float64) string {
+	abs := l
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 m"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.1f µm", l/Micron)
+	case abs < 1:
+		return fmt.Sprintf("%.3f mm", l/Millimeter)
+	default:
+		return fmt.Sprintf("%.3f m", l)
+	}
+}
+
+// Watts formats a power given in watts (µW or mW by magnitude).
+func Watts(p float64) string {
+	abs := p
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 W"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.2f µW", p/MicroWatt)
+	case abs < 1:
+		return fmt.Sprintf("%.3f mW", p/MilliWatt)
+	default:
+		return fmt.Sprintf("%.3f W", p)
+	}
+}

@@ -1,0 +1,106 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionsRoundTrip(t *testing.T) {
+	if got := Microns(1000); math.Abs(got-1e-3) > 1e-18 {
+		t.Errorf("Microns(1000) = %g, want 1e-3", got)
+	}
+	if got := ToMicrons(Microns(2500)); math.Abs(got-2500) > 1e-9 {
+		t.Errorf("ToMicrons(Microns(2500)) = %g, want 2500", got)
+	}
+}
+
+func TestDensityConversions(t *testing.T) {
+	// 0.08 Ω/µm is 8e4 Ω/m.
+	if got := OhmPerMicron(0.08); math.Abs(got-8e4) > 1e-6 {
+		t.Errorf("OhmPerMicron(0.08) = %g, want 8e4", got)
+	}
+	// 0.23 fF/µm is 2.3e-10 F/m.
+	if got := FFPerMicron(0.23); math.Abs(got-2.3e-10) > 1e-22 {
+		t.Errorf("FFPerMicron(0.23) = %g, want 2.3e-10", got)
+	}
+}
+
+func TestMicronsRoundTripProperty(t *testing.T) {
+	f := func(um float64) bool {
+		if math.IsNaN(um) || math.IsInf(um, 0) {
+			return true
+		}
+		um = math.Mod(um, 1e6)
+		back := ToMicrons(Microns(um))
+		return math.Abs(back-um) <= 1e-9*math.Max(1, math.Abs(um))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 s"},
+		{1.5e-12, "ps"},
+		{2.5e-9, "ns"},
+		{3.1e-6, "µs"},
+		{2.0, "s"},
+	}
+	for _, c := range cases {
+		got := Seconds(c.in)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Seconds(%g) = %q, want unit %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFaradsFormatting(t *testing.T) {
+	if got := Farads(1.5 * FemtoFarad); !strings.Contains(got, "fF") {
+		t.Errorf("Farads fF case = %q", got)
+	}
+	if got := Farads(3 * PicoFarad); !strings.Contains(got, "pF") {
+		t.Errorf("Farads pF case = %q", got)
+	}
+	if got := Farads(0); got != "0 F" {
+		t.Errorf("Farads(0) = %q", got)
+	}
+}
+
+func TestMetersFormatting(t *testing.T) {
+	if got := Meters(150 * Micron); !strings.Contains(got, "µm") {
+		t.Errorf("Meters µm case = %q", got)
+	}
+	if got := Meters(15 * Millimeter); !strings.Contains(got, "mm") {
+		t.Errorf("Meters mm case = %q", got)
+	}
+	if got := Meters(2); !strings.Contains(got, " m") {
+		t.Errorf("Meters m case = %q", got)
+	}
+}
+
+func TestWattsFormatting(t *testing.T) {
+	if got := Watts(120 * MicroWatt); !strings.Contains(got, "µW") {
+		t.Errorf("Watts µW case = %q", got)
+	}
+	if got := Watts(3 * MilliWatt); !strings.Contains(got, "mW") {
+		t.Errorf("Watts mW case = %q", got)
+	}
+	if got := Watts(1.2); !strings.Contains(got, " W") {
+		t.Errorf("Watts W case = %q", got)
+	}
+}
+
+func TestNegativeValuesKeepSign(t *testing.T) {
+	if got := Seconds(-2.5e-9); !strings.HasPrefix(got, "-") {
+		t.Errorf("Seconds(-2.5ns) = %q, want leading minus", got)
+	}
+	if got := Meters(-Micron); !strings.HasPrefix(got, "-") {
+		t.Errorf("Meters(-1µm) = %q, want leading minus", got)
+	}
+}

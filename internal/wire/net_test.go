@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/units"
+)
+
+func testNet(t *testing.T) *Net {
+	t.Helper()
+	return &Net{
+		Name:          "n1",
+		Line:          testLine(t),
+		DriverWidth:   100,
+		ReceiverWidth: 50,
+	}
+}
+
+func TestNetValidate(t *testing.T) {
+	n := testNet(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilNet *Net
+	if err := nilNet.Validate(); err == nil {
+		t.Error("nil net should not validate")
+	}
+	bad := *n
+	bad.Line = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("net without line should not validate")
+	}
+	bad = *n
+	bad.DriverWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero driver width should not validate")
+	}
+	bad = *n
+	bad.ReceiverWidth = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative receiver width should not validate")
+	}
+}
+
+func TestNetJSONRoundTrip(t *testing.T) {
+	orig := testNet(t)
+	var buf bytes.Buffer
+	if err := WriteNets(&buf, []*Net{orig}); err != nil {
+		t.Fatal(err)
+	}
+	// The on-disk form uses µm units.
+	if !strings.Contains(buf.String(), "length_um") {
+		t.Errorf("serialized net should use µm units: %s", buf.String())
+	}
+	nets, err := ReadNets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 1 {
+		t.Fatalf("got %d nets, want 1", len(nets))
+	}
+	back := nets[0]
+	if back.Name != orig.Name || back.DriverWidth != orig.DriverWidth {
+		t.Errorf("metadata mismatch: %+v", back)
+	}
+	if math.Abs(back.Line.Length()-orig.Line.Length()) > 1e-12 {
+		t.Errorf("length mismatch: %g vs %g", back.Line.Length(), orig.Line.Length())
+	}
+	if math.Abs(back.Line.TotalR()-orig.Line.TotalR())/orig.Line.TotalR() > 1e-9 {
+		t.Errorf("resistance mismatch")
+	}
+	if math.Abs(back.Line.TotalC()-orig.Line.TotalC())/orig.Line.TotalC() > 1e-9 {
+		t.Errorf("capacitance mismatch")
+	}
+	zb, zo := back.Line.Zones(), orig.Line.Zones()
+	if len(zb) != len(zo) {
+		t.Fatalf("zone count mismatch")
+	}
+	if math.Abs(zb[0].Start-zo[0].Start) > units.Micron/1e3 {
+		t.Errorf("zone start mismatch: %g vs %g", zb[0].Start, zo[0].Start)
+	}
+}
+
+func TestReadNetsRejectsBadInput(t *testing.T) {
+	if _, err := ReadNets(strings.NewReader("[{")); err == nil {
+		t.Error("expected decode error")
+	}
+	// Structurally valid JSON, invalid net (no segments).
+	bad := `[{"name":"x","driver_width_u":10,"receiver_width_u":10,"segments":[]}]`
+	if _, err := ReadNets(strings.NewReader(bad)); err == nil {
+		t.Error("expected validation error for empty segments")
+	}
+	// Negative density.
+	bad = `[{"name":"x","driver_width_u":10,"receiver_width_u":10,
+	         "segments":[{"length_um":1000,"r_ohm_per_um":-0.1,"c_ff_per_um":0.2}]}]`
+	if _, err := ReadNets(strings.NewReader(bad)); err == nil {
+		t.Error("expected validation error for negative density")
+	}
+}
+
+func TestMarshalInvalidNetFails(t *testing.T) {
+	n := testNet(t)
+	n.DriverWidth = 0
+	if _, err := n.MarshalJSON(); err == nil {
+		t.Error("marshaling an invalid net should fail")
+	}
+}

@@ -1,0 +1,278 @@
+package rip_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// paperNet builds a representative multi-segment net through the public
+// API: three layers alternating, one forbidden zone.
+func paperNet(t *testing.T) *rip.Net {
+	t.Helper()
+	line, err := rip.NewLine([]rip.Segment{
+		{Length: 2.4e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 2.1e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 1.8e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.2e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []rip.Zone{{Start: 4.5e-3, End: 7.0e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rip.Net{Name: "pub", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+}
+
+func TestEndToEndPublicAPI(t *testing.T) {
+	tech := rip.T180()
+	net := paperNet(t)
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tmin > 0) {
+		t.Fatalf("τmin = %g", tmin)
+	}
+	target := 1.3 * tmin
+	res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible {
+		t.Fatal("expected a feasible solution at 1.3·τmin")
+	}
+	// Re-evaluate the returned assignment through the public Delay call.
+	d, err := rip.Delay(net, tech, res.Solution.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-res.Solution.Delay)/d > 1e-9 {
+		t.Errorf("public Delay %g != solution delay %g", d, res.Solution.Delay)
+	}
+	if d > target {
+		t.Errorf("delay %g exceeds target %g", d, target)
+	}
+	// Power conversion is positive and linear.
+	pm, err := rip.NewPowerModel(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := pm.Repeater(res.Solution.TotalWidth); !(p > 0) {
+		t.Errorf("power %g", p)
+	}
+}
+
+func TestPublicRefineAndWidths(t *testing.T) {
+	tech := rip.T180()
+	net := paperNet(t)
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := []float64{2.0e-3, 4.0e-3, 8.0e-3}
+	target := 1.4 * tmin
+	wres, err := rip.SolveWidths(net, tech, positions, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres.Widths) != 3 || !(wres.Lambda > 0) {
+		t.Fatalf("width solve: %+v", wres)
+	}
+	rres, err := rip.Refine(net, tech, positions, target, rip.RefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.TotalWidth > wres.TotalWidth*(1+1e-9) {
+		t.Errorf("REFINE (%g) should not be worse than its starting widths (%g)",
+			rres.TotalWidth, wres.TotalWidth)
+	}
+}
+
+func TestPublicDPBaseline(t *testing.T) {
+	tech := rip.T180()
+	net := paperNet(t)
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rip.UniformLibrary(10, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := rip.SolveDP(net, tech, lib, 200*rip.Micron, 1.4*tmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible {
+		t.Fatal("baseline should be feasible at 1.4·τmin")
+	}
+	for _, w := range sol.Assignment.Widths {
+		if !lib.Contains(w) {
+			t.Errorf("width %g not in library", w)
+		}
+	}
+}
+
+func TestGenerateNetsPublic(t *testing.T) {
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 2005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 5 {
+		t.Fatalf("got %d nets", len(nets))
+	}
+	rng := rand.New(rand.NewSource(1))
+	one, err := rip.GenerateNet(tech, rng, "single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Name != "single" || one.Line.NumSegments() < 4 {
+		t.Errorf("unexpected net: %+v", one)
+	}
+}
+
+func TestNetJSONThroughPublicTypes(t *testing.T) {
+	net := paperNet(t)
+	var buf bytes.Buffer
+	if err := wire.WriteNets(&buf, []*rip.Net{net}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := wire.ReadNets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Line.Length() != net.Line.Length() {
+		t.Error("JSON round trip changed the net")
+	}
+}
+
+func TestBuiltinTechPublic(t *testing.T) {
+	for _, name := range []string{"180nm", "130nm", "90nm", "65nm"} {
+		tt, err := rip.BuiltinTech(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rip.BuiltinTech("3nm"); err == nil {
+		t.Error("unknown node should fail")
+	}
+}
+
+// TestTreeFlowThroughPublicAPI exercises the geometric tree path end to
+// end: floorplan → Steiner-routed RC tree → tree-RIP hybrid.
+func TestTreeFlowThroughPublicAPI(t *testing.T) {
+	tech := rip.T180()
+	fp := &rip.Floorplan{
+		Width:  16e-3,
+		Height: 12e-3,
+		Macros: []rip.Macro{{X1: 6e-3, Y1: 4e-3, X2: 10e-3, Y2: 8e-3}},
+	}
+	rc, err := rip.DefaultRouteConfig(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const provisionalRAT = 1.0e-9
+	sinks := []rip.TreeSink{
+		{Pin: rip.Pin{X: 14e-3, Y: 10e-3}, CapF: 40e-15, RAT: provisionalRAT},
+		{Pin: rip.Pin{X: 13e-3, Y: 2e-3}, CapF: 60e-15, RAT: provisionalRAT},
+		{Pin: rip.Pin{X: 3e-3, Y: 11e-3}, CapF: 30e-15, RAT: provisionalRAT},
+	}
+	tr, err := rip.RouteRCTree(fp, rip.Pin{X: 0.5e-3, Y: 0.5e-3}, sinks, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rip.UniformLibrary(10, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rip.TreeOptions{Library: lib, Tech: tech, DriverWidth: 240}
+	// Pick a RAT between the unbuffered and best-buffered arrivals so the
+	// instance requires buffering but is feasible.
+	fastOpts := opts
+	fastOpts.MaxSlack = true
+	best, err := rip.InsertTree(tr, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbufSlack, err := tr.Evaluate(nil, 240, tech.Rs, tech.Co, tech.Cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrBest := provisionalRAT - best.Slack
+	arrUnbuf := provisionalRAT - unbufSlack
+	rat := arrBest + 0.4*(arrUnbuf-arrBest)
+	for _, s := range tr.Sinks() {
+		s.SinkRAT = rat
+	}
+	res, err := rip.InsertTreeHybrid(tr, opts, rip.TreeHybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible {
+		t.Fatal("routed tree should be solvable at the chosen RAT")
+	}
+	slack, err := tr.Evaluate(res.Solution.Buffers, 240, tech.Rs, tech.Co, tech.Cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slack < 0 {
+		t.Errorf("negative slack %g on independent evaluation", slack)
+	}
+}
+
+// TestHeadlineProperty is the repo-level acceptance check: on a seeded
+// mini-corpus, RIP never violates timing and on average does not lose to
+// the comparable-runtime baseline.
+func TestHeadlineProperty(t *testing.T) {
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 77, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib10, err := rip.UniformLibrary(10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ripSum, baseSum float64
+	var pairs int
+	for _, net := range nets {
+		tmin, err := rip.MinimumDelay(net, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mult := range []float64{1.1, 1.4, 1.7} {
+			target := mult * tmin
+			res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Solution.Feasible {
+				t.Fatalf("%s ×%.1f: RIP infeasible", net.Name, mult)
+			}
+			base, err := rip.SolveDP(net, tech, lib10, 200*rip.Micron, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.Feasible {
+				continue // baseline violation; RIP wins by default
+			}
+			ripSum += res.Solution.TotalWidth
+			baseSum += base.TotalWidth
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no comparable pairs")
+	}
+	if ripSum > baseSum*1.02 {
+		t.Errorf("RIP total width %.1f vs baseline %.1f: losing on average", ripSum, baseSum)
+	}
+}

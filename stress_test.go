@@ -1,0 +1,206 @@
+package rip_test
+
+import (
+	"math/rand"
+	"testing"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// TestLongHighlySegmentedNet pushes the wire model and pipeline well past
+// the corpus distribution: 60 segments (~90 mm) with eight macro zones.
+func TestLongHighlySegmentedNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long net stress test")
+	}
+	rng := rand.New(rand.NewSource(123))
+	segs := make([]rip.Segment, 60)
+	total := 0.0
+	for i := range segs {
+		segs[i] = rip.Segment{
+			Length:   (1.0 + rng.Float64()) * 1.5e-3,
+			ROhmPerM: []float64{8e4, 6e4}[i%2],
+			CFPerM:   []float64{2.3e-10, 2.1e-10}[i%2],
+			Layer:    []string{"metal4", "metal5"}[i%2],
+		}
+		total += segs[i].Length
+	}
+	var zones []rip.Zone
+	for i := 0; i < 8; i++ {
+		start := total * (0.05 + 0.11*float64(i))
+		zones = append(zones, rip.Zone{Start: start, End: start + total*0.04})
+	}
+	line, err := rip.NewLine(segs, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &rip.Net{Name: "stress", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	tech := rip.T180()
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rip.Insert(net, tech, 1.2*tmin, rip.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible {
+		t.Fatal("stress net should be solvable at 1.2·τmin")
+	}
+	if res.Solution.Assignment.N() < 20 {
+		t.Errorf("a ~90mm net should need many repeaters, got %d", res.Solution.Assignment.N())
+	}
+	// Every repeater legal; delay honored.
+	d, err := rip.Delay(net, tech, res.Solution.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1.2*tmin*(1+1e-9) {
+		t.Errorf("delay %g exceeds target", d)
+	}
+}
+
+// TestSimulationValidatesCorpusSolutions closes the loop from the RIP
+// optimizer down to the transient golden model: for corpus nets, the
+// simulated 50% delay of the returned solution must not exceed the Elmore
+// delay (Elmore is an upper bound), so Elmore-feasible means sim-feasible.
+func TestSimulationValidatesCorpusSolutions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 31, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range nets {
+		tmin, err := rip.MinimumDelay(net, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := 1.3 * tmin
+		res, err := rip.Insert(net, tech, target, rip.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solution.Feasible {
+			t.Fatalf("%s: infeasible", net.Name)
+		}
+		simD, err := rip.SimulateDelay(net, tech, res.Solution.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simD > res.Solution.Delay*(1+1e-3) {
+			t.Errorf("%s: simulated %g exceeds Elmore %g — bound violated",
+				net.Name, simD, res.Solution.Delay)
+		}
+		if simD > target {
+			t.Errorf("%s: simulated delay misses the target", net.Name)
+		}
+		if simD < res.Solution.Delay*0.3 {
+			t.Errorf("%s: simulated %g implausibly far below Elmore %g",
+				net.Name, simD, res.Solution.Delay)
+		}
+	}
+}
+
+// TestZoneSaturatedNet leaves only slivers of legal space and checks the
+// pipeline still finds them (or correctly reports infeasibility).
+func TestZoneSaturatedNet(t *testing.T) {
+	line, err := rip.NewLine([]rip.Segment{
+		{Length: 12e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []rip.Zone{
+		{Start: 0.5e-3, End: 3.9e-3},
+		{Start: 4.1e-3, End: 7.9e-3},
+		{Start: 8.1e-3, End: 11.5e-3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &rip.Net{Name: "slivers", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	tech := rip.T180()
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rip.Insert(net, tech, 1.3*tmin, rip.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solution.Feasible {
+		t.Fatal("sliver net should still be solvable relative to its own τmin")
+	}
+	for _, x := range res.Solution.Assignment.Positions {
+		if line.InZone(x) {
+			t.Errorf("repeater at %g inside a zone", x)
+		}
+	}
+}
+
+// TestManyTargetsConsistency sweeps 40 targets and checks width
+// monotonicity of the RIP answer (looser budget never costs more power
+// than a tighter one by more than numerical noise).
+func TestManyTargetsConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("target sweep")
+	}
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nets[0]
+	tmin, err := rip.MinimumDelay(net, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	violations := 0
+	for mult := 2.0; mult >= 1.05; mult -= 0.025 {
+		res, err := rip.Insert(net, tech, mult*tmin, rip.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solution.Feasible {
+			t.Fatalf("×%.3f infeasible", mult)
+		}
+		// Tightening the budget should not reduce width. RIP is a
+		// heuristic, so allow rare small inversions but not many.
+		if prev >= 0 && res.Solution.TotalWidth < prev-1e-9 {
+			violations++
+		}
+		prev = res.Solution.TotalWidth
+	}
+	if violations > 3 {
+		t.Errorf("width not roughly monotone across targets: %d inversions", violations)
+	}
+}
+
+// TestWireJSONFuzzRoundTrip round-trips randomized nets through the JSON
+// codec and confirms electrical equivalence.
+func TestWireJSONFuzzRoundTrip(t *testing.T) {
+	tech := rip.T180()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		net, err := rip.GenerateNet(tech, rng, "fuzz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		buf, err = net.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back wire.Net
+		if err := back.UnmarshalJSON(buf); err != nil {
+			t.Fatal(err)
+		}
+		if d := back.Line.TotalR() - net.Line.TotalR(); d > 1e-6*net.Line.TotalR() {
+			t.Fatalf("trial %d: resistance drift %g", trial, d)
+		}
+		if d := back.Line.TotalC() - net.Line.TotalC(); d > 1e-6*net.Line.TotalC() {
+			t.Fatalf("trial %d: capacitance drift %g", trial, d)
+		}
+	}
+}
