@@ -1,0 +1,49 @@
+package rip
+
+import (
+	"github.com/rip-eda/rip/internal/engine"
+)
+
+// Batch-optimization types re-exported from the concurrent engine layer.
+type (
+	// Engine is a concurrent batch optimizer with a sharded LRU solution
+	// cache. It is safe for concurrent use; one Engine may serve many
+	// goroutines and overlapping batches, all sharing one cache.
+	Engine = engine.Engine
+	// BatchJob is one net plus its timing budget (relative TargetMult or
+	// absolute Target seconds — exactly one must be positive).
+	BatchJob = engine.Job
+	// BatchResult is one net's outcome; Err is per-net, so one bad net
+	// never aborts a batch.
+	BatchResult = engine.Result
+	// EngineOptions configures worker count, pipeline config and cache.
+	EngineOptions = engine.Options
+	// CacheOptions configures the engine's solution cache: capacity,
+	// sharding and signature quantization.
+	CacheOptions = engine.CacheOptions
+	// CacheStats snapshots cache effectiveness counters.
+	CacheStats = engine.CacheStats
+)
+
+// NewEngine builds a batch optimizer for the technology node. The zero
+// EngineOptions means GOMAXPROCS workers, the paper's §6 pipeline
+// configuration and a 4096-entry cache.
+func NewEngine(t *Technology, opts EngineOptions) (*Engine, error) {
+	return engine.New(t, opts)
+}
+
+// OptimizeBatch optimizes every net at target targetMult·τmin
+// concurrently and returns per-net results in input order. It is the
+// one-call form of the engine; construct an Engine directly to reuse the
+// solution cache across batches or to stream with Engine.RunStream.
+func OptimizeBatch(nets []*Net, t *Technology, targetMult float64, opts EngineOptions) ([]BatchResult, error) {
+	eng, err := engine.New(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]BatchJob, len(nets))
+	for i, n := range nets {
+		jobs[i] = BatchJob{Net: n, TargetMult: targetMult}
+	}
+	return eng.Run(jobs), nil
+}

@@ -309,6 +309,108 @@ func BenchmarkTreeFineDP(b *testing.B) {
 	}
 }
 
+// --- Batch engine: chip-scale throughput (ISSUE 1 tentpole) ---
+//
+// The workload tiles `distinct` generated nets to `total` jobs, modeling
+// real designs where buses and arrayed macros repeat net geometry. The
+// serial baseline is the one-net-at-a-time facade loop (τmin + Insert per
+// net); the engine variants measure the worker pool alone (NoCache), a
+// cold shared cache (intra-run repeats hit), and a pre-warmed cache.
+
+func batchBenchJobs(b *testing.B, distinct, total int) []rip.BatchJob {
+	b.Helper()
+	nets, err := rip.GenerateNets(rip.T180(), 2005, distinct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]rip.BatchJob, total)
+	for i := range jobs {
+		jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3}
+	}
+	return jobs
+}
+
+func reportNetsPerSec(b *testing.B, total int) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total*b.N)/s, "nets/s")
+	}
+}
+
+func benchmarkBatchSerial(b *testing.B, distinct, total int) {
+	tech := rip.T180()
+	jobs := batchBenchJobs(b, distinct, total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			tmin, err := rip.MinimumDelay(j.Net, tech)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rip.Insert(j.Net, tech, j.TargetMult*tmin, rip.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportNetsPerSec(b, total)
+}
+
+func benchmarkBatchEngine(b *testing.B, distinct, total int, cache rip.CacheOptions, warm bool) {
+	tech := rip.T180()
+	jobs := batchBenchJobs(b, distinct, total)
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm {
+		eng.Run(jobs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm && !cache.Disabled {
+			// Cold means cold: fresh cache each iteration.
+			b.StopTimer()
+			eng, err = rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		for _, r := range eng.Run(jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	reportNetsPerSec(b, total)
+}
+
+func BenchmarkBatch_1k_Serial(b *testing.B) { benchmarkBatchSerial(b, 100, 1000) }
+func BenchmarkBatch_1k_Parallel_NoCache(b *testing.B) {
+	benchmarkBatchEngine(b, 100, 1000, rip.CacheOptions{Disabled: true}, false)
+}
+func BenchmarkBatch_1k_Cold(b *testing.B) {
+	benchmarkBatchEngine(b, 100, 1000, rip.CacheOptions{}, false)
+}
+func BenchmarkBatch_1k_Warm(b *testing.B) {
+	benchmarkBatchEngine(b, 100, 1000, rip.CacheOptions{}, true)
+}
+
+// All-distinct variants isolate the zero-hit-rate cost: every lookup
+// misses, so this measures pure signature+bookkeeping overhead on top of
+// the worker pool.
+func BenchmarkBatch_1k_AllDistinct_Cold(b *testing.B) {
+	benchmarkBatchEngine(b, 1000, 1000, rip.CacheOptions{}, false)
+}
+
+func BenchmarkBatch_10k_Serial(b *testing.B) { benchmarkBatchSerial(b, 250, 10000) }
+func BenchmarkBatch_10k_Cold(b *testing.B) {
+	benchmarkBatchEngine(b, 250, 10000, rip.CacheOptions{}, false)
+}
+func BenchmarkBatch_10k_Warm(b *testing.B) {
+	benchmarkBatchEngine(b, 250, 10000, rip.CacheOptions{}, true)
+}
+
 // BenchmarkSimStage measures the transient golden-model cost per stage.
 func BenchmarkSimStage(b *testing.B) {
 	c := benchSetup(b)

@@ -1,5 +1,6 @@
-// Command ripcli solves one repeater insertion instance from a net JSON
-// file (or a generated net) and prints the solution.
+// Command ripcli solves repeater insertion instances: one net from a JSON
+// file (or generated), or — in batch mode — a JSONL stream of nets solved
+// concurrently through the caching batch engine.
 //
 // Usage:
 //
@@ -7,17 +8,33 @@
 //	ripcli -gen -seed 7 -target-ns 1.2              # random net, 1.2 ns
 //	ripcli -net nets.json -mode dp -g 20            # baseline DP instead
 //	ripcli -net nets.json -mode refine              # analytical phase only
+//	ripcli -batch -net nets.jsonl -target 1.3       # JSONL in, JSONL out
+//	gen-nets | ripcli -batch -target 1.3            # stream from stdin
 //
 // Targets: -target is relative to the net's τmin; -target-ns is absolute
 // nanoseconds (exactly one must be given).
+//
+// Batch mode reads one JSON object per line — either a bare net object
+// (the same schema as the array elements of -net files) or a wrapper
+// {"net": {...}, "target_mult": 1.2} / {"net": {...}, "target_ns": 0.9}
+// overriding the command-line target for that net — and emits one JSON
+// solution per line in input order. Nets are never all held in memory,
+// so chip-scale inputs stream through a bounded window. A net that fails
+// (parse error, missing target, solver error) gets an "error" field in
+// its output line and the stream continues; the exit status is non-zero
+// when any net failed.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"sync"
+	"time"
 
 	rip "github.com/rip-eda/rip"
 	"github.com/rip-eda/rip/internal/report"
@@ -27,24 +44,33 @@ import (
 
 func main() {
 	var (
-		netFile  = flag.String("net", "", "net JSON file (array of nets)")
-		index    = flag.Int("index", 0, "net index within the file")
-		gen      = flag.Bool("gen", false, "generate a random paper-style net instead of reading one")
-		seed     = flag.Int64("seed", 1, "seed for -gen")
-		techName = flag.String("tech", "180nm", "built-in technology node")
-		mode     = flag.String("mode", "rip", "solver: rip, dp or refine")
-		g        = flag.Float64("g", 10, "baseline DP width granularity in u (mode=dp)")
-		relT     = flag.Float64("target", 0, "timing target as a multiple of τmin")
-		absT     = flag.Float64("target-ns", 0, "timing target in nanoseconds")
-		metrics  = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
-		jsonOut  = flag.Bool("json", false, "emit the solution as JSON instead of text")
-		fullRep  = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
+		netFile   = flag.String("net", "", "net JSON file (array of nets; JSONL in -batch mode; \"-\" or empty = stdin in -batch mode)")
+		index     = flag.Int("index", 0, "net index within the file")
+		gen       = flag.Bool("gen", false, "generate a random paper-style net instead of reading one")
+		seed      = flag.Int64("seed", 1, "seed for -gen")
+		techName  = flag.String("tech", "180nm", "built-in technology node")
+		mode      = flag.String("mode", "rip", "solver: rip, dp or refine")
+		g         = flag.Float64("g", 10, "baseline DP width granularity in u (mode=dp)")
+		relT      = flag.Float64("target", 0, "timing target as a multiple of τmin")
+		absT      = flag.Float64("target-ns", 0, "timing target in nanoseconds")
+		metrics   = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
+		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
+		fullRep   = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
+		batch     = flag.Bool("batch", false, "JSONL batch mode: stream nets in, one solution per line out")
+		workers   = flag.Int("workers", 0, "batch parallelism (0 = all cores)")
+		cacheSize = flag.Int("cache", 0, "batch solution-cache capacity (0 = default 4096, negative = disabled)")
 	)
 	flag.Parse()
 
 	tech, err := rip.BuiltinTech(*techName)
 	if err != nil {
 		fatal(err)
+	}
+	if *batch {
+		if err := runBatch(tech, *netFile, *relT, *absT, *workers, *cacheSize); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	net, err := loadNet(*netFile, *index, *gen, *seed, tech)
 	if err != nil {
@@ -215,6 +241,171 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 	if err := enc.Encode(out); err != nil {
 		fatal(err)
 	}
+}
+
+// batchLine is one input line in -batch mode: either a bare net object or
+// a {"net": ..., "target_mult"/"target_ns": ...} wrapper.
+type batchLine struct {
+	Net        *wire.Net `json:"net"`
+	TargetMult float64   `json:"target_mult,omitempty"`
+	TargetNS   float64   `json:"target_ns,omitempty"`
+}
+
+// batchOutJSON is one output line in -batch mode. Infeasible nets and
+// per-net errors appear here rather than aborting the run.
+type batchOutJSON struct {
+	solutionJSON
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+}
+
+// runBatch streams JSONL nets through the batch engine: read, solve
+// concurrently, emit one solution line per net in input order.
+func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, cacheSize int) error {
+	in := os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	opts := rip.EngineOptions{Workers: workers}
+	if cacheSize < 0 {
+		opts.Cache.Disabled = true
+	} else {
+		opts.Cache.Capacity = cacheSize
+	}
+	eng, err := rip.NewEngine(tech, opts)
+	if err != nil {
+		return err
+	}
+
+	jobs := make(chan rip.BatchJob)
+	results := eng.RunStream(jobs)
+	// parseErrs maps job index → parse failure, so a malformed line is
+	// reported with its position and cause instead of a generic engine
+	// error. Guarded: the feeder goroutine writes while the result loop
+	// reads.
+	var mu sync.Mutex
+	parseErrs := make(map[int]string)
+	var readErr error
+	go func() {
+		defer close(jobs)
+		readErr = feedBatch(in, relT, absT, jobs, func(idx int, msg string) {
+			mu.Lock()
+			parseErrs[idx] = msg
+			mu.Unlock()
+		})
+	}()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	start := time.Now()
+	n, failed, infeasible := 0, 0, 0
+	for r := range results {
+		line := batchOutJSON{CacheHit: r.CacheHit}
+		if r.Net != nil {
+			line.Net = r.Net.Name
+		}
+		if r.Err != nil {
+			failed++
+			mu.Lock()
+			if msg, ok := parseErrs[r.Index]; ok {
+				line.Error = msg
+			} else {
+				line.Error = r.Err.Error()
+			}
+			mu.Unlock()
+		} else {
+			sol := r.Res.Solution
+			line.Feasible = sol.Feasible
+			line.TargetNS = r.Target / units.NanoSecond
+			line.DelayNS = sol.Delay / units.NanoSecond
+			line.TotalWidthU = sol.TotalWidth
+			for _, x := range sol.Assignment.Positions {
+				line.PositionsUM = append(line.PositionsUM, units.ToMicrons(x))
+			}
+			line.WidthsU = append(line.WidthsU, sol.Assignment.Widths...)
+			if !sol.Feasible {
+				infeasible++
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		n++
+	}
+	if readErr != nil {
+		return readErr
+	}
+	elapsed := time.Since(start)
+	st := eng.CacheStats()
+	rate := float64(n) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr,
+		"ripcli: %d nets in %s (%.0f nets/s) — %d infeasible, %d failed; cache: %d hits, %d misses, %d rejected, %d entries\n",
+		n, elapsed.Round(time.Millisecond), rate, infeasible, failed,
+		st.Hits, st.Misses, st.Rejected, st.Entries)
+	// Failed nets are isolated (every result line was emitted), but a
+	// scripted pipeline must still see the run as unsuccessful.
+	if failed > 0 {
+		return fmt.Errorf("%d of %d nets failed (see \"error\" fields in the output)", failed, n)
+	}
+	return nil
+}
+
+// feedBatch parses JSONL lines into jobs. A line that fails to parse is
+// reported via noteErr and emitted as a nil-net job, so the failure
+// surfaces in the output stream at the right position (with its input
+// line number and cause) instead of killing the run.
+func feedBatch(in io.Reader, relT, absT float64, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
+	if relT > 0 && absT > 0 {
+		return fmt.Errorf("give either -target or -target-ns, not both")
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // nets with many segments make long lines
+	lineNo, idx := 0, 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 || allSpace(raw) {
+			continue
+		}
+		var l batchLine
+		job := rip.BatchJob{}
+		if err := json.Unmarshal(raw, &l); err == nil && l.Net != nil {
+			job.Net = l.Net
+			job.TargetMult = l.TargetMult
+			job.Target = l.TargetNS * units.NanoSecond
+		} else {
+			var n wire.Net
+			if err := json.Unmarshal(raw, &n); err != nil {
+				noteErr(idx, fmt.Sprintf("line %d: not a net object: %v (batch input is JSONL — one net per line, not a JSON array)", lineNo, err))
+				jobs <- rip.BatchJob{}
+				idx++
+				continue
+			}
+			job.Net = &n
+		}
+		if job.TargetMult <= 0 && job.Target <= 0 {
+			job.TargetMult = relT
+			job.Target = absT * units.NanoSecond
+		}
+		jobs <- job
+		idx++
+	}
+	return sc.Err()
+}
+
+func allSpace(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	return true
 }
 
 func fatal(err error) {

@@ -25,8 +25,20 @@
 //	res, _ := rip.Insert(net, t, 1.3*tmin, rip.DefaultConfig())
 //	fmt.Println(res.Solution.Assignment)
 //
+// # Batch optimization
+//
+// For chip-scale workloads, OptimizeBatch and NewEngine fan nets out
+// over a worker pool with a sharded LRU solution cache keyed by
+// canonical net signature, so repeated-geometry nets are solved once:
+//
+//	results, _ := rip.OptimizeBatch(nets, t, 1.3, rip.EngineOptions{})
+//
+// See ARCHITECTURE.md for the engine's design and cmd/ripcli's -batch
+// flag for the streaming JSONL form.
+//
 // The subpackages under internal implement the substrates (wire model,
-// Elmore evaluator, DP baseline, analytical solver, experiment harness);
-// this package re-exports the stable surface. The cmd/ binaries reproduce
-// every table and figure of the paper's evaluation; see EXPERIMENTS.md.
+// Elmore evaluator, DP baseline, analytical solver, batch engine,
+// experiment harness); this package re-exports the stable surface. The
+// cmd/ binaries reproduce every table and figure of the paper's
+// evaluation; see EXPERIMENTS.md.
 package rip

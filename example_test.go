@@ -56,6 +56,76 @@ func ExampleSolveWidths() {
 	// widths: 3, λ > 0: true, delay pinned to target: true
 }
 
+// ExampleOptimizeBatch optimizes a stream of nets concurrently through
+// the batch engine. Results come back in input order, one per net, and
+// repeated-signature nets are served from the solution cache instead of
+// re-running the dynamic programs. (Workers is pinned to 1 here only so
+// the hit pattern is reproducible in the example output.)
+func ExampleOptimizeBatch() {
+	tech := rip.T180()
+	mk := func(name string, lengthMM float64) *rip.Net {
+		line, err := rip.UniformLine(lengthMM*1e-3, 8e4, 2.3e-10, "metal4")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &rip.Net{Name: name, Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	}
+	// bus0/bus1 share one geometry, spine is distinct: two solves, one hit.
+	nets := []*rip.Net{mk("bus0", 8), mk("spine", 12), mk("bus1", 8)}
+	results, err := rip.OptimizeBatch(nets, tech, 1.3, rip.EngineOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: feasible=%v repeaters=%d cached=%v\n",
+			r.Net.Name, r.Res.Solution.Feasible, r.Res.Solution.Assignment.N(), r.CacheHit)
+	}
+	// Output:
+	// bus0: feasible=true repeaters=1 cached=false
+	// spine: feasible=true repeaters=2 cached=false
+	// bus1: feasible=true repeaters=1 cached=true
+}
+
+// ExampleNewEngine_cacheConfiguration builds a long-lived engine with an
+// explicit cache geometry and reuses it across calls — the shape a
+// service embedding RIP would use. Capacity bounds memory, shards bound
+// lock contention, and the quanta define which nets count as
+// signature-identical. Hits are re-verified on the actual net before
+// being served (illegal or timing-violating assignments fall through to
+// a full solve); relative budgets on quantized-neighbor hits use the
+// signature's τmin, so widen the quanta only within your timing
+// tolerance — see the engine package docs.
+func ExampleNewEngine_cacheConfiguration() {
+	tech := rip.T180()
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{
+		Workers: 1,
+		Cache: rip.CacheOptions{
+			Capacity:          1 << 16, // solutions kept across batches
+			Shards:            32,      // lock striping for many workers
+			LengthQuantum:     1e-6,    // 1 µm signature grid
+			TargetMultQuantum: 1e-3,    // 0.1 % τmin slack classes
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	line, err := rip.UniformLine(9e-3, 8e4, 2.3e-10, "metal4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "clk", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	for i := 0; i < 3; i++ {
+		r := eng.Solve(rip.BatchJob{Net: net, TargetMult: 1.25})
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+	st := eng.CacheStats()
+	fmt.Printf("lookups: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	// Output:
+	// lookups: 2 hits, 1 misses, 1 entries
+}
+
 // ExampleUniformLibrary builds the paper's coarse library.
 func ExampleUniformLibrary() {
 	lib, err := rip.UniformLibrary(80, 80, 5)

@@ -1,0 +1,3 @@
+module github.com/rip-eda/rip
+
+go 1.24

@@ -26,6 +26,7 @@ import (
 
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/units"
 )
 
 // Objective selects what the DP minimizes.
@@ -302,6 +303,19 @@ func prune(opts []option, width bool) []option {
 		front = append(front[:i], append([]dw{{o.d, o.w}}, front[j:]...)...)
 	}
 	return kept
+}
+
+// ReferenceOptions returns the candidate space that defines τmin
+// throughout the repo — the paper's reference construction (library
+// 10u..400u step 10u at 200 µm pitch). The facade's MinimumDelay and the
+// batch engine's relative-target resolution both use it, so "1.3·τmin"
+// means the same budget everywhere.
+func ReferenceOptions() (Options, error) {
+	lib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{Library: lib, Pitch: 200 * units.Micron}, nil
 }
 
 // MinimumDelay computes τmin: the minimum achievable Elmore delay over the

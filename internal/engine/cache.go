@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rip-eda/rip/internal/core"
+)
+
+// cached is one memoized solution. It stores only what is needed to
+// reconstruct and re-verify an assignment on a signature-equivalent net;
+// the full pipeline report is not kept (it would pin the coarse/fine DP
+// working sets of millions of nets in memory).
+type cached struct {
+	positions  []float64
+	widths     []float64
+	totalWidth float64
+	// tmin is the signature's τmin; non-zero only for relative-target
+	// entries, whose key embeds the target multiple.
+	tmin   float64
+	picked core.Phase
+}
+
+// cacheShard is one independently locked slice of the cache: an LRU list
+// (front = most recently used) plus the key index.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	index    map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val cached
+}
+
+// solutionCache is a bounded, sharded LRU keyed by canonical net
+// signatures. Sharding keeps lock contention off the hot path when many
+// workers look up concurrently; each shard holds capacity/shards entries.
+type solutionCache struct {
+	shards    []*cacheShard
+	evictions atomic.Uint64
+}
+
+func newSolutionCache(capacity, shards int) *solutionCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards {
+		capacity = shards
+	}
+	c := &solutionCache{shards: make([]*cacheShard, shards)}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			ll:       list.New(),
+			index:    make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *solutionCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// get returns the entry for key and marks it most recently used.
+func (c *solutionCache) get(key string) (cached, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		return cached{}, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put inserts or refreshes key, evicting the shard's LRU entry when full.
+func (c *solutionCache) put(key string, val cached) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		el.Value.(*cacheItem).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.capacity {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.index, oldest.Value.(*cacheItem).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.index[key] = s.ll.PushFront(&cacheItem{key: key, val: val})
+}
+
+// len returns the total number of cached entries.
+func (c *solutionCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,423 @@
+// Package engine is the batch-optimization layer that turns the per-net
+// RIP pipeline into a chip-scale service: a worker pool fans a stream of
+// nets out over the hybrid DP→REFINE→DP solver while a bounded, sharded
+// LRU cache memoizes solutions by canonical net signature (technology
+// node, quantized segment length/RC profile, zone layout, terminal widths
+// and timing-budget class), so repeated-signature nets — ubiquitous in
+// real designs, where buses and repeated macros produce thousands of
+// electrically identical wires — skip the dynamic programs entirely.
+//
+// Three properties the layer guarantees:
+//
+//   - Deterministic ordering: results come back in input order no matter
+//     how workers interleave, so batch output is reproducible.
+//   - Error isolation: a net that fails to validate or solve yields a
+//     Result with Err set; it never aborts the rest of the batch.
+//   - Verified hits: a cache hit is re-validated on the actual net (legal
+//     positions, recomputed Elmore delay ≤ target) before being served;
+//     entries that fail verification fall through to a full solve. For
+//     absolute targets the delay check is exact. For relative targets
+//     the budget is TargetMult times the signature's τmin — exact for
+//     byte-identical nets, while a quantized neighbor inherits a τmin
+//     that can differ by up to the quantization error (≈0.01 % of a
+//     global net at the default 1 µm LengthQuantum). Widen the quanta
+//     only when that tolerance is acceptable.
+//
+// Duplicate in-flight signatures are deliberately allowed to race rather
+// than block on a single flight: a waiting worker would sit idle, whereas
+// a racing worker makes throughput progress, and the loser's store is a
+// harmless refresh. Only feasible solutions are cached — an infeasible
+// verdict depends on the exact target, so serving it across a slack class
+// could wrongly declare an easier net infeasible.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Job is one unit of batch work: a net plus its timing budget. Exactly
+// one of TargetMult (budget = TargetMult·τmin, the paper's convention)
+// or Target (absolute seconds) must be positive.
+type Job struct {
+	// Net is the routed interconnect to optimize.
+	Net *wire.Net
+	// TargetMult expresses the budget as a multiple of the net's minimum
+	// achievable delay τmin, which the engine computes (and caches) per
+	// signature.
+	TargetMult float64
+	// Target is the absolute timing budget in seconds.
+	Target float64
+}
+
+// Result is one net's outcome. Err is per-net: a failed job never aborts
+// the batch.
+type Result struct {
+	// Index is the job's position in the input; Run and RunStream emit
+	// results in increasing Index order.
+	Index int
+	// Net echoes the job's net.
+	Net *wire.Net
+	// Target is the resolved absolute budget in seconds.
+	Target float64
+	// TMin is the net's minimum achievable delay; non-zero only for
+	// TargetMult jobs (cache hits reuse the signature's τmin).
+	TMin float64
+	// Res is the pipeline outcome. On a cache hit the Report carries only
+	// the picked phase; the per-phase accounting belongs to the solve
+	// that populated the cache.
+	Res core.Result
+	// CacheHit reports whether the solution was served from cache.
+	CacheHit bool
+	// Err records a per-net failure (validation or solver error).
+	Err error
+}
+
+// CacheOptions configures the engine's solution cache.
+type CacheOptions struct {
+	// Disabled turns memoization off entirely.
+	Disabled bool
+	// Capacity bounds the total number of cached solutions across all
+	// shards (default 4096).
+	Capacity int
+	// Shards is the lock-striping factor (default 16).
+	Shards int
+	// LengthQuantum is the grid, in meters, that segment lengths and zone
+	// bounds are snapped to when forming signatures (default 1 µm).
+	LengthQuantum float64
+	// TargetMultQuantum is the slack-class width for relative targets
+	// (default 1e-3, i.e. 0.1 % of τmin).
+	TargetMultQuantum float64
+	// TargetQuantum is the slack-class width, in seconds, for absolute
+	// targets (default 0.1 ps).
+	TargetQuantum float64
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// Pipeline parameterizes the per-net RIP pipeline; the zero value
+	// means the paper's §6 defaults.
+	Pipeline core.Config
+	// Cache configures solution memoization.
+	Cache CacheOptions
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups served from cache after verification.
+	Hits uint64
+	// Misses counts lookups that found no entry.
+	Misses uint64
+	// Rejected counts entries found but discarded because re-verification
+	// on the actual net failed (quantized-neighbor mismatch).
+	Rejected uint64
+	// Evictions counts LRU evictions.
+	Evictions uint64
+	// Entries is the current number of cached solutions.
+	Entries int
+}
+
+const (
+	defaultCacheCapacity = 4096
+	defaultCacheShards   = 16
+)
+
+// Engine is a concurrent batch optimizer for one technology node. It is
+// safe for concurrent use; a single Engine may serve many goroutines and
+// overlapping Run / RunStream calls, all sharing one cache.
+type Engine struct {
+	tech    *tech.Technology
+	cfg     core.Config
+	workers int
+	// refOpts is the τmin candidate space (dp.ReferenceOptions), shared
+	// with the facade so relative targets mean the same thing everywhere.
+	refOpts dp.Options
+	cache   *solutionCache
+	sig     *signer
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// New builds an Engine for the technology node.
+func New(t *tech.Technology, opts Options) (*Engine, error) {
+	if t == nil {
+		return nil, errors.New("engine: nil technology")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	refOpts, err := dp.ReferenceOptions()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		tech:    t,
+		cfg:     opts.Pipeline,
+		workers: workers,
+		refOpts: refOpts,
+	}
+	if !opts.Cache.Disabled {
+		capacity := opts.Cache.Capacity
+		if capacity <= 0 {
+			capacity = defaultCacheCapacity
+		}
+		shards := opts.Cache.Shards
+		if shards <= 0 {
+			shards = defaultCacheShards
+		}
+		e.cache = newSolutionCache(capacity, shards)
+		e.sig = newSigner(t, opts.Cache)
+	}
+	return e, nil
+}
+
+// Workers returns the engine's parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats snapshots the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	s := CacheStats{
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Rejected: e.rejected.Load(),
+	}
+	if e.cache != nil {
+		s.Evictions = e.cache.evictions.Load()
+		s.Entries = e.cache.len()
+	}
+	return s
+}
+
+// Run optimizes every job and returns results in input order. Per-net
+// failures are reported in Result.Err; Run itself never fails.
+func (e *Engine) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := min(e.workers, len(jobs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				r := e.Solve(jobs[i])
+				r.Index = i
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RunStream optimizes jobs as they arrive and emits results on the
+// returned channel in input order, holding at most a bounded reordering
+// window in memory — the shape cmd/ripcli's JSONL mode uses to process
+// chip-scale inputs without materializing them. The channel closes after
+// the last result; the caller must drain it.
+func (e *Engine) RunStream(in <-chan Job) <-chan Result {
+	out := make(chan Result)
+	type seqJob struct {
+		idx int
+		job Job
+	}
+	// The window bounds how far completed results may run ahead of the
+	// oldest unfinished job, which bounds the reorder buffer.
+	window := 4 * e.workers
+	if window < 64 {
+		window = 64
+	}
+	tokens := make(chan struct{}, window)
+	jobs := make(chan seqJob)
+	done := make(chan Result, e.workers)
+
+	go func() { // feeder: admit jobs under the window budget
+		i := 0
+		for j := range in {
+			tokens <- struct{}{}
+			jobs <- seqJob{idx: i, job: j}
+			i++
+		}
+		close(jobs)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sj := range jobs {
+				r := e.Solve(sj.job)
+				r.Index = sj.idx
+				done <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	go func() { // sequencer: emit in input order
+		defer close(out)
+		pending := make(map[int]Result, window)
+		next := 0
+		for r := range done {
+			pending[r.Index] = r
+			for {
+				rr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- rr
+				<-tokens
+				next++
+			}
+		}
+	}()
+	return out
+}
+
+// Solve optimizes one job synchronously (Result.Index is left zero).
+// It is the primitive Run and RunStream are built on, exposed so other
+// fan-out layers (internal/flow) can share the engine's cache.
+func (e *Engine) Solve(j Job) (res Result) {
+	res.Net = j.Net
+	defer func() {
+		// A panicking solver run must not take down a million-net batch.
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("engine: solver panic: %v", p)
+		}
+	}()
+	if j.Net == nil {
+		res.Err = errors.New("engine: job has a nil net")
+		return res
+	}
+	switch {
+	case j.TargetMult > 0 && j.Target > 0:
+		res.Err = fmt.Errorf("engine: net %q: give TargetMult or Target, not both", j.Net.Name)
+		return res
+	case j.TargetMult <= 0 && j.Target <= 0:
+		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", j.Net.Name)
+		return res
+	}
+	ev, err := delay.NewEvaluator(j.Net, e.tech)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	var key string
+	if e.cache != nil {
+		key = e.sig.key(j)
+		if ent, ok := e.cache.get(key); ok {
+			if hit, ok := e.verify(ev, ent, j); ok {
+				e.hits.Add(1)
+				hit.Net = j.Net
+				return hit
+			}
+			e.rejected.Add(1)
+		} else {
+			e.misses.Add(1)
+		}
+	}
+
+	// Full solve: resolve the budget (computing τmin for relative
+	// targets), run the hybrid pipeline, memoize feasible outcomes.
+	target := j.Target
+	if j.TargetMult > 0 {
+		tmin, err := dp.MinimumDelay(ev, e.refOpts)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: τmin for %q: %w", j.Net.Name, err)
+			return res
+		}
+		res.TMin = tmin
+		target = j.TargetMult * tmin
+	}
+	res.Target = target
+	out, err := core.Insert(ev, target, e.cfg)
+	if err != nil {
+		res.Err = fmt.Errorf("engine: solving %q: %w", j.Net.Name, err)
+		return res
+	}
+	res.Res = out
+	if e.cache != nil && out.Solution.Feasible {
+		sol := out.Solution
+		e.cache.put(key, cached{
+			positions:  append([]float64(nil), sol.Assignment.Positions...),
+			widths:     append([]float64(nil), sol.Assignment.Widths...),
+			totalWidth: sol.TotalWidth,
+			tmin:       res.TMin,
+			picked:     out.Report.Picked,
+		})
+	}
+	return res
+}
+
+// verify checks a cached assignment against the actual net: structurally
+// legal, and its recomputed Elmore delay meets this job's budget. The
+// returned Result carries the recomputed delay, so a served hit is always
+// consistent with the net it is served for. Relative budgets are
+// evaluated against the signature's τmin (recomputing τmin per hit would
+// cost the DP the cache exists to skip); see the package comment for the
+// resulting tolerance on quantized neighbors.
+func (e *Engine) verify(ev *delay.Evaluator, ent cached, j Job) (Result, bool) {
+	// Served assignments are copies: a caller mutating its result must
+	// not corrupt the shared cache entry.
+	a := delay.Assignment{
+		Positions: append([]float64(nil), ent.positions...),
+		Widths:    append([]float64(nil), ent.widths...),
+	}
+	if err := ev.Validate(a); err != nil {
+		return Result{}, false
+	}
+	target := j.Target
+	tmin := 0.0
+	if j.TargetMult > 0 {
+		if ent.tmin <= 0 {
+			return Result{}, false
+		}
+		tmin = ent.tmin
+		target = j.TargetMult * tmin
+	}
+	d := ev.Total(a)
+	if d > target {
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		TMin:   tmin,
+		Res: core.Result{
+			Solution: dp.Solution{
+				Assignment: a,
+				Delay:      d,
+				TotalWidth: ent.totalWidth,
+				Feasible:   true,
+			},
+			Report: core.Report{Picked: ent.picked},
+		},
+		CacheHit: true,
+	}, true
+}

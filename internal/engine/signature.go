@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Quantization defaults for cache signatures. Lengths are snapped to a
+// 1 µm grid (global wires are millimeters long, so this merges only
+// routing noise), and relative timing targets to 0.1 % slack classes.
+// Hits are always re-verified on the actual net, so coarser quanta trade
+// a little extra verification-reject work for a higher hit rate — they
+// can never change a delivered solution's correctness.
+const (
+	defaultLengthQuantum = 1 * units.Micron
+	defaultMultQuantum   = 1e-3
+	defaultTargetQuantum = 0.1 * 1e-12 // 0.1 ps for absolute targets
+)
+
+// signer builds canonical cache keys for (net, target) jobs under one
+// technology. The technology prefix is computed once at engine build time
+// since every job in an engine shares the node.
+type signer struct {
+	techPrefix    string
+	lengthQuantum float64
+	multQuantum   float64
+	targetQuantum float64
+}
+
+func newSigner(t *tech.Technology, opts CacheOptions) *signer {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	b.WriteByte('|')
+	appendFloat(&b, t.Rs)
+	appendFloat(&b, t.Co)
+	appendFloat(&b, t.Cp)
+	s := &signer{
+		techPrefix:    b.String(),
+		lengthQuantum: opts.LengthQuantum,
+		multQuantum:   opts.TargetMultQuantum,
+		targetQuantum: opts.TargetQuantum,
+	}
+	if s.lengthQuantum <= 0 {
+		s.lengthQuantum = defaultLengthQuantum
+	}
+	if s.multQuantum <= 0 {
+		s.multQuantum = defaultMultQuantum
+	}
+	if s.targetQuantum <= 0 {
+		s.targetQuantum = defaultTargetQuantum
+	}
+	return s
+}
+
+// key canonicalizes a job: technology node, quantized segment
+// length/RC profile, zone layout, terminal widths and the timing-budget
+// class (relative multiple or quantized absolute target). Nets that
+// canonicalize identically are solved once and served from cache.
+func (s *signer) key(j Job) string {
+	var b strings.Builder
+	b.Grow(64 + 32*j.Net.Line.NumSegments())
+	b.WriteString(s.techPrefix)
+	b.WriteString("|d")
+	appendFloat(&b, j.Net.DriverWidth)
+	b.WriteByte('r')
+	appendFloat(&b, j.Net.ReceiverWidth)
+	b.WriteString("|s")
+	for _, seg := range j.Net.Line.Segments() {
+		appendQuant(&b, seg.Length, s.lengthQuantum)
+		appendFloat(&b, seg.ROhmPerM)
+		appendFloat(&b, seg.CFPerM)
+		b.WriteByte(';')
+	}
+	b.WriteString("|z")
+	for _, z := range j.Net.Line.Zones() {
+		appendQuant(&b, z.Start, s.lengthQuantum)
+		appendQuant(&b, z.End, s.lengthQuantum)
+		b.WriteByte(';')
+	}
+	if j.TargetMult > 0 {
+		b.WriteString("|m")
+		appendQuant(&b, j.TargetMult, s.multQuantum)
+	} else {
+		b.WriteString("|a")
+		appendQuant(&b, j.Target, s.targetQuantum)
+	}
+	return b.String()
+}
+
+// appendQuant writes x snapped to the quantum grid as an integer count.
+func appendQuant(b *strings.Builder, x, quantum float64) {
+	b.WriteString(strconv.FormatInt(int64(math.Round(x/quantum)), 36))
+	b.WriteByte(',')
+}
+
+// appendFloat writes x rounded to 7 significant digits — exact enough to
+// separate genuinely different electrical values while absorbing float
+// noise from unit conversions.
+func appendFloat(b *strings.Builder, x float64) {
+	b.WriteString(strconv.FormatFloat(x, 'e', 6, 64))
+	b.WriteByte(',')
+}

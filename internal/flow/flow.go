@@ -2,7 +2,9 @@
 // given a floorplan, a list of two-pin connections and a timing policy, it
 // routes every net, runs the RIP pipeline on each, and aggregates repeater
 // count, width and power across the design. Nets are independent, so the
-// flow fans out across workers.
+// flow fans out across workers; the solve stage runs through the batch
+// engine (internal/engine), whose solution cache collapses nets with
+// identical routed signatures into a single pipeline run.
 package flow
 
 import (
@@ -14,10 +16,8 @@ import (
 	"sync"
 
 	"github.com/rip-eda/rip/internal/core"
-	"github.com/rip-eda/rip/internal/delay"
-	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/engine"
 	"github.com/rip-eda/rip/internal/power"
-	"github.com/rip-eda/rip/internal/repeater"
 	"github.com/rip-eda/rip/internal/route"
 	"github.com/rip-eda/rip/internal/tech"
 	"github.com/rip-eda/rip/internal/units"
@@ -52,6 +52,10 @@ type Plan struct {
 	TargetMult float64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Cache configures the solve-stage solution cache; the zero value
+	// enables the engine defaults. Designs with repeated net geometry
+	// (buses, arrayed macros) solve each distinct signature once.
+	Cache engine.CacheOptions
 }
 
 // NetResult is one net's outcome.
@@ -61,6 +65,9 @@ type NetResult struct {
 	TMin   float64
 	Target float64
 	Result core.Result
+	// CacheHit reports whether the solve stage was served from the
+	// engine's solution cache.
+	CacheHit bool
 	// Err records a per-net failure (routing or solving); the flow
 	// continues with the remaining nets.
 	Err error
@@ -79,6 +86,8 @@ type Summary struct {
 	Infeasible int
 	// Failed counts nets that errored (routing or internal failure).
 	Failed int
+	// Cache snapshots the solve-stage cache counters for the run.
+	Cache engine.CacheStats
 }
 
 // Run executes the flow for all nets.
@@ -103,7 +112,15 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	refLib, err := repeater.Range(10, 400, 10)
+	// The solve stage runs through the batch engine so repeated net
+	// geometry (buses, arrayed macros) is solved once per signature.
+	// Parallelism stays with the flow's own pool below (it covers
+	// routing as well as solving), so the engine is used purely as the
+	// shared-cache Solve primitive and its worker count is left alone.
+	eng, err := engine.New(plan.Tech, engine.Options{
+		Pipeline: plan.RIP,
+		Cache:    plan.Cache,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -121,12 +138,12 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 		go func(i int, spec NetSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = solveOne(plan, spec, mult, refLib)
+			results[i] = solveOne(plan, eng, spec, mult)
 		}(i, spec)
 	}
 	wg.Wait()
 
-	sum := &Summary{Results: results}
+	sum := &Summary{Results: results, Cache: eng.CacheStats()}
 	for _, r := range results {
 		if r.Err != nil {
 			sum.Failed++
@@ -145,7 +162,7 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 	return sum, nil
 }
 
-func solveOne(plan *Plan, spec NetSpec, defaultMult float64, refLib repeater.Library) NetResult {
+func solveOne(plan *Plan, eng *engine.Engine, spec NetSpec, defaultMult float64) NetResult {
 	out := NetResult{Spec: spec}
 	bends := spec.Bends
 	if bends <= 0 {
@@ -157,35 +174,26 @@ func solveOne(plan *Plan, spec NetSpec, defaultMult float64, refLib repeater.Lib
 		return out
 	}
 	out.Net = net
-	ev, err := delay.NewEvaluator(net, plan.Tech)
-	if err != nil {
-		out.Err = err
-		return out
-	}
-	tmin, err := dp.MinimumDelay(ev, dp.Options{Library: refLib, Pitch: 200 * units.Micron})
-	if err != nil {
-		out.Err = fmt.Errorf("flow: τmin for %s: %w", spec.Name, err)
-		return out
-	}
-	out.TMin = tmin
 	mult := spec.TargetMult
 	if mult <= 0 {
 		mult = defaultMult
 	}
-	out.Target = mult * tmin
-	res, err := core.Insert(ev, out.Target, plan.RIP)
-	if err != nil {
-		out.Err = fmt.Errorf("flow: solving %s: %w", spec.Name, err)
+	r := eng.Solve(engine.Job{Net: net, TargetMult: mult})
+	if r.Err != nil {
+		out.Err = fmt.Errorf("flow: solving %s: %w", spec.Name, r.Err)
 		return out
 	}
-	out.Result = res
+	out.TMin = r.TMin
+	out.Target = r.Target
+	out.Result = r.Res
+	out.CacheHit = r.CacheHit
 	return out
 }
 
 // Render writes the design summary and a per-net table.
 func (s *Summary) Render(w io.Writer) {
-	fmt.Fprintf(w, "chip flow: %d nets (%d infeasible, %d failed)\n",
-		len(s.Results), s.Infeasible, s.Failed)
+	fmt.Fprintf(w, "chip flow: %d nets (%d infeasible, %d failed, %d cache hits)\n",
+		len(s.Results), s.Infeasible, s.Failed, s.Cache.Hits)
 	fmt.Fprintf(w, "totals: %d repeaters, Σw %.0fu, repeater power %s, wire power %s\n",
 		s.Repeaters, s.TotalWidth, units.Watts(s.RepeaterPowerW), units.Watts(s.WirePowerW))
 	fmt.Fprintln(w, "net            length    zones  reps      Σw       τmin      target     delay   status")

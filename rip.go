@@ -136,18 +136,19 @@ func SolveDP(n *Net, t *Technology, lib Library, pitch, target float64) (Solutio
 }
 
 // MinimumDelay returns τmin — the minimum achievable Elmore delay over the
-// reference candidate space (library 10u..400u step 10u at 200 µm pitch),
-// the quantity the paper's timing targets are multiples of.
+// reference candidate space (dp.ReferenceOptions: library 10u..400u step
+// 10u at 200 µm pitch), the quantity the paper's timing targets are
+// multiples of.
 func MinimumDelay(n *Net, t *Technology) (float64, error) {
 	ev, err := delay.NewEvaluator(n, t)
 	if err != nil {
 		return 0, err
 	}
-	lib, err := repeater.Range(10, 400, 10)
+	opts, err := dp.ReferenceOptions()
 	if err != nil {
 		return 0, err
 	}
-	return dp.MinimumDelay(ev, dp.Options{Library: lib, Pitch: 200 * units.Micron})
+	return dp.MinimumDelay(ev, opts)
 }
 
 // Delay evaluates the total Elmore delay of an assignment on the net.
