@@ -28,14 +28,29 @@ type (
 // NewEngine builds a batch optimizer for the technology node. The zero
 // EngineOptions means GOMAXPROCS workers, the paper's §6 pipeline
 // configuration and a 4096-entry cache.
+//
+// Ownership rule: whoever calls NewEngine owns the engine and decides
+// its lifetime; everything else borrows it. The engine's value grows
+// with its lifetime — its solution cache only pays off across calls —
+// so long-lived processes should create exactly one Engine per
+// technology node and thread it through every consumer, the way
+// cmd/ripd hands one engine to internal/server and internal/flow
+// accepts one via Plan.Engine. An Engine has no Close: it holds no
+// resources beyond memory and is reclaimed by the garbage collector.
 func NewEngine(t *Technology, opts EngineOptions) (*Engine, error) {
 	return engine.New(t, opts)
 }
 
 // OptimizeBatch optimizes every net at target targetMult·τmin
-// concurrently and returns per-net results in input order. It is the
-// one-call form of the engine; construct an Engine directly to reuse the
-// solution cache across batches or to stream with Engine.RunStream.
+// concurrently and returns per-net results in input order.
+//
+// It is the one-call convenience form: it builds a throwaway Engine
+// whose solution cache is discarded when the call returns, so repeated
+// calls re-solve nets an owned engine would have served from cache.
+// Anything that outlives one batch — a service, a flow driver, a loop
+// over designs — should construct an Engine once with NewEngine and use
+// Engine.Run / Engine.RunStream / Engine.SolveContext instead (see the
+// ownership rule on NewEngine).
 func OptimizeBatch(nets []*Net, t *Technology, targetMult float64, opts EngineOptions) ([]BatchResult, error) {
 	eng, err := engine.New(t, opts)
 	if err != nil {

@@ -27,6 +27,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/api"
 	"github.com/rip-eda/rip/internal/report"
 	"github.com/rip-eda/rip/internal/units"
 	"github.com/rip-eda/rip/internal/wire"
@@ -243,24 +245,10 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 	}
 }
 
-// batchLine is one input line in -batch mode: either a bare net object or
-// a {"net": ..., "target_mult"/"target_ns": ...} wrapper.
-type batchLine struct {
-	Net        *wire.Net `json:"net"`
-	TargetMult float64   `json:"target_mult,omitempty"`
-	TargetNS   float64   `json:"target_ns,omitempty"`
-}
-
-// batchOutJSON is one output line in -batch mode. Infeasible nets and
-// per-net errors appear here rather than aborting the run.
-type batchOutJSON struct {
-	solutionJSON
-	CacheHit bool   `json:"cache_hit"`
-	Error    string `json:"error,omitempty"`
-}
-
 // runBatch streams JSONL nets through the batch engine: read, solve
-// concurrently, emit one solution line per net in input order.
+// concurrently, emit one solution line per net in input order. The line
+// format is internal/api's Request/Response — the same wire format
+// cmd/ripd serves, so batch files replay against the HTTP service as-is.
 func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, cacheSize int) error {
 	in := os.Stdin
 	if path != "" && path != "-" {
@@ -306,32 +294,17 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 	start := time.Now()
 	n, failed, infeasible := 0, 0, 0
 	for r := range results {
-		line := batchOutJSON{CacheHit: r.CacheHit}
-		if r.Net != nil {
-			line.Net = r.Net.Name
+		line := api.FromResult(r)
+		mu.Lock()
+		if msg, ok := parseErrs[r.Index]; ok {
+			line.Error = msg
 		}
-		if r.Err != nil {
+		mu.Unlock()
+		switch {
+		case line.Error != "":
 			failed++
-			mu.Lock()
-			if msg, ok := parseErrs[r.Index]; ok {
-				line.Error = msg
-			} else {
-				line.Error = r.Err.Error()
-			}
-			mu.Unlock()
-		} else {
-			sol := r.Res.Solution
-			line.Feasible = sol.Feasible
-			line.TargetNS = r.Target / units.NanoSecond
-			line.DelayNS = sol.Delay / units.NanoSecond
-			line.TotalWidthU = sol.TotalWidth
-			for _, x := range sol.Assignment.Positions {
-				line.PositionsUM = append(line.PositionsUM, units.ToMicrons(x))
-			}
-			line.WidthsU = append(line.WidthsU, sol.Assignment.Widths...)
-			if !sol.Feasible {
-				infeasible++
-			}
+		case !line.Feasible:
+			infeasible++
 		}
 		if err := enc.Encode(line); err != nil {
 			return err
@@ -356,56 +329,19 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 	return nil
 }
 
-// feedBatch parses JSONL lines into jobs. A line that fails to parse is
-// reported via noteErr and emitted as a nil-net job, so the failure
-// surfaces in the output stream at the right position (with its input
-// line number and cause) instead of killing the run.
+// feedBatch parses JSONL lines into jobs via the shared api.FeedJSONL
+// loop (the same machinery ripd's /v1/batch uses). A line that fails to
+// parse is reported via noteErr and emitted as a nil-net job, so the
+// failure surfaces in the output stream at the right position instead
+// of killing the run.
 func feedBatch(in io.Reader, relT, absT float64, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
 	if relT > 0 && absT > 0 {
 		return fmt.Errorf("give either -target or -target-ns, not both")
 	}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // nets with many segments make long lines
-	lineNo, idx := 0, 0
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
-		if len(raw) == 0 || allSpace(raw) {
-			continue
-		}
-		var l batchLine
-		job := rip.BatchJob{}
-		if err := json.Unmarshal(raw, &l); err == nil && l.Net != nil {
-			job.Net = l.Net
-			job.TargetMult = l.TargetMult
-			job.Target = l.TargetNS * units.NanoSecond
-		} else {
-			var n wire.Net
-			if err := json.Unmarshal(raw, &n); err != nil {
-				noteErr(idx, fmt.Sprintf("line %d: not a net object: %v (batch input is JSONL — one net per line, not a JSON array)", lineNo, err))
-				jobs <- rip.BatchJob{}
-				idx++
-				continue
-			}
-			job.Net = &n
-		}
-		if job.TargetMult <= 0 && job.Target <= 0 {
-			job.TargetMult = relT
-			job.Target = absT * units.NanoSecond
-		}
-		jobs <- job
-		idx++
-	}
-	return sc.Err()
-}
-
-func allSpace(b []byte) bool {
-	for _, c := range b {
-		if c != ' ' && c != '\t' && c != '\r' {
-			return false
-		}
-	}
-	return true
+	_, err := api.FeedJSONL(context.Background(), in, relT, absT, jobs, func(idx int, msg string) {
+		noteErr(idx, msg+" (batch input is JSONL — one net per line, not a JSON array)")
+	})
+	return err
 }
 
 func fatal(err error) {

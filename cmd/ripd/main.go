@@ -1,0 +1,109 @@
+// Command ripd serves repeater insertion over HTTP: a long-running
+// process around one shared batch engine, so the solution cache is a
+// cross-request asset — a net solved for one client is a warm hit for
+// every later request with the same signature.
+//
+// Usage:
+//
+//	ripd                                   # :8080, 180nm, all cores
+//	ripd -addr :9000 -tech 65nm -cache 65536
+//	ripd -max-inflight 64 -timeout 30s    # backpressure + per-request budget
+//
+// Endpoints (wire format shared with ripcli -batch; see internal/api):
+//
+//	POST /v1/optimize   {"net": {...}, "target_mult": 1.2} → solution
+//	POST /v1/batch      JSON array or JSONL stream of the same → solutions
+//	GET  /healthz       liveness and draining status
+//	GET  /metrics       Prometheus text (requests, latency, cache counters)
+//
+// Saturation answers 429 rather than queuing unboundedly. SIGINT/SIGTERM
+// starts a graceful drain: /healthz flips to 503 so load balancers stop
+// routing here, in-flight requests finish (bounded by -grace), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		techName    = flag.String("tech", "180nm", "built-in technology node")
+		workers     = flag.Int("workers", 0, "engine parallelism (0 = all cores)")
+		cacheSize   = flag.Int("cache", 0, "solution-cache capacity (0 = default 4096, negative = disabled)")
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent requests admitted before 429 (0 = 4x workers)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request solving timeout (0 = none)")
+		target      = flag.Float64("target", 0, "default target_mult for requests that carry no budget (0 = require one per request)")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
+	)
+	flag.Parse()
+
+	tech, err := rip.BuiltinTech(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := rip.EngineOptions{Workers: *workers}
+	if *cacheSize < 0 {
+		opts.Cache.Disabled = true
+	} else {
+		opts.Cache.Capacity = *cacheSize
+	}
+	eng, err := rip.NewEngine(tech, opts)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(eng, server.Options{
+		MaxInFlight:       *maxInFlight,
+		RequestTimeout:    *timeout,
+		DefaultTargetMult: *target,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ripd: serving %s on %s (%d workers, %d in-flight max, timeout %s)",
+		tech.Name, *addr, eng.Workers(), srv.MaxInFlight(), timeout)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work immediately, let admitted requests finish.
+	log.Printf("ripd: shutdown signal — draining in-flight requests (budget %s)", grace)
+	srv.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	st := eng.CacheStats()
+	log.Printf("ripd: stopped — cache served %d hits / %d misses / %d rejected (%d entries)",
+		st.Hits, st.Misses, st.Rejected, st.Entries)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripd:", err)
+	os.Exit(1)
+}

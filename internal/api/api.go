@@ -1,0 +1,188 @@
+// Package api defines the JSON wire format shared by every network-facing
+// entry point to the batch engine: cmd/ripcli's -batch JSONL mode and
+// cmd/ripd's HTTP endpoints speak exactly these types, so a JSONL file
+// prepared for the CLI can be replayed against the service (and vice
+// versa) byte for byte. Units follow the paper's conventions — lengths in
+// µm, times in ns, widths in multiples of the unit repeater width u —
+// rather than the SI values used internally.
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Request is one optimization request: a net plus its timing budget.
+// Exactly one of TargetMult (budget = TargetMult·τmin) or TargetNS
+// (absolute nanoseconds) must be positive, unless the transport supplies
+// a default budget (ripcli's -target/-target-ns flags, ripd's -target
+// flag).
+type Request struct {
+	// Net is the routed interconnect, in the schema of internal/wire
+	// (µm / Ω·µm⁻¹ / fF·µm⁻¹ units).
+	Net *wire.Net `json:"net"`
+	// TargetMult expresses the budget as a multiple of the net's τmin.
+	TargetMult float64 `json:"target_mult,omitempty"`
+	// TargetNS is the absolute budget in nanoseconds.
+	TargetNS float64 `json:"target_ns,omitempty"`
+}
+
+// Validate checks the request shape without solving anything.
+func (r *Request) Validate() error {
+	if r.Net == nil {
+		return errors.New("api: request has no net")
+	}
+	switch {
+	case r.TargetMult > 0 && r.TargetNS > 0:
+		return fmt.Errorf("api: net %q: give target_mult or target_ns, not both", r.Net.Name)
+	case r.TargetMult <= 0 && r.TargetNS <= 0:
+		return fmt.Errorf("api: net %q: a positive target_mult or target_ns is required", r.Net.Name)
+	}
+	return r.Net.Validate()
+}
+
+// Job converts the request to an engine job (ns → seconds).
+func (r *Request) Job() engine.Job {
+	return engine.Job{
+		Net:        r.Net,
+		TargetMult: r.TargetMult,
+		Target:     r.TargetNS * units.NanoSecond,
+	}
+}
+
+// ApplyDefault fills in the transport-level default budget when the
+// request carries none of its own.
+func (r *Request) ApplyDefault(targetMult, targetNS float64) {
+	if r.TargetMult <= 0 && r.TargetNS <= 0 {
+		r.TargetMult = targetMult
+		r.TargetNS = targetNS
+	}
+}
+
+// ParseRequest decodes one request line. Two forms are accepted: the
+// wrapper {"net": {...}, "target_mult": 1.2} and a bare net object (the
+// same schema as the elements of a nets.json array), which inherits the
+// transport's default budget.
+func ParseRequest(raw []byte) (Request, error) {
+	// The shape is decided by the presence of a "net" key, not by
+	// whether the wrapper decode succeeds: falling back on any wrapper
+	// error would silently misread a wrapper with one bad field as a
+	// bare net (the decoder ignores unknown keys) and bury the real
+	// error behind a baffling empty-net complaint.
+	var probe struct {
+		Net json.RawMessage `json:"net"`
+	}
+	if err := json.Unmarshal(raw, &probe); err == nil &&
+		len(probe.Net) > 0 && string(probe.Net) != "null" {
+		var r Request
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return Request{}, fmt.Errorf("decoding request: %v", err)
+		}
+		return r, nil
+	}
+	var n wire.Net
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return Request{}, fmt.Errorf("not a net object: %v", err)
+	}
+	return Request{Net: &n}, nil
+}
+
+// FeedJSONL is the shared JSONL ingest loop: it reads one request per
+// line from in, applies the transport's default budget, and sends each
+// line's job on jobs — a zero Job for lines that fail to parse, so the
+// failure occupies its input-order slot in the result stream instead of
+// vanishing. noteErr receives each parse failure as (job index,
+// message); messages name the 1-based input line. Feeding stops early
+// when ctx is done. The caller owns the jobs channel (and closes it).
+// FeedJSONL returns the number of jobs sent and the reader error, if
+// any — a non-nil error means the input was truncated after that many
+// jobs.
+//
+// Blank lines are skipped. Lines may be long: the scanner accepts up to
+// 16 MiB per line (nets with many segments).
+func FeedJSONL(ctx context.Context, in io.Reader, defaultMult, defaultNS float64, jobs chan<- engine.Job, noteErr func(idx int, msg string)) (int, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	idx, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		job := engine.Job{}
+		req, err := ParseRequest(raw)
+		if err != nil {
+			noteErr(idx, fmt.Sprintf("line %d: %v", lineNo, err))
+		} else {
+			req.ApplyDefault(defaultMult, defaultNS)
+			job = req.Job()
+		}
+		select {
+		case jobs <- job:
+		case <-ctx.Done():
+			return idx, ctx.Err()
+		}
+		idx++
+	}
+	return idx, sc.Err()
+}
+
+// Response is one net's outcome. Error is per-net: a failed request is
+// reported in its own response and never aborts a batch.
+type Response struct {
+	// Net echoes the request's net name.
+	Net string `json:"net"`
+	// Feasible reports whether any assignment met the budget.
+	Feasible bool `json:"feasible"`
+	// TargetNS is the resolved absolute budget in nanoseconds.
+	TargetNS float64 `json:"target_ns"`
+	// DelayNS is the solution's Elmore delay in nanoseconds.
+	DelayNS float64 `json:"delay_ns"`
+	// TotalWidthU is the summed repeater width in units of u.
+	TotalWidthU float64 `json:"total_width_u"`
+	// PositionsUM and WidthsU are the repeater placement.
+	PositionsUM []float64 `json:"positions_um"`
+	WidthsU     []float64 `json:"widths_u"`
+	// CacheHit reports whether the solution came from the engine's
+	// solution cache.
+	CacheHit bool `json:"cache_hit"`
+	// Error records a per-net failure (parse, validation or solver).
+	Error string `json:"error,omitempty"`
+}
+
+// FromResult converts an engine result to its wire form.
+func FromResult(r engine.Result) Response {
+	out := Response{CacheHit: r.CacheHit}
+	if r.Net != nil {
+		out.Net = r.Net.Name
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	sol := r.Res.Solution
+	out.Feasible = sol.Feasible
+	out.TargetNS = r.Target / units.NanoSecond
+	out.DelayNS = sol.Delay / units.NanoSecond
+	out.TotalWidthU = sol.TotalWidth
+	for _, x := range sol.Assignment.Positions {
+		out.PositionsUM = append(out.PositionsUM, units.ToMicrons(x))
+	}
+	out.WidthsU = append(out.WidthsU, sol.Assignment.Widths...)
+	return out
+}
+
+// ErrorResponse builds a response carrying only a per-net failure.
+func ErrorResponse(netName, msg string) Response {
+	return Response{Net: netName, Error: msg}
+}

@@ -32,6 +32,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -135,7 +136,9 @@ const (
 
 // Engine is a concurrent batch optimizer for one technology node. It is
 // safe for concurrent use; a single Engine may serve many goroutines and
-// overlapping Run / RunStream calls, all sharing one cache.
+// overlapping Run / RunStream calls, all sharing one cache and one
+// worker budget — total concurrent solves never exceed Workers, however
+// many calls are in flight.
 type Engine struct {
 	tech    *tech.Technology
 	cfg     core.Config
@@ -145,6 +148,11 @@ type Engine struct {
 	refOpts dp.Options
 	cache   *solutionCache
 	sig     *signer
+	// solveSlots bounds concurrent solves engine-wide, not per call:
+	// overlapping Run / RunStream / Solve callers share the worker
+	// budget, so a shared engine's CPU and memory footprint stays
+	// O(workers) no matter how many requests fan into it.
+	solveSlots chan struct{}
 
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -168,10 +176,11 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		tech:    t,
-		cfg:     opts.Pipeline,
-		workers: workers,
-		refOpts: refOpts,
+		tech:       t,
+		cfg:        opts.Pipeline,
+		workers:    workers,
+		refOpts:    refOpts,
+		solveSlots: make(chan struct{}, workers),
 	}
 	if !opts.Cache.Disabled {
 		capacity := opts.Cache.Capacity
@@ -191,6 +200,11 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 // Workers returns the engine's parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Technology returns the process node the engine solves for. Consumers
+// that are handed a shared engine (internal/flow, internal/server) use it
+// to build matching power models and reports without re-plumbing the node.
+func (e *Engine) Technology() *tech.Technology { return e.tech }
+
 // CacheStats snapshots the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	s := CacheStats{
@@ -208,6 +222,15 @@ func (e *Engine) CacheStats() CacheStats {
 // Run optimizes every job and returns results in input order. Per-net
 // failures are reported in Result.Err; Run itself never fails.
 func (e *Engine) Run(jobs []Job) []Result {
+	return e.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: once ctx is done, jobs that have
+// not started solving return immediately with Err set to the context
+// error, while jobs already in a solver phase finish that phase first
+// (the dynamic programs are not interruptible mid-sweep). Every result
+// slot is filled either way, so partial batches remain well-formed.
+func (e *Engine) RunContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -221,7 +244,7 @@ func (e *Engine) Run(jobs []Job) []Result {
 				if i >= len(jobs) {
 					return
 				}
-				r := e.Solve(jobs[i])
+				r := e.SolveContext(ctx, jobs[i])
 				r.Index = i
 				results[i] = r
 			}
@@ -237,6 +260,16 @@ func (e *Engine) Run(jobs []Job) []Result {
 // chip-scale inputs without materializing them. The channel closes after
 // the last result; the caller must drain it.
 func (e *Engine) RunStream(in <-chan Job) <-chan Result {
+	return e.RunStreamContext(context.Background(), in)
+}
+
+// RunStreamContext is RunStream with cancellation: once ctx is done,
+// admitted jobs that have not started solving drain through as context
+// errors rather than being solved. The caller still owns the input
+// channel and must close it (typically by stopping its feeder when it
+// observes ctx.Done()); the output channel still closes after the last
+// admitted job's result.
+func (e *Engine) RunStreamContext(ctx context.Context, in <-chan Job) <-chan Result {
 	out := make(chan Result)
 	type seqJob struct {
 		idx int
@@ -268,7 +301,7 @@ func (e *Engine) RunStream(in <-chan Job) <-chan Result {
 		go func() {
 			defer wg.Done()
 			for sj := range jobs {
-				r := e.Solve(sj.job)
+				r := e.SolveContext(ctx, sj.job)
 				r.Index = sj.idx
 				done <- r
 			}
@@ -303,7 +336,17 @@ func (e *Engine) RunStream(in <-chan Job) <-chan Result {
 // Solve optimizes one job synchronously (Result.Index is left zero).
 // It is the primitive Run and RunStream are built on, exposed so other
 // fan-out layers (internal/flow) can share the engine's cache.
-func (e *Engine) Solve(j Job) (res Result) {
+func (e *Engine) Solve(j Job) Result {
+	return e.SolveContext(context.Background(), j)
+}
+
+// SolveContext is Solve with cancellation. The context is checked at the
+// job's phase boundaries — before the cache lookup, before the τmin
+// dynamic program and before the pipeline solve — so a cancelled job
+// stops before its next expensive phase rather than mid-sweep. A
+// cancelled job's Result carries the context error in Err, wrapped so
+// errors.Is(r.Err, ctx.Err()) holds.
+func (e *Engine) SolveContext(ctx context.Context, j Job) (res Result) {
 	res.Net = j.Net
 	defer func() {
 		// A panicking solver run must not take down a million-net batch.
@@ -321,6 +364,19 @@ func (e *Engine) Solve(j Job) (res Result) {
 		return res
 	case j.TargetMult <= 0 && j.Target <= 0:
 		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", j.Net.Name)
+		return res
+	}
+	// Take an engine-wide solve slot: concurrent callers queue here
+	// rather than multiplying parallelism beyond the worker budget.
+	select {
+	case e.solveSlots <- struct{}{}:
+		defer func() { <-e.solveSlots }()
+	case <-ctx.Done():
+		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, ctx.Err())
+		return res
+	}
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
 		return res
 	}
 	ev, err := delay.NewEvaluator(j.Net, e.tech)
@@ -348,6 +404,10 @@ func (e *Engine) Solve(j Job) (res Result) {
 	// targets), run the hybrid pipeline, memoize feasible outcomes.
 	target := j.Target
 	if j.TargetMult > 0 {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
+			return res
+		}
 		tmin, err := dp.MinimumDelay(ev, e.refOpts)
 		if err != nil {
 			res.Err = fmt.Errorf("engine: τmin for %q: %w", j.Net.Name, err)
@@ -357,6 +417,10 @@ func (e *Engine) Solve(j Job) (res Result) {
 		target = j.TargetMult * tmin
 	}
 	res.Target = target
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
+		return res
+	}
 	out, err := core.Insert(ev, target, e.cfg)
 	if err != nil {
 		res.Err = fmt.Errorf("engine: solving %q: %w", j.Net.Name, err)

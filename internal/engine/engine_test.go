@@ -1,8 +1,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/rip-eda/rip/internal/core"
 	"github.com/rip-eda/rip/internal/delay"
@@ -358,5 +362,148 @@ func TestPipelineConfigRespected(t *testing.T) {
 	}
 	if r.Res.Solution.TotalWidth != want.Solution.TotalWidth {
 		t.Fatalf("engine %g != direct %g under custom config", r.Res.Solution.TotalWidth, want.Solution.TotalWidth)
+	}
+}
+
+// TestSolveContextCancelled: a cancelled context short-circuits before
+// any solver phase and surfaces as a per-job error that errors.Is-matches
+// the context error.
+func TestSolveContextCancelled(t *testing.T) {
+	node := tech.T180()
+	net := corpus(t, 23, 1)[0]
+	eng, err := New(node, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := eng.SolveContext(ctx, Job{Net: net, TargetMult: 1.3})
+	if r.Err == nil {
+		t.Fatal("cancelled context should fail the job")
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("err %v should wrap context.Canceled", r.Err)
+	}
+	st := eng.CacheStats()
+	if st.Hits+st.Misses+st.Rejected != 0 {
+		t.Fatalf("cancelled job should not touch the cache: %+v", st)
+	}
+}
+
+// TestRunContextCancelMidBatch: cancelling mid-batch fills every result
+// slot — some solved, the rest context errors — and never deadlocks.
+func TestRunContextCancelMidBatch(t *testing.T) {
+	node := tech.T180()
+	distinct := corpus(t, 29, 4)
+	var nets []*wire.Net
+	for rep := 0; rep < 16; rep++ {
+		nets = append(nets, distinct...)
+	}
+	eng, err := New(node, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before start: every job must error, none may hang
+	results := eng.RunContext(ctx, jobsFor(nets, 1.3))
+	if len(results) != len(nets) {
+		t.Fatalf("got %d results, want %d", len(results), len(nets))
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("job %d solved under a cancelled context", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: err %v should wrap context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestRunStreamContextDeadline: an already-expired deadline drains the
+// stream (ordered, one result per job) instead of solving or hanging.
+func TestRunStreamContextDeadline(t *testing.T) {
+	node := tech.T180()
+	nets := corpus(t, 31, 3)
+	eng, err := New(node, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	in := make(chan Job)
+	out := eng.RunStreamContext(ctx, in)
+	go func() {
+		defer close(in)
+		for i := 0; i < 12; i++ {
+			in <- Job{Net: nets[i%len(nets)], TargetMult: 1.3}
+		}
+	}()
+	next := 0
+	for r := range out {
+		if r.Index != next {
+			t.Fatalf("stream emitted index %d, want %d", r.Index, next)
+		}
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("job %d: err %v should wrap context.DeadlineExceeded", r.Index, r.Err)
+		}
+		next++
+	}
+	if next != 12 {
+		t.Fatalf("stream emitted %d results, want 12", next)
+	}
+}
+
+// TestSolveQueueCancellation: a job queued behind a saturated engine-wide
+// worker budget honors cancellation while waiting for a slot.
+func TestSolveQueueCancellation(t *testing.T) {
+	node := tech.T180()
+	net := corpus(t, 47, 1)[0]
+	eng, err := New(node, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.solveSlots <- struct{}{} // occupy the only slot
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	r := eng.SolveContext(ctx, Job{Net: net, TargetMult: 1.3})
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("queued job err %v, want deadline exceeded", r.Err)
+	}
+	<-eng.solveSlots // release; the engine must be fully usable again
+	if r := eng.Solve(Job{Net: net, TargetMult: 1.3}); r.Err != nil {
+		t.Fatalf("post-release solve: %v", r.Err)
+	}
+}
+
+// TestOverlappingRunsShareWorkerBudget: concurrent Run calls on one
+// engine complete correctly while sharing the engine-wide solve bound.
+// Run with -race.
+func TestOverlappingRunsShareWorkerBudget(t *testing.T) {
+	node := tech.T180()
+	nets := corpus(t, 53, 3)
+	eng, err := New(node, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 3
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, r := range eng.Run(jobsFor(nets, 1.3)) {
+				if r.Err != nil {
+					t.Errorf("net %d: %v", i, r.Err)
+				}
+				if !r.Res.Solution.Feasible {
+					t.Errorf("net %d infeasible", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := eng.CacheStats()
+	if st.Hits+st.Misses+st.Rejected != uint64(callers*len(nets)) {
+		t.Fatalf("lookup accounting leaks across overlapping runs: %+v", st)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -45,7 +46,10 @@ type Plan struct {
 	Tech *tech.Technology
 	// Route configures layers and terminal widths.
 	Route route.Config
-	// RIP configures the per-net pipeline.
+	// RIP configures the per-net pipeline. Ignored when Engine is set:
+	// a shared engine solves with the pipeline configuration it was
+	// built with, or cache hits would not be interchangeable across
+	// its consumers.
 	RIP core.Config
 	// TargetMult is the default timing policy: target = TargetMult·τmin
 	// per net (default 1.2).
@@ -55,7 +59,18 @@ type Plan struct {
 	// Cache configures the solve-stage solution cache; the zero value
 	// enables the engine defaults. Designs with repeated net geometry
 	// (buses, arrayed macros) solve each distinct signature once.
+	// Ignored when Engine is set.
 	Cache engine.CacheOptions
+	// Engine, when non-nil, is the shared batch engine the solve stage
+	// runs through, so this flow's solutions land in (and are served
+	// from) the same cache as every other consumer — the HTTP service,
+	// other flows, direct Engine users. Ownership stays with the
+	// caller: the flow only borrows it, never reconfigures it, and the
+	// engine outlives the run. Its technology must be the plan's node
+	// (Tech may be nil and then defaults to Engine.Technology()).
+	// When nil, Run builds a private engine from Tech, RIP and Cache,
+	// whose cache is discarded with the run.
+	Engine *engine.Engine
 }
 
 // NetResult is one net's outcome.
@@ -86,7 +101,12 @@ type Summary struct {
 	Infeasible int
 	// Failed counts nets that errored (routing or internal failure).
 	Failed int
-	// Cache snapshots the solve-stage cache counters for the run.
+	// Cache reports the solve-stage cache counters for this run: the
+	// counter fields (Hits, Misses, Rejected, Evictions) are deltas
+	// over the run, so they stay meaningful on a shared engine whose
+	// lifetime counters span many runs. Entries is the engine's
+	// current total. Other traffic on a shared engine during the run
+	// lands in the same window.
 	Cache engine.CacheStats
 }
 
@@ -96,9 +116,6 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 		return nil, errors.New("flow: nil plan or floorplan")
 	}
 	if err := plan.Floorplan.Validate(); err != nil {
-		return nil, err
-	}
-	if err := plan.Tech.Validate(); err != nil {
 		return nil, err
 	}
 	if len(nets) == 0 {
@@ -114,21 +131,38 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 	}
 	// The solve stage runs through the batch engine so repeated net
 	// geometry (buses, arrayed macros) is solved once per signature.
-	// Parallelism stays with the flow's own pool below (it covers
-	// routing as well as solving), so the engine is used purely as the
-	// shared-cache Solve primitive and its worker count is left alone.
-	eng, err := engine.New(plan.Tech, engine.Options{
-		Pipeline: plan.RIP,
-		Cache:    plan.Cache,
-	})
-	if err != nil {
-		return nil, err
+	// The flow's own pool below parallelizes routing as well as
+	// solving; the engine additionally caps concurrent solves at its
+	// engine-wide worker budget, which is what keeps a shared engine's
+	// footprint bounded when several flows (or the HTTP service) hit
+	// it at once. A caller-supplied engine (Plan.Engine) makes the
+	// cache shared beyond this run; otherwise a private engine lives
+	// and dies here.
+	eng := plan.Engine
+	if eng == nil {
+		if err := plan.Tech.Validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		eng, err = engine.New(plan.Tech, engine.Options{
+			Pipeline: plan.RIP,
+			Cache:    plan.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if plan.Tech != nil && plan.Tech != eng.Technology() &&
+		!reflect.DeepEqual(plan.Tech, eng.Technology()) {
+		// Value equality, not pointer identity: tech.Builtin and
+		// tech.T180 hand out a fresh *Technology per call.
+		return nil, errors.New("flow: plan.Tech differs from plan.Engine's technology node")
 	}
-	pm, err := power.NewModel(plan.Tech)
+	pm, err := power.NewModel(eng.Technology())
 	if err != nil {
 		return nil, err
 	}
 
+	cacheBefore := eng.CacheStats()
 	results := make([]NetResult, len(nets))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -143,7 +177,14 @@ func Run(plan *Plan, nets []NetSpec) (*Summary, error) {
 	}
 	wg.Wait()
 
-	sum := &Summary{Results: results, Cache: eng.CacheStats()}
+	cacheAfter := eng.CacheStats()
+	sum := &Summary{Results: results, Cache: engine.CacheStats{
+		Hits:      cacheAfter.Hits - cacheBefore.Hits,
+		Misses:    cacheAfter.Misses - cacheBefore.Misses,
+		Rejected:  cacheAfter.Rejected - cacheBefore.Rejected,
+		Evictions: cacheAfter.Evictions - cacheBefore.Evictions,
+		Entries:   cacheAfter.Entries,
+	}}
 	for _, r := range results {
 		if r.Err != nil {
 			sum.Failed++

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/rip-eda/rip/internal/core"
+	"github.com/rip-eda/rip/internal/engine"
 	"github.com/rip-eda/rip/internal/route"
 	"github.com/rip-eda/rip/internal/tech"
 )
@@ -147,5 +148,72 @@ func TestSummaryRender(t *testing.T) {
 	// Sorted by name: clkroot before dbus0 before irq.
 	if strings.Index(out, "clkroot") > strings.Index(out, "dbus0") {
 		t.Error("per-net table not sorted")
+	}
+}
+
+// TestSharedEngineAcrossRuns: a caller-owned engine makes the solution
+// cache a cross-run asset — the second identical flow is served warm —
+// and the flow borrows rather than owns it (ownership rule in Plan).
+func TestSharedEngineAcrossRuns(t *testing.T) {
+	p := plan(t)
+	eng, err := engine.New(p.Tech, engine.Options{Pipeline: p.RIP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Engine = eng
+
+	first, err := Run(p, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Failed != 0 {
+		t.Fatalf("%d nets failed on the cold run", first.Failed)
+	}
+	if first.Cache.Misses == 0 {
+		t.Fatal("cold run should record misses in its per-run window")
+	}
+
+	second, err := Run(p, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range second.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Spec.Name, r.Err)
+		}
+		if !r.CacheHit {
+			t.Fatalf("%s: second run over a shared engine should hit the cache", r.Spec.Name)
+		}
+	}
+	// Summary.Cache counters are per-run deltas, so the warm run's
+	// window shows exactly its own hits, not the engine's lifetime.
+	if second.Cache.Hits != uint64(len(second.Results)) {
+		t.Fatalf("warm-run cache hits %d, want %d (per-run delta)", second.Cache.Hits, len(second.Results))
+	}
+	if second.Cache.Misses != 0 {
+		t.Fatalf("warm-run misses %d, want 0", second.Cache.Misses)
+	}
+
+	// Tech may be omitted when the engine carries the node.
+	p.Tech = nil
+	if _, err := Run(p, specs()); err != nil {
+		t.Fatalf("nil Tech with a shared engine: %v", err)
+	}
+
+	// A fresh but value-identical node is accepted: tech.T180 and
+	// tech.Builtin hand out a new pointer per call.
+	p.Tech = tech.T180()
+	if _, err := Run(p, specs()); err != nil {
+		t.Fatalf("value-equal Tech with a shared engine: %v", err)
+	}
+
+	// But a conflicting node is rejected, not silently mis-solved.
+	other, err := tech.Builtin("90nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Tech = other
+	if _, err := Run(p, specs()); err == nil {
+		t.Fatal("mismatched plan.Tech and engine technology should error")
 	}
 }

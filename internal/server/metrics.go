@@ -1,0 +1,148 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"github.com/rip-eda/rip/internal/engine"
+)
+
+// durationBuckets are the cumulative latency histogram bounds in seconds.
+// They span sub-millisecond cache hits through multi-second chip batches;
+// the final +Inf bucket is implicit.
+var durationBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: per-bucket counts plus a sum, all atomic.
+type histogram struct {
+	counts   [len(durationBuckets) + 1]atomic.Uint64
+	sumNanos atomic.Int64
+	total    atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	idx := len(durationBuckets) // +Inf
+	for i, b := range durationBuckets {
+		if s <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.total.Add(1)
+}
+
+// routeMetrics are the per-route request counters.
+type routeMetrics struct {
+	requests  atomic.Uint64 // admitted requests
+	saturated atomic.Uint64 // 429: in-flight limit hit
+	draining  atomic.Uint64 // 503: shutdown in progress
+	latency   histogram
+}
+
+// metrics is the server-wide counter set exported at /metrics. The
+// engine's cache counters are not mirrored here — they are pulled live
+// from engine.CacheStats at render time so the numbers cover every
+// consumer of a shared engine, not just HTTP traffic.
+type metrics struct {
+	optimize  routeMetrics
+	batch     routeMetrics
+	inflight  atomic.Int64
+	nets      atomic.Uint64 // nets solved over HTTP (all routes)
+	netErrors atomic.Uint64 // per-net failures over HTTP
+}
+
+func (m *metrics) route(name string) *routeMetrics {
+	if name == "batch" {
+		return &m.batch
+	}
+	return &m.optimize
+}
+
+// writePrometheus renders the counter set in the Prometheus text
+// exposition format (version 0.0.4) without any client library.
+func (m *metrics) writePrometheus(w io.Writer, eng *engine.Engine, start time.Time, draining bool) {
+	fmt.Fprintf(w, "# HELP rip_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE rip_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "rip_uptime_seconds %g\n", time.Since(start).Seconds())
+
+	fmt.Fprintf(w, "# HELP rip_draining Whether the server is refusing new work for shutdown.\n")
+	fmt.Fprintf(w, "# TYPE rip_draining gauge\n")
+	fmt.Fprintf(w, "rip_draining %d\n", b2i(draining))
+
+	fmt.Fprintf(w, "# HELP rip_requests_total Admitted optimization requests by route.\n")
+	fmt.Fprintf(w, "# TYPE rip_requests_total counter\n")
+	fmt.Fprintf(w, "rip_requests_total{route=\"optimize\"} %d\n", m.optimize.requests.Load())
+	fmt.Fprintf(w, "rip_requests_total{route=\"batch\"} %d\n", m.batch.requests.Load())
+
+	fmt.Fprintf(w, "# HELP rip_requests_rejected_total Requests refused before solving, by route and reason.\n")
+	fmt.Fprintf(w, "# TYPE rip_requests_rejected_total counter\n")
+	for _, r := range []struct {
+		name string
+		rm   *routeMetrics
+	}{{"optimize", &m.optimize}, {"batch", &m.batch}} {
+		fmt.Fprintf(w, "rip_requests_rejected_total{route=%q,reason=\"saturated\"} %d\n", r.name, r.rm.saturated.Load())
+		fmt.Fprintf(w, "rip_requests_rejected_total{route=%q,reason=\"draining\"} %d\n", r.name, r.rm.draining.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP rip_requests_inflight Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE rip_requests_inflight gauge\n")
+	fmt.Fprintf(w, "rip_requests_inflight %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP rip_nets_total Nets solved over HTTP.\n")
+	fmt.Fprintf(w, "# TYPE rip_nets_total counter\n")
+	fmt.Fprintf(w, "rip_nets_total %d\n", m.nets.Load())
+
+	fmt.Fprintf(w, "# HELP rip_net_errors_total Per-net failures over HTTP (parse, validation or solver).\n")
+	fmt.Fprintf(w, "# TYPE rip_net_errors_total counter\n")
+	fmt.Fprintf(w, "rip_net_errors_total %d\n", m.netErrors.Load())
+
+	fmt.Fprintf(w, "# HELP rip_http_request_duration_seconds Request latency by route.\n")
+	fmt.Fprintf(w, "# TYPE rip_http_request_duration_seconds histogram\n")
+	for _, r := range []struct {
+		name string
+		rm   *routeMetrics
+	}{{"optimize", &m.optimize}, {"batch", &m.batch}} {
+		var cum uint64
+		for i, b := range durationBuckets {
+			cum += r.rm.latency.counts[i].Load()
+			fmt.Fprintf(w, "rip_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r.name, b, cum)
+		}
+		cum += r.rm.latency.counts[len(durationBuckets)].Load()
+		fmt.Fprintf(w, "rip_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r.name, cum)
+		fmt.Fprintf(w, "rip_http_request_duration_seconds_sum{route=%q} %g\n", r.name,
+			time.Duration(r.rm.latency.sumNanos.Load()).Seconds())
+		fmt.Fprintf(w, "rip_http_request_duration_seconds_count{route=%q} %d\n", r.name, r.rm.latency.total.Load())
+	}
+
+	st := eng.CacheStats()
+	fmt.Fprintf(w, "# HELP rip_engine_workers The engine's parallelism bound.\n")
+	fmt.Fprintf(w, "# TYPE rip_engine_workers gauge\n")
+	fmt.Fprintf(w, "rip_engine_workers %d\n", eng.Workers())
+	fmt.Fprintf(w, "# HELP rip_cache_hits_total Solution-cache lookups served after verification.\n")
+	fmt.Fprintf(w, "# TYPE rip_cache_hits_total counter\n")
+	fmt.Fprintf(w, "rip_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# HELP rip_cache_misses_total Solution-cache lookups that found no entry.\n")
+	fmt.Fprintf(w, "# TYPE rip_cache_misses_total counter\n")
+	fmt.Fprintf(w, "rip_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# HELP rip_cache_rejected_total Cache entries found but failing re-verification.\n")
+	fmt.Fprintf(w, "# TYPE rip_cache_rejected_total counter\n")
+	fmt.Fprintf(w, "rip_cache_rejected_total %d\n", st.Rejected)
+	fmt.Fprintf(w, "# HELP rip_cache_evictions_total LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE rip_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "rip_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# HELP rip_cache_entries Cached solutions currently held.\n")
+	fmt.Fprintf(w, "# TYPE rip_cache_entries gauge\n")
+	fmt.Fprintf(w, "rip_cache_entries %d\n", st.Entries)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

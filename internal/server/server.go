@@ -1,0 +1,437 @@
+// Package server is the network layer over the batch engine: a JSON HTTP
+// API (cmd/ripd) that turns the engine's solution cache into a
+// cross-request asset. One shared engine serves every request, so a net
+// solved for one client is a warm cache hit for the next.
+//
+// Endpoints:
+//
+//	POST /v1/optimize   one api.Request in, one api.Response out
+//	POST /v1/batch      JSON array or JSONL stream of api.Request in,
+//	                    results in input order, per-net error isolation
+//	GET  /healthz       liveness + draining status
+//	GET  /metrics       Prometheus text: requests, rejections, in-flight,
+//	                    latency histograms, engine cache counters
+//
+// Operational behavior:
+//
+//   - Admission control: at most Options.MaxInFlight optimize/batch
+//     requests run at once; beyond that the server answers 429 with a
+//     Retry-After header rather than queuing unboundedly.
+//   - Timeouts: Options.RequestTimeout bounds each request via context
+//     cancellation threaded through engine.SolveContext, so an expired
+//     request stops at the next solver phase boundary instead of
+//     occupying a worker indefinitely.
+//   - Graceful shutdown: BeginShutdown flips the server into draining
+//     mode — new work is refused with 503 (and /healthz fails, so load
+//     balancers stop routing here) while requests already admitted run
+//     to completion under http.Server.Shutdown.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rip-eda/rip/internal/api"
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// Options configures the service layer. The zero value is usable.
+type Options struct {
+	// MaxInFlight bounds concurrently served optimize/batch requests
+	// (default 4× the engine's worker count). Excess requests get 429.
+	MaxInFlight int
+	// RequestTimeout bounds each request's solving time via context
+	// cancellation (default 0: no timeout beyond the client's).
+	RequestTimeout time.Duration
+	// DefaultTargetMult is applied to requests that carry no budget of
+	// their own (default 0: such requests fail per-net).
+	DefaultTargetMult float64
+	// MaxBatchNets caps the nets accepted in one array-bodied batch
+	// (default 100000). JSONL bodies stream and are not subject to it.
+	MaxBatchNets int
+	// MaxBodyBytes caps a request body (default 256 MiB).
+	MaxBodyBytes int64
+}
+
+const (
+	defaultMaxBatchNets = 100000
+	defaultMaxBodyBytes = 256 << 20
+)
+
+// Server is the HTTP service over one shared engine. It implements
+// http.Handler; the caller owns the engine and the http.Server around it
+// (see cmd/ripd for the canonical wiring).
+type Server struct {
+	eng   *engine.Engine
+	opts  Options
+	mux   *http.ServeMux
+	slots chan struct{}
+	start time.Time
+
+	draining atomic.Bool
+	m        metrics
+
+	// testHookAdmitted, when non-nil, runs after a request is admitted
+	// and before solving begins; concurrency tests use it to hold
+	// admission slots open deterministically.
+	testHookAdmitted func(route string)
+}
+
+// New builds the service over an existing engine. The engine is shared,
+// not owned: the caller may keep using it directly, and the /metrics
+// cache counters reflect that traffic too.
+func New(eng *engine.Engine, opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4 * eng.Workers()
+	}
+	if opts.MaxBatchNets <= 0 {
+		opts.MaxBatchNets = defaultMaxBatchNets
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		eng:   eng,
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, opts.MaxInFlight),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginShutdown puts the server into draining mode: /healthz starts
+// failing and new optimize/batch requests are refused with 503, while
+// already-admitted requests run to completion. Pair it with
+// http.Server.Shutdown, which waits for those in-flight handlers.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// InFlight reports the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.m.inflight.Load() }
+
+// MaxInFlight reports the resolved admission bound (after defaulting),
+// so operators log the number the server actually enforces.
+func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
+
+// admit implements admission control: draining refuses with 503,
+// saturation with 429, otherwise a slot is taken and the returned
+// release must be deferred.
+func (s *Server) admit(w http.ResponseWriter, route string) (release func(), ok bool) {
+	rm := s.m.route(route)
+	if s.draining.Load() {
+		rm.draining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse("", "server is shutting down"))
+		return nil, false
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		rm.saturated.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			api.ErrorResponse("", fmt.Sprintf("server saturated: %d requests in flight", s.opts.MaxInFlight)))
+		return nil, false
+	}
+	rm.requests.Add(1)
+	s.m.inflight.Add(1)
+	begin := time.Now()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted(route)
+	}
+	return func() {
+		rm.latency.observe(time.Since(begin))
+		s.m.inflight.Add(-1)
+		<-s.slots
+	}, true
+}
+
+// requestCtx derives the solving context: the client's context, bounded
+// by the per-request timeout when one is configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, "optimize")
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	// The body is one request line of the shared wire format: a wrapper
+	// or a bare net, exactly like a JSONL batch line.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", "reading request: "+err.Error()))
+		return
+	}
+	req, err := api.ParseRequest(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse("", err.Error()))
+		return
+	}
+	req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+	if err := req.Validate(); err != nil {
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse(netName(req.Net), err.Error()))
+		return
+	}
+	res := s.eng.SolveContext(ctx, req.Job())
+	s.m.nets.Add(1)
+	resp := api.FromResult(res)
+	switch {
+	case res.Err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(res.Err, context.Canceled):
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	}
+}
+
+// handleBatch accepts the two body shapes of the shared wire format: a
+// JSON array (the nets.json shape, materialized and solved with
+// RunContext) or a JSONL stream (ripcli's -batch shape, solved through
+// the engine's bounded streaming window without materializing the
+// input). Both emit results in input order with per-net error isolation.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, "batch")
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes), 64<<10)
+	first, err := firstNonSpace(br)
+	if err != nil {
+		msg := "empty batch body"
+		if !errors.Is(err, io.EOF) {
+			msg = "reading batch body: " + err.Error()
+		}
+		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", msg))
+		return
+	}
+	if first == '[' {
+		s.batchArray(ctx, w, br)
+		return
+	}
+	s.batchJSONL(ctx, w, br)
+}
+
+func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufio.Reader) {
+	// Elements decode individually (wrapper or bare net, like JSONL
+	// lines), so one malformed element fails alone, not the whole batch.
+	var raws []json.RawMessage
+	if err := json.NewDecoder(br).Decode(&raws); err != nil {
+		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", "decoding batch array: "+err.Error()))
+		return
+	}
+	if len(raws) > s.opts.MaxBatchNets {
+		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorResponse("",
+			fmt.Sprintf("batch of %d nets exceeds the %d-net limit (stream JSONL instead)", len(raws), s.opts.MaxBatchNets)))
+		return
+	}
+	jobs := make([]engine.Job, len(raws))
+	parseErrs := make(map[int]string)
+	for i, raw := range raws {
+		req, err := api.ParseRequest(raw)
+		if err != nil {
+			parseErrs[i] = fmt.Sprintf("element %d: %v", i, err)
+			continue // zero job: the engine reports it as a nil-net failure
+		}
+		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+		jobs[i] = req.Job()
+	}
+	results := s.eng.RunContext(ctx, jobs)
+	out := make([]api.Response, len(results))
+	for i, res := range results {
+		out[i] = api.FromResult(res)
+		if msg, ok := parseErrs[i]; ok {
+			out[i].Error = msg
+		}
+		s.m.nets.Add(1)
+		if out[i].Error != "" {
+			s.m.netErrors.Add(1)
+		}
+	}
+	// Bulk machine-to-machine payload: compact, not indented — a 100k-net
+	// array would roughly double in size under writeJSON's indentation.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // response committed
+}
+
+func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufio.Reader) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan engine.Job)
+	results := s.eng.RunStreamContext(ctx, jobs)
+	// parseErrs maps job index → parse failure so a malformed line is
+	// reported at its position with its cause. Guarded: the feeder
+	// writes while the result loop reads.
+	var mu sync.Mutex
+	parseErrs := make(map[int]string)
+	note := func(idx int, msg string) {
+		mu.Lock()
+		parseErrs[idx] = msg
+		mu.Unlock()
+	}
+	go func() {
+		defer close(jobs)
+		fed, err := api.FeedJSONL(ctx, br, s.opts.DefaultTargetMult, 0, jobs, note)
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			// The body broke mid-stream (client gone, line too long).
+			// Already-admitted jobs still produce their result lines;
+			// the read failure itself goes out as a trailing error
+			// line at the index after the last job, where the result
+			// loop picks it up once the stream drains.
+			note(fed, fmt.Sprintf("reading body after %d nets: %v", fed, err))
+		}
+	}()
+
+	// abort cancels solving and drains the stream so the engine's
+	// workers and sequencer retire instead of leaking when the client
+	// can no longer be written to.
+	abort := func() {
+		cancel()
+		for range results {
+		}
+	}
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	emitted := 0
+	for res := range results {
+		resp := api.FromResult(res)
+		mu.Lock()
+		if msg, ok := parseErrs[res.Index]; ok {
+			resp.Error = msg
+		}
+		mu.Unlock()
+		s.m.nets.Add(1)
+		if resp.Error != "" {
+			s.m.netErrors.Add(1)
+		}
+		if err := enc.Encode(resp); err != nil {
+			abort()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			abort()
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+	}
+	// A body read error was recorded past the last admitted job: the
+	// input was truncated, and silence would look like success.
+	mu.Lock()
+	msg, truncated := parseErrs[emitted]
+	mu.Unlock()
+	if truncated {
+		s.m.netErrors.Add(1)
+		enc.Encode(api.ErrorResponse("", msg)) //nolint:errcheck // best-effort trailer
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.CacheStats()
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"workers":       s.eng.Workers(),
+		"inflight":      s.m.inflight.Load(),
+		"max_inflight":  s.opts.MaxInFlight,
+		"cache_entries": st.Entries,
+		"uptime_s":      time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	s.m.writePrometheus(&buf, s.eng, s.start, s.draining.Load())
+	w.Write(buf.Bytes())
+}
+
+// firstNonSpace peeks past leading JSON whitespace to sniff the body
+// shape ('[' = array, anything else = JSONL), leaving the byte unread.
+func firstNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b, br.UnreadByte()
+		}
+	}
+}
+
+// bodyErrStatus maps a body read/decode failure to its status: the
+// MaxBytesReader cap is the client sending too much (413, retriable by
+// streaming JSONL), anything else is a malformed request (400).
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func netName(n *wire.Net) string {
+	if n == nil {
+		return ""
+	}
+	return n.Name
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
