@@ -8,6 +8,7 @@
 //	ripbench -table2 -targets 10  # Table 2 with a reduced target sweep
 //	ripbench -fig7 -net 4         # Figure 7 on corpus net #5
 //	ripbench -ablate              # pipeline ablations
+//	ripbench -perf BENCH_3.json   # machine-readable perf trajectory point
 //
 // Absolute numbers depend on the host; the paper-versus-measured record
 // lives in EXPERIMENTS.md.
@@ -37,14 +38,21 @@ func main() {
 		targets  = flag.Int("targets", 20, "number of timing targets per net (1-20)")
 		netIdx   = flag.Int("net", -1, "corpus net index for Figure 7 (-1 = median τmin)")
 		csvDir   = flag.String("csv", "", "directory to also write CSV results into")
+		perfOut  = flag.String("perf", "", "run the perf harness and write a machine-readable JSON report to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
+	if *perfOut != "" {
+		if err := runPerf(*perfOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *all {
 		*table1, *table2, *fig7, *ablate = true, true, true, true
 		*analytic, *zones, *trees = true, true, true
 	}
 	if !*table1 && !*table2 && !*fig7 && !*ablate && !*analytic && !*zones && !*trees {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -ablate, -analytic, -zones, -trees or -all")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -ablate, -analytic, -zones, -trees, -perf or -all")
 		flag.Usage()
 		os.Exit(2)
 	}

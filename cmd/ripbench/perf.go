@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// The -perf harness measures the repo's hot paths — the DP kernel and the
+// batch engine — and writes a machine-readable report (BENCH_3.json in
+// this PR's trajectory) so future PRs have a comparable perf baseline.
+// Absolute numbers are host-dependent; the committed file records the
+// shape (allocs/solve must stay 0, cold-vs-warm ratios) and one host's
+// trajectory point.
+
+// perfKernel is one DP-kernel measurement: steady-state cost through a
+// reused Solver plus the instance's work stats.
+type perfKernel struct {
+	Name           string  `json:"name"`
+	NsPerSolve     float64 `json:"ns_per_solve"`
+	AllocsPerSolve float64 `json:"allocs_per_solve"`
+	BytesPerSolve  float64 `json:"bytes_per_solve"`
+	Candidates     int     `json:"candidates"`
+	Generated      int     `json:"generated"`
+	Kept           int     `json:"kept"`
+	MaxPerLevel    int     `json:"max_per_level"`
+}
+
+// perfBatch is one batch-engine measurement.
+type perfBatch struct {
+	Name        string  `json:"name"`
+	Nets        int     `json:"nets"`
+	Distinct    int     `json:"distinct"`
+	Cache       string  `json:"cache"` // "cold" or "warm"
+	Seconds     float64 `json:"seconds"`
+	NetsPerSec  float64 `json:"nets_per_sec"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+}
+
+type perfReport struct {
+	Schema      string       `json:"schema"`
+	PR          int          `json:"pr"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPUs        int          `json:"cpus"`
+	Kernel      []perfKernel `json:"kernel"`
+	Batch       []perfBatch  `json:"batch"`
+}
+
+// perfEval reproduces the dp benchmark instance (the paperish 8mm
+// three-segment net with a forbidden zone) via the public facade.
+func perfEval() (*delay.Evaluator, error) {
+	nets, err := rip.GenerateNets(rip.T180(), 2005, 20)
+	if err != nil {
+		return nil, err
+	}
+	return delay.NewEvaluator(nets[7], rip.T180())
+}
+
+func measureKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKernel, error) {
+	s := dp.NewSolver()
+	var sol dp.Solution
+	// One untimed solve for the work stats (and to warm the arenas).
+	if err := s.SolveInto(&sol, ev, opts); err != nil {
+		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	stats := sol.Stats
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.SolveInto(&sol, ev, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return perfKernel{
+		Name:           name,
+		NsPerSolve:     float64(res.NsPerOp()),
+		AllocsPerSolve: float64(res.AllocsPerOp()),
+		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Candidates:     stats.Candidates,
+		Generated:      stats.Generated,
+		Kept:           stats.Kept,
+		MaxPerLevel:    stats.MaxPerLevel,
+	}, nil
+}
+
+func measureBatch(name string, distinct, total int) ([]perfBatch, error) {
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 2005, distinct)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]rip.BatchJob, total)
+	for i := range jobs {
+		jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3}
+	}
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var out []perfBatch
+	for _, phase := range []string{"cold", "warm"} {
+		start := time.Now()
+		for _, r := range eng.Run(jobs) {
+			if r.Err != nil {
+				return nil, fmt.Errorf("%s/%s: net %q: %w", name, phase, r.Net.Name, r.Err)
+			}
+		}
+		dur := time.Since(start)
+		st := eng.CacheStats()
+		out = append(out, perfBatch{
+			Name:       name + "_" + phase,
+			Nets:       total,
+			Distinct:   distinct,
+			Cache:      phase,
+			Seconds:    dur.Seconds(),
+			NetsPerSec: float64(total) / dur.Seconds(),
+			// Counters are cumulative across phases; report the deltas.
+			CacheHits:   st.Hits,
+			CacheMisses: st.Misses,
+		})
+	}
+	// Convert cumulative cache counters into per-phase deltas.
+	if len(out) == 2 {
+		out[1].CacheHits -= out[0].CacheHits
+		out[1].CacheMisses -= out[0].CacheMisses
+	}
+	return out, nil
+}
+
+// runPerf executes the perf harness and writes the JSON report to path
+// ("-" for stdout).
+func runPerf(path string) error {
+	ev, err := perfEval()
+	if err != nil {
+		return err
+	}
+	refLib, err := repeater.Range(10, 400, 10)
+	if err != nil {
+		return err
+	}
+	coarseLib, err := repeater.Range(10, 400, 40)
+	if err != nil {
+		return err
+	}
+	tmin, err := dp.MinimumDelay(ev, dp.Options{Library: refLib, Pitch: 200 * units.Micron})
+	if err != nil {
+		return err
+	}
+
+	rep := perfReport{
+		Schema:      "rip-perf/1",
+		PR:          3,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+
+	kernels := []struct {
+		name string
+		opts dp.Options
+	}{
+		{"solve_minpower_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin}},
+		{"solve_minpower_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin}},
+		{"solve_mindelay_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinDelay}},
+	}
+	for _, k := range kernels {
+		m, err := measureKernel(k.name, ev, k.opts)
+		if err != nil {
+			return err
+		}
+		rep.Kernel = append(rep.Kernel, m)
+		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
+	}
+
+	for _, b := range []struct {
+		name            string
+		distinct, total int
+	}{
+		{"batch_1k", 100, 1000},
+		{"batch_10k", 250, 10000},
+	} {
+		ms, err := measureBatch(b.name, b.distinct, b.total)
+		if err != nil {
+			return err
+		}
+		rep.Batch = append(rep.Batch, ms...)
+		for _, m := range ms {
+			fmt.Fprintf(os.Stderr, "perf: %-20s %10.0f nets/s (%d nets, %s cache)\n", m.Name, m.NetsPerSec, m.Nets, m.Cache)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
+}

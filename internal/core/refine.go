@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/units"
@@ -87,7 +87,7 @@ func Refine(ev *delay.Evaluator, positions []float64, target float64, opts Refin
 		return RefineResult{Delay: wr.Delay}, nil
 	}
 	pos := append([]float64(nil), positions...)
-	sort.Float64s(pos)
+	slices.Sort(pos)
 	for i, x := range pos {
 		if !ev.Line.Legal(x) {
 			return RefineResult{}, fmt.Errorf("core: initial position %d (%g) is illegal", i, x)

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/rip-eda/rip/internal/delay"
@@ -37,6 +37,11 @@ type Config struct {
 	// RefinePasses reruns REFINE on its own output (paper §7 future work:
 	// "REFINE may be performed several times"); 1 is the paper's setting.
 	RefinePasses int
+	// MaxGenerated bounds each DP phase's generated partial solutions
+	// (dp.Options.MaxGenerated); 0 means unlimited. Production callers
+	// (the batch engine) set it to keep pathological instances from
+	// monopolizing a worker; trips surface as dp.ErrBudget.
+	MaxGenerated int
 }
 
 // DefaultConfig returns the paper's experimental configuration (§6).
@@ -140,6 +145,17 @@ type Result struct {
 // only when no phase — coarse DP, analytically seeded REFINE, fine DP, or
 // grid-rounded REFINE — can meet the target.
 func Insert(ev *delay.Evaluator, target float64, cfg Config) (Result, error) {
+	s := dp.AcquireSolver()
+	defer dp.ReleaseSolver(s)
+	return InsertWith(s, ev, target, cfg)
+}
+
+// InsertWith is Insert running both dynamic programs — the coarse phase-1
+// pass and the fine phase-4 pass — on the caller's Solver, so its scratch
+// arenas are reused across phases and, for callers that loop over nets
+// (the batch engine's workers), across solves. The Solver must not be
+// shared concurrently.
+func InsertWith(s *dp.Solver, ev *delay.Evaluator, target float64, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if !(target > 0) {
 		return Result{}, fmt.Errorf("core: target must be positive, got %g", target)
@@ -161,17 +177,21 @@ func Insert(ev *delay.Evaluator, target float64, cfg Config) (Result, error) {
 
 	// Phase 1: coarse DP.
 	t0 := time.Now()
-	coarse, err := dp.Solve(ev, dp.Options{
-		Library:   coarseLib,
-		Pitch:     cfg.CoarsePitch,
-		Objective: dp.MinPower,
-		Target:    target,
+	coarse, err := s.Solve(ev, dp.Options{
+		Library:      coarseLib,
+		Pitch:        cfg.CoarsePitch,
+		Objective:    dp.MinPower,
+		Target:       target,
+		MaxGenerated: cfg.MaxGenerated,
 	})
 	rep.CoarseTime = time.Since(t0)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: coarse DP: %w", err)
-	}
 	rep.CoarseDP = coarse
+	if err != nil {
+		// Return the partial report: coarse's Stats record the work done
+		// before the abort, which accounting callers (the engine's DP
+		// counters) still fold in.
+		return Result{Report: rep}, fmt.Errorf("core: coarse DP: %w", err)
+	}
 
 	// Choose REFINE's starting positions: the coarse solution when
 	// feasible, otherwise an analytic seeding (uniform spacing snapped to
@@ -222,17 +242,20 @@ func Insert(ev *delay.Evaluator, target float64, cfg Config) (Result, error) {
 
 	// Phase 4: fine DP over the synthesized space.
 	t0 = time.Now()
-	final, err := dp.Solve(ev, dp.Options{
-		Library:   lib,
-		Positions: cands,
-		Objective: dp.MinPower,
-		Target:    target,
+	final, err := s.Solve(ev, dp.Options{
+		Library:      lib,
+		Positions:    cands,
+		Objective:    dp.MinPower,
+		Target:       target,
+		MaxGenerated: cfg.MaxGenerated,
 	})
 	rep.FinalTime = time.Since(t0)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: final DP: %w", err)
-	}
 	rep.FinalDP = final
+	if err != nil {
+		// As with the coarse phase: keep the partial report (completed
+		// coarse work + the aborted fine run's Stats) alongside the error.
+		return Result{Report: rep}, fmt.Errorf("core: final DP: %w", err)
+	}
 
 	// Pick the best feasible discrete solution: fine DP, coarse DP, or
 	// REFINE rounded to the width grid. This reproduces the paper's
@@ -304,7 +327,7 @@ func localCandidates(ev *delay.Evaluator, centers []float64, window int, pitch f
 			out = append(out, x)
 		}
 	}
-	sort.Float64s(out)
+	slices.Sort(out)
 	// Deduplicate within a nanometer.
 	const eps = 1e-9
 	dedup := out[:0]

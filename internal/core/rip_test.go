@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -332,5 +333,37 @@ func TestConfigDefaultsFillIn(t *testing.T) {
 	if cfg.CoarseMin != def.CoarseMin || cfg.LocalWindow != def.LocalWindow ||
 		cfg.RoundGranularity != def.RoundGranularity || cfg.RefinePasses != def.RefinePasses {
 		t.Errorf("withDefaults did not fill defaults: %+v", cfg)
+	}
+}
+
+// TestInsertWorkBudget: a tiny Config.MaxGenerated aborts the coarse DP
+// with dp.ErrBudget while the partial report still carries the work done
+// (the engine's DP counters fold it in); an ample budget changes nothing.
+func TestInsertWorkBudget(t *testing.T) {
+	ev := fixture(t)
+	target := 1.3 * tminFor(t, ev)
+
+	cfg := DefaultConfig()
+	cfg.MaxGenerated = 10
+	res, err := Insert(ev, target, cfg)
+	if !errors.Is(err, dp.ErrBudget) {
+		t.Fatalf("want dp.ErrBudget, got %v", err)
+	}
+	if res.Report.CoarseDP.Stats.Generated == 0 {
+		t.Fatal("aborted coarse phase should report its partial work in the returned report")
+	}
+
+	cfg.MaxGenerated = 1 << 30
+	bounded, err := Insert(ev, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, err := Insert(ev, target, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Solution.TotalWidth != unlimited.Solution.TotalWidth ||
+		bounded.Solution.Delay != unlimited.Solution.Delay {
+		t.Fatalf("ample budget changed the answer: %+v vs %+v", bounded.Solution, unlimited.Solution)
 	}
 }

@@ -180,6 +180,23 @@ func (e *Evaluator) Total(a Assignment) float64 {
 	return sum
 }
 
+// StageRCM appends, for each of the len(points)-1 intervals between
+// consecutive points, the interval's wire resistance, capacitance and
+// distributed self-delay to r, c and m, returning the extended slices.
+// Points must be ascending. The values are exactly what Line.R, Line.C and
+// Line.M return for each interval — the DP solver uses this to precompute
+// every stage's wire quantities once per solve into reusable scratch
+// instead of re-integrating the line inside its level loop.
+func (e *Evaluator) StageRCM(points []float64, r, c, m []float64) ([]float64, []float64, []float64) {
+	for i := 0; i+1 < len(points); i++ {
+		a, b := points[i], points[i+1]
+		r = append(r, e.Line.R(a, b))
+		c = append(c, e.Line.C(a, b))
+		m = append(m, e.Line.M(a, b))
+	}
+	return r, c, m
+}
+
 // Lumped returns the per-stage wire totals (R_i, C_i) of Figure 3:
 // R[i] and C[i] are the wire resistance and capacitance between repeater i
 // and repeater i+1, for i = 0..n.

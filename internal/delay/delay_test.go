@@ -352,3 +352,26 @@ func TestRandomStageDecomposition(t *testing.T) {
 		}
 	}
 }
+
+func TestStageRCMMatchesIntervalQueries(t *testing.T) {
+	ev, _ := fixture(t)
+	points := []float64{0, 0.7e-3, 2e-3, 2.9e-3, 4.5e-3, ev.Line.Length()}
+	r, c, m := ev.StageRCM(points, nil, nil, nil)
+	if len(r) != len(points)-1 || len(c) != len(points)-1 || len(m) != len(points)-1 {
+		t.Fatalf("lengths %d/%d/%d, want %d", len(r), len(c), len(m), len(points)-1)
+	}
+	for i := 0; i+1 < len(points); i++ {
+		a, b := points[i], points[i+1]
+		if r[i] != ev.Line.R(a, b) || c[i] != ev.Line.C(a, b) || m[i] != ev.Line.M(a, b) {
+			t.Fatalf("interval %d: (%g,%g,%g) != direct (%g,%g,%g)",
+				i, r[i], c[i], m[i], ev.Line.R(a, b), ev.Line.C(a, b), ev.Line.M(a, b))
+		}
+	}
+	// Reusing caller buffers must not allocate.
+	allocs := testing.AllocsPerRun(10, func() {
+		r, c, m = ev.StageRCM(points, r[:0], c[:0], m[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("StageRCM with reused buffers allocated %.1f times per run", allocs)
+	}
+}

@@ -1,0 +1,90 @@
+package dp
+
+import (
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// benchEval builds the paper-ish 8mm three-segment net the dp unit tests
+// use, so kernel benchmarks and correctness tests exercise the same shape.
+func benchEval(b *testing.B) *delay.Evaluator {
+	b.Helper()
+	line, err := wire.New([]wire.Segment{
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+		{Length: 3.0e-3, ROhmPerM: 6e4, CFPerM: 2.1e-10, Layer: "metal5"},
+		{Length: 2.5e-3, ROhmPerM: 8e4, CFPerM: 2.3e-10, Layer: "metal4"},
+	}, []wire.Zone{{Start: 3.4e-3, End: 5.0e-3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := delay.NewEvaluator(&wire.Net{Name: "bench", Line: line, DriverWidth: 120, ReceiverWidth: 60}, tech.T180())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+func benchOpts(b *testing.B, ev *delay.Evaluator, g float64, objective Objective) Options {
+	b.Helper()
+	lib, err := repeater.Range(10, 400, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Library: lib, Pitch: 200 * units.Micron, Objective: objective}
+	if objective == MinPower {
+		tmin, err := MinimumDelay(ev, Options{Library: lib, Pitch: 200 * units.Micron})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.Target = 1.3 * tmin
+	}
+	return opts
+}
+
+// benchmarkSolve measures the steady-state kernel cost: one warm Solver,
+// one reused Solution, repeated SolveInto — the shape batch workers run.
+// Steady state performs zero heap allocations.
+func benchmarkSolve(b *testing.B, g float64, objective Objective) {
+	ev := benchEval(b)
+	opts := benchOpts(b, ev, g, objective)
+	s := NewSolver()
+	var sol Solution
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SolveInto(&sol, ev, opts); err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Feasible {
+			b.Fatal("benchmark instance must be feasible")
+		}
+	}
+}
+
+func BenchmarkSolve(b *testing.B)          { benchmarkSolve(b, 10, MinPower) }
+func BenchmarkSolve_g40(b *testing.B)      { benchmarkSolve(b, 40, MinPower) }
+func BenchmarkSolve_MinDelay(b *testing.B) { benchmarkSolve(b, 10, MinDelay) }
+
+// BenchmarkSolvePooled measures the package-level convenience entry point
+// (pool acquire + fresh result Solution per call) for comparison with the
+// raw kernel above.
+func BenchmarkSolvePooled(b *testing.B) {
+	ev := benchEval(b)
+	opts := benchOpts(b, ev, 10, MinPower)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(ev, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sol.Feasible {
+			b.Fatal("benchmark instance must be feasible")
+		}
+	}
+}

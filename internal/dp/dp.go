@@ -16,13 +16,19 @@
 // timing target. With a delay objective the width coordinate is ignored
 // (the classic 2-D pruning), which is how the package also computes τmin —
 // the minimum achievable delay the experiments normalize targets against.
+//
+// The sweep is implemented by Solver, a reusable kernel with persistent
+// scratch arenas: steady-state solves perform zero heap allocations, and
+// pruning is bucketed by repeater action (see prune.go) so the full 3-key
+// sort of the naive rendering never happens. The package-level Solve and
+// MinimumDelay draw Solvers from a pool, so even one-shot callers reuse
+// arenas across calls.
 package dp
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
+	"sync"
 
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/repeater"
@@ -112,197 +118,29 @@ type option struct {
 	// act is the library index of the repeater inserted at this level's
 	// candidate, or -1 for none.
 	act int32
-	// next indexes the downstream option this one extends (in the next
-	// level's kept array), or -1 at the receiver.
+	// next is the arena index of the downstream option this one extends,
+	// or -1 at the receiver.
 	next int32
 }
 
-// Solve runs the DP for the evaluator's net.
+// solverPool backs the package-level Solve and MinimumDelay so one-shot
+// callers still amortize scratch arenas across calls.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// AcquireSolver takes a Solver from the shared pool. Callers that solve in
+// a loop (batch workers, the hybrid pipeline) should acquire once, reuse,
+// and release when done so the arenas stay warm.
+func AcquireSolver() *Solver { return solverPool.Get().(*Solver) }
+
+// ReleaseSolver returns a Solver to the shared pool. The Solver must not
+// be used after release.
+func ReleaseSolver(s *Solver) { solverPool.Put(s) }
+
+// Solve runs the DP for the evaluator's net on a pooled Solver.
 func Solve(ev *delay.Evaluator, opts Options) (Solution, error) {
-	if opts.Library.Size() == 0 {
-		return Solution{}, errors.New("dp: empty repeater library")
-	}
-	if opts.Objective == MinPower && !(opts.Target > 0) {
-		return Solution{}, fmt.Errorf("dp: min-power needs a positive timing target, got %g", opts.Target)
-	}
-	positions := opts.Positions
-	if positions == nil {
-		if !(opts.Pitch > 0) {
-			return Solution{}, errors.New("dp: need explicit Positions or a positive Pitch")
-		}
-		positions = ev.Line.LegalPositions(opts.Pitch)
-	} else {
-		positions = append([]float64(nil), positions...)
-		sort.Float64s(positions)
-		for i, x := range positions {
-			if !ev.Line.Legal(x) {
-				return Solution{}, fmt.Errorf("dp: candidate %d at %g is not a legal repeater position", i, x)
-			}
-			if i > 0 && x == positions[i-1] {
-				return Solution{}, fmt.Errorf("dp: duplicate candidate position %g", x)
-			}
-		}
-	}
-
-	t := ev.Tech
-	widths := opts.Library.Widths()
-	stats := Stats{Candidates: len(positions)}
-
-	// Option sets per level; level k corresponds to positions[k], plus a
-	// receiver pseudo-level at the end.
-	levels := make([][]option, len(positions)+1)
-	recv := option{c: t.Co * ev.Wr, d: 0, w: 0, act: -1, next: -1}
-	levels[len(positions)] = []option{recv}
-	prevPos := ev.Line.Length()
-
-	// Delay bound for pruning: delays only grow walking upstream, so any
-	// partial already past the target is dead. (MinDelay has no bound.)
-	bound := math.Inf(1)
-	if opts.Objective == MinPower {
-		bound = opts.Target
-	}
-
-	for k := len(positions) - 1; k >= 0; k-- {
-		x := positions[k]
-		down := levels[k+1]
-		cw := ev.Line.C(x, prevPos)
-		// Per-option wire delay depends on the option's load; M is shared.
-		m := ev.Line.M(x, prevPos)
-		rw := ev.Line.R(x, prevPos)
-
-		gen := make([]option, 0, len(down)*(1+len(widths)))
-		for di, o := range down {
-			baseC := o.c + cw
-			baseD := o.d + rw*o.c + m
-			if baseD > bound {
-				continue
-			}
-			// No repeater at x.
-			gen = append(gen, option{c: baseC, d: baseD, w: o.w, act: -1, next: int32(di)})
-			// Repeater of each library width at x.
-			for wi, wrep := range widths {
-				d := t.Rs*t.Cp + t.Rs/wrep*baseC + baseD
-				if d > bound {
-					continue
-				}
-				gen = append(gen, option{c: t.Co * wrep, d: d, w: o.w + wrep, act: int32(wi), next: int32(di)})
-			}
-		}
-		stats.Generated += len(gen)
-		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
-			return Solution{Stats: stats}, fmt.Errorf("%w: %d partial solutions (limit %d)",
-				ErrBudget, stats.Generated, opts.MaxGenerated)
-		}
-		kept := prune(gen, opts.Objective == MinPower)
-		stats.Kept += len(kept)
-		if len(kept) > stats.MaxPerLevel {
-			stats.MaxPerLevel = len(kept)
-		}
-		if len(kept) == 0 {
-			// Everything timed out; infeasible.
-			return Solution{Feasible: false, Stats: stats}, nil
-		}
-		levels[k] = kept
-		prevPos = x
-	}
-
-	// Close with the driver stage: wire from 0 to the first level.
-	first := levels[0]
-	cw := ev.Line.C(0, prevPos)
-	m := ev.Line.M(0, prevPos)
-	rw := ev.Line.R(0, prevPos)
-	bestIdx := -1
-	bestDelay := math.Inf(1)
-	bestWidth := math.Inf(1)
-	for i, o := range first {
-		total := t.Rs*t.Cp + t.Rs/ev.Wd*(o.c+cw) + rw*o.c + m + o.d
-		switch opts.Objective {
-		case MinPower:
-			if total > opts.Target {
-				continue
-			}
-			if o.w < bestWidth || (o.w == bestWidth && total < bestDelay) {
-				bestIdx, bestWidth, bestDelay = i, o.w, total
-			}
-		case MinDelay:
-			if total < bestDelay {
-				bestIdx, bestWidth, bestDelay = i, o.w, total
-			}
-		}
-	}
-	if bestIdx < 0 {
-		return Solution{Feasible: false, Stats: stats}, nil
-	}
-
-	asg := reconstruct(levels, positions, widths, bestIdx)
-	sol := Solution{
-		Assignment: asg,
-		Delay:      bestDelay,
-		TotalWidth: asg.TotalWidth(),
-		Feasible:   true,
-		Stats:      stats,
-	}
-	return sol, nil
-}
-
-// reconstruct walks the parent pointers from the chosen option at level 0.
-func reconstruct(levels [][]option, positions, widths []float64, idx int) delay.Assignment {
-	var asg delay.Assignment
-	for k := 0; k < len(positions); k++ {
-		o := levels[k][idx]
-		if o.act >= 0 {
-			asg.Positions = append(asg.Positions, positions[k])
-			asg.Widths = append(asg.Widths, widths[o.act])
-		}
-		idx = int(o.next)
-	}
-	return asg
-}
-
-// prune removes dominated options. With width=true it applies the 3-D
-// Pareto rule (c, d, w); otherwise the 2-D rule (c, d). The input slice is
-// reordered and the kept prefix returned.
-func prune(opts []option, width bool) []option {
-	if len(opts) <= 1 {
-		return opts
-	}
-	if !width {
-		for i := range opts {
-			opts[i].w = 0
-		}
-	}
-	sort.Slice(opts, func(i, j int) bool {
-		a, b := opts[i], opts[j]
-		if a.c != b.c {
-			return a.c < b.c
-		}
-		if a.d != b.d {
-			return a.d < b.d
-		}
-		return a.w < b.w
-	})
-	// front holds kept (d, w) pairs sorted by d ascending with strictly
-	// decreasing w; every entry has c ≤ the current option's c, so a new
-	// option is dominated iff some front entry has d ≤ o.d and w ≤ o.w.
-	type dw struct{ d, w float64 }
-	front := make([]dw, 0, 16)
-	kept := opts[:0]
-	for _, o := range opts {
-		// Find the front entry with the largest d ≤ o.d; by construction it
-		// carries the minimum w among entries with d ≤ o.d.
-		i := sort.Search(len(front), func(i int) bool { return front[i].d > o.d })
-		if i > 0 && front[i-1].w <= o.w {
-			continue // dominated
-		}
-		kept = append(kept, o)
-		// Insert (o.d, o.w); drop entries it dominates (d ≥ o.d, w ≥ o.w).
-		j := i
-		for j < len(front) && front[j].w >= o.w {
-			j++
-		}
-		front = append(front[:i], append([]dw{{o.d, o.w}}, front[j:]...)...)
-	}
-	return kept
+	s := AcquireSolver()
+	defer ReleaseSolver(s)
+	return s.Solve(ev, opts)
 }
 
 // ReferenceOptions returns the candidate space that defines τmin
@@ -318,17 +156,11 @@ func ReferenceOptions() (Options, error) {
 	return Options{Library: lib, Pitch: 200 * units.Micron}, nil
 }
 
-// MinimumDelay computes τmin: the minimum achievable Elmore delay over the
-// candidate space described by opts (its Objective and Target are ignored).
+// MinimumDelay computes τmin on a pooled Solver: the minimum achievable
+// Elmore delay over the candidate space described by opts (its Objective
+// and Target are ignored).
 func MinimumDelay(ev *delay.Evaluator, opts Options) (float64, error) {
-	opts.Objective = MinDelay
-	opts.Target = 0
-	sol, err := Solve(ev, opts)
-	if err != nil {
-		return 0, err
-	}
-	if !sol.Feasible {
-		return 0, errors.New("dp: min-delay search produced no solution")
-	}
-	return sol.Delay, nil
+	s := AcquireSolver()
+	defer ReleaseSolver(s)
+	return s.MinimumDelay(ev, opts)
 }

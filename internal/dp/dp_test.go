@@ -330,6 +330,15 @@ func TestStatsGrowWithLibrary(t *testing.T) {
 	}
 }
 
+// pruneAll runs the bucketed pruner over an unbucketed option set (all in
+// the no-repeater bucket), the shape the legacy prune tests exercised.
+func pruneAll(opts []option, width bool) []option {
+	var p pruner
+	p.reset(1)
+	p.buckets[0] = append(p.buckets[0], opts...)
+	return p.pruneInto(nil, width)
+}
+
 func TestPruneKeepsParetoFront(t *testing.T) {
 	opts := []option{
 		{c: 1, d: 1, w: 1}, // kept
@@ -338,7 +347,7 @@ func TestPruneKeepsParetoFront(t *testing.T) {
 		{c: 0, d: 3, w: 3}, // kept (smaller c)
 		{c: 1, d: 1, w: 1}, // duplicate, dropped
 	}
-	kept := prune(append([]option(nil), opts...), true)
+	kept := pruneAll(append([]option(nil), opts...), true)
 	if len(kept) != 3 {
 		t.Fatalf("kept %d options, want 3: %+v", len(kept), kept)
 	}
@@ -362,9 +371,16 @@ func TestPrune2DIgnoresWidth(t *testing.T) {
 		{c: 2, d: 4, w: 100}, // kept in 2D despite huge width
 		{c: 3, d: 4.5, w: 0}, // dominated in (c,d) by previous
 	}
-	kept := prune(append([]option(nil), opts...), false)
+	kept := pruneAll(append([]option(nil), opts...), false)
 	if len(kept) != 2 {
 		t.Fatalf("kept %d, want 2: %+v", len(kept), kept)
+	}
+	// 2-D mode must not clobber the options' real widths (the old prune
+	// zeroed them in place).
+	for _, o := range kept {
+		if o.c == 2 && o.w != 100 {
+			t.Errorf("2-D prune mutated a kept option's width: %+v", o)
+		}
 	}
 }
 

@@ -1,0 +1,246 @@
+package dp
+
+import (
+	"math"
+	"slices"
+)
+
+// Pruning strategy
+//
+// The naive rendering of Pareto pruning sorts the whole generated set on
+// the 3-key (c, d, w) order and filters it through a (d, w) front — an
+// O(G·log G) sort with a closure comparator over G = |down|·(|B|+1)
+// options, every level. The Solver instead exploits the generation
+// structure (the Lillis–Cheng–Lin load-class observation, the paper's
+// reference [14]): an option created by inserting repeater width w_i has
+// load c = Co·w_i regardless of which downstream option it extends, so the
+// generated set splits into |B|+1 buckets — one per repeater action plus
+// the no-repeater bucket — where every repeater bucket has a single c
+// value.
+//
+//   - Within a repeater bucket, 3-D dominance degenerates to 2-D (d, w)
+//     dominance: a 2-key sort plus a linear sweep keeps the bucket's front
+//     (d ascending, w strictly descending). Under the delay objective the
+//     whole bucket collapses to its min-d element with no sort at all.
+//   - The no-repeater bucket inherits the downstream level's (c, d, w)
+//     order (kept runs are emitted sorted), so it is already sorted; a
+//     linear check guards the rare rounding collision that breaks the
+//     inheritance, re-sorting only then.
+//   - The bucket fronts are then k-way merged in ascending (c, d, w)
+//     order through one incremental (d, w) front, which performs the exact
+//     dominance filter of the classic algorithm without ever sorting the
+//     full generated set.
+//
+// The result is exactly the set of non-dominated distinct (c, d, w) values
+// (one representative each), emitted in ascending (c, d, w) order — the
+// same value set the reference O(G log G + G·F) prune keeps, which the
+// property tests in prune_test.go verify against an O(G²) dominance
+// filter.
+
+// dw is one (delay, width) Pareto-front entry.
+type dw struct{ d, w float64 }
+
+// mergeHead is one cursor of the k-way bucket merge.
+type mergeHead struct {
+	b int32 // bucket index
+	i int32 // next unconsumed option in that bucket
+}
+
+// pruner holds the bucketed-prune scratch. Buffers are retained across
+// levels and solves; bucket 0 is the no-repeater action, bucket i+1 the
+// library's width index i.
+type pruner struct {
+	buckets [][]option
+	front   []dw
+	heap    []mergeHead
+}
+
+// reset prepares nb buckets for a new level, keeping allocated capacity.
+func (p *pruner) reset(nb int) {
+	if cap(p.buckets) < nb {
+		grown := make([][]option, nb)
+		copy(grown, p.buckets)
+		p.buckets = grown
+	}
+	p.buckets = p.buckets[:nb]
+	for i := range p.buckets {
+		p.buckets[i] = p.buckets[i][:0]
+	}
+}
+
+// cmpOpt orders options by (c, d, w) ascending — (c, d) only when the
+// width coordinate is ignored (2-D mode). Width-blindness is a comparison
+// concern: the options' real widths are never modified.
+func cmpOpt(a, b *option, threeD bool) int {
+	switch {
+	case a.c != b.c:
+		if a.c < b.c {
+			return -1
+		}
+		return 1
+	case a.d != b.d:
+		if a.d < b.d {
+			return -1
+		}
+		return 1
+	case threeD && a.w != b.w:
+		if a.w < b.w {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// pruneInto removes dominated options from the filled buckets and appends
+// the survivors to dst in ascending (c, d, w) order, returning the
+// extended slice. With threeD it applies the 3-D Pareto rule on (c, d, w);
+// otherwise the 2-D rule on (c, d), comparing as if every width were zero
+// without mutating any option.
+func (p *pruner) pruneInto(dst []option, threeD bool) []option {
+	// Stage 1: reduce each bucket to its own front.
+	//
+	// Bucket 0 (no repeater) carries arbitrary c values but inherits the
+	// downstream kept order; verify and only sort on the rare violation.
+	b0 := p.buckets[0]
+	if !slices.IsSortedFunc(b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) }) {
+		slices.SortFunc(b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) })
+	}
+	for bi := 1; bi < len(p.buckets); bi++ {
+		b := p.buckets[bi]
+		if len(b) <= 1 {
+			continue
+		}
+		if !threeD {
+			// Constant c, width ignored: the min-d element dominates the
+			// whole bucket. Keep the first minimum.
+			best := 0
+			for i := 1; i < len(b); i++ {
+				if b[i].d < b[best].d {
+					best = i
+				}
+			}
+			b[0] = b[best]
+			p.buckets[bi] = b[:1]
+			continue
+		}
+		// Constant c: 2-D (d, w) front. Sort by (d, w) and keep strictly
+		// decreasing widths.
+		slices.SortFunc(b, func(a, b option) int {
+			switch {
+			case a.d != b.d:
+				if a.d < b.d {
+					return -1
+				}
+				return 1
+			case a.w != b.w:
+				if a.w < b.w {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		out := b[:0]
+		minW := math.Inf(1)
+		for i := range b {
+			if b[i].w < minW {
+				minW = b[i].w
+				out = append(out, b[i])
+			}
+		}
+		p.buckets[bi] = out
+	}
+
+	// Stage 2: k-way merge of the bucket fronts in ascending (c, d, w)
+	// order through a single incremental (d, w) front. Every run is sorted
+	// in that order (repeater buckets have constant c and ascending d), so
+	// a small binary heap over the run heads yields the global order.
+	p.heap = p.heap[:0]
+	for bi := range p.buckets {
+		if len(p.buckets[bi]) > 0 {
+			p.heap = append(p.heap, mergeHead{b: int32(bi)})
+		}
+	}
+	for i := len(p.heap)/2 - 1; i >= 0; i-- {
+		p.siftDown(i, threeD)
+	}
+
+	p.front = p.front[:0]
+	for len(p.heap) > 0 {
+		h := p.heap[0]
+		o := p.buckets[h.b][h.i]
+		if int(h.i)+1 < len(p.buckets[h.b]) {
+			p.heap[0].i++
+		} else {
+			last := len(p.heap) - 1
+			p.heap[0] = p.heap[last]
+			p.heap = p.heap[:last]
+		}
+		p.siftDown(0, threeD)
+
+		// front holds kept (d, w) pairs sorted by d ascending with
+		// strictly decreasing w; every entry's c ≤ o.c by merge order, so
+		// o is dominated iff some entry has d ≤ o.d and w ≤ o.w.
+		ow := o.w
+		if !threeD {
+			ow = 0
+		}
+		lo, hi := 0, len(p.front)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if p.front[mid].d > o.d {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo > 0 && p.front[lo-1].w <= ow {
+			continue // dominated (or a duplicate of a kept value)
+		}
+		dst = append(dst, o)
+		// Insert (o.d, ow); drop entries it dominates (d ≥ o.d, w ≥ ow).
+		j := lo
+		for j < len(p.front) && p.front[j].w >= ow {
+			j++
+		}
+		if j == lo {
+			p.front = append(p.front, dw{})
+			copy(p.front[lo+1:], p.front[lo:])
+			p.front[lo] = dw{o.d, ow}
+		} else {
+			p.front[lo] = dw{o.d, ow}
+			p.front = append(p.front[:lo+1], p.front[j:]...)
+		}
+	}
+	return dst
+}
+
+// headLess orders merge cursors by their head option's (c, d, w), breaking
+// exact value ties by bucket index for determinism.
+func (p *pruner) headLess(x, y mergeHead, threeD bool) bool {
+	c := cmpOpt(&p.buckets[x.b][x.i], &p.buckets[y.b][y.i], threeD)
+	if c != 0 {
+		return c < 0
+	}
+	return x.b < y.b
+}
+
+// siftDown restores the heap property from index i.
+func (p *pruner) siftDown(i int, threeD bool) {
+	for {
+		l := 2*i + 1
+		if l >= len(p.heap) {
+			return
+		}
+		min := l
+		if r := l + 1; r < len(p.heap) && p.headLess(p.heap[r], p.heap[l], threeD) {
+			min = r
+		}
+		if !p.headLess(p.heap[min], p.heap[i], threeD) {
+			return
+		}
+		p.heap[i], p.heap[min] = p.heap[min], p.heap[i]
+		i = min
+	}
+}

@@ -1,0 +1,197 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dominates reports 3-D (or 2-D, width-blind) dominance of a over b.
+func dominates(a, b option, threeD bool) bool {
+	if a.c > b.c || a.d > b.d {
+		return false
+	}
+	if threeD && a.w > b.w {
+		return false
+	}
+	return true
+}
+
+// optKey is an option's value triple; in 2-D mode the width coordinate is
+// collapsed so value identity matches the pruner's comparison semantics.
+type optKey struct{ c, d, w float64 }
+
+func keyOf(o option, threeD bool) optKey {
+	k := optKey{c: o.c, d: o.d, w: o.w}
+	if !threeD {
+		k.w = 0
+	}
+	return k
+}
+
+// referenceFront is the O(n²) oracle: the set of distinct non-dominated
+// value triples under the mode's dominance rule.
+func referenceFront(opts []option, threeD bool) map[optKey]bool {
+	front := make(map[optKey]bool)
+	for _, o := range opts {
+		dominated := false
+		for _, p := range opts {
+			if keyOf(p, threeD) != keyOf(o, threeD) && dominates(p, o, threeD) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front[keyOf(o, threeD)] = true
+		}
+	}
+	return front
+}
+
+// checkPrune feeds the bucketed options through the pruner and verifies
+// the kept set is exactly the Pareto-optimal value set, one representative
+// per value, emitted in ascending (c, d, w) order.
+func checkPrune(t *testing.T, buckets [][]option, threeD bool) {
+	t.Helper()
+	var all []option
+	for bi, b := range buckets {
+		for _, o := range b {
+			if bi > 0 && o.c != b[0].c {
+				t.Fatalf("test bug: bucket %d mixes c values", bi)
+			}
+			all = append(all, o)
+		}
+	}
+	want := referenceFront(all, threeD)
+
+	var p pruner
+	p.reset(len(buckets))
+	for bi, b := range buckets {
+		p.buckets[bi] = append(p.buckets[bi], b...)
+	}
+	kept := p.pruneInto(nil, threeD)
+
+	got := make(map[optKey]bool, len(kept))
+	for _, o := range kept {
+		k := keyOf(o, threeD)
+		if got[k] {
+			t.Fatalf("duplicate kept value %+v (threeD=%v)", k, threeD)
+		}
+		got[k] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kept %d distinct values, want %d (threeD=%v)\nkept: %v\nwant: %v",
+			len(got), len(want), threeD, got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing Pareto-optimal value %+v (threeD=%v)", k, threeD)
+		}
+	}
+	for i := 1; i < len(kept); i++ {
+		if cmpOpt(&kept[i-1], &kept[i], threeD) > 0 {
+			t.Fatalf("kept output not sorted at %d: %+v > %+v", i, kept[i-1], kept[i])
+		}
+	}
+	// Width preservation: 2-D pruning must not rewrite real widths.
+	if !threeD {
+		orig := make(map[[4]float64]int)
+		for _, o := range all {
+			orig[[4]float64{o.c, o.d, o.w, float64(o.act)}]++
+		}
+		for _, o := range kept {
+			if orig[[4]float64{o.c, o.d, o.w, float64(o.act)}] == 0 {
+				t.Fatalf("kept option %+v is not one of the inputs — width mutated?", o)
+			}
+		}
+	}
+}
+
+// randomBuckets builds a bucketed option set the way the solver generates
+// one: bucket 0 with arbitrary (c, d, w), buckets 1..K each pinned to a
+// constant c. Tie-heavy mode draws every coordinate from a tiny integer
+// grid so duplicates, shared load classes and equal delays are common.
+func randomBuckets(rng *rand.Rand, tieHeavy bool) [][]option {
+	draw := func() float64 {
+		if tieHeavy {
+			return float64(rng.Intn(4))
+		}
+		return math.Round(rng.Float64()*1000) / 100
+	}
+	nb := 1 + rng.Intn(5)
+	buckets := make([][]option, nb)
+	n0 := rng.Intn(12)
+	for i := 0; i < n0; i++ {
+		buckets[0] = append(buckets[0], option{c: draw(), d: draw(), w: draw(), act: -1, next: int32(i)})
+	}
+	for bi := 1; bi < nb; bi++ {
+		c := draw()
+		nB := rng.Intn(10)
+		for i := 0; i < nB; i++ {
+			buckets[bi] = append(buckets[bi], option{c: c, d: draw(), w: draw(), act: int32(bi - 1), next: int32(i)})
+		}
+	}
+	return buckets
+}
+
+// TestPruneProperty cross-checks the bucketed prune against the O(n²)
+// dominance oracle on thousands of randomized bucket sets, in both modes,
+// with and without tie-heavy inputs.
+func TestPruneProperty(t *testing.T) {
+	trials := 3000
+	if testing.Short() {
+		trials = 500
+	}
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < trials; trial++ {
+		buckets := randomBuckets(rng, trial%2 == 0)
+		checkPrune(t, buckets, true)
+		checkPrune(t, buckets, false)
+	}
+}
+
+// TestPruneUnsortedBucketZero covers the rounding-collision guard: bucket 0
+// normally inherits sorted order from the downstream level, but the pruner
+// must stay exact when it does not.
+func TestPruneUnsortedBucketZero(t *testing.T) {
+	buckets := [][]option{
+		{
+			{c: 3, d: 1, w: 2},
+			{c: 1, d: 5, w: 1},
+			{c: 2, d: 2, w: 9},
+			{c: 1, d: 5, w: 1}, // duplicate
+			{c: 3, d: 1, w: 2}, // duplicate
+		},
+		{{c: 2, d: 3, w: 4}, {c: 2, d: 1, w: 8}, {c: 2, d: 3, w: 2}},
+	}
+	checkPrune(t, buckets, true)
+	checkPrune(t, buckets, false)
+}
+
+// FuzzPrune decodes arbitrary bytes into a bucketed option set and checks
+// the pruner against the oracle — the fuzz rendering of TestPruneProperty.
+func FuzzPrune(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), true)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}, uint8(3), false)
+	f.Add([]byte{255, 1, 128, 7, 3, 3, 3, 3, 9, 0, 64, 2, 2, 2, 200, 90, 13, 5}, uint8(4), true)
+	f.Fuzz(func(t *testing.T, data []byte, nb uint8, threeD bool) {
+		nbuckets := 1 + int(nb%5)
+		buckets := make([][]option, nbuckets)
+		bucketC := make([]float64, nbuckets)
+		for bi := 1; bi < nbuckets; bi++ {
+			bucketC[bi] = float64(bi * 7 % 5)
+		}
+		for i := 0; i+3 <= len(data) && i < 32*3; i += 3 {
+			bi := int(data[i]) % nbuckets
+			// Coordinates on a small grid so dominance ties are common.
+			d := float64(data[i+1] % 8)
+			w := float64(data[i+2] % 8)
+			c := float64((int(data[i+1])*256 + int(data[i+2])) % 8)
+			if bi > 0 {
+				c = bucketC[bi]
+			}
+			buckets[bi] = append(buckets[bi], option{c: c, d: d, w: w, act: int32(bi - 1)})
+		}
+		checkPrune(t, buckets, threeD)
+	})
+}

@@ -1,0 +1,210 @@
+package dp
+
+// This file preserves the pre-Solver rendering of the DP — per-level
+// slices, a full 3-key sort.Slice per level, and the middle-insert Pareto
+// front — verbatim, as the reference the rewritten kernel is differenced
+// against. The differential tests require (delay, total width, feasibility)
+// and the work Stats to be bit-identical between the two.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+)
+
+// solveReference is the old dp.Solve.
+func solveReference(ev *delay.Evaluator, opts Options) (Solution, error) {
+	if opts.Library.Size() == 0 {
+		return Solution{}, errors.New("dp: empty repeater library")
+	}
+	if opts.Objective == MinPower && !(opts.Target > 0) {
+		return Solution{}, fmt.Errorf("dp: min-power needs a positive timing target, got %g", opts.Target)
+	}
+	positions := opts.Positions
+	if positions == nil {
+		if !(opts.Pitch > 0) {
+			return Solution{}, errors.New("dp: need explicit Positions or a positive Pitch")
+		}
+		positions = ev.Line.LegalPositions(opts.Pitch)
+	} else {
+		positions = append([]float64(nil), positions...)
+		sort.Float64s(positions)
+		for i, x := range positions {
+			if !ev.Line.Legal(x) {
+				return Solution{}, fmt.Errorf("dp: candidate %d at %g is not a legal repeater position", i, x)
+			}
+			if i > 0 && x == positions[i-1] {
+				return Solution{}, fmt.Errorf("dp: duplicate candidate position %g", x)
+			}
+		}
+	}
+
+	t := ev.Tech
+	widths := opts.Library.Widths()
+	stats := Stats{Candidates: len(positions)}
+
+	levels := make([][]option, len(positions)+1)
+	recv := option{c: t.Co * ev.Wr, d: 0, w: 0, act: -1, next: -1}
+	levels[len(positions)] = []option{recv}
+	prevPos := ev.Line.Length()
+
+	bound := math.Inf(1)
+	if opts.Objective == MinPower {
+		bound = opts.Target
+	}
+
+	for k := len(positions) - 1; k >= 0; k-- {
+		x := positions[k]
+		down := levels[k+1]
+		cw := ev.Line.C(x, prevPos)
+		m := ev.Line.M(x, prevPos)
+		rw := ev.Line.R(x, prevPos)
+
+		gen := make([]option, 0, len(down)*(1+len(widths)))
+		for di, o := range down {
+			baseC := o.c + cw
+			baseD := o.d + rw*o.c + m
+			if baseD > bound {
+				continue
+			}
+			gen = append(gen, option{c: baseC, d: baseD, w: o.w, act: -1, next: int32(di)})
+			for wi, wrep := range widths {
+				d := t.Rs*t.Cp + t.Rs/wrep*baseC + baseD
+				if d > bound {
+					continue
+				}
+				gen = append(gen, option{c: t.Co * wrep, d: d, w: o.w + wrep, act: int32(wi), next: int32(di)})
+			}
+		}
+		stats.Generated += len(gen)
+		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
+			return Solution{Stats: stats}, fmt.Errorf("%w: %d partial solutions (limit %d)",
+				ErrBudget, stats.Generated, opts.MaxGenerated)
+		}
+		kept := pruneReference(gen, opts.Objective == MinPower)
+		stats.Kept += len(kept)
+		if len(kept) > stats.MaxPerLevel {
+			stats.MaxPerLevel = len(kept)
+		}
+		if len(kept) == 0 {
+			return Solution{Feasible: false, Stats: stats}, nil
+		}
+		levels[k] = kept
+		prevPos = x
+	}
+
+	first := levels[0]
+	cw := ev.Line.C(0, prevPos)
+	m := ev.Line.M(0, prevPos)
+	rw := ev.Line.R(0, prevPos)
+	bestIdx := -1
+	bestDelay := math.Inf(1)
+	bestWidth := math.Inf(1)
+	for i, o := range first {
+		total := t.Rs*t.Cp + t.Rs/ev.Wd*(o.c+cw) + rw*o.c + m + o.d
+		switch opts.Objective {
+		case MinPower:
+			if total > opts.Target {
+				continue
+			}
+			if o.w < bestWidth || (o.w == bestWidth && total < bestDelay) {
+				bestIdx, bestWidth, bestDelay = i, o.w, total
+			}
+		case MinDelay:
+			if total < bestDelay {
+				bestIdx, bestWidth, bestDelay = i, o.w, total
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return Solution{Feasible: false, Stats: stats}, nil
+	}
+
+	asg := reconstructReference(levels, positions, widths, bestIdx)
+	return Solution{
+		Assignment: asg,
+		Delay:      bestDelay,
+		TotalWidth: asg.TotalWidth(),
+		Feasible:   true,
+		Stats:      stats,
+	}, nil
+}
+
+// reconstructReference walks per-level parent pointers (next indexes the
+// next level's kept slice in the reference layout).
+func reconstructReference(levels [][]option, positions, widths []float64, idx int) delay.Assignment {
+	var asg delay.Assignment
+	for k := 0; k < len(positions); k++ {
+		o := levels[k][idx]
+		if o.act >= 0 {
+			asg.Positions = append(asg.Positions, positions[k])
+			asg.Widths = append(asg.Widths, widths[o.act])
+		}
+		idx = int(o.next)
+	}
+	return asg
+}
+
+// pruneReference is the old dp.prune: full 3-key sort, then a middle-insert
+// (d, w) front. Note the destructive 2-D behavior (it zeroes widths in
+// place) that the Solver's pruner deliberately does not share.
+func pruneReference(opts []option, width bool) []option {
+	if len(opts) <= 1 {
+		return opts
+	}
+	if !width {
+		for i := range opts {
+			opts[i].w = 0
+		}
+	}
+	sort.Slice(opts, func(i, j int) bool {
+		a, b := opts[i], opts[j]
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.w < b.w
+	})
+	front := make([]dw, 0, 16)
+	kept := opts[:0]
+	for _, o := range opts {
+		i := sort.Search(len(front), func(i int) bool { return front[i].d > o.d })
+		if i > 0 && front[i-1].w <= o.w {
+			continue
+		}
+		kept = append(kept, o)
+		j := i
+		for j < len(front) && front[j].w >= o.w {
+			j++
+		}
+		front = append(front[:i], append([]dw{{o.d, o.w}}, front[j:]...)...)
+	}
+	return kept
+}
+
+// diffSolutions fails the test unless the two solutions agree bit-exactly
+// on feasibility, delay, total width and work stats.
+func diffSolutions(t *testing.T, label string, got, want Solution) {
+	t.Helper()
+	if got.Feasible != want.Feasible {
+		t.Fatalf("%s: feasibility %v != reference %v", label, got.Feasible, want.Feasible)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v != reference %+v", label, got.Stats, want.Stats)
+	}
+	if !got.Feasible {
+		return
+	}
+	if got.Delay != want.Delay {
+		t.Fatalf("%s: delay %.17g != reference %.17g", label, got.Delay, want.Delay)
+	}
+	if got.TotalWidth != want.TotalWidth {
+		t.Fatalf("%s: total width %.17g != reference %.17g", label, got.TotalWidth, want.TotalWidth)
+	}
+}

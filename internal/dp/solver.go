@@ -1,0 +1,267 @@
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"github.com/rip-eda/rip/internal/delay"
+)
+
+// Solver is a reusable DP kernel. All per-solve working memory — candidate
+// positions, per-stage wire quantities, the option arena, generation and
+// pruning buffers — lives in persistent scratch that is recycled across
+// levels and across solves, so steady-state solves allocate nothing on the
+// heap. A Solver is NOT safe for concurrent use: give each worker its own
+// (the batch engine does) or draw one from the package pool per call.
+//
+// Layout: all levels' surviving options live in one flat arena. Level k's
+// run is arena[lvlOff[k] : lvlOff[k]+lvlCnt[k]]; an option's parent pointer
+// (next) is the absolute arena index of the downstream option it extends,
+// so reconstruction is a pointer walk with no per-level slices.
+type Solver struct {
+	// cand is the candidate position list for the current solve; points is
+	// cand bracketed by the terminals [0, cand..., L], so interval i spans
+	// [points[i], points[i+1]] and wR/wC/wM[i] hold that interval's wire
+	// resistance, capacitance and distributed self-delay.
+	cand   []float64
+	points []float64
+	wR     []float64
+	wC     []float64
+	wM     []float64
+
+	// widths is the library scratch; rsOverW and coW are the per-width
+	// constants Rs/w and Co·w hoisted out of the generation loop (the
+	// division per partial solution is measurable at Table 2 scale).
+	widths  []float64
+	rsOverW []float64
+	coW     []float64
+
+	// arena holds every level's kept options, receiver level first.
+	arena  []option
+	lvlOff []int32
+	lvlCnt []int32
+
+	pr pruner
+
+	// mdSol is MinimumDelay's scratch solution, so τmin queries stay
+	// allocation-free too.
+	mdSol Solution
+}
+
+// NewSolver returns an empty Solver; arenas grow on first use and are
+// retained afterwards.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve runs the DP for the evaluator's net and returns a freshly
+// allocated Solution (safe to retain after the Solver is reused).
+func (s *Solver) Solve(ev *delay.Evaluator, opts Options) (Solution, error) {
+	var sol Solution
+	err := s.SolveInto(&sol, ev, opts)
+	return sol, err
+}
+
+// MinimumDelay computes τmin: the minimum achievable Elmore delay over the
+// candidate space described by opts (its Objective and Target are ignored).
+func (s *Solver) MinimumDelay(ev *delay.Evaluator, opts Options) (float64, error) {
+	tmin, _, err := s.MinimumDelayStats(ev, opts)
+	return tmin, err
+}
+
+// MinimumDelayStats is MinimumDelay also reporting the run's work Stats,
+// so accounting callers (the engine's DP counters) don't pay a second
+// solve. On error the stats cover the partial work done before the abort.
+func (s *Solver) MinimumDelayStats(ev *delay.Evaluator, opts Options) (float64, Stats, error) {
+	opts.Objective = MinDelay
+	opts.Target = 0
+	if err := s.SolveInto(&s.mdSol, ev, opts); err != nil {
+		return 0, s.mdSol.Stats, err
+	}
+	if !s.mdSol.Feasible {
+		return 0, s.mdSol.Stats, errors.New("dp: min-delay search produced no solution")
+	}
+	return s.mdSol.Delay, s.mdSol.Stats, nil
+}
+
+// SolveInto runs the DP for the evaluator's net, writing the outcome into
+// *sol. The solution's Assignment buffers are reused when present, which
+// is what makes repeated solves on one Solver allocation-free; callers
+// that retain solutions across solves must pass distinct *sol values (or
+// use Solve, which always returns fresh memory).
+func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) error {
+	sol.Assignment.Positions = sol.Assignment.Positions[:0]
+	sol.Assignment.Widths = sol.Assignment.Widths[:0]
+	sol.Delay = 0
+	sol.TotalWidth = 0
+	sol.Feasible = false
+	sol.Stats = Stats{}
+
+	if opts.Library.Size() == 0 {
+		return errors.New("dp: empty repeater library")
+	}
+	if opts.Objective == MinPower && !(opts.Target > 0) {
+		return fmt.Errorf("dp: min-power needs a positive timing target, got %g", opts.Target)
+	}
+	s.cand = s.cand[:0]
+	if opts.Positions == nil {
+		if !(opts.Pitch > 0) {
+			return errors.New("dp: need explicit Positions or a positive Pitch")
+		}
+		s.cand = ev.Line.AppendLegalPositions(s.cand, opts.Pitch)
+	} else {
+		s.cand = append(s.cand, opts.Positions...)
+		slices.Sort(s.cand)
+		for i, x := range s.cand {
+			if !ev.Line.Legal(x) {
+				return fmt.Errorf("dp: candidate %d at %g is not a legal repeater position", i, x)
+			}
+			if i > 0 && x == s.cand[i-1] {
+				return fmt.Errorf("dp: duplicate candidate position %g", x)
+			}
+		}
+	}
+
+	t := ev.Tech
+	n := len(s.cand)
+	stats := Stats{Candidates: n}
+
+	// Per-solve precomputation: every stage's wire R/C/M in one prepass,
+	// and the per-width electrical constants.
+	s.points = append(s.points[:0], 0)
+	s.points = append(s.points, s.cand...)
+	s.points = append(s.points, ev.Line.Length())
+	s.wR, s.wC, s.wM = ev.StageRCM(s.points, s.wR[:0], s.wC[:0], s.wM[:0])
+	s.widths = opts.Library.AppendWidths(s.widths[:0])
+	s.rsOverW = s.rsOverW[:0]
+	s.coW = s.coW[:0]
+	for _, w := range s.widths {
+		s.rsOverW = append(s.rsOverW, t.Rs/w)
+		s.coW = append(s.coW, t.Co*w)
+	}
+	rsCp := t.Rs * t.Cp
+
+	if cap(s.lvlOff) < n+1 {
+		s.lvlOff = make([]int32, n+1)
+		s.lvlCnt = make([]int32, n+1)
+	}
+	s.lvlOff = s.lvlOff[:n+1]
+	s.lvlCnt = s.lvlCnt[:n+1]
+
+	// Receiver pseudo-level: a single seed option at arena[0].
+	s.arena = append(s.arena[:0], option{c: t.Co * ev.Wr, d: 0, w: 0, act: -1, next: -1})
+	s.lvlOff[n] = 0
+	s.lvlCnt[n] = 1
+
+	// Delay bound for pruning: delays only grow walking upstream, so any
+	// partial already past the target is dead. (MinDelay has no bound.)
+	bound := math.Inf(1)
+	threeD := opts.Objective == MinPower
+	if threeD {
+		bound = opts.Target
+	}
+
+	for k := n - 1; k >= 0; k-- {
+		// Stage k+1 spans [cand[k], next candidate or L].
+		cw := s.wC[k+1]
+		rw := s.wR[k+1]
+		m := s.wM[k+1]
+
+		s.pr.reset(len(s.widths) + 1)
+		downOff := s.lvlOff[k+1]
+		down := s.arena[downOff : downOff+s.lvlCnt[k+1]]
+		gen := 0
+		for di := range down {
+			o := &down[di]
+			baseC := o.c + cw
+			baseD := o.d + rw*o.c + m
+			if baseD > bound {
+				continue
+			}
+			next := downOff + int32(di)
+			// No repeater at this candidate.
+			s.pr.buckets[0] = append(s.pr.buckets[0], option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+			// Repeater of each library width: within bucket wi+1 the load
+			// coordinate c is the constant Co·w, which is what lets the
+			// pruner treat the bucket as a 2-D (d, w) front.
+			for wi := range s.widths {
+				d := rsCp + s.rsOverW[wi]*baseC + baseD
+				if d > bound {
+					continue
+				}
+				s.pr.buckets[wi+1] = append(s.pr.buckets[wi+1],
+					option{c: s.coW[wi], d: d, w: o.w + s.widths[wi], act: int32(wi), next: next})
+			}
+		}
+		for _, b := range s.pr.buckets {
+			gen += len(b)
+		}
+		stats.Generated += gen
+		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
+			sol.Stats = stats
+			return fmt.Errorf("%w: %d partial solutions (limit %d)",
+				ErrBudget, stats.Generated, opts.MaxGenerated)
+		}
+		start := int32(len(s.arena))
+		s.arena = s.pr.pruneInto(s.arena, threeD)
+		kept := int32(len(s.arena)) - start
+		stats.Kept += int(kept)
+		if int(kept) > stats.MaxPerLevel {
+			stats.MaxPerLevel = int(kept)
+		}
+		if kept == 0 {
+			// Everything timed out; infeasible.
+			sol.Stats = stats
+			return nil
+		}
+		s.lvlOff[k] = start
+		s.lvlCnt[k] = kept
+	}
+
+	// Close with the driver stage: wire from 0 to the first level.
+	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
+	cw := s.wC[0]
+	m := s.wM[0]
+	rw := s.wR[0]
+	rsOverWd := t.Rs / ev.Wd
+	bestIdx := int32(-1)
+	bestDelay := math.Inf(1)
+	bestWidth := math.Inf(1)
+	for i := range first {
+		o := &first[i]
+		total := rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d
+		switch opts.Objective {
+		case MinPower:
+			if total > opts.Target {
+				continue
+			}
+			if o.w < bestWidth || (o.w == bestWidth && total < bestDelay) {
+				bestIdx, bestWidth, bestDelay = int32(i), o.w, total
+			}
+		case MinDelay:
+			if total < bestDelay {
+				bestIdx, bestWidth, bestDelay = int32(i), o.w, total
+			}
+		}
+	}
+	sol.Stats = stats
+	if bestIdx < 0 {
+		return nil
+	}
+
+	// Reconstruct by walking the arena parent pointers from the chosen
+	// level-0 option.
+	idx := s.lvlOff[0] + bestIdx
+	for k := 0; k < n; k++ {
+		o := &s.arena[idx]
+		if o.act >= 0 {
+			sol.Assignment.Positions = append(sol.Assignment.Positions, s.cand[k])
+			sol.Assignment.Widths = append(sol.Assignment.Widths, s.widths[o.act])
+		}
+		idx = o.next
+	}
+	sol.Delay = bestDelay
+	sol.TotalWidth = sol.Assignment.TotalWidth()
+	sol.Feasible = true
+	return nil
+}

@@ -157,6 +157,17 @@ type Engine struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	rejected atomic.Uint64
+
+	// Cumulative DP work counters, aggregated from every dp solve the
+	// engine performs (τmin, coarse and fine phases). ripd exports them at
+	// /metrics next to the cache stats, so operators can watch the actual
+	// pruning workload — the cost Table 2 is about — not just request
+	// rates.
+	dpSolves       atomic.Uint64
+	dpGenerated    atomic.Uint64
+	dpKept         atomic.Uint64
+	dpMaxPerLevel  atomic.Uint64
+	dpBudgetAborts atomic.Uint64
 }
 
 // New builds an Engine for the technology node.
@@ -205,6 +216,63 @@ func (e *Engine) Workers() int { return e.workers }
 // to build matching power models and reports without re-plumbing the node.
 func (e *Engine) Technology() *tech.Technology { return e.tech }
 
+// DPStats is a point-in-time snapshot of the cumulative dynamic-program
+// work the engine has performed across all jobs (cache hits skip the DP
+// entirely and contribute nothing).
+type DPStats struct {
+	// Solves counts dp runs that performed work (τmin + pipeline phases),
+	// including runs aborted by the work budget — BudgetAborts counts
+	// that subset.
+	Solves uint64
+	// Generated and Kept accumulate dp.Stats over those runs; aborted
+	// runs contribute the partial work done before the abort.
+	Generated uint64
+	Kept      uint64
+	// MaxPerLevel is the largest surviving option set any level of any run
+	// held — a high-water mark, not a sum.
+	MaxPerLevel uint64
+	// BudgetAborts counts solves aborted by Options.MaxGenerated
+	// (dp.ErrBudget).
+	BudgetAborts uint64
+}
+
+// DPStats snapshots the DP work counters.
+func (e *Engine) DPStats() DPStats {
+	return DPStats{
+		Solves:       e.dpSolves.Load(),
+		Generated:    e.dpGenerated.Load(),
+		Kept:         e.dpKept.Load(),
+		MaxPerLevel:  e.dpMaxPerLevel.Load(),
+		BudgetAborts: e.dpBudgetAborts.Load(),
+	}
+}
+
+// noteDP folds one dp run's stats into the cumulative counters.
+func (e *Engine) noteDP(st dp.Stats) {
+	if st.Candidates == 0 && st.Generated == 0 {
+		return // phase did not run (e.g. unbuffered shortcut)
+	}
+	e.dpSolves.Add(1)
+	e.dpGenerated.Add(uint64(st.Generated))
+	e.dpKept.Add(uint64(st.Kept))
+	for {
+		cur := e.dpMaxPerLevel.Load()
+		if uint64(st.MaxPerLevel) <= cur {
+			break
+		}
+		if e.dpMaxPerLevel.CompareAndSwap(cur, uint64(st.MaxPerLevel)) {
+			break
+		}
+	}
+}
+
+// noteDPErr counts budget-aborted solves.
+func (e *Engine) noteDPErr(err error) {
+	if errors.Is(err, dp.ErrBudget) {
+		e.dpBudgetAborts.Add(1)
+	}
+}
+
 // CacheStats snapshots the cache counters.
 func (e *Engine) CacheStats() CacheStats {
 	s := CacheStats{
@@ -239,12 +307,17 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one pooled Solver for its whole run, so
+			// steady-state kernel solves reuse warm arenas and allocate
+			// nothing.
+			s := dp.AcquireSolver()
+			defer dp.ReleaseSolver(s)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
-				r := e.SolveContext(ctx, jobs[i])
+				r := e.solveContext(ctx, jobs[i], s)
 				r.Index = i
 				results[i] = r
 			}
@@ -300,8 +373,10 @@ func (e *Engine) RunStreamContext(ctx context.Context, in <-chan Job) <-chan Res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := dp.AcquireSolver()
+			defer dp.ReleaseSolver(s)
 			for sj := range jobs {
-				r := e.SolveContext(ctx, sj.job)
+				r := e.solveContext(ctx, sj.job, s)
 				r.Index = sj.idx
 				done <- r
 			}
@@ -346,7 +421,16 @@ func (e *Engine) Solve(j Job) Result {
 // stops before its next expensive phase rather than mid-sweep. A
 // cancelled job's Result carries the context error in Err, wrapped so
 // errors.Is(r.Err, ctx.Err()) holds.
-func (e *Engine) SolveContext(ctx context.Context, j Job) (res Result) {
+func (e *Engine) SolveContext(ctx context.Context, j Job) Result {
+	s := dp.AcquireSolver()
+	defer dp.ReleaseSolver(s)
+	return e.solveContext(ctx, j, s)
+}
+
+// solveContext runs one job on the given Solver. Run and RunStream pass a
+// worker-owned Solver so every DP in the job — the τmin sweep and the
+// pipeline's coarse and fine phases — reuses one set of warm arenas.
+func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Result) {
 	res.Net = j.Net
 	defer func() {
 		// A panicking solver run must not take down a million-net batch.
@@ -408,8 +492,10 @@ func (e *Engine) SolveContext(ctx context.Context, j Job) (res Result) {
 			res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
 			return res
 		}
-		tmin, err := dp.MinimumDelay(ev, e.refOpts)
+		tmin, st, err := s.MinimumDelayStats(ev, e.refOpts)
+		e.noteDP(st)
 		if err != nil {
+			e.noteDPErr(err)
 			res.Err = fmt.Errorf("engine: τmin for %q: %w", j.Net.Name, err)
 			return res
 		}
@@ -421,8 +507,11 @@ func (e *Engine) SolveContext(ctx context.Context, j Job) (res Result) {
 		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
 		return res
 	}
-	out, err := core.Insert(ev, target, e.cfg)
+	out, err := core.InsertWith(s, ev, target, e.cfg)
+	e.noteDP(out.Report.CoarseDP.Stats)
+	e.noteDP(out.Report.FinalDP.Stats)
 	if err != nil {
+		e.noteDPErr(err)
 		res.Err = fmt.Errorf("engine: solving %q: %w", j.Net.Name, err)
 		return res
 	}

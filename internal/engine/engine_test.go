@@ -10,6 +10,7 @@ import (
 
 	"github.com/rip-eda/rip/internal/core"
 	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/netgen"
 	"github.com/rip-eda/rip/internal/tech"
 	"github.com/rip-eda/rip/internal/units"
@@ -121,6 +122,82 @@ func TestCacheAccounting(t *testing.T) {
 		if hit.TMin != base.TMin {
 			t.Fatalf("hit %d τmin %g != base %g", i, hit.TMin, base.TMin)
 		}
+	}
+}
+
+// TestDPStatsAccounting: full solves accumulate DP work counters (τmin +
+// coarse + fine per miss) while cache hits contribute nothing.
+func TestDPStatsAccounting(t *testing.T) {
+	node := tech.T180()
+	distinct := corpus(t, 5, 3)
+	var nets []*wire.Net
+	for rep := 0; rep < 3; rep++ {
+		nets = append(nets, distinct...)
+	}
+	eng, err := New(node, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := eng.DPStats(); ds != (DPStats{}) {
+		t.Fatalf("fresh engine has non-zero DP stats: %+v", ds)
+	}
+	for i, r := range eng.Run(jobsFor(nets, 1.3)) {
+		if r.Err != nil {
+			t.Fatalf("net %d: %v", i, r.Err)
+		}
+	}
+	ds := eng.DPStats()
+	// Each of the 3 distinct nets runs at least τmin + coarse DP; repeats
+	// are cache hits and add nothing.
+	if ds.Solves < 2*uint64(len(distinct)) {
+		t.Fatalf("Solves = %d, want ≥ %d (τmin + coarse per distinct net)", ds.Solves, 2*len(distinct))
+	}
+	if ds.Generated == 0 || ds.Kept == 0 || ds.MaxPerLevel == 0 {
+		t.Fatalf("work counters not populated: %+v", ds)
+	}
+	if ds.Kept > ds.Generated {
+		t.Fatalf("kept %d exceeds generated %d", ds.Kept, ds.Generated)
+	}
+	if ds.BudgetAborts != 0 {
+		t.Fatalf("unexpected budget aborts: %+v", ds)
+	}
+	after := eng.DPStats()
+	for i, r := range eng.Run(jobsFor(distinct, 1.3)) {
+		if r.Err != nil {
+			t.Fatalf("hit pass net %d: %v", i, r.Err)
+		}
+		if !r.CacheHit {
+			t.Fatalf("hit pass net %d missed the cache", i)
+		}
+	}
+	if got := eng.DPStats(); got != after {
+		t.Fatalf("cache hits changed DP stats: %+v -> %+v", after, got)
+	}
+}
+
+// TestDPBudgetAbortAccounting: a pipeline work budget small enough to
+// trip surfaces per-net dp.ErrBudget failures AND is counted in DPStats,
+// with the aborted runs' partial work still accumulated.
+func TestDPBudgetAbortAccounting(t *testing.T) {
+	node := tech.T180()
+	nets := corpus(t, 5, 2)
+	cfg := core.DefaultConfig()
+	cfg.MaxGenerated = 10 // far below any real net's coarse-DP workload
+	eng, err := New(node, Options{Workers: 1, Pipeline: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range eng.Run(jobsFor(nets, 1.3)) {
+		if r.Err == nil || !errors.Is(r.Err, dp.ErrBudget) {
+			t.Fatalf("net %d: want a dp.ErrBudget failure, got %v", i, r.Err)
+		}
+	}
+	ds := eng.DPStats()
+	if ds.BudgetAborts != uint64(len(nets)) {
+		t.Fatalf("BudgetAborts = %d, want %d", ds.BudgetAborts, len(nets))
+	}
+	if ds.Generated == 0 {
+		t.Fatal("aborted runs should still contribute their partial generated work")
 	}
 }
 

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/rip-eda/rip/internal/units"
@@ -95,7 +96,7 @@ func medianTMinIndex(cases []*Case) int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return cases[idx[a]].TMin < cases[idx[b]].TMin })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(cases[a].TMin, cases[b].TMin) })
 	return idx[len(idx)/2]
 }
 

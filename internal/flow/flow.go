@@ -13,7 +13,8 @@ import (
 	"io"
 	"reflect"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"github.com/rip-eda/rip/internal/core"
@@ -239,7 +240,7 @@ func (s *Summary) Render(w io.Writer) {
 		s.Repeaters, s.TotalWidth, units.Watts(s.RepeaterPowerW), units.Watts(s.WirePowerW))
 	fmt.Fprintln(w, "net            length    zones  reps      Σw       τmin      target     delay   status")
 	rows := append([]NetResult(nil), s.Results...)
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Spec.Name < rows[j].Spec.Name })
+	slices.SortFunc(rows, func(a, b NetResult) int { return strings.Compare(a.Spec.Name, b.Spec.Name) })
 	for _, r := range rows {
 		if r.Err != nil {
 			fmt.Fprintf(w, "%-12s %s\n", r.Spec.Name, r.Err)

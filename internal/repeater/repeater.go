@@ -18,7 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -36,7 +36,7 @@ func NewLibrary(widths []float64) (Library, error) {
 		return Library{}, errors.New("repeater: empty library")
 	}
 	ws := append([]float64(nil), widths...)
-	sort.Float64s(ws)
+	slices.Sort(ws)
 	out := ws[:0]
 	prev := math.Inf(-1)
 	for _, w := range ws {
@@ -125,6 +125,11 @@ func Concise(continuous []float64, granularity, minW, maxW float64) (Library, er
 // Widths returns a copy of the sorted width list.
 func (l Library) Widths() []float64 { return append([]float64(nil), l.widths...) }
 
+// AppendWidths appends the sorted width list to dst and returns the
+// extended slice. Hot callers (the DP solver) use it to read the library
+// into reusable scratch without the copy Widths makes.
+func (l Library) AppendWidths(dst []float64) []float64 { return append(dst, l.widths...) }
+
 // Size returns the number of distinct widths.
 func (l Library) Size() int { return len(l.widths) }
 
@@ -137,7 +142,7 @@ func (l Library) Max() float64 { return l.widths[len(l.widths)-1] }
 // Round returns the library width nearest to w (ties go down, matching
 // sort order stability).
 func (l Library) Round(w float64) float64 {
-	i := sort.SearchFloat64s(l.widths, w)
+	i, _ := slices.BinarySearch(l.widths, w)
 	if i == 0 {
 		return l.widths[0]
 	}
@@ -153,7 +158,7 @@ func (l Library) Round(w float64) float64 {
 // Contains reports whether w is (within floating-point slack) a library
 // width.
 func (l Library) Contains(w float64) bool {
-	i := sort.SearchFloat64s(l.widths, w)
+	i, _ := slices.BinarySearch(l.widths, w)
 	const eps = 1e-9
 	if i < len(l.widths) && math.Abs(l.widths[i]-w) <= eps*math.Max(1, w) {
 		return true

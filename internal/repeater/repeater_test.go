@@ -179,3 +179,20 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestAppendWidthsMatchesWidths(t *testing.T) {
+	l, err := Uniform(10, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Widths()
+	got := l.AppendWidths([]float64{999})
+	if got[0] != 999 || len(got) != len(want)+1 {
+		t.Fatalf("AppendWidths shape wrong: %v", got)
+	}
+	for i, w := range want {
+		if got[i+1] != w {
+			t.Fatalf("width %d = %g, want %g", i, got[i+1], w)
+		}
+	}
+}

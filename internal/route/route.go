@@ -10,10 +10,11 @@
 package route
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/rip-eda/rip/internal/tech"
 	"github.com/rip-eda/rip/internal/wire"
@@ -252,7 +253,7 @@ func mergeZones(zones []wire.Zone) []wire.Zone {
 	if len(zones) <= 1 {
 		return zones
 	}
-	sort.Slice(zones, func(i, j int) bool { return zones[i].Start < zones[j].Start })
+	slices.SortFunc(zones, func(a, b wire.Zone) int { return cmp.Compare(a.Start, b.Start) })
 	out := zones[:1]
 	for _, z := range zones[1:] {
 		last := &out[len(out)-1]

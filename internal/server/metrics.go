@@ -138,6 +138,26 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Engine, start time.Ti
 	fmt.Fprintf(w, "# HELP rip_cache_entries Cached solutions currently held.\n")
 	fmt.Fprintf(w, "# TYPE rip_cache_entries gauge\n")
 	fmt.Fprintf(w, "rip_cache_entries %d\n", st.Entries)
+
+	// DP work counters: the actual pruning workload behind the requests
+	// (the cost the paper's Table 2 measures), pulled live from the shared
+	// engine like the cache stats above.
+	ds := eng.DPStats()
+	fmt.Fprintf(w, "# HELP rip_dp_solves_total Completed dynamic-program runs (τmin + pipeline phases).\n")
+	fmt.Fprintf(w, "# TYPE rip_dp_solves_total counter\n")
+	fmt.Fprintf(w, "rip_dp_solves_total %d\n", ds.Solves)
+	fmt.Fprintf(w, "# HELP rip_dp_generated_total Partial solutions generated across all DP runs.\n")
+	fmt.Fprintf(w, "# TYPE rip_dp_generated_total counter\n")
+	fmt.Fprintf(w, "rip_dp_generated_total %d\n", ds.Generated)
+	fmt.Fprintf(w, "# HELP rip_dp_kept_total Partial solutions surviving pruning across all DP runs.\n")
+	fmt.Fprintf(w, "# TYPE rip_dp_kept_total counter\n")
+	fmt.Fprintf(w, "rip_dp_kept_total %d\n", ds.Kept)
+	fmt.Fprintf(w, "# HELP rip_dp_max_per_level Largest surviving option set any DP level has held.\n")
+	fmt.Fprintf(w, "# TYPE rip_dp_max_per_level gauge\n")
+	fmt.Fprintf(w, "rip_dp_max_per_level %d\n", ds.MaxPerLevel)
+	fmt.Fprintf(w, "# HELP rip_dp_budget_aborts_total Solves aborted by the MaxGenerated work budget.\n")
+	fmt.Fprintf(w, "# TYPE rip_dp_budget_aborts_total counter\n")
+	fmt.Fprintf(w, "rip_dp_budget_aborts_total %d\n", ds.BudgetAborts)
 }
 
 func b2i(b bool) int {

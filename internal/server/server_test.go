@@ -269,6 +269,23 @@ func TestBatchWarmCacheVisibleInMetrics(t *testing.T) {
 	if inf := metricValue(t, text, "rip_requests_inflight"); inf != 0 {
 		t.Fatalf("inflight gauge %g after quiescence", inf)
 	}
+	// DP work counters: the one full solve ran τmin + pipeline dynamic
+	// programs; the repeats were cache hits and added nothing, so the
+	// counters reflect a single net's DP workload.
+	if solves := metricValue(t, text, "rip_dp_solves_total"); solves < 2 {
+		t.Fatalf("dp solves %g, want ≥ 2 (τmin + coarse)", solves)
+	}
+	gen := metricValue(t, text, "rip_dp_generated_total")
+	kept := metricValue(t, text, "rip_dp_kept_total")
+	if gen == 0 || kept == 0 || kept > gen {
+		t.Fatalf("dp work counters inconsistent: generated %g kept %g", gen, kept)
+	}
+	if mpl := metricValue(t, text, "rip_dp_max_per_level"); mpl == 0 {
+		t.Fatalf("dp max-per-level gauge not populated")
+	}
+	if aborts := metricValue(t, text, "rip_dp_budget_aborts_total"); aborts != 0 {
+		t.Fatalf("unexpected dp budget aborts %g", aborts)
+	}
 }
 
 // metricValue extracts one sample from the Prometheus text exposition.

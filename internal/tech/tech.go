@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/rip-eda/rip/internal/units"
 )
@@ -184,7 +184,7 @@ func (t *Technology) Layer(name string) (Layer, error) {
 	for _, l := range t.Layers {
 		names = append(names, l.Name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return Layer{}, fmt.Errorf("tech %s: no layer %q (have %v)", t.Name, name, names)
 }
 

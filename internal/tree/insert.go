@@ -1,9 +1,11 @@
 package tree
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/rip-eda/rip/internal/repeater"
@@ -174,8 +176,8 @@ func Insert(t *Tree, opts Options) (Solution, error) {
 	buffers := make(map[int]float64)
 	reconstruct(t.Root, memo, bestIdx, widths, buffers)
 	// Recompute the width from the actual placement: in MaxSlack mode the
-	// pruner zeroes the DP's width coordinate, so bestW is not meaningful
-	// there.
+	// width coordinate never participated in pruning or selection, so
+	// bestW is not the optimized quantity there.
 	total := 0.0
 	for _, w := range buffers {
 		total += w
@@ -207,26 +209,28 @@ func reconstruct(n *Node, memo map[int][]treeOption, idx int, widths []float64, 
 }
 
 // pruneTree removes dominated options: o1 dominates o2 when c1 ≤ c2,
-// q1 ≥ q2 and (when width matters) w1 ≤ w2. Mirrors dp.prune with the
-// required-time axis flipped.
+// q1 ≥ q2 and (when width matters) w1 ≤ w2. Mirrors the dp pruner with
+// the required-time axis flipped. Width-blindness (width=false) is a
+// comparison concern only — widths compare as zero but the options' real
+// widths are never mutated, matching the dp kernel's contract.
 func pruneTree(opts []treeOption, width bool) []treeOption {
 	if len(opts) <= 1 {
 		return opts
 	}
-	if !width {
-		for i := range opts {
-			opts[i].w = 0
+	effW := func(o treeOption) float64 {
+		if width {
+			return o.w
 		}
+		return 0
 	}
-	sort.Slice(opts, func(i, j int) bool {
-		a, b := opts[i], opts[j]
+	slices.SortFunc(opts, func(a, b treeOption) int {
 		if a.c != b.c {
-			return a.c < b.c
+			return cmp.Compare(a.c, b.c)
 		}
 		if a.q != b.q {
-			return a.q > b.q
+			return cmp.Compare(b.q, a.q) // required time descending
 		}
-		return a.w < b.w
+		return cmp.Compare(effW(a), effW(b))
 	})
 	type qw struct{ q, w float64 }
 	front := make([]qw, 0, 16)
@@ -236,17 +240,18 @@ func pruneTree(opts []treeOption, width bool) []treeOption {
 		// w ≤ o.w. front is sorted by q descending with w strictly
 		// increasing... we keep it sorted by q descending and w ascending
 		// is impossible simultaneously; use the mirrored construction of
-		// dp.prune on (-q, w).
+		// the dp front on (-q, w).
+		ow := effW(o)
 		i := sort.Search(len(front), func(i int) bool { return front[i].q < o.q })
-		if i > 0 && front[i-1].w <= o.w {
+		if i > 0 && front[i-1].w <= ow {
 			continue
 		}
 		kept = append(kept, o)
 		j := i
-		for j < len(front) && front[j].w >= o.w {
+		for j < len(front) && front[j].w >= ow {
 			j++
 		}
-		front = append(front[:i], append([]qw{{o.q, o.w}}, front[j:]...)...)
+		front = append(front[:i], append([]qw{{o.q, ow}}, front[j:]...)...)
 	}
 	return kept
 }

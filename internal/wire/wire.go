@@ -293,12 +293,22 @@ func (l *Line) LegalPositions(pitch float64) []float64 {
 	if !(pitch > 0) {
 		return nil
 	}
-	var out []float64
+	return l.AppendLegalPositions(nil, pitch)
+}
+
+// AppendLegalPositions appends the same candidate positions LegalPositions
+// returns to dst and returns the extended slice. Hot callers (the DP
+// solver's scratch arenas) use it to generate candidates without a per-call
+// allocation.
+func (l *Line) AppendLegalPositions(dst []float64, pitch float64) []float64 {
+	if !(pitch > 0) {
+		return dst
+	}
 	total := l.Length()
 	for x := pitch; x < total-pitch/1024; x += pitch {
 		if l.Legal(x) {
-			out = append(out, x)
+			dst = append(dst, x)
 		}
 	}
-	return out
+	return dst
 }

@@ -284,3 +284,25 @@ func TestRandomLineQueriesAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendLegalPositionsMatchesLegalPositions(t *testing.T) {
+	l := testLine(t)
+	for _, pitch := range []float64{100 * units.Micron, 333 * units.Micron, 1e-3} {
+		want := l.LegalPositions(pitch)
+		got := l.AppendLegalPositions(nil, pitch)
+		if len(got) != len(want) {
+			t.Fatalf("pitch %g: %d positions, want %d", pitch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pitch %g: position %d = %g, want %g", pitch, i, got[i], want[i])
+			}
+		}
+	}
+	if got := l.AppendLegalPositions([]float64{-1}, 200*units.Micron); len(got) == 0 || got[0] != -1 {
+		t.Fatal("AppendLegalPositions must append after existing entries")
+	}
+	if got := l.AppendLegalPositions(nil, 0); got != nil {
+		t.Fatalf("non-positive pitch must append nothing, got %v", got)
+	}
+}
