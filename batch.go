@@ -10,8 +10,10 @@ type (
 	// cache. It is safe for concurrent use; one Engine may serve many
 	// goroutines and overlapping batches, all sharing one cache.
 	Engine = engine.Engine
-	// BatchJob is one net plus its timing budget (relative TargetMult or
-	// absolute Target seconds — exactly one must be positive).
+	// BatchJob is one net — two-pin Net or TreeNet, exactly one — plus
+	// its timing budget: relative TargetMult or absolute Target seconds
+	// (exactly one positive), or neither for a TreeNet whose sinks all
+	// carry embedded deadlines.
 	BatchJob = engine.Job
 	// BatchResult is one net's outcome; Err is per-net, so one bad net
 	// never aborts a batch.

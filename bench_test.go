@@ -356,33 +356,7 @@ func benchmarkBatchSerial(b *testing.B, distinct, total int) {
 }
 
 func benchmarkBatchEngine(b *testing.B, distinct, total int, cache rip.CacheOptions, warm bool) {
-	tech := rip.T180()
-	jobs := batchBenchJobs(b, distinct, total)
-	eng, err := rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if warm {
-		eng.Run(jobs)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !warm && !cache.Disabled {
-			// Cold means cold: fresh cache each iteration.
-			b.StopTimer()
-			eng, err = rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-		}
-		for _, r := range eng.Run(jobs) {
-			if r.Err != nil {
-				b.Fatal(r.Err)
-			}
-		}
-	}
-	reportNetsPerSec(b, total)
+	benchmarkBatchEngineJobs(b, batchBenchJobs(b, distinct, total), cache, warm)
 }
 
 func BenchmarkBatch_1k_Serial(b *testing.B) { benchmarkBatchSerial(b, 100, 1000) }
@@ -409,6 +383,70 @@ func BenchmarkBatch_10k_Cold(b *testing.B) {
 }
 func BenchmarkBatch_10k_Warm(b *testing.B) {
 	benchmarkBatchEngine(b, 250, 10000, rip.CacheOptions{}, true)
+}
+
+// Tree and mixed batches: the engine's polymorphic work items. The tree
+// workload tiles `distinct` generated trees to `total` jobs; Mixed
+// interleaves lines and trees 1:1, the shape a real netlist hands the
+// service.
+
+func batchBenchTreeJobs(b *testing.B, distinct, total int) []rip.BatchJob {
+	b.Helper()
+	nets, err := rip.GenerateTreeNets(rip.T180(), 2005, distinct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]rip.BatchJob, total)
+	for i := range jobs {
+		jobs[i] = rip.BatchJob{TreeNet: nets[i%distinct], TargetMult: 1.3}
+	}
+	return jobs
+}
+
+func benchmarkBatchEngineJobs(b *testing.B, jobs []rip.BatchJob, cache rip.CacheOptions, warm bool) {
+	b.Helper()
+	tech := rip.T180()
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm {
+		eng.Run(jobs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm && !cache.Disabled {
+			// Cold means cold: fresh cache each iteration.
+			b.StopTimer()
+			eng, err = rip.NewEngine(tech, rip.EngineOptions{Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		for _, r := range eng.Run(jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	reportNetsPerSec(b, len(jobs))
+}
+
+func BenchmarkBatchTree_1k_Cold(b *testing.B) {
+	benchmarkBatchEngineJobs(b, batchBenchTreeJobs(b, 100, 1000), rip.CacheOptions{}, false)
+}
+func BenchmarkBatchTree_1k_Warm(b *testing.B) {
+	benchmarkBatchEngineJobs(b, batchBenchTreeJobs(b, 100, 1000), rip.CacheOptions{}, true)
+}
+func BenchmarkBatchMixed_1k_Cold(b *testing.B) {
+	lines := batchBenchJobs(b, 50, 500)
+	trees := batchBenchTreeJobs(b, 50, 500)
+	jobs := make([]rip.BatchJob, 0, 1000)
+	for i := 0; i < 500; i++ {
+		jobs = append(jobs, lines[i], trees[i])
+	}
+	benchmarkBatchEngineJobs(b, jobs, rip.CacheOptions{}, false)
 }
 
 // BenchmarkSimStage measures the transient golden-model cost per stage.

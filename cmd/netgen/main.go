@@ -1,16 +1,19 @@
-// Command netgen emits a corpus of random paper-style two-pin nets (the
-// distribution of the paper's §6) as a JSON array, for use with ripcli or
-// external tools.
+// Command netgen emits a corpus of random paper-style nets as a JSON
+// array, for use with ripcli, ripd or external tools: two-pin lines (the
+// distribution of the paper's §6) by default, routing trees with -trees.
 //
 // Usage:
 //
 //	netgen -seed 2005 -count 20 > nets.json
 //	netgen -seed 7 -count 5 -o corpus.json -tech 90nm
+//	netgen -trees -count 100 | jq -c '.[]' > trees.jsonl   # ripcli -tree -batch input
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	rip "github.com/rip-eda/rip"
@@ -21,6 +24,7 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		count    = flag.Int("count", 20, "number of nets")
+		trees    = flag.Bool("trees", false, "emit routing trees instead of two-pin lines")
 		out      = flag.String("o", "", "output file (default stdout)")
 		techName = flag.String("tech", "180nm", "built-in technology node (layer RC source)")
 	)
@@ -30,11 +34,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	nets, err := rip.GenerateNets(tech, *seed, *count)
-	if err != nil {
-		fatal(err)
-	}
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -43,11 +43,32 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if *trees {
+		nets, err := rip.GenerateTreeNets(tech, *seed, *count)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(nets); err != nil {
+			fatal(err)
+		}
+		note(*out, len(nets))
+		return
+	}
+	nets, err := rip.GenerateNets(tech, *seed, *count)
+	if err != nil {
+		fatal(err)
+	}
 	if err := wire.WriteNets(w, nets); err != nil {
 		fatal(err)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d nets to %s\n", len(nets), *out)
+	note(*out, len(nets))
+}
+
+func note(out string, n int) {
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d nets to %s\n", n, out)
 	}
 }
 

@@ -12,15 +12,17 @@ import (
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/repeater"
+	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/units"
 )
 
-// The -perf harness measures the repo's hot paths — the DP kernel and the
-// batch engine — and writes a machine-readable report (BENCH_3.json in
-// this PR's trajectory) so future PRs have a comparable perf baseline.
-// Absolute numbers are host-dependent; the committed file records the
-// shape (allocs/solve must stay 0, cold-vs-warm ratios) and one host's
-// trajectory point.
+// The -perf harness measures the repo's hot paths — the two-pin DP
+// kernel, the tree DP kernel and the batch engine on line, tree and
+// mixed workloads — and writes a machine-readable report (BENCH_4.json
+// in this PR's trajectory) so future PRs have a comparable perf
+// baseline. Absolute numbers are host-dependent; the committed file
+// records the shape (allocs/solve must stay 0, cold-vs-warm ratios) and
+// one host's trajectory point.
 
 // perfKernel is one DP-kernel measurement: steady-state cost through a
 // reused Solver plus the instance's work stats.
@@ -56,6 +58,7 @@ type perfReport struct {
 	GOARCH      string       `json:"goarch"`
 	CPUs        int          `json:"cpus"`
 	Kernel      []perfKernel `json:"kernel"`
+	TreeKernel  []perfKernel `json:"tree_kernel"`
 	Batch       []perfBatch  `json:"batch"`
 }
 
@@ -97,15 +100,122 @@ func measureKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKerne
 	}, nil
 }
 
-func measureBatch(name string, distinct, total int) ([]perfBatch, error) {
+// measureTreeKernel is measureKernel for the tree DP: steady-state cost
+// of a reused tree.Solver on a fixed generated instance.
+func measureTreeKernel(name string, tn *rip.TreeNet, lib rip.Library, target float64) (perfKernel, error) {
+	ts := rip.T180()
+	work := tn.Tree.CloneWithRAT(target)
+	opts := rip.TreeOptions{Library: lib, Tech: ts, DriverWidth: tn.DriverWidth}
+	s := tree.NewSolver()
+	var sol tree.Solution
+	if err := s.InsertInto(&sol, work, opts); err != nil {
+		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	stats := sol.Stats
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.InsertInto(&sol, work, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return perfKernel{
+		Name:           name,
+		NsPerSolve:     float64(res.NsPerOp()),
+		AllocsPerSolve: float64(res.AllocsPerOp()),
+		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Generated:      stats.Generated,
+		Kept:           stats.Kept,
+		MaxPerLevel:    stats.MaxPerNode,
+	}, nil
+}
+
+// measureTreeHybrid measures the full tree pipeline (coarse DP → width
+// refinement → concise-library DP) through a reused Solver.
+func measureTreeHybrid(name string, tn *rip.TreeNet, target float64) (perfKernel, error) {
+	ts := rip.T180()
+	work := tn.Tree.CloneWithRAT(target)
+	opts := rip.TreeOptions{Tech: ts, DriverWidth: tn.DriverWidth}
+	s := tree.NewSolver()
+	out, err := tree.InsertHybridWith(s, work, opts, tree.HybridConfig{})
+	if err != nil {
+		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	stats := out.Coarse.Stats
+	stats.Generated += out.Final.Stats.Generated
+	stats.Kept += out.Final.Stats.Kept
+	if out.Final.Stats.MaxPerNode > stats.MaxPerNode {
+		stats.MaxPerNode = out.Final.Stats.MaxPerNode
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tree.InsertHybridWith(s, work, opts, tree.HybridConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return perfKernel{
+		Name:           name,
+		NsPerSolve:     float64(res.NsPerOp()),
+		AllocsPerSolve: float64(res.AllocsPerOp()),
+		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Generated:      stats.Generated,
+		Kept:           stats.Kept,
+		MaxPerLevel:    stats.MaxPerNode,
+	}, nil
+}
+
+// batchJobs tiles the given workload kinds to total jobs: "line", "tree"
+// or "mixed" (1:1 interleave).
+func batchJobs(kind string, distinct, total int) ([]rip.BatchJob, error) {
 	tech := rip.T180()
-	nets, err := rip.GenerateNets(tech, 2005, distinct)
+	jobs := make([]rip.BatchJob, total)
+	switch kind {
+	case "line":
+		nets, err := rip.GenerateNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3}
+		}
+	case "tree":
+		nets, err := rip.GenerateTreeNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			jobs[i] = rip.BatchJob{TreeNet: nets[i%distinct], TargetMult: 1.3}
+		}
+	case "mixed":
+		lines, err := rip.GenerateNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		trees, err := rip.GenerateTreeNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			if i%2 == 0 {
+				jobs[i] = rip.BatchJob{Net: lines[(i/2)%distinct], TargetMult: 1.3}
+			} else {
+				jobs[i] = rip.BatchJob{TreeNet: trees[(i/2)%distinct], TargetMult: 1.3}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown batch kind %q", kind)
+	}
+	return jobs, nil
+}
+
+func measureBatch(name, kind string, distinct, total int) ([]perfBatch, error) {
+	tech := rip.T180()
+	jobs, err := batchJobs(kind, distinct, total)
 	if err != nil {
 		return nil, err
-	}
-	jobs := make([]rip.BatchJob, total)
-	for i := range jobs {
-		jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3}
 	}
 	eng, err := rip.NewEngine(tech, rip.EngineOptions{})
 	if err != nil {
@@ -116,7 +226,7 @@ func measureBatch(name string, distinct, total int) ([]perfBatch, error) {
 		start := time.Now()
 		for _, r := range eng.Run(jobs) {
 			if r.Err != nil {
-				return nil, fmt.Errorf("%s/%s: net %q: %w", name, phase, r.Net.Name, r.Err)
+				return nil, fmt.Errorf("%s/%s: %w", name, phase, r.Err)
 			}
 		}
 		dur := time.Since(start)
@@ -163,7 +273,7 @@ func runPerf(path string) error {
 
 	rep := perfReport{
 		Schema:      "rip-perf/1",
-		PR:          3,
+		PR:          4,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -188,14 +298,53 @@ func runPerf(path string) error {
 		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
 	}
 
+	// Tree kernels: the reusable tree.Solver on the benchmark 8-sink
+	// instance, at the reference and coarse libraries, plus the full
+	// hybrid pipeline cost.
+	treeNets, err := rip.GenerateTreeNets(rip.T180(), 2005, 1)
+	if err != nil {
+		return err
+	}
+	tn := treeNets[0]
+	treeTMin, err := rip.TreeMinimumDelay(tn, rip.T180())
+	if err != nil {
+		return err
+	}
+	coarseTreeLib, err := rip.UniformLibrary(80, 80, 5)
+	if err != nil {
+		return err
+	}
+	for _, k := range []struct {
+		name string
+		lib  rip.Library
+	}{
+		{"tree_insert_g10", refLib},
+		{"tree_insert_coarse", coarseTreeLib},
+	} {
+		m, err := measureTreeKernel(k.name, tn, k.lib, 1.3*treeTMin)
+		if err != nil {
+			return err
+		}
+		rep.TreeKernel = append(rep.TreeKernel, m)
+		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
+	}
+	hybrid, err := measureTreeHybrid("tree_hybrid", tn, 1.3*treeTMin)
+	if err != nil {
+		return err
+	}
+	rep.TreeKernel = append(rep.TreeKernel, hybrid)
+	fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", hybrid.Name, hybrid.NsPerSolve, hybrid.AllocsPerSolve)
+
 	for _, b := range []struct {
-		name            string
+		name, kind      string
 		distinct, total int
 	}{
-		{"batch_1k", 100, 1000},
-		{"batch_10k", 250, 10000},
+		{"batch_1k", "line", 100, 1000},
+		{"batch_10k", "line", 250, 10000},
+		{"batch_tree_1k", "tree", 100, 1000},
+		{"batch_mixed_1k", "mixed", 50, 1000},
 	} {
-		ms, err := measureBatch(b.name, b.distinct, b.total)
+		ms, err := measureBatch(b.name, b.kind, b.distinct, b.total)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 // Command ripcli solves repeater insertion instances: one net from a JSON
 // file (or generated), or — in batch mode — a JSONL stream of nets solved
-// concurrently through the caching batch engine.
+// concurrently through the caching batch engine. Both two-pin lines and
+// routing trees are supported; -tree switches to tree workloads.
 //
 // Usage:
 //
@@ -10,19 +11,25 @@
 //	ripcli -net nets.json -mode refine              # analytical phase only
 //	ripcli -batch -net nets.jsonl -target 1.3       # JSONL in, JSONL out
 //	gen-nets | ripcli -batch -target 1.3            # stream from stdin
+//	ripcli -tree -net tree.json -target 1.3         # one routing tree
+//	ripcli -tree -gen -seed 7 -target 1.3           # random routing tree
+//	ripcli -tree -batch -net trees.jsonl -target 1.3 # tree JSONL stream
 //
-// Targets: -target is relative to the net's τmin; -target-ns is absolute
-// nanoseconds (exactly one must be given).
+// Targets: -target is relative to the net's τmin (for trees, the minimum
+// achievable worst-sink arrival); -target-ns is absolute nanoseconds.
+// Exactly one must be given, except trees whose sinks all carry rat_ns
+// deadlines, which may omit both.
 //
 // Batch mode reads one JSON object per line — either a bare net object
-// (the same schema as the array elements of -net files) or a wrapper
-// {"net": {...}, "target_mult": 1.2} / {"net": {...}, "target_ns": 0.9}
-// overriding the command-line target for that net — and emits one JSON
-// solution per line in input order. Nets are never all held in memory,
-// so chip-scale inputs stream through a bounded window. A net that fails
-// (parse error, missing target, solver error) gets an "error" field in
-// its output line and the stream continues; the exit status is non-zero
-// when any net failed.
+// (the same schema as the array elements of -net files; with -tree, the
+// tree schema) or a wrapper {"net": {...}, "target_mult": 1.2} /
+// {"tree": {...}, "target_ns": 0.9} overriding the command-line target
+// for that net — and emits one JSON solution per line in input order.
+// Wrapped lines may mix net kinds in one stream regardless of -tree.
+// Nets are never all held in memory, so chip-scale inputs stream through
+// a bounded window. A net that fails (parse error, missing target,
+// solver error) gets an "error" field in its output line and the stream
+// continues; the exit status is non-zero when any net failed.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +67,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
 		fullRep   = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
 		batch     = flag.Bool("batch", false, "JSONL batch mode: stream nets in, one solution per line out")
+		treeMode  = flag.Bool("tree", false, "tree mode: solve routing trees (with -batch, bare JSONL lines parse as trees; alone, -net is one tree JSON object)")
 		workers   = flag.Int("workers", 0, "batch parallelism (0 = all cores)")
 		cacheSize = flag.Int("cache", 0, "batch solution-cache capacity (0 = default 4096, negative = disabled)")
 	)
@@ -69,7 +78,17 @@ func main() {
 		fatal(err)
 	}
 	if *batch {
-		if err := runBatch(tech, *netFile, *relT, *absT, *workers, *cacheSize); err != nil {
+		bare := api.KindLine
+		if *treeMode {
+			bare = api.KindTree
+		}
+		if err := runBatch(tech, *netFile, *relT, *absT, *workers, *cacheSize, bare); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *treeMode {
+		if err := runTree(tech, *netFile, *gen, *seed, *relT, *absT, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -184,6 +203,91 @@ func loadNet(path string, index int, gen bool, seed int64, tech *rip.Technology)
 	return nets[index], nil
 }
 
+// runTree solves one routing tree: a tree JSON file (internal/tree's Net
+// schema) or a generated instance, at a uniform deadline or against the
+// tree's embedded per-sink RATs.
+func runTree(tech *rip.Technology, path string, gen bool, seed int64, relT, absT float64, jsonOut bool) error {
+	tn, err := loadTreeNet(path, gen, seed, tech)
+	if err != nil {
+		return err
+	}
+	if relT > 0 && absT > 0 {
+		return fmt.Errorf("give either -target or -target-ns, not both")
+	}
+	var target, tmin float64
+	switch {
+	case relT > 0:
+		// τmin (a full max-slack DP) is only computed when the target is
+		// relative to it.
+		var err error
+		tmin, err = rip.TreeMinimumDelay(tn, tech)
+		if err != nil {
+			return err
+		}
+		target = relT * tmin
+	case absT > 0:
+		target = absT * units.NanoSecond
+	case !tn.HasDeadlines():
+		return fmt.Errorf("a timing target is required: -target (×τmin) or -target-ns, or rat_ns on every sink")
+	}
+	fmt.Printf("tree %s: %d nodes, %d sinks, %d buffer sites",
+		tn.Name, tn.Tree.NumNodes(), len(tn.Tree.Sinks()), len(tn.Tree.BufferSites()))
+	if tmin > 0 {
+		fmt.Printf(", τmin %s", units.Seconds(tmin))
+	}
+	fmt.Println()
+	res, err := rip.InsertTreeNet(tn, tech, target)
+	if err != nil {
+		return err
+	}
+	sol := res.Solution
+	if jsonOut {
+		line := api.FromResult(rip.BatchResult{TreeNet: tn, Target: target, TMin: tmin, TreeRes: res})
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(line)
+	}
+	if !sol.Feasible {
+		fmt.Println("INFEASIBLE: no buffer placement meets every sink deadline in the searched space")
+		return nil
+	}
+	if target > 0 {
+		fmt.Printf("solution: %d buffers, total width %.1fu, worst arrival %s (target %s) — picked %s\n",
+			len(sol.Buffers), sol.TotalWidth, units.Seconds(target-sol.Slack), units.Seconds(target), res.Picked)
+	} else {
+		fmt.Printf("solution: %d buffers, total width %.1fu, worst slack %s — picked %s\n",
+			len(sol.Buffers), sol.TotalWidth, units.Seconds(sol.Slack), res.Picked)
+	}
+	ids := make([]int, 0, len(sol.Buffers))
+	for id := range sol.Buffers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  buffer at node %d: width %.0fu\n", id, sol.Buffers[id])
+	}
+	return nil
+}
+
+func loadTreeNet(path string, gen bool, seed int64, tech *rip.Technology) (*rip.TreeNet, error) {
+	if gen {
+		rng := rand.New(rand.NewSource(seed))
+		return rip.GenerateTreeNet(tech, rng, fmt.Sprintf("gentree-%d", seed))
+	}
+	if path == "" {
+		return nil, fmt.Errorf("either -net FILE or -gen is required")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tn rip.TreeNet
+	if err := json.Unmarshal(raw, &tn); err != nil {
+		return nil, err
+	}
+	return &tn, nil
+}
+
 func printSolution(net *rip.Net, tech *rip.Technology, sol rip.Solution, target float64) {
 	if !sol.Feasible {
 		fmt.Println("INFEASIBLE: no repeater assignment meets the target in the searched space")
@@ -249,7 +353,7 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 // concurrently, emit one solution line per net in input order. The line
 // format is internal/api's Request/Response — the same wire format
 // cmd/ripd serves, so batch files replay against the HTTP service as-is.
-func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, cacheSize int) error {
+func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, cacheSize int, bare api.Kind) error {
 	in := os.Stdin
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
@@ -281,7 +385,7 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 	var readErr error
 	go func() {
 		defer close(jobs)
-		readErr = feedBatch(in, relT, absT, jobs, func(idx int, msg string) {
+		readErr = feedBatch(in, relT, absT, bare, jobs, func(idx int, msg string) {
 			mu.Lock()
 			parseErrs[idx] = msg
 			mu.Unlock()
@@ -334,11 +438,20 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 // parse is reported via noteErr and emitted as a nil-net job, so the
 // failure surfaces in the output stream at the right position instead
 // of killing the run.
-func feedBatch(in io.Reader, relT, absT float64, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
+func feedBatch(in io.Reader, relT, absT float64, bare api.Kind, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
 	if relT > 0 && absT > 0 {
 		return fmt.Errorf("give either -target or -target-ns, not both")
 	}
-	_, err := api.FeedJSONL(context.Background(), in, relT, absT, jobs, func(idx int, msg string) {
+	opts := api.FeedOptions{
+		DefaultMult: relT,
+		DefaultNS:   absT,
+		Bare:        bare,
+		// An explicit -target/-target-ns means what it means in single
+		// mode: it overrides embedded tree deadlines too. Per-line
+		// wrapper budgets still win.
+		ForceDefault: relT > 0 || absT > 0,
+	}
+	_, err := api.FeedJSONL(context.Background(), in, opts, jobs, func(idx int, msg string) {
 		noteErr(idx, msg+" (batch input is JSONL — one net per line, not a JSON array)")
 	})
 	return err

@@ -36,6 +36,18 @@
 // See ARCHITECTURE.md for the engine's design and cmd/ripcli's -batch
 // flag for the streaming JSONL form.
 //
+// # Tree workloads
+//
+// Routing trees (the paper's §7 extension) are a first-class workload:
+// TreeNet wraps an RC tree with a driver width, InsertTreeNet runs the
+// hybrid tree pipeline, TreeMinimumDelay computes the τmin analogue,
+// and BatchJob.TreeNet sends trees through the same engine, cache and
+// service endpoints as lines — batches may mix both kinds:
+//
+//	trees, _ := rip.GenerateTreeNets(t, 2005, 1)
+//	tmin, _ := rip.TreeMinimumDelay(trees[0], t)
+//	res, _ := rip.InsertTreeNet(trees[0], t, 1.3*tmin)
+//
 // The subpackages under internal implement the substrates (wire model,
 // Elmore evaluator, DP baseline, analytical solver, batch engine,
 // experiment harness); this package re-exports the stable surface. The

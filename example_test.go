@@ -126,6 +126,86 @@ func ExampleNewEngine_cacheConfiguration() {
 	// lookups: 2 hits, 1 misses, 1 entries
 }
 
+// ExampleInsertTreeNet runs the hybrid tree pipeline on a hand-built
+// three-sink routing tree at 1.3× its minimum achievable worst-sink
+// arrival. The same TreeNet solves through the batch engine
+// (BatchJob.TreeNet), ripcli -tree and ripd's {"tree": ...} requests.
+func ExampleInsertTreeNet() {
+	tech := rip.T180()
+	// root ── n1 ─┬─ s2 (40 fF sink)
+	//             └─ n3 ─┬─ s4 (30 fF sink)
+	//                    └─ s5 (30 fF sink)
+	sink := func(id int, capFF float64) *rip.TreeNode {
+		return &rip.TreeNode{ID: id, EdgeR: 300, EdgeC: 250e-15, SinkCap: capFF * 1e-15}
+	}
+	n3 := &rip.TreeNode{ID: 3, EdgeR: 350, EdgeC: 280e-15, BufferSite: true,
+		Children: []*rip.TreeNode{sink(4, 30), sink(5, 30)}}
+	n1 := &rip.TreeNode{ID: 1, EdgeR: 400, EdgeC: 320e-15, BufferSite: true,
+		Children: []*rip.TreeNode{sink(2, 40), n3}}
+	root := &rip.TreeNode{ID: 0, Children: []*rip.TreeNode{n1}}
+	tr, err := rip.NewTree(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tn := &rip.TreeNet{Name: "clk3", Tree: tr, DriverWidth: 240}
+
+	tmin, err := rip.TreeMinimumDelay(tn, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rip.InsertTreeNet(tn, tech, 1.3*tmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := res.Solution
+	fmt.Printf("feasible: %v, buffers: %d, slack ≥ 0: %v\n",
+		sol.Feasible, len(sol.Buffers), sol.Slack >= 0)
+	// Output:
+	// feasible: true, buffers: 2, slack ≥ 0: true
+}
+
+// ExampleNewEngine_mixedWorkload runs line and tree nets through one
+// engine: both kinds share the worker pool and the solution cache, so a
+// repeated tree shape is a verified cache hit. (Workers is pinned to 1
+// only so the hit pattern is reproducible in the example output.)
+func ExampleNewEngine_mixedWorkload() {
+	tech := rip.T180()
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	line, err := rip.UniformLine(8e-3, 8e4, 2.3e-10, "metal4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees, err := rip.GenerateTreeNets(tech, 2005, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []rip.BatchJob{
+		{Net: &rip.Net{Name: "bus", Line: line, DriverWidth: 240, ReceiverWidth: 80}, TargetMult: 1.3},
+		{TreeNet: trees[0], TargetMult: 1.3},
+		{TreeNet: trees[0], TargetMult: 1.3}, // same shape: cache hit
+	}
+	for _, r := range eng.Run(jobs) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		switch {
+		case r.TreeNet != nil:
+			fmt.Printf("tree %s: feasible=%v buffers=%d cached=%v\n",
+				r.TreeNet.Name, r.TreeRes.Solution.Feasible, len(r.TreeRes.Solution.Buffers), r.CacheHit)
+		default:
+			fmt.Printf("line %s: feasible=%v repeaters=%d cached=%v\n",
+				r.Net.Name, r.Res.Solution.Feasible, r.Res.Solution.Assignment.N(), r.CacheHit)
+		}
+	}
+	// Output:
+	// line bus: feasible=true repeaters=1 cached=false
+	// tree tree01: feasible=true buffers=1 cached=false
+	// tree tree01: feasible=true buffers=1 cached=true
+}
+
 // ExampleUniformLibrary builds the paper's coarse library.
 func ExampleUniformLibrary() {
 	lib, err := rip.UniformLibrary(80, 80, 5)

@@ -1,7 +1,8 @@
-// Tree buffering: the paper's §7 future-work extension in action. Builds a
-// random 8-sink interconnect tree and runs the power-aware van Ginneken
-// dynamic program: minimum total buffer width such that every sink meets
-// its required arrival time.
+// Tree buffering through the supported public surface: generate a random
+// 8-sink interconnect tree, find its minimum achievable worst-sink
+// arrival (the tree τmin), then run both the plain power-aware van
+// Ginneken DP and the hybrid tree pipeline at a relative deadline —
+// exactly the workload ripd serves on {"tree": ...} requests.
 //
 //	go run ./examples/treebuffering
 package main
@@ -9,81 +10,73 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"sort"
 
 	rip "github.com/rip-eda/rip"
-	"github.com/rip-eda/rip/internal/tree"
 )
 
 func main() {
 	tech := rip.T180()
-	cfg, err := tree.DefaultGenConfig(tech)
+	nets, err := rip.GenerateTreeNets(tech, 2005, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.Sinks = 8
-	rng := rand.New(rand.NewSource(2005))
-	tr, err := tree.Generate(rng, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tn := nets[0]
 
+	// The tree τmin: how fast the tree can go at all. Deadlines are
+	// multiples of it, the same convention two-pin targets use.
+	tmin, err := rip.TreeMinimumDelay(tn, tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := 1.3 * tmin
+	fmt.Printf("tree %s: %d nodes, %d sinks, %d buffer sites\n",
+		tn.Name, tn.Tree.NumNodes(), len(tn.Tree.Sinks()), len(tn.Tree.BufferSites()))
+	fmt.Printf("τmin %.1f ps → deadline %.1f ps (1.3×)\n", tmin*1e12, target*1e12)
+
+	// Plain DP at a fixed coarse library, for contrast with the hybrid.
 	lib, err := rip.UniformLibrary(60, 60, 5) // {60,120,...,300}u
 	if err != nil {
 		log.Fatal(err)
 	}
-	const driver = 240.0
-
-	// First: how fast can the tree go at all? (classic max-slack van
-	// Ginneken), then back off and minimize power at a RAT chosen between
-	// the unbuffered and the fully buffered arrival — tight enough that
-	// buffering is mandatory, loose enough to leave power headroom.
-	fastest, err := tree.Insert(tr, tree.Options{Library: lib, Tech: tech, DriverWidth: driver, MaxSlack: true})
+	plain, err := rip.InsertTree(tn.Tree.CloneWithRAT(target), rip.TreeOptions{
+		Library: lib, Tech: tech, DriverWidth: tn.DriverWidth,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	unbufSlack, err := tr.Evaluate(nil, driver, tech.Rs, tech.Co, tech.Cp)
+	fmt.Printf("coarse-library DP: slack %.1f ps using %.0fu (%d buffers)\n",
+		plain.Slack*1e12, plain.TotalWidth, len(plain.Buffers))
+
+	// The hybrid pipeline: coarse DP → continuous width refinement →
+	// concise-library DP, never worse than the coarse phase.
+	res, err := rip.InsertTreeNet(tn, tech, target)
 	if err != nil {
 		log.Fatal(err)
 	}
-	arrivalUnbuf := cfg.RAT - unbufSlack
-	arrivalBest := cfg.RAT - fastest.Slack
-	rat := arrivalBest + 0.4*(arrivalUnbuf-arrivalBest)
-	for _, s := range tr.Sinks() {
-		s.SinkRAT = rat
+	sol := res.Solution
+	if !sol.Feasible {
+		log.Fatal("1.3×τmin should be feasible")
 	}
-	fmt.Printf("tree: %d nodes, %d sinks, %d buffer sites\n",
-		tr.NumNodes(), len(tr.Sinks()), len(tr.BufferSites()))
-	fmt.Printf("arrival: unbuffered %.1f ps, best buffered %.1f ps → choosing RAT %.1f ps\n",
-		arrivalUnbuf*1e12, arrivalBest*1e12, rat*1e12)
-	fmt.Printf("max-slack buffering: %.0fu of buffers (%d buffers)\n",
-		fastest.TotalWidth, len(fastest.Buffers))
+	saved := 0.0
+	if plain.Feasible && plain.TotalWidth > 0 {
+		saved = 100 * (plain.TotalWidth - sol.TotalWidth) / plain.TotalWidth
+	}
+	fmt.Printf("hybrid pipeline:   slack %.1f ps using %.0fu (%d buffers, picked %s) — %.0f%% less width\n",
+		sol.Slack*1e12, sol.TotalWidth, len(sol.Buffers), res.Picked, saved)
 
-	// Now the power objective: meet the RAT with minimum total width.
-	minPow, err := tree.Insert(tr, tree.Options{Library: lib, Tech: tech, DriverWidth: driver})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !minPow.Feasible {
-		log.Fatal("RAT infeasible even with buffering; loosen cfg.RAT")
-	}
-	fmt.Printf("min-power buffering:    slack %.1f ps using %.0fu (%d buffers) — %.0f%% less width than max-slack\n",
-		minPow.Slack*1e12, minPow.TotalWidth, len(minPow.Buffers),
-		100*(fastest.TotalWidth-minPow.TotalWidth)/fastest.TotalWidth)
-
-	ids := make([]int, 0, len(minPow.Buffers))
-	for id := range minPow.Buffers {
+	ids := make([]int, 0, len(sol.Buffers))
+	for id := range sol.Buffers {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		fmt.Printf("  buffer at node %d: width %.0fu\n", id, minPow.Buffers[id])
+		fmt.Printf("  buffer at node %d: width %.0fu\n", id, sol.Buffers[id])
 	}
 
-	// Verify with the independent evaluator (the DP and the evaluator are
-	// separate implementations — agreeing is a real check).
-	slack, err := tr.Evaluate(minPow.Buffers, driver, tech.Rs, tech.Co, tech.Cp)
+	// Verify with the independent evaluator (the DP and the evaluator
+	// are separate implementations — agreeing is a real check).
+	slack, err := tn.Tree.CloneWithRAT(target).Evaluate(sol.Buffers, tn.DriverWidth, tech.Rs, tech.Co, tech.Cp)
 	if err != nil {
 		log.Fatal(err)
 	}

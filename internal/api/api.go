@@ -1,8 +1,10 @@
 // Package api defines the JSON wire format shared by every network-facing
-// entry point to the batch engine: cmd/ripcli's -batch JSONL mode and
-// cmd/ripd's HTTP endpoints speak exactly these types, so a JSONL file
-// prepared for the CLI can be replayed against the service (and vice
-// versa) byte for byte. Units follow the paper's conventions — lengths in
+// entry point to the batch engine: cmd/ripcli's -batch/-tree JSONL modes
+// and cmd/ripd's HTTP endpoints speak exactly these types, so a JSONL
+// file prepared for the CLI can be replayed against the service (and vice
+// versa) byte for byte. Both net kinds ride the same format: a request
+// carries either a two-pin "net" or a routing "tree", and batches may mix
+// them line by line. Units follow the paper's conventions — lengths in
 // µm, times in ns, widths in multiples of the unit repeater width u —
 // rather than the SI values used internally.
 package api
@@ -15,85 +17,165 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 
 	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/units"
 	"github.com/rip-eda/rip/internal/wire"
 )
 
-// Request is one optimization request: a net plus its timing budget.
-// Exactly one of TargetMult (budget = TargetMult·τmin) or TargetNS
-// (absolute nanoseconds) must be positive, unless the transport supplies
-// a default budget (ripcli's -target/-target-ns flags, ripd's -target
-// flag).
+// Request is one optimization request: a net — two-pin line or routing
+// tree, exactly one — plus its timing budget. Exactly one of TargetMult
+// (budget = TargetMult·τmin) or TargetNS (absolute nanoseconds) must be
+// positive, unless the transport supplies a default budget (ripcli's
+// -target/-target-ns flags, ripd's -target flag) — or, for trees, every
+// sink carries its own rat_ns deadline, in which case the tree may omit
+// the budget and is solved against those embedded deadlines.
 type Request struct {
-	// Net is the routed interconnect, in the schema of internal/wire
-	// (µm / Ω·µm⁻¹ / fF·µm⁻¹ units).
-	Net *wire.Net `json:"net"`
-	// TargetMult expresses the budget as a multiple of the net's τmin.
+	// Net is the routed two-pin interconnect, in the schema of
+	// internal/wire (µm / Ω·µm⁻¹ / fF·µm⁻¹ units).
+	Net *wire.Net `json:"net,omitempty"`
+	// Tree is the routing tree, in the schema of internal/tree's Net
+	// (flat parent-linked node list; Ω / fF / ns units).
+	Tree *tree.Net `json:"tree,omitempty"`
+	// TargetMult expresses the budget as a multiple of the net's τmin —
+	// for trees, of the minimum achievable worst-sink arrival.
 	TargetMult float64 `json:"target_mult,omitempty"`
-	// TargetNS is the absolute budget in nanoseconds.
+	// TargetNS is the absolute budget in nanoseconds; trees apply it to
+	// every sink.
 	TargetNS float64 `json:"target_ns,omitempty"`
 }
 
 // Validate checks the request shape without solving anything.
 func (r *Request) Validate() error {
-	if r.Net == nil {
-		return errors.New("api: request has no net")
-	}
 	switch {
+	case r.Net == nil && r.Tree == nil:
+		return errors.New("api: request has no net")
+	case r.Net != nil && r.Tree != nil:
+		return fmt.Errorf("api: net %q: give net or tree, not both", r.name())
 	case r.TargetMult > 0 && r.TargetNS > 0:
-		return fmt.Errorf("api: net %q: give target_mult or target_ns, not both", r.Net.Name)
-	case r.TargetMult <= 0 && r.TargetNS <= 0:
+		return fmt.Errorf("api: net %q: give target_mult or target_ns, not both", r.name())
+	}
+	if r.Tree != nil {
+		if r.TargetMult <= 0 && r.TargetNS <= 0 && !r.Tree.HasDeadlines() {
+			return fmt.Errorf("api: tree %q: a positive target_mult or target_ns is required unless every sink carries rat_ns", r.Tree.Name)
+		}
+		return r.Tree.Validate()
+	}
+	if r.TargetMult <= 0 && r.TargetNS <= 0 {
 		return fmt.Errorf("api: net %q: a positive target_mult or target_ns is required", r.Net.Name)
 	}
 	return r.Net.Validate()
+}
+
+func (r *Request) name() string {
+	if r.Net != nil {
+		return r.Net.Name
+	}
+	if r.Tree != nil {
+		return r.Tree.Name
+	}
+	return ""
 }
 
 // Job converts the request to an engine job (ns → seconds).
 func (r *Request) Job() engine.Job {
 	return engine.Job{
 		Net:        r.Net,
+		TreeNet:    r.Tree,
 		TargetMult: r.TargetMult,
 		Target:     r.TargetNS * units.NanoSecond,
 	}
 }
 
 // ApplyDefault fills in the transport-level default budget when the
-// request carries none of its own.
+// request carries none of its own. A tree whose sinks all carry embedded
+// deadlines keeps them: the default would silently override per-sink
+// timing the client spelled out.
 func (r *Request) ApplyDefault(targetMult, targetNS float64) {
-	if r.TargetMult <= 0 && r.TargetNS <= 0 {
-		r.TargetMult = targetMult
-		r.TargetNS = targetNS
+	if r.TargetMult > 0 || r.TargetNS > 0 {
+		return
 	}
+	if r.Tree != nil && r.Tree.HasDeadlines() {
+		return
+	}
+	r.TargetMult = targetMult
+	r.TargetNS = targetNS
 }
 
-// ParseRequest decodes one request line. Two forms are accepted: the
-// wrapper {"net": {...}, "target_mult": 1.2} and a bare net object (the
-// same schema as the elements of a nets.json array), which inherits the
-// transport's default budget.
+// ParseRequest decodes one request line. Three forms are accepted: the
+// wrapper {"net": {...}, "target_mult": 1.2}, the tree wrapper
+// {"tree": {...}, "target_ns": 0.9}, and a bare net object (the same
+// schema as the elements of a nets.json array), which inherits the
+// transport's default budget. Bare objects decode as two-pin nets; use
+// ParseRequestKind to flip the bare default to trees (ripcli -tree).
 func ParseRequest(raw []byte) (Request, error) {
-	// The shape is decided by the presence of a "net" key, not by
+	return ParseRequestKind(raw, KindLine)
+}
+
+// Kind selects how a bare (unwrapped) JSON object is interpreted.
+type Kind int
+
+const (
+	// KindLine parses bare objects as two-pin wire.Net payloads.
+	KindLine Kind = iota
+	// KindTree parses bare objects as tree.Net payloads.
+	KindTree
+)
+
+// ParseRequestKind is ParseRequest with an explicit bare-object kind.
+func ParseRequestKind(raw []byte, bare Kind) (Request, error) {
+	// The shape is decided by the presence of a "net"/"tree" key, not by
 	// whether the wrapper decode succeeds: falling back on any wrapper
 	// error would silently misread a wrapper with one bad field as a
 	// bare net (the decoder ignores unknown keys) and bury the real
 	// error behind a baffling empty-net complaint.
 	var probe struct {
-		Net json.RawMessage `json:"net"`
+		Net  json.RawMessage `json:"net"`
+		Tree json.RawMessage `json:"tree"`
 	}
 	if err := json.Unmarshal(raw, &probe); err == nil &&
-		len(probe.Net) > 0 && string(probe.Net) != "null" {
+		(present(probe.Net) || present(probe.Tree)) {
 		var r Request
 		if err := json.Unmarshal(raw, &r); err != nil {
 			return Request{}, fmt.Errorf("decoding request: %v", err)
 		}
 		return r, nil
 	}
+	if bare == KindTree {
+		var n tree.Net
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return Request{}, fmt.Errorf("not a tree object: %v", err)
+		}
+		return Request{Tree: &n}, nil
+	}
 	var n wire.Net
 	if err := json.Unmarshal(raw, &n); err != nil {
 		return Request{}, fmt.Errorf("not a net object: %v", err)
 	}
 	return Request{Net: &n}, nil
+}
+
+func present(raw json.RawMessage) bool {
+	return len(raw) > 0 && string(raw) != "null"
+}
+
+// FeedOptions parameterizes the shared JSONL ingest loop.
+type FeedOptions struct {
+	// DefaultMult / DefaultNS are the transport's default budget, applied
+	// to requests that carry none of their own (see Request.ApplyDefault).
+	DefaultMult, DefaultNS float64
+	// Bare selects how unwrapped JSON objects decode (line nets by
+	// default; KindTree for ripcli -tree streams).
+	Bare Kind
+	// ForceDefault applies the default budget even to trees whose sinks
+	// carry embedded deadlines. ripcli sets it when -target/-target-ns
+	// was given explicitly, so the flag means the same thing it means in
+	// single-net mode; ripd leaves it false — its -target is a server
+	// config fallback that must not trump per-sink timing a client
+	// spelled out. A wrapper's own budget always wins over both.
+	ForceDefault bool
 }
 
 // FeedJSONL is the shared JSONL ingest loop: it reads one request per
@@ -109,7 +191,7 @@ func ParseRequest(raw []byte) (Request, error) {
 //
 // Blank lines are skipped. Lines may be long: the scanner accepts up to
 // 16 MiB per line (nets with many segments).
-func FeedJSONL(ctx context.Context, in io.Reader, defaultMult, defaultNS float64, jobs chan<- engine.Job, noteErr func(idx int, msg string)) (int, error) {
+func FeedJSONL(ctx context.Context, in io.Reader, opts FeedOptions, jobs chan<- engine.Job, noteErr func(idx int, msg string)) (int, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	idx, lineNo := 0, 0
@@ -120,11 +202,15 @@ func FeedJSONL(ctx context.Context, in io.Reader, defaultMult, defaultNS float64
 			continue
 		}
 		job := engine.Job{}
-		req, err := ParseRequest(raw)
+		req, err := ParseRequestKind(raw, opts.Bare)
 		if err != nil {
 			noteErr(idx, fmt.Sprintf("line %d: %v", lineNo, err))
 		} else {
-			req.ApplyDefault(defaultMult, defaultNS)
+			if opts.ForceDefault && req.TargetMult <= 0 && req.TargetNS <= 0 {
+				req.TargetMult, req.TargetNS = opts.DefaultMult, opts.DefaultNS
+			} else {
+				req.ApplyDefault(opts.DefaultMult, opts.DefaultNS)
+			}
 			job = req.Job()
 		}
 		select {
@@ -138,21 +224,34 @@ func FeedJSONL(ctx context.Context, in io.Reader, defaultMult, defaultNS float64
 }
 
 // Response is one net's outcome. Error is per-net: a failed request is
-// reported in its own response and never aborts a batch.
+// reported in its own response and never aborts a batch. Line and tree
+// responses share the envelope; Kind distinguishes them, and the
+// placement fields differ — positions/widths along the line versus
+// per-node buffers on the tree.
 type Response struct {
 	// Net echoes the request's net name.
 	Net string `json:"net"`
+	// Kind is "tree" for tree results and empty (line) otherwise, so
+	// mixed-batch outputs are self-describing.
+	Kind string `json:"kind,omitempty"`
 	// Feasible reports whether any assignment met the budget.
 	Feasible bool `json:"feasible"`
-	// TargetNS is the resolved absolute budget in nanoseconds.
+	// TargetNS is the resolved absolute budget in nanoseconds (0 for
+	// trees solved against embedded per-sink deadlines).
 	TargetNS float64 `json:"target_ns"`
-	// DelayNS is the solution's Elmore delay in nanoseconds.
+	// DelayNS is the solution's Elmore delay in nanoseconds — for trees,
+	// the worst sink arrival implied by the resolved budget.
 	DelayNS float64 `json:"delay_ns"`
-	// TotalWidthU is the summed repeater width in units of u.
+	// SlackNS is the tree solution's worst slack in nanoseconds.
+	SlackNS float64 `json:"slack_ns,omitempty"`
+	// TotalWidthU is the summed repeater/buffer width in units of u.
 	TotalWidthU float64 `json:"total_width_u"`
-	// PositionsUM and WidthsU are the repeater placement.
-	PositionsUM []float64 `json:"positions_um"`
-	WidthsU     []float64 `json:"widths_u"`
+	// PositionsUM and WidthsU are a line solution's repeater placement.
+	PositionsUM []float64 `json:"positions_um,omitempty"`
+	WidthsU     []float64 `json:"widths_u,omitempty"`
+	// Buffers is a tree solution's placement: one entry per inserted
+	// buffer, ordered by node ID.
+	Buffers []TreeBuffer `json:"buffers,omitempty"`
 	// CacheHit reports whether the solution came from the engine's
 	// solution cache.
 	CacheHit bool `json:"cache_hit"`
@@ -160,9 +259,18 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 }
 
+// TreeBuffer is one inserted buffer of a tree solution.
+type TreeBuffer struct {
+	NodeID int     `json:"node"`
+	WidthU float64 `json:"width_u"`
+}
+
 // FromResult converts an engine result to its wire form.
 func FromResult(r engine.Result) Response {
 	out := Response{CacheHit: r.CacheHit}
+	if r.TreeNet != nil {
+		return fromTreeResult(r)
+	}
 	if r.Net != nil {
 		out.Net = r.Net.Name
 	}
@@ -179,6 +287,33 @@ func FromResult(r engine.Result) Response {
 		out.PositionsUM = append(out.PositionsUM, units.ToMicrons(x))
 	}
 	out.WidthsU = append(out.WidthsU, sol.Assignment.Widths...)
+	return out
+}
+
+// fromTreeResult renders a tree job's outcome.
+func fromTreeResult(r engine.Result) Response {
+	out := Response{Net: r.TreeNet.Name, Kind: "tree", CacheHit: r.CacheHit}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	sol := r.TreeRes.Solution
+	out.Feasible = sol.Feasible
+	out.TargetNS = r.Target / units.NanoSecond
+	out.SlackNS = sol.Slack / units.NanoSecond
+	if r.Target > 0 {
+		// Uniform deadline: worst arrival = target − worst slack.
+		out.DelayNS = (r.Target - sol.Slack) / units.NanoSecond
+	}
+	out.TotalWidthU = sol.TotalWidth
+	ids := make([]int, 0, len(sol.Buffers))
+	for id := range sol.Buffers {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		out.Buffers = append(out.Buffers, TreeBuffer{NodeID: id, WidthU: sol.Buffers[id]})
+	}
 	return out
 }
 

@@ -18,9 +18,20 @@ type cached struct {
 	widths     []float64
 	totalWidth float64
 	// tmin is the signature's τmin; non-zero only for relative-target
-	// entries, whose key embeds the target multiple.
+	// entries, whose key embeds the target multiple. For tree entries it
+	// is the minimum achievable worst-sink arrival.
 	tmin   float64
 	picked core.Phase
+
+	// Tree entries (key prefix "T") reuse widths for the buffer sizes;
+	// treeIDs carries the buffered node IDs (parallel to widths), slack
+	// the solution's worst slack and treePicked the winning phase. Line
+	// and tree keys are disjoint, so a signature never decodes as the
+	// wrong kind.
+	tree       bool
+	treeIDs    []int32
+	slack      float64
+	treePicked string
 }
 
 // cacheShard is one independently locked slice of the cache: an LRU list

@@ -29,6 +29,13 @@
 // harmless refresh. Only feasible solutions are cached — an infeasible
 // verdict depends on the exact target, so serving it across a slack class
 // could wrongly declare an easier net infeasible.
+//
+// Work items are polymorphic: a Job carries either a two-pin line net or
+// a routing tree (tree.Net), and both kinds share the worker pool, the
+// ordering and error-isolation machinery, and the solution cache — tree
+// entries are keyed by tree shape and addressed by walk position, so
+// repeated tree shapes (arrayed clock subtrees) hit regardless of node
+// labeling. See tree.go for the tree arm.
 package engine
 
 import (
@@ -43,15 +50,26 @@ import (
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/wire"
 )
 
-// Job is one unit of batch work: a net plus its timing budget. Exactly
-// one of TargetMult (budget = TargetMult·τmin, the paper's convention)
-// or Target (absolute seconds) must be positive.
+// Job is one unit of batch work: a net — two-pin line or routing tree —
+// plus its timing budget. Exactly one of Net and TreeNet must be set.
+//
+// For line nets exactly one of TargetMult (budget = TargetMult·τmin, the
+// paper's convention) or Target (absolute seconds) must be positive. For
+// tree nets the same rule applies, except both may be zero when every
+// sink of the tree carries its own positive required arrival time — the
+// tree is then solved against those embedded deadlines. A uniform
+// budget, when given, is applied to every sink (on a private clone; the
+// caller's tree is never mutated), with TargetMult relative to the
+// tree's minimum achievable worst-sink arrival (the τmin analogue).
 type Job struct {
-	// Net is the routed interconnect to optimize.
+	// Net is the routed two-pin interconnect to optimize.
 	Net *wire.Net
+	// TreeNet is the routing tree to optimize.
+	TreeNet *tree.Net
 	// TargetMult expresses the budget as a multiple of the net's minimum
 	// achievable delay τmin, which the engine computes (and caches) per
 	// signature.
@@ -66,21 +84,39 @@ type Result struct {
 	// Index is the job's position in the input; Run and RunStream emit
 	// results in increasing Index order.
 	Index int
-	// Net echoes the job's net.
+	// Net echoes a line job's net (nil for tree jobs).
 	Net *wire.Net
-	// Target is the resolved absolute budget in seconds.
+	// TreeNet echoes a tree job's net (nil for line jobs).
+	TreeNet *tree.Net
+	// Target is the resolved absolute budget in seconds (zero for tree
+	// jobs solved against embedded per-sink deadlines).
 	Target float64
-	// TMin is the net's minimum achievable delay; non-zero only for
-	// TargetMult jobs (cache hits reuse the signature's τmin).
+	// TMin is the net's minimum achievable delay — worst-sink arrival
+	// for trees; non-zero only for TargetMult jobs (cache hits reuse the
+	// signature's τmin).
 	TMin float64
-	// Res is the pipeline outcome. On a cache hit the Report carries only
-	// the picked phase; the per-phase accounting belongs to the solve
-	// that populated the cache.
+	// Res is a line job's pipeline outcome. On a cache hit the Report
+	// carries only the picked phase; the per-phase accounting belongs to
+	// the solve that populated the cache.
 	Res core.Result
+	// TreeRes is a tree job's pipeline outcome; only Solution and Picked
+	// are populated on a cache hit.
+	TreeRes tree.HybridResult
 	// CacheHit reports whether the solution was served from cache.
 	CacheHit bool
 	// Err records a per-net failure (validation or solver error).
 	Err error
+}
+
+// name returns the job's net name regardless of kind, for error paths.
+func (r *Result) name() string {
+	if r.Net != nil {
+		return r.Net.Name
+	}
+	if r.TreeNet != nil {
+		return r.TreeNet.Name
+	}
+	return ""
 }
 
 // CacheOptions configures the engine's solution cache.
@@ -168,6 +204,15 @@ type Engine struct {
 	dpKept         atomic.Uint64
 	dpMaxPerLevel  atomic.Uint64
 	dpBudgetAborts atomic.Uint64
+
+	// Tree DP work counters, the rip_tree_dp_* analogue of the above:
+	// aggregated from every tree dynamic program the engine runs (τmin
+	// max-slack sweeps plus the hybrid pipeline's coarse and fine
+	// phases).
+	treeSolves     atomic.Uint64
+	treeGenerated  atomic.Uint64
+	treeKept       atomic.Uint64
+	treeMaxPerNode atomic.Uint64
 }
 
 // New builds an Engine for the technology node.
@@ -261,6 +306,50 @@ func (e *Engine) noteDP(st dp.Stats) {
 			break
 		}
 		if e.dpMaxPerLevel.CompareAndSwap(cur, uint64(st.MaxPerLevel)) {
+			break
+		}
+	}
+}
+
+// TreeDPStats is a point-in-time snapshot of the cumulative tree
+// dynamic-program work — the rip_tree_dp_* counters ripd exports next to
+// DPStats. Cache hits skip the DP entirely and contribute nothing.
+type TreeDPStats struct {
+	// Solves counts tree DP runs that performed work (τmin sweeps plus
+	// the hybrid pipeline's coarse and fine phases).
+	Solves uint64
+	// Generated and Kept accumulate tree.Stats over those runs.
+	Generated uint64
+	Kept      uint64
+	// MaxPerNode is the largest surviving option set any node of any run
+	// held — a high-water mark, not a sum.
+	MaxPerNode uint64
+}
+
+// TreeDPStats snapshots the tree DP work counters.
+func (e *Engine) TreeDPStats() TreeDPStats {
+	return TreeDPStats{
+		Solves:     e.treeSolves.Load(),
+		Generated:  e.treeGenerated.Load(),
+		Kept:       e.treeKept.Load(),
+		MaxPerNode: e.treeMaxPerNode.Load(),
+	}
+}
+
+// noteTree folds one tree DP run's stats into the cumulative counters.
+func (e *Engine) noteTree(st tree.Stats) {
+	if st.Generated == 0 && st.Kept == 0 {
+		return // phase did not run
+	}
+	e.treeSolves.Add(1)
+	e.treeGenerated.Add(uint64(st.Generated))
+	e.treeKept.Add(uint64(st.Kept))
+	for {
+		cur := e.treeMaxPerNode.Load()
+		if uint64(st.MaxPerNode) <= cur {
+			break
+		}
+		if e.treeMaxPerNode.CompareAndSwap(cur, uint64(st.MaxPerNode)) {
 			break
 		}
 	}
@@ -432,22 +521,28 @@ func (e *Engine) SolveContext(ctx context.Context, j Job) Result {
 // pipeline's coarse and fine phases — reuses one set of warm arenas.
 func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Result) {
 	res.Net = j.Net
+	res.TreeNet = j.TreeNet
 	defer func() {
 		// A panicking solver run must not take down a million-net batch.
 		if p := recover(); p != nil {
 			res.Err = fmt.Errorf("engine: solver panic: %v", p)
 		}
 	}()
-	if j.Net == nil {
+	switch {
+	case j.Net == nil && j.TreeNet == nil:
 		res.Err = errors.New("engine: job has a nil net")
 		return res
-	}
-	switch {
-	case j.TargetMult > 0 && j.Target > 0:
-		res.Err = fmt.Errorf("engine: net %q: give TargetMult or Target, not both", j.Net.Name)
+	case j.Net != nil && j.TreeNet != nil:
+		res.Err = fmt.Errorf("engine: net %q: give Net or TreeNet, not both", res.name())
 		return res
-	case j.TargetMult <= 0 && j.Target <= 0:
-		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", j.Net.Name)
+	case j.TargetMult > 0 && j.Target > 0:
+		res.Err = fmt.Errorf("engine: net %q: give TargetMult or Target, not both", res.name())
+		return res
+	case j.Net != nil && j.TargetMult <= 0 && j.Target <= 0:
+		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", res.name())
+		return res
+	case j.TreeNet != nil && j.TargetMult <= 0 && j.Target <= 0 && !j.TreeNet.HasDeadlines():
+		res.Err = fmt.Errorf("engine: tree net %q: a positive TargetMult or Target is required unless every sink carries its own deadline", res.name())
 		return res
 	}
 	// Take an engine-wide solve slot: concurrent callers queue here
@@ -456,12 +551,15 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	case e.solveSlots <- struct{}{}:
 		defer func() { <-e.solveSlots }()
 	case <-ctx.Done():
-		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, ctx.Err())
+		res.Err = fmt.Errorf("engine: net %q: %w", res.name(), ctx.Err())
 		return res
 	}
 	if err := ctx.Err(); err != nil {
-		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
+		res.Err = fmt.Errorf("engine: net %q: %w", res.name(), err)
 		return res
+	}
+	if j.TreeNet != nil {
+		return e.solveTree(ctx, j, res)
 	}
 	ev, err := delay.NewEvaluator(j.Net, e.tech)
 	if err != nil {

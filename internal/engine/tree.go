@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// solveTree is the tree-job arm of solveContext: cache lookup with a
+// shape-aware key, τmin (minimum achievable worst-sink arrival) for
+// relative budgets, uniform-deadline resolution onto a private clone, the
+// hybrid tree pipeline on a pooled tree.Solver, and memoization of
+// feasible placements. It mirrors the line arm phase for phase so both
+// net kinds share the worker pool, the cache and the cancellation
+// discipline.
+func (e *Engine) solveTree(ctx context.Context, j Job, res Result) Result {
+	tn := j.TreeNet
+	if err := tn.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+
+	var key string
+	if e.cache != nil {
+		key = e.sig.treeKey(j)
+		if ent, ok := e.cache.get(key); ok && ent.tree {
+			if hit, ok := e.verifyTree(ent, j); ok {
+				e.hits.Add(1)
+				hit.TreeNet = tn
+				return hit
+			}
+			e.rejected.Add(1)
+		} else {
+			e.misses.Add(1)
+		}
+	}
+
+	ts := tree.AcquireSolver()
+	defer tree.ReleaseSolver(ts)
+
+	// Resolve the budget: relative targets are multiples of the tree's
+	// minimum achievable worst-sink arrival, computed on the same
+	// reference library the two-pin τmin uses.
+	target := j.Target
+	if j.TargetMult > 0 {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Errorf("engine: tree net %q: %w", tn.Name, err)
+			return res
+		}
+		tmin, st, err := ts.MinArrival(tn.Tree, tree.Options{
+			Library: e.refOpts.Library, Tech: e.tech, DriverWidth: tn.DriverWidth,
+		})
+		e.noteTree(st)
+		if err != nil {
+			res.Err = fmt.Errorf("engine: tree τmin for %q: %w", tn.Name, err)
+			return res
+		}
+		if !(tmin > 0) {
+			res.Err = fmt.Errorf("engine: tree net %q: non-positive minimum arrival %g", tn.Name, tmin)
+			return res
+		}
+		res.TMin = tmin
+		target = j.TargetMult * tmin
+	}
+	res.Target = target
+	work := tn.Tree
+	if target > 0 {
+		// A uniform deadline is applied on a clone so a tree shared
+		// across concurrent jobs is never mutated.
+		work = tn.Tree.CloneWithRAT(target)
+	}
+
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("engine: tree net %q: %w", tn.Name, err)
+		return res
+	}
+	out, err := tree.InsertHybridWith(ts, work, tree.Options{Tech: e.tech, DriverWidth: tn.DriverWidth}, tree.HybridConfig{})
+	e.noteTree(out.Coarse.Stats)
+	e.noteTree(out.Final.Stats)
+	if err != nil {
+		res.Err = fmt.Errorf("engine: solving tree %q: %w", tn.Name, err)
+		return res
+	}
+	res.TreeRes = out
+
+	if e.cache != nil && out.Solution.Feasible {
+		// Buffers are stored by pre-order walk position, not node ID, so
+		// the entry serves any shape-equal tree regardless of labeling.
+		walk := tn.Tree.WalkOrderIDs(nil)
+		pos := make(map[int]int32, len(walk))
+		for i, id := range walk {
+			pos[id] = int32(i)
+		}
+		idxs := make([]int32, 0, len(out.Solution.Buffers))
+		for id := range out.Solution.Buffers {
+			idxs = append(idxs, pos[id])
+		}
+		slices.Sort(idxs)
+		ws := make([]float64, len(idxs))
+		for i, p := range idxs {
+			ws[i] = out.Solution.Buffers[walk[p]]
+		}
+		e.cache.put(key, cached{
+			tree:       true,
+			treeIDs:    idxs,
+			widths:     ws,
+			totalWidth: out.Solution.TotalWidth,
+			slack:      out.Solution.Slack,
+			tmin:       res.TMin,
+			treePicked: out.Picked,
+		})
+	}
+	return res
+}
+
+// verifyTree checks a cached tree placement against the actual net: the
+// walk positions must exist, and the placement's recomputed worst slack
+// under this job's resolved deadlines must be non-negative. The slack is
+// recomputed by the independent evaluator, so a served hit is always
+// consistent with the tree it is served for (embedded-deadline hits are
+// exact; uniform relative budgets inherit the signature's τmin, like the
+// line path).
+func (e *Engine) verifyTree(ent cached, j Job) (Result, bool) {
+	tn := j.TreeNet
+	target := j.Target
+	tmin := 0.0
+	if j.TargetMult > 0 {
+		if ent.tmin <= 0 {
+			return Result{}, false
+		}
+		tmin = ent.tmin
+		target = j.TargetMult * tmin
+	}
+	work := tn.Tree
+	if target > 0 {
+		work = tn.Tree.CloneWithRAT(target)
+	}
+	walk := tn.Tree.WalkOrderIDs(nil)
+	buffers := make(map[int]float64, len(ent.treeIDs))
+	for i, p := range ent.treeIDs {
+		if int(p) >= len(walk) {
+			return Result{}, false // shape mismatch under quantization
+		}
+		buffers[walk[p]] = ent.widths[i]
+	}
+	slack, err := work.Evaluate(buffers, tn.DriverWidth, e.tech.Rs, e.tech.Co, e.tech.Cp)
+	if err != nil || slack < 0 {
+		return Result{}, false
+	}
+	return Result{
+		Target: target,
+		TMin:   tmin,
+		TreeRes: tree.HybridResult{
+			Solution: tree.Solution{
+				Buffers:    buffers,
+				Slack:      slack,
+				TotalWidth: ent.totalWidth,
+				Feasible:   true,
+			},
+			Picked: ent.treePicked,
+		},
+		CacheHit: true,
+	}, true
+}
+
+// treeKey canonicalizes a tree job: technology node, driver width, the
+// tree's pre-order shape with per-node electrical profile (child count,
+// edge RC, sink cap, buffer-site flag), and the timing-budget class —
+// the relative multiple, the quantized absolute target, or (embedded
+// deadlines) every sink's quantized RAT in walk order. Shape-equal trees
+// in one budget class are solved once and served from cache.
+func (s *signer) treeKey(j Job) string {
+	tn := j.TreeNet
+	var b strings.Builder
+	b.Grow(64 + 48*tn.Tree.NumNodes())
+	b.WriteString(s.techPrefix)
+	b.WriteString("|T|d")
+	appendFloat(&b, tn.DriverWidth)
+	b.WriteString("|n")
+	// Embedded per-sink deadlines participate in the key only when they
+	// decide the solve; a uniform budget overrides them.
+	embedded := j.TargetMult <= 0 && j.Target <= 0
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		b.WriteString(strconv.Itoa(len(n.Children)))
+		b.WriteByte(':')
+		appendFloat(&b, n.EdgeR)
+		appendFloat(&b, n.EdgeC)
+		if n.SinkCap > 0 {
+			b.WriteByte('s')
+			appendFloat(&b, n.SinkCap)
+			if embedded {
+				appendQuant(&b, n.SinkRAT, s.targetQuantum)
+			}
+		}
+		if n.BufferSite {
+			b.WriteByte('B')
+		}
+		b.WriteByte(';')
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tn.Tree.Root)
+	switch {
+	case j.TargetMult > 0:
+		b.WriteString("|m")
+		appendQuant(&b, j.TargetMult, s.multQuantum)
+	case j.Target > 0:
+		b.WriteString("|a")
+		appendQuant(&b, j.Target, s.targetQuantum)
+	default:
+		b.WriteString("|e")
+	}
+	return b.String()
+}

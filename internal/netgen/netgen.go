@@ -1,5 +1,7 @@
-// Package netgen generates random two-pin interconnects following the RIP
-// paper's experimental setup (§6) exactly:
+// Package netgen generates the random workloads the benchmarks, fuzz
+// harnesses and examples run on, for both net kinds the engine serves.
+//
+// Two-pin lines follow the RIP paper's experimental setup (§6) exactly:
 //
 //   - each net has 4–10 segments,
 //   - each segment is 1000–2500 µm long,
@@ -7,9 +9,14 @@
 //   - one forbidden zone per net, 20–40 % of the total length, its
 //     location uniformly distributed along the interconnect.
 //
+// Routing trees (tree.go) are random binary topologies on metal4 — the
+// distribution of tree.DefaultGenConfig — packaged as workload-ready
+// tree.Net instances with driver widths and embedded sink deadlines.
+//
 // Generation is fully deterministic given a seed, which is what lets the
 // experiment harness reproduce the paper's 20-net corpus bit-for-bit
-// across runs.
+// across runs, and what makes cache-hit patterns in the batch
+// benchmarks reproducible.
 package netgen
 
 import (

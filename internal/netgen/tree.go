@@ -1,0 +1,65 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// TreeConfig describes the random tree-net distribution: the topology
+// and electrical distribution of tree.GenConfig plus the root driver
+// width that turns a bare Tree into a workload-ready tree.Net.
+type TreeConfig struct {
+	tree.GenConfig
+	// DriverWidth is the root driver size in units of u.
+	DriverWidth float64
+}
+
+// DefaultTreeConfig returns the benchmark tree distribution on the
+// node's metal4 (8 sinks, 0.4–1.2 mm edges, 20–80 fF sinks, 1.5 ns RAT)
+// with the corpus driver width.
+func DefaultTreeConfig(t *tech.Technology) (TreeConfig, error) {
+	g, err := tree.DefaultGenConfig(t)
+	if err != nil {
+		return TreeConfig{}, err
+	}
+	return TreeConfig{GenConfig: g, DriverWidth: 240}, nil
+}
+
+// GenerateTree produces one random tree net named name from the
+// distribution.
+func GenerateTree(rng *rand.Rand, cfg TreeConfig, name string) (*tree.Net, error) {
+	if !(cfg.DriverWidth > 0) {
+		return nil, fmt.Errorf("netgen: tree driver width must be positive, got %g", cfg.DriverWidth)
+	}
+	tr, err := tree.Generate(rng, cfg.GenConfig)
+	if err != nil {
+		return nil, err
+	}
+	n := &tree.Net{Name: name, Tree: tr, DriverWidth: cfg.DriverWidth}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// TreeCorpus generates count tree nets deterministically from the seed —
+// the multi-pin counterpart of Corpus, used by the benchmarks and the
+// fuzz/race tests that mix net kinds.
+func TreeCorpus(seed int64, count int, cfg TreeConfig) ([]*tree.Net, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("netgen: count must be positive, got %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nets := make([]*tree.Net, count)
+	for i := range nets {
+		n, err := GenerateTree(rng, cfg, fmt.Sprintf("tree%02d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		nets[i] = n
+	}
+	return nets, nil
+}

@@ -1,0 +1,52 @@
+package netgen
+
+import (
+	"testing"
+
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// TestTreeCorpusDeterministicAndValid: same seed → same trees; every
+// generated net validates and carries full embedded deadlines.
+func TestTreeCorpusDeterministicAndValid(t *testing.T) {
+	cfg, err := DefaultTreeConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := TreeCorpus(7, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TreeCorpus(7, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		if !a[i].HasDeadlines() {
+			t.Errorf("net %d: generator should set every sink RAT", i)
+		}
+		if a[i].Name != b[i].Name || a[i].Tree.NumNodes() != b[i].Tree.NumNodes() ||
+			a[i].Tree.TotalEdgeC() != b[i].Tree.TotalEdgeC() {
+			t.Errorf("net %d: corpus not deterministic", i)
+		}
+	}
+}
+
+// TestTreeCorpusValidation covers the config errors.
+func TestTreeCorpusValidation(t *testing.T) {
+	cfg, err := DefaultTreeConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TreeCorpus(1, 0, cfg); err == nil {
+		t.Error("zero count should fail")
+	}
+	bad := cfg
+	bad.DriverWidth = 0
+	if _, err := TreeCorpus(1, 1, bad); err == nil {
+		t.Error("zero driver width should fail")
+	}
+}

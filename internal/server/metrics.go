@@ -158,6 +158,22 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Engine, start time.Ti
 	fmt.Fprintf(w, "# HELP rip_dp_budget_aborts_total Solves aborted by the MaxGenerated work budget.\n")
 	fmt.Fprintf(w, "# TYPE rip_dp_budget_aborts_total counter\n")
 	fmt.Fprintf(w, "rip_dp_budget_aborts_total %d\n", ds.BudgetAborts)
+
+	// Tree DP work counters: the same pruning-workload visibility for
+	// tree jobs (τmin sweeps + hybrid pipeline phases).
+	ts := eng.TreeDPStats()
+	fmt.Fprintf(w, "# HELP rip_tree_dp_solves_total Completed tree dynamic-program runs (τmin + pipeline phases).\n")
+	fmt.Fprintf(w, "# TYPE rip_tree_dp_solves_total counter\n")
+	fmt.Fprintf(w, "rip_tree_dp_solves_total %d\n", ts.Solves)
+	fmt.Fprintf(w, "# HELP rip_tree_dp_generated_total Partial solutions generated across all tree DP runs.\n")
+	fmt.Fprintf(w, "# TYPE rip_tree_dp_generated_total counter\n")
+	fmt.Fprintf(w, "rip_tree_dp_generated_total %d\n", ts.Generated)
+	fmt.Fprintf(w, "# HELP rip_tree_dp_kept_total Partial solutions surviving pruning across all tree DP runs.\n")
+	fmt.Fprintf(w, "# TYPE rip_tree_dp_kept_total counter\n")
+	fmt.Fprintf(w, "rip_tree_dp_kept_total %d\n", ts.Kept)
+	fmt.Fprintf(w, "# HELP rip_tree_dp_max_per_node Largest surviving option set any tree DP node has held.\n")
+	fmt.Fprintf(w, "# TYPE rip_tree_dp_max_per_node gauge\n")
+	fmt.Fprintf(w, "rip_tree_dp_max_per_node %d\n", ts.MaxPerNode)
 }
 
 func b2i(b bool) int {

@@ -293,6 +293,14 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 }
 
 func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufio.Reader) {
+	// A JSONL batch is genuinely full duplex: result lines stream out
+	// while the body is still arriving. Without EnableFullDuplex,
+	// net/http reacts to the first flushed response byte by discarding
+	// and closing the unconsumed request body (the issue-15527 deadlock
+	// guard), which truncates the stream mid-line whenever solves outrun
+	// the upload — warm-cache or tree batches reliably do. Best effort:
+	// a transport that cannot do full duplex keeps the old behavior.
+	http.NewResponseController(w).EnableFullDuplex() //nolint:errcheck
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -311,7 +319,7 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 	}
 	go func() {
 		defer close(jobs)
-		fed, err := api.FeedJSONL(ctx, br, s.opts.DefaultTargetMult, 0, jobs, note)
+		fed, err := api.FeedJSONL(ctx, br, api.FeedOptions{DefaultMult: s.opts.DefaultTargetMult}, jobs, note)
 		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			// The body broke mid-stream (client gone, line too long).
 			// Already-admitted jobs still produce their result lines;

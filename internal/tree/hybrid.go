@@ -78,8 +78,19 @@ type HybridResult struct {
 // (coordinate descent against the exact slack evaluator) plays the role of
 // REFINE — tree nodes are discrete so there is no movement phase — and a
 // final DP over the concise rounded library re-discretizes. The result is
-// never worse than the coarse phase.
+// never worse than the coarse phase. It runs on a pooled Solver; loops
+// that own one should call InsertHybridWith.
 func InsertHybrid(t *Tree, opts Options, cfg HybridConfig) (HybridResult, error) {
+	s := AcquireSolver()
+	defer ReleaseSolver(s)
+	return InsertHybridWith(s, t, opts, cfg)
+}
+
+// InsertHybridWith is InsertHybrid on a caller-owned Solver, so both DP
+// phases of one pipeline run — and every run in a loop — reuse one set of
+// warm arenas (the discipline core.InsertWith established for two-pin
+// nets).
+func InsertHybridWith(s *Solver, t *Tree, opts Options, cfg HybridConfig) (HybridResult, error) {
 	if opts.MaxSlack {
 		return HybridResult{}, errors.New("tree: InsertHybrid is a min-power pipeline; use Insert for MaxSlack")
 	}
@@ -92,7 +103,7 @@ func InsertHybrid(t *Tree, opts Options, cfg HybridConfig) (HybridResult, error)
 	// Phase 1: coarse DP.
 	coarseOpts := opts
 	coarseOpts.Library = coarseLib
-	coarse, err := Insert(t, coarseOpts)
+	coarse, err := s.Insert(t, coarseOpts)
 	if err != nil {
 		return HybridResult{}, err
 	}
@@ -129,7 +140,7 @@ func InsertHybrid(t *Tree, opts Options, cfg HybridConfig) (HybridResult, error)
 	res.Library = lib
 	finalOpts := opts
 	finalOpts.Library = lib
-	final, err := Insert(t, finalOpts)
+	final, err := s.Insert(t, finalOpts)
 	if err != nil {
 		return HybridResult{}, err
 	}

@@ -1,0 +1,160 @@
+package tree
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+func genNet(t *testing.T, seed int64, sinks int) *Net {
+	t.Helper()
+	ts := tech.T180()
+	cfg, err := DefaultGenConfig(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sinks = sinks
+	tr, err := Generate(rand.New(rand.NewSource(seed)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Net{Name: "t", Tree: tr, DriverWidth: 240}
+}
+
+// TestNetJSONRoundTrip encodes and decodes random tree nets and checks
+// the reconstruction is exact: same shape, parasitics, deadlines and —
+// the property that matters for cache hits — the same solver outcome.
+func TestNetJSONRoundTrip(t *testing.T) {
+	ts := tech.T180()
+	opts := Options{Library: lib(t, 80, 160, 240, 320, 400), Tech: ts, DriverWidth: 240}
+	for seed := int64(1); seed <= 8; seed++ {
+		orig := genNet(t, seed, int(2+seed))
+		raw, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Net
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("seed %d: %v (payload %s)", seed, err, raw)
+		}
+		if back.Name != orig.Name || back.DriverWidth != orig.DriverWidth {
+			t.Fatalf("seed %d: header mismatch: %+v", seed, back)
+		}
+		if back.Tree.NumNodes() != orig.Tree.NumNodes() {
+			t.Fatalf("seed %d: %d nodes vs %d", seed, back.Tree.NumNodes(), orig.Tree.NumNodes())
+		}
+		want, err := referenceInsert(orig.Tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Insert(back.Tree, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The µm/fF/ns wire units round-trip within one ulp of the SI
+		// originals, so outcomes match to relative 1e-12 — placements
+		// exactly.
+		if want.Feasible != got.Feasible {
+			t.Fatalf("seed %d: feasible %v vs %v", seed, want.Feasible, got.Feasible)
+		}
+		if !approx(want.Slack, got.Slack, 1e-12) {
+			t.Errorf("seed %d: slack %g vs %g", seed, want.Slack, got.Slack)
+		}
+		if !approx(want.TotalWidth, got.TotalWidth, 1e-12) {
+			t.Errorf("seed %d: total width %g vs %g", seed, want.TotalWidth, got.TotalWidth)
+		}
+		if len(want.Buffers) != len(got.Buffers) {
+			t.Fatalf("seed %d: %d buffers vs %d", seed, len(want.Buffers), len(got.Buffers))
+		}
+		for id, w := range want.Buffers {
+			if got.Buffers[id] != w {
+				t.Errorf("seed %d: buffer at node %d: width %g vs %g", seed, id, w, got.Buffers[id])
+			}
+		}
+	}
+}
+
+// approx reports |a-b| within rel·max(|a|,|b|).
+func approx(a, b, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := max(abs(a), abs(b))
+	return d <= rel*m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestNetJSONUnits pins the wire schema: Ω, fF and ns fields convert to
+// SI on decode.
+func TestNetJSONUnits(t *testing.T) {
+	raw := `{
+		"name": "clk_tree", "driver_width_u": 200,
+		"nodes": [
+			{"id": 0},
+			{"id": 1, "parent": 0, "edge_r_ohm": 400, "edge_c_ff": 300, "buffer_site": true},
+			{"id": 2, "parent": 1, "edge_r_ohm": 120, "edge_c_ff": 90, "sink_cap_ff": 50, "rat_ns": 1.5}
+		]
+	}`
+	var n Net
+	if err := json.Unmarshal([]byte(raw), &n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "clk_tree" || n.DriverWidth != 200 {
+		t.Fatalf("header: %+v", n)
+	}
+	if got := n.Tree.NumNodes(); got != 3 {
+		t.Fatalf("nodes: %d", got)
+	}
+	sink := n.Tree.Sinks()[0]
+	if !approx(sink.SinkCap, 50e-15, 1e-12) {
+		t.Errorf("sink cap = %g, want 50 fF", sink.SinkCap)
+	}
+	if !approx(sink.SinkRAT, 1.5e-9, 1e-12) {
+		t.Errorf("sink RAT = %g, want 1.5 ns", sink.SinkRAT)
+	}
+	mid := n.Tree.BufferSites()[0]
+	if mid.EdgeR != 400 || !approx(mid.EdgeC, 300e-15, 1e-12) {
+		t.Errorf("edge RC = (%g, %g), want (400 Ω, 300 fF)", mid.EdgeR, mid.EdgeC)
+	}
+	if !n.HasDeadlines() {
+		t.Error("all sinks carry RATs; HasDeadlines should be true")
+	}
+}
+
+// TestNetJSONErrors exercises the decoder's structural diagnostics.
+func TestNetJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, raw, wantSub string
+	}{
+		{"no nodes", `{"name":"x","driver_width_u":100,"nodes":[]}`, "no nodes"},
+		{"two roots", `{"name":"x","driver_width_u":100,"nodes":[{"id":0},{"id":1}]}`, "lack a parent"},
+		{"no root", `{"name":"x","driver_width_u":100,"nodes":[{"id":0,"parent":1},{"id":1,"parent":0}]}`, "no root"},
+		{"unknown parent", `{"name":"x","driver_width_u":100,"nodes":[{"id":0},{"id":1,"parent":9}]}`, "unknown parent"},
+		{"self parent", `{"name":"x","driver_width_u":100,"nodes":[{"id":0},{"id":1,"parent":1}]}`, "own parent"},
+		{"duplicate id", `{"name":"x","driver_width_u":100,"nodes":[{"id":0},{"id":0,"parent":0}]}`, "duplicate"},
+		{"cycle", `{"name":"x","driver_width_u":100,"nodes":[{"id":0},{"id":3,"parent":0,"sink_cap_ff":1,"rat_ns":1},{"id":1,"parent":2},{"id":2,"parent":1}]}`, "unreachable"},
+		{"no driver", `{"name":"x","nodes":[{"id":0,"sink_cap_ff":10,"rat_ns":1}]}`, "driver width"},
+		{"root edge", `{"name":"x","driver_width_u":100,"nodes":[{"id":0,"edge_r_ohm":5},{"id":1,"parent":0,"sink_cap_ff":1,"rat_ns":1}]}`, "root"},
+	}
+	for _, c := range cases {
+		var n Net
+		err := json.Unmarshal([]byte(c.raw), &n)
+		if err == nil {
+			t.Errorf("%s: expected an error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}

@@ -6,6 +6,16 @@
 // (capacitance, required time, width) triples, branch merging, and 3-D
 // Pareto pruning, minimizing total buffer width subject to every sink
 // meeting its required arrival time.
+//
+// Trees are a first-class workload, not an appendix: Net wraps a Tree
+// with a name and driver width (the unit the batch engine, the JSON
+// wire format and ripcli/ripd move around, with a µm/fF/ns JSON schema
+// in net.go), Solver is the reusable zero-allocation solve entry
+// (persistent arenas, InsertInto, a sync.Pool behind the package-level
+// functions — the dp.Solver discipline), InsertHybrid/InsertHybridWith
+// run the §7 pipeline analogue (coarse DP → continuous width refinement
+// → concise-library DP), and MinArrival computes the τmin analogue that
+// relative tree deadlines are multiples of.
 package tree
 
 import (
@@ -40,6 +50,12 @@ type Tree struct {
 	Root *Node
 	// nodes in a topological (parent-before-child) order.
 	nodes []*Node
+	// parents[i] is the index (into nodes) of nodes[i]'s parent, -1 for
+	// the root. The pre-order walk visits a node's children in Children
+	// order, so scanning parents forward and appending each index to its
+	// parent's list rebuilds every child list in Children order — the
+	// property Solver's flat child index relies on.
+	parents []int32
 }
 
 // New validates the tree rooted at root: unique IDs, zero root edge,
@@ -54,13 +70,14 @@ func New(root *Node) (*Tree, error) {
 	t := &Tree{Root: root}
 	seen := make(map[int]bool)
 	sinks := 0
-	var walk func(n *Node) error
-	walk = func(n *Node) error {
+	var walk func(n *Node, parent int32) error
+	walk = func(n *Node, parent int32) error {
 		if seen[n.ID] {
 			return fmt.Errorf("tree: duplicate node id %d", n.ID)
 		}
 		seen[n.ID] = true
 		t.nodes = append(t.nodes, n)
+		t.parents = append(t.parents, parent)
 		if n.EdgeR < 0 || n.EdgeC < 0 {
 			return fmt.Errorf("tree: node %d has negative edge parasitics", n.ID)
 		}
@@ -75,17 +92,18 @@ func New(root *Node) (*Tree, error) {
 		} else if len(n.Children) == 0 {
 			return fmt.Errorf("tree: leaf node %d is not a sink", n.ID)
 		}
+		self := int32(len(t.nodes) - 1)
 		for _, c := range n.Children {
 			if c == nil {
 				return fmt.Errorf("tree: node %d has a nil child", n.ID)
 			}
-			if err := walk(c); err != nil {
+			if err := walk(c, self); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(root); err != nil {
+	if err := walk(root, -1); err != nil {
 		return nil, err
 	}
 	if sinks == 0 {
@@ -96,6 +114,19 @@ func New(root *Node) (*Tree, error) {
 
 // NumNodes returns the node count.
 func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// WalkOrderIDs appends the node IDs in the tree's deterministic pre-order
+// walk (node before children, children in Children order) to dst and
+// returns the extended slice. Shape-equal trees yield positionally
+// aligned walks, which is what lets the engine's solution cache address
+// buffers by walk position rather than by node ID and serve a solution
+// across same-shape trees whose IDs differ.
+func (t *Tree) WalkOrderIDs(dst []int) []int {
+	for _, n := range t.nodes {
+		dst = append(dst, n.ID)
+	}
+	return dst
+}
 
 // Sinks returns the sink nodes in walk order.
 func (t *Tree) Sinks() []*Node {
@@ -215,6 +246,32 @@ func (t *Tree) Clone() *Tree {
 		panic("tree: clone of a valid tree failed: " + err.Error())
 	}
 	return out
+}
+
+// CloneWithRAT deep-copies the tree with every sink's required arrival
+// time replaced by rat (seconds). It is how uniform deadlines are applied
+// without mutating a shared tree: the engine resolves a job's timing
+// budget onto a private clone so concurrent jobs on one tree never race.
+func (t *Tree) CloneWithRAT(rat float64) *Tree {
+	c := t.Clone()
+	for _, n := range c.nodes {
+		if n.SinkCap > 0 {
+			n.SinkRAT = rat
+		}
+	}
+	return c
+}
+
+// HasDeadlines reports whether every sink carries a positive required
+// arrival time — the condition for solving the tree against its embedded
+// deadlines rather than a uniform target.
+func (t *Tree) HasDeadlines() bool {
+	for _, n := range t.nodes {
+		if n.SinkCap > 0 && !(n.SinkRAT > 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // sortedIDs returns the tree's node IDs ascending (deterministic output

@@ -1,0 +1,81 @@
+package rip
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/tree"
+)
+
+// TreeNet is a tree workload instance — a named RC tree plus its root
+// driver width — the multi-pin counterpart of Net. TreeNets flow through
+// the same batch engine as line nets (BatchJob.TreeNet), the same JSON
+// wire format (the {"tree": ...} request form of ripcli -batch and ripd)
+// and the same solution cache, keyed by tree shape.
+type TreeNet = tree.Net
+
+// TreeGenConfig describes the random tree-net distribution used by the
+// benchmarks and examples.
+type TreeGenConfig = netgen.TreeConfig
+
+// DefaultTreeGenConfig returns the benchmark tree distribution on the
+// node's metal4: 8 sinks, 0.4–1.2 mm edges, 20–80 fF sinks, 1.5 ns RAT.
+func DefaultTreeGenConfig(t *Technology) (TreeGenConfig, error) {
+	return netgen.DefaultTreeConfig(t)
+}
+
+// GenerateTreeNets produces count random tree nets deterministically
+// from the seed — the tree counterpart of GenerateNets.
+func GenerateTreeNets(t *Technology, seed int64, count int) ([]*TreeNet, error) {
+	cfg, err := netgen.DefaultTreeConfig(t)
+	if err != nil {
+		return nil, err
+	}
+	return netgen.TreeCorpus(seed, count, cfg)
+}
+
+// GenerateTreeNet produces one random tree net from the distribution
+// using the supplied random source.
+func GenerateTreeNet(t *Technology, rng *rand.Rand, name string) (*TreeNet, error) {
+	cfg, err := netgen.DefaultTreeConfig(t)
+	if err != nil {
+		return nil, err
+	}
+	return netgen.GenerateTree(rng, cfg, name)
+}
+
+// TreeMinimumDelay returns the tree's minimum achievable worst-sink
+// arrival time over the reference candidate space (the same 10u..400u
+// step-10u library MinimumDelay sweeps) — the τmin analogue that tree
+// timing targets are multiples of.
+func TreeMinimumDelay(tn *TreeNet, t *Technology) (float64, error) {
+	if err := tn.Validate(); err != nil {
+		return 0, err
+	}
+	refOpts, err := dp.ReferenceOptions()
+	if err != nil {
+		return 0, err
+	}
+	return tree.MinArrival(tn.Tree, tree.Options{
+		Library: refOpts.Library, Tech: t, DriverWidth: tn.DriverWidth,
+	})
+}
+
+// InsertTreeNet runs the hybrid tree pipeline on the net. A positive
+// target applies a uniform deadline (seconds) to every sink on a private
+// clone; target ≤ 0 solves against the tree's embedded per-sink
+// deadlines, which must then all be positive.
+func InsertTreeNet(tn *TreeNet, t *Technology, target float64) (TreeHybridResult, error) {
+	if err := tn.Validate(); err != nil {
+		return TreeHybridResult{}, err
+	}
+	work := tn.Tree
+	if target > 0 {
+		work = tn.Tree.CloneWithRAT(target)
+	} else if !tn.HasDeadlines() {
+		return TreeHybridResult{}, errors.New("rip: a positive target is required unless every sink carries its own deadline")
+	}
+	return tree.InsertHybrid(work, tree.Options{Tech: t, DriverWidth: tn.DriverWidth}, tree.HybridConfig{})
+}
