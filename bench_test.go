@@ -449,6 +449,55 @@ func BenchmarkBatchMixed_1k_Cold(b *testing.B) {
 	benchmarkBatchEngineJobs(b, jobs, rip.CacheOptions{}, false)
 }
 
+// Multi-technology batches: the same tiled workload spread round-robin
+// over all four built-in nodes through one MultiEngine — the mixed-node
+// JSONL shape ripd serves. Cold measures per-node cache fill plus
+// routing; Warm the steady state where every node's cache is hot.
+
+func batchBenchMultiTechJobs(b *testing.B, distinct, total int) []rip.BatchJob {
+	b.Helper()
+	techs := []string{"180nm", "130nm", "90nm", "65nm"}
+	jobs := batchBenchJobs(b, distinct, total)
+	for i := range jobs {
+		jobs[i].Tech = techs[i%len(techs)]
+	}
+	return jobs
+}
+
+func benchmarkBatchMultiTech(b *testing.B, distinct, total int, warm bool) {
+	b.Helper()
+	jobs := batchBenchMultiTechJobs(b, distinct, total)
+	newEng := func() *rip.MultiEngine {
+		eng, err := rip.NewMultiEngine(rip.BuiltinTechRegistry(), "180nm", rip.EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	eng := newEng()
+	if warm {
+		eng.Run(jobs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			// Cold means cold: fresh per-node caches each iteration.
+			b.StopTimer()
+			eng = newEng()
+			b.StartTimer()
+		}
+		for _, r := range eng.Run(jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	reportNetsPerSec(b, len(jobs))
+}
+
+func BenchmarkBatchMultiTech_1k_Cold(b *testing.B) { benchmarkBatchMultiTech(b, 100, 1000, false) }
+func BenchmarkBatchMultiTech_1k_Warm(b *testing.B) { benchmarkBatchMultiTech(b, 100, 1000, true) }
+
 // BenchmarkSimStage measures the transient golden-model cost per stage.
 func BenchmarkSimStage(b *testing.B) {
 	c := benchSetup(b)

@@ -1,15 +1,23 @@
-// Command netgen emits a corpus of random paper-style nets as a JSON
-// array, for use with ripcli, ripd or external tools: two-pin lines (the
-// distribution of the paper's §6) by default, routing trees with -trees.
+// Command netgen emits a corpus of random paper-style nets for use with
+// ripcli, ripd or external tools: two-pin lines (the distribution of the
+// paper's §6) by default, routing trees with -trees. The default output
+// is a JSON array; -jsonl instead emits one request wrapper per line in
+// the shared wire format (internal/api), each line carrying the node's
+// canonical "tech" name — so corpora generated at different nodes
+// concatenate into one mixed-technology stream that ripcli -batch and
+// ripd /v1/batch replay identically.
 //
 // Usage:
 //
 //	netgen -seed 2005 -count 20 > nets.json
 //	netgen -seed 7 -count 5 -o corpus.json -tech 90nm
 //	netgen -trees -count 100 | jq -c '.[]' > trees.jsonl   # ripcli -tree -batch input
+//	netgen -jsonl -tech 180nm -count 50 -target 1.3 >  mixed.jsonl
+//	netgen -jsonl -tech 65nm  -count 50 -target 1.3 >> mixed.jsonl
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +25,7 @@ import (
 	"os"
 
 	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/api"
 	"github.com/rip-eda/rip/internal/wire"
 )
 
@@ -25,14 +34,21 @@ func main() {
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		count    = flag.Int("count", 20, "number of nets")
 		trees    = flag.Bool("trees", false, "emit routing trees instead of two-pin lines")
+		jsonl    = flag.Bool("jsonl", false, "emit JSONL request wrappers with per-line tech attribution instead of a JSON array")
+		relT     = flag.Float64("target", 0, "with -jsonl: per-line target_mult (0 = omit, the transport default applies)")
+		absT     = flag.Float64("target-ns", 0, "with -jsonl: per-line target_ns (0 = omit)")
 		out      = flag.String("o", "", "output file (default stdout)")
-		techName = flag.String("tech", "180nm", "built-in technology node (layer RC source)")
+		techName = flag.String("tech", "180nm", "built-in technology node (layer RC source and JSONL tech attribution)")
 	)
 	flag.Parse()
 
-	tech, err := rip.BuiltinTech(*techName)
+	reg := rip.BuiltinTechRegistry()
+	tech, canonical, err := reg.Get(*techName)
 	if err != nil {
 		fatal(err)
+	}
+	if *relT > 0 && *absT > 0 {
+		fatal(fmt.Errorf("give either -target or -target-ns, not both"))
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -42,6 +58,13 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *jsonl {
+		if err := emitJSONL(w, tech, canonical, *seed, *count, *trees, *relT, *absT); err != nil {
+			fatal(err)
+		}
+		note(*out, *count)
+		return
 	}
 	if *trees {
 		nets, err := rip.GenerateTreeNets(tech, *seed, *count)
@@ -64,6 +87,42 @@ func main() {
 		fatal(err)
 	}
 	note(*out, len(nets))
+}
+
+// emitJSONL writes one api.Request wrapper per net, attributed to the
+// node's canonical name — the replayable mixed-corpus building block.
+func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, count int, trees bool, relT, absT float64) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	write := func(req api.Request) error {
+		req.Tech = canonical
+		req.TargetMult = relT
+		req.TargetNS = absT
+		return enc.Encode(req)
+	}
+	if trees {
+		nets, err := rip.GenerateTreeNets(tech, seed, count)
+		if err != nil {
+			return err
+		}
+		for _, n := range nets {
+			if err := write(api.Request{Tree: n}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nets, err := rip.GenerateNets(tech, seed, count)
+	if err != nil {
+		return err
+	}
+	for _, n := range nets {
+		if err := write(api.Request{Net: n}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func note(out string, n int) {

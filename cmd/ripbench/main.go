@@ -29,6 +29,7 @@ func main() {
 		table1   = flag.Bool("table1", false, "reproduce Table 1")
 		table2   = flag.Bool("table2", false, "reproduce Table 2")
 		fig7     = flag.Bool("fig7", false, "reproduce Figure 7")
+		fig8     = flag.Bool("fig8", false, "run the Figure-8-style technology scaling study as one mixed multi-node batch")
 		ablate   = flag.Bool("ablate", false, "run pipeline ablations")
 		analytic = flag.Bool("analytic", false, "compare against the closed-form analytical baseline")
 		zones    = flag.Bool("zones", false, "sweep forbidden-zone coverage")
@@ -49,10 +50,10 @@ func main() {
 	}
 	if *all {
 		*table1, *table2, *fig7, *ablate = true, true, true, true
-		*analytic, *zones, *trees = true, true, true
+		*analytic, *zones, *trees, *fig8 = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*ablate && !*analytic && !*zones && !*trees {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -ablate, -analytic, -zones, -trees, -perf or -all")
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*ablate && !*analytic && !*zones && !*trees {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -fig8, -ablate, -analytic, -zones, -trees, -perf or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -106,6 +107,15 @@ func main() {
 		res.Render(os.Stdout)
 		fmt.Println()
 		writeCSV("figure7.csv", func(f *os.File) error { return res.WriteCSV(f) })
+	}
+	if *fig8 {
+		res, err := experiments.Figure8(*seed, *nets, s.Multipliers)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+		writeCSV("figure8.csv", func(f *os.File) error { return res.WriteCSV(f) })
 	}
 	if *table2 {
 		res, err := experiments.Table2(s, nil)

@@ -25,7 +25,11 @@
 // tree schema) or a wrapper {"net": {...}, "target_mult": 1.2} /
 // {"tree": {...}, "target_ns": 0.9} overriding the command-line target
 // for that net — and emits one JSON solution per line in input order.
-// Wrapped lines may mix net kinds in one stream regardless of -tree.
+// Wrapped lines may mix net kinds in one stream regardless of -tree,
+// and may select a technology node per line with "tech": "90nm" (the
+// -tech flag is the default for lines that name none; -tech-dir adds
+// custom JSON nodes). Each output line reports the node it was solved
+// under.
 // Nets are never all held in memory, so chip-scale inputs stream through
 // a bounded window. A net that fails (parse error, missing target,
 // solver error) gets an "error" field in its output line and the stream
@@ -58,7 +62,8 @@ func main() {
 		index     = flag.Int("index", 0, "net index within the file")
 		gen       = flag.Bool("gen", false, "generate a random paper-style net instead of reading one")
 		seed      = flag.Int64("seed", 1, "seed for -gen")
-		techName  = flag.String("tech", "180nm", "built-in technology node")
+		techName  = flag.String("tech", "180nm", "technology node (built-in or loaded via -tech-dir); in -batch mode, the default for lines that name none")
+		techDir   = flag.String("tech-dir", "", "directory of custom technology JSON files (registered under their name)")
 		mode      = flag.String("mode", "rip", "solver: rip, dp or refine")
 		g         = flag.Float64("g", 10, "baseline DP width granularity in u (mode=dp)")
 		relT      = flag.Float64("target", 0, "timing target as a multiple of τmin")
@@ -73,7 +78,13 @@ func main() {
 	)
 	flag.Parse()
 
-	tech, err := rip.BuiltinTech(*techName)
+	reg := rip.BuiltinTechRegistry()
+	if *techDir != "" {
+		if _, err := reg.LoadDir(*techDir); err != nil {
+			fatal(err)
+		}
+	}
+	tech, _, err := reg.Get(*techName)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +93,7 @@ func main() {
 		if *treeMode {
 			bare = api.KindTree
 		}
-		if err := runBatch(tech, *netFile, *relT, *absT, *workers, *cacheSize, bare); err != nil {
+		if err := runBatch(reg, *techName, *netFile, *relT, *absT, *workers, *cacheSize, bare); err != nil {
 			fatal(err)
 		}
 		return
@@ -349,11 +360,14 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 	}
 }
 
-// runBatch streams JSONL nets through the batch engine: read, solve
-// concurrently, emit one solution line per net in input order. The line
-// format is internal/api's Request/Response — the same wire format
-// cmd/ripd serves, so batch files replay against the HTTP service as-is.
-func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, cacheSize int, bare api.Kind) error {
+// runBatch streams JSONL nets through the multi-technology batch
+// engine: read, route each line to its node (a per-line "tech" field;
+// defaultTech for lines that name none), solve concurrently, emit one
+// solution line per net in input order. The line format is
+// internal/api's Request/Response — the same wire format cmd/ripd
+// serves, so batch files replay against the HTTP service as-is,
+// mixed-node corpora included.
+func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT float64, workers, cacheSize int, bare api.Kind) error {
 	in := os.Stdin
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
@@ -369,7 +383,7 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 	} else {
 		opts.Cache.Capacity = cacheSize
 	}
-	eng, err := rip.NewEngine(tech, opts)
+	eng, err := rip.NewMultiEngine(reg, defaultTech, opts)
 	if err != nil {
 		return err
 	}
@@ -401,7 +415,9 @@ func runBatch(tech *rip.Technology, path string, relT, absT float64, workers, ca
 		line := api.FromResult(r)
 		mu.Lock()
 		if msg, ok := parseErrs[r.Index]; ok {
-			line.Error = msg
+			// An unparsed line carries only its failure — no default-node
+			// tech attribution (same rule as ripd's /v1/batch).
+			line = api.ErrorResponse("", msg)
 		}
 		mu.Unlock()
 		switch {

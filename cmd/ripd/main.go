@@ -1,25 +1,32 @@
 // Command ripd serves repeater insertion over HTTP: a long-running
-// process around one shared batch engine, so the solution cache is a
-// cross-request asset — a net solved for one client is a warm hit for
-// every later request with the same signature.
+// process around one shared multi-technology batch engine, so the
+// solution caches are a cross-request asset — a net solved for one
+// client is a warm hit for every later request with the same signature
+// on the same node.
 //
 // Usage:
 //
-//	ripd                                   # :8080, 180nm, all cores
+//	ripd                                   # :8080, all built-in nodes, 180nm default
 //	ripd -addr :9000 -tech 65nm -cache 65536
+//	ripd -techs 90nm,65nm                  # serve only these nodes
+//	ripd -tech-dir ./nodes -tech foundry-90lp   # + custom JSON nodes
 //	ripd -max-inflight 64 -timeout 30s    # backpressure + per-request budget
 //
 // Endpoints (wire format shared with ripcli -batch; see internal/api):
 //
-//	POST /v1/optimize   {"net": {...}, "target_mult": 1.2} → solution
-//	POST /v1/batch      JSON array or JSONL stream of the same → solutions
-//	GET  /healthz       liveness and draining status
-//	GET  /metrics       Prometheus text (requests, latency, cache counters)
+//	POST /v1/optimize   {"net": {...}, "tech": "90nm", "target_mult": 1.2} → solution
+//	POST /v1/batch      JSON array or JSONL stream of the same → solutions;
+//	                    lines may mix technology nodes freely
+//	GET  /healthz       liveness, draining status, served nodes
+//	GET  /metrics       Prometheus text (requests, latency, per-tech
+//	                    rip_cache_*/rip_dp_*{tech="..."} counters)
 //
-// Saturation answers 429 rather than queuing unboundedly. SIGINT/SIGTERM
-// starts a graceful drain: /healthz flips to 503 so load balancers stop
-// routing here, in-flight requests finish (bounded by -grace), then the
-// process exits.
+// Requests without a "tech" field solve on the -tech default node;
+// unknown names get a 400 (single) or per-line error (batch) listing the
+// served nodes. Saturation answers 429 rather than queuing unboundedly.
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
+// balancers stop routing here, in-flight requests finish (bounded by
+// -grace), then the process exits.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,9 +49,11 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		techName    = flag.String("tech", "180nm", "built-in technology node")
-		workers     = flag.Int("workers", 0, "engine parallelism (0 = all cores)")
-		cacheSize   = flag.Int("cache", 0, "solution-cache capacity (0 = default 4096, negative = disabled)")
+		techName    = flag.String("tech", "", "default technology node for requests that name none (default: first of -techs)")
+		techList    = flag.String("techs", "180nm,130nm,90nm,65nm", "comma-separated built-in nodes to serve")
+		techDir     = flag.String("tech-dir", "", "directory of custom technology JSON files to serve (registered under their name)")
+		workers     = flag.Int("workers", 0, "engine parallelism, shared across nodes (0 = all cores)")
+		cacheSize   = flag.Int("cache", 0, "per-node solution-cache capacity (0 = default 4096, negative = disabled)")
 		maxInFlight = flag.Int("max-inflight", 0, "concurrent requests admitted before 429 (0 = 4x workers)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request solving timeout (0 = none)")
 		target      = flag.Float64("target", 0, "default target_mult for requests that carry no budget (0 = require one per request)")
@@ -51,9 +61,32 @@ func main() {
 	)
 	flag.Parse()
 
-	tech, err := rip.BuiltinTech(*techName)
-	if err != nil {
-		fatal(err)
+	reg := rip.NewTechRegistry()
+	defTech := *techName
+	for _, name := range strings.Split(*techList, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		canonical, err := reg.RegisterBuiltin(name)
+		if err != nil {
+			fatal(err)
+		}
+		// Without an explicit -tech, the first served node is the
+		// default — `ripd -techs 90nm,65nm` must come up serving 90nm by
+		// default, not die resolving a node it was told not to serve.
+		if defTech == "" {
+			defTech = canonical
+		}
+	}
+	if *techDir != "" {
+		names, err := reg.LoadDir(*techDir)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("ripd: loaded %d custom node(s) from %s: %s", len(names), *techDir, strings.Join(names, ", "))
+		if defTech == "" && len(names) > 0 {
+			defTech = names[0]
+		}
 	}
 	opts := rip.EngineOptions{Workers: *workers}
 	if *cacheSize < 0 {
@@ -61,7 +94,7 @@ func main() {
 	} else {
 		opts.Cache.Capacity = *cacheSize
 	}
-	eng, err := rip.NewEngine(tech, opts)
+	eng, err := rip.NewMultiEngine(reg, defTech, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,8 +114,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("ripd: serving %s on %s (%d workers, %d in-flight max, timeout %s)",
-		tech.Name, *addr, eng.Workers(), srv.MaxInFlight(), timeout)
+	log.Printf("ripd: serving %s (default %s) on %s (%d workers, %d in-flight max, timeout %s)",
+		strings.Join(eng.Names(), ", "), eng.Default(), *addr, eng.Workers(), srv.MaxInFlight(), timeout)
 
 	select {
 	case err := <-errc:
@@ -99,7 +132,7 @@ func main() {
 		fatal(err)
 	}
 	st := eng.CacheStats()
-	log.Printf("ripd: stopped — cache served %d hits / %d misses / %d rejected (%d entries)",
+	log.Printf("ripd: stopped — caches served %d hits / %d misses / %d rejected (%d entries)",
 		st.Hits, st.Misses, st.Rejected, st.Entries)
 }
 

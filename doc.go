@@ -48,6 +48,20 @@
 //	tmin, _ := rip.TreeMinimumDelay(trees[0], t)
 //	res, _ := rip.InsertTreeNet(trees[0], t, 1.3*tmin)
 //
+// # Multi-technology serving
+//
+// The process node is a per-request input: a TechRegistry names the
+// served nodes (built-ins plus JSON-loaded custom nodes, frozen after
+// assembly), and a MultiEngine routes each BatchJob by its Tech name to
+// a per-node engine — isolated per-node solution caches over one shared
+// worker budget:
+//
+//	eng, _ := rip.NewMultiEngine(rip.BuiltinTechRegistry(), "180nm", rip.EngineOptions{})
+//	results := eng.Run([]rip.BatchJob{
+//		{Net: net, TargetMult: 1.3},               // default node
+//		{Net: net, Tech: "65nm", TargetMult: 1.3}, // same net, smaller node
+//	})
+//
 // The subpackages under internal implement the substrates (wire model,
 // Elmore evaluator, DP baseline, analytical solver, batch engine,
 // experiment harness); this package re-exports the stable surface. The

@@ -3,6 +3,8 @@ package rip_test
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	rip "github.com/rip-eda/rip"
 )
@@ -215,4 +217,73 @@ func ExampleUniformLibrary() {
 	fmt.Println(lib)
 	// Output:
 	// {80u,160u,240u,320u,400u}
+}
+
+// ExampleNewMultiEngine serves two technology nodes from one engine:
+// each job names its node, results carry the canonical name they were
+// solved under, and the per-node caches never cross.
+func ExampleNewMultiEngine() {
+	reg := rip.BuiltinTechRegistry()
+	eng, err := rip.NewMultiEngine(reg, "180nm", rip.EngineOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	line, err := rip.UniformLine(8e-3, 8e4, 2.3e-10, "metal4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "bus", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	jobs := []rip.BatchJob{
+		{Net: net, TargetMult: 1.4},               // default node
+		{Net: net, Tech: "t65", TargetMult: 1.4},  // alias for 65nm
+		{Net: net, Tech: "65nm", TargetMult: 1.4}, // same node: a cache hit
+	}
+	for _, r := range eng.Run(jobs) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%s on %s: feasible=%v cached=%v\n", r.Net.Name, r.Tech, r.Res.Solution.Feasible, r.CacheHit)
+	}
+	// Output:
+	// bus on 180nm: feasible=true cached=false
+	// bus on 65nm: feasible=true cached=false
+	// bus on 65nm: feasible=true cached=true
+}
+
+// ExampleLoadTechnology loads a custom node from JSON and registers it
+// next to the built-ins, making it addressable per request.
+func ExampleLoadTechnology() {
+	dir, err := os.MkdirTemp("", "nodes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	custom := rip.T180()
+	custom.Name = "foundry-90lp"
+	custom.Vdd = 1.0
+	f, err := os.Create(filepath.Join(dir, "foundry-90lp.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := custom.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	node, err := rip.LoadTechnology(filepath.Join(dir, "foundry-90lp.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := rip.BuiltinTechRegistry()
+	if err := reg.Register(node.Name, node); err != nil {
+		log.Fatal(err)
+	}
+	reg.Freeze() // immutable from here on
+	_, canonical, err := reg.Get("FOUNDRY-90LP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at %gV among %d nodes\n", canonical, node.Vdd, reg.Len())
+	// Output:
+	// foundry-90lp at 1V among 5 nodes
 }

@@ -39,6 +39,12 @@ type Request struct {
 	// Tree is the routing tree, in the schema of internal/tree's Net
 	// (flat parent-linked node list; Ω / fF / ns units).
 	Tree *tree.Net `json:"tree,omitempty"`
+	// Tech names the process node to solve under — a canonical registry
+	// name or alias ("90nm", "t90", a loaded custom node's name). Empty
+	// means the transport's default node. Lines of one batch may mix
+	// nodes freely; the engine routes each to its own per-technology
+	// solver and cache.
+	Tech string `json:"tech,omitempty"`
 	// TargetMult expresses the budget as a multiple of the net's τmin —
 	// for trees, of the minimum achievable worst-sink arrival.
 	TargetMult float64 `json:"target_mult,omitempty"`
@@ -84,10 +90,15 @@ func (r *Request) Job() engine.Job {
 	return engine.Job{
 		Net:        r.Net,
 		TreeNet:    r.Tree,
+		Tech:       r.Tech,
 		TargetMult: r.TargetMult,
 		Target:     r.TargetNS * units.NanoSecond,
 	}
 }
+
+// Name returns the request's net name regardless of kind, for error
+// responses.
+func (r *Request) Name() string { return r.name() }
 
 // ApplyDefault fills in the transport-level default budget when the
 // request carries none of its own. A tree whose sinks all carry embedded
@@ -234,6 +245,9 @@ type Response struct {
 	// Kind is "tree" for tree results and empty (line) otherwise, so
 	// mixed-batch outputs are self-describing.
 	Kind string `json:"kind,omitempty"`
+	// Tech is the canonical name of the node the net was solved under,
+	// so mixed-technology batch outputs carry per-line attribution.
+	Tech string `json:"tech,omitempty"`
 	// Feasible reports whether any assignment met the budget.
 	Feasible bool `json:"feasible"`
 	// TargetNS is the resolved absolute budget in nanoseconds (0 for
@@ -267,7 +281,7 @@ type TreeBuffer struct {
 
 // FromResult converts an engine result to its wire form.
 func FromResult(r engine.Result) Response {
-	out := Response{CacheHit: r.CacheHit}
+	out := Response{Tech: r.Tech, CacheHit: r.CacheHit}
 	if r.TreeNet != nil {
 		return fromTreeResult(r)
 	}
@@ -292,7 +306,7 @@ func FromResult(r engine.Result) Response {
 
 // fromTreeResult renders a tree job's outcome.
 func fromTreeResult(r engine.Result) Response {
-	out := Response{Net: r.TreeNet.Name, Kind: "tree", CacheHit: r.CacheHit}
+	out := Response{Net: r.TreeNet.Name, Kind: "tree", Tech: r.Tech, CacheHit: r.CacheHit}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
 		return out

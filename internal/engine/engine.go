@@ -36,6 +36,11 @@
 // entries are keyed by tree shape and addressed by walk position, so
 // repeated tree shapes (arrayed clock subtrees) hit regardless of node
 // labeling. See tree.go for the tree arm.
+//
+// An Engine solves for exactly one technology node. Multi-technology
+// serving wraps a set of per-node Engines behind a Multi (multi.go),
+// which routes each job by its Tech name: per-node caches, one shared
+// worker budget.
 package engine
 
 import (
@@ -43,7 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
+	"strings"
 	"sync/atomic"
 
 	"github.com/rip-eda/rip/internal/core"
@@ -70,6 +75,12 @@ type Job struct {
 	Net *wire.Net
 	// TreeNet is the routing tree to optimize.
 	TreeNet *tree.Net
+	// Tech names the process node to solve under. It is interpreted by a
+	// Multi, which routes the job to the matching per-technology engine
+	// (empty = the Multi's default node). A single-technology Engine
+	// accepts only its own node's name here and fails the job otherwise —
+	// silently solving under the wrong node would be far worse.
+	Tech string
 	// TargetMult expresses the budget as a multiple of the net's minimum
 	// achievable delay τmin, which the engine computes (and caches) per
 	// signature.
@@ -88,6 +99,11 @@ type Result struct {
 	Net *wire.Net
 	// TreeNet echoes a tree job's net (nil for line jobs).
 	TreeNet *tree.Net
+	// Tech is the node the job was solved under: the canonical registry
+	// name when routed through a Multi, the node's Technology.Name when
+	// solved on a bare Engine, or the (unknown) requested name on a
+	// routing failure.
+	Tech string
 	// Target is the resolved absolute budget in seconds (zero for tree
 	// jobs solved against embedded per-sink deadlines).
 	Target float64
@@ -184,6 +200,11 @@ type Engine struct {
 	refOpts dp.Options
 	cache   *solutionCache
 	sig     *signer
+	// techAliases are additional (lowercased) names the own-node guard
+	// accepts in Job.Tech besides tech.Name — set by NewMulti to the
+	// node's registry names, so an engine unwrapped via Multi.Engine
+	// still accepts jobs addressed by canonical name or alias.
+	techAliases map[string]bool
 	// solveSlots bounds concurrent solves engine-wide, not per call:
 	// overlapping Run / RunStream / Solve callers share the worker
 	// budget, so a shared engine's CPU and memory footprint stays
@@ -255,6 +276,13 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 
 // Workers returns the engine's parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// acceptsTech reports whether a Job.Tech value addresses this engine's
+// own node: empty, the node's Name, or (under a Multi) any registered
+// alias.
+func (e *Engine) acceptsTech(name string) bool {
+	return name == "" || name == e.tech.Name || e.techAliases[strings.ToLower(name)]
+}
 
 // Technology returns the process node the engine solves for. Consumers
 // that are handed a shared engine (internal/flow, internal/server) use it
@@ -388,32 +416,7 @@ func (e *Engine) Run(jobs []Job) []Result {
 // (the dynamic programs are not interruptible mid-sweep). Every result
 // slot is filled either way, so partial batches remain well-formed.
 func (e *Engine) RunContext(ctx context.Context, jobs []Job) []Result {
-	results := make([]Result, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := min(e.workers, len(jobs))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns one pooled Solver for its whole run, so
-			// steady-state kernel solves reuse warm arenas and allocate
-			// nothing.
-			s := dp.AcquireSolver()
-			defer dp.ReleaseSolver(s)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				r := e.solveContext(ctx, jobs[i], s)
-				r.Index = i
-				results[i] = r
-			}
-		}()
-	}
-	wg.Wait()
-	return results
+	return runJobs(ctx, e.workers, jobs, e.solveContext)
 }
 
 // RunStream optimizes jobs as they arrive and emits results on the
@@ -432,69 +435,7 @@ func (e *Engine) RunStream(in <-chan Job) <-chan Result {
 // observes ctx.Done()); the output channel still closes after the last
 // admitted job's result.
 func (e *Engine) RunStreamContext(ctx context.Context, in <-chan Job) <-chan Result {
-	out := make(chan Result)
-	type seqJob struct {
-		idx int
-		job Job
-	}
-	// The window bounds how far completed results may run ahead of the
-	// oldest unfinished job, which bounds the reorder buffer.
-	window := 4 * e.workers
-	if window < 64 {
-		window = 64
-	}
-	tokens := make(chan struct{}, window)
-	jobs := make(chan seqJob)
-	done := make(chan Result, e.workers)
-
-	go func() { // feeder: admit jobs under the window budget
-		i := 0
-		for j := range in {
-			tokens <- struct{}{}
-			jobs <- seqJob{idx: i, job: j}
-			i++
-		}
-		close(jobs)
-	}()
-
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := dp.AcquireSolver()
-			defer dp.ReleaseSolver(s)
-			for sj := range jobs {
-				r := e.solveContext(ctx, sj.job, s)
-				r.Index = sj.idx
-				done <- r
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
-
-	go func() { // sequencer: emit in input order
-		defer close(out)
-		pending := make(map[int]Result, window)
-		next := 0
-		for r := range done {
-			pending[r.Index] = r
-			for {
-				rr, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				out <- rr
-				<-tokens
-				next++
-			}
-		}
-	}()
-	return out
+	return runStream(ctx, e.workers, in, e.solveContext)
 }
 
 // Solve optimizes one job synchronously (Result.Index is left zero).
@@ -522,6 +463,7 @@ func (e *Engine) SolveContext(ctx context.Context, j Job) Result {
 func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Result) {
 	res.Net = j.Net
 	res.TreeNet = j.TreeNet
+	res.Tech = e.tech.Name
 	defer func() {
 		// A panicking solver run must not take down a million-net batch.
 		if p := recover(); p != nil {
@@ -529,6 +471,13 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		}
 	}()
 	switch {
+	case !e.acceptsTech(j.Tech):
+		// A Multi resolves Tech and clears it before delegating; a bare
+		// Engine reaching this point would solve under the wrong node.
+		res.Tech = j.Tech
+		res.Err = fmt.Errorf("engine: net %q requests node %q but this engine solves %q (serve multiple nodes through a Multi)",
+			res.name(), j.Tech, e.tech.Name)
+		return res
 	case j.Net == nil && j.TreeNet == nil:
 		res.Err = errors.New("engine: job has a nil net")
 		return res
@@ -574,6 +523,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 			if hit, ok := e.verify(ev, ent, j); ok {
 				e.hits.Add(1)
 				hit.Net = j.Net
+				hit.Tech = e.tech.Name
 				return hit
 			}
 			e.rejected.Add(1)

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// Multi is the multi-technology facade over a set of per-node Engines:
+// every job carries an optional Tech name and is routed to the engine
+// built for that node, so one process serves T180 and T65 traffic side
+// by side with the same ordering, error-isolation and caching guarantees
+// a single Engine gives.
+//
+// Isolation and sharing are deliberately split:
+//
+//   - Solution caches are per technology — each engine keys and stores
+//     its own entries (whose signatures embed the node's full electrical
+//     identity on top), so a T90 result can never be served for a T180
+//     request.
+//   - The worker budget is shared — every engine's solve slots are one
+//     channel, so total concurrent solves stay bounded by Workers no
+//     matter how many nodes are served or how traffic skews across them.
+//
+// A Multi is built from a frozen tech.Registry (NewMulti freezes it if
+// the caller has not), which is what makes the node set immutable for the
+// Multi's lifetime. Like Engine, a Multi is safe for concurrent use.
+type Multi struct {
+	reg     *tech.Registry
+	engines map[string]*Engine // canonical name → engine
+	def     string             // canonical default node
+	workers int
+}
+
+// NewMulti builds one Engine per node in the registry, with shared solve
+// slots and per-node caches, and routes jobs whose Tech is empty to
+// defaultTech (any alias accepted). The registry is frozen as a side
+// effect: the node set must not change under a running Multi.
+func NewMulti(reg *tech.Registry, defaultTech string, opts Options) (*Multi, error) {
+	if reg == nil {
+		return nil, errors.New("engine: nil technology registry")
+	}
+	if reg.Len() == 0 {
+		return nil, errors.New("engine: technology registry has no nodes")
+	}
+	reg.Freeze()
+	_, def, err := reg.Get(defaultTech)
+	if err != nil {
+		return nil, fmt.Errorf("engine: default technology: %w", err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts.Workers = workers
+	// One slot channel for the whole Multi: per-engine channels would let
+	// N nodes run N×workers concurrent solves.
+	slots := make(chan struct{}, workers)
+	m := &Multi{
+		reg:     reg,
+		engines: make(map[string]*Engine, reg.Len()),
+		def:     def,
+		workers: workers,
+	}
+	for _, name := range reg.Names() {
+		node, _, err := reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		e, err := New(node, opts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building %s engine: %w", name, err)
+		}
+		e.solveSlots = slots
+		// An engine unwrapped via Engine(name) must accept jobs addressed
+		// by any of the node's registry names, not just Technology.Name.
+		e.techAliases = make(map[string]bool)
+		for _, alias := range reg.Aliases(name) {
+			e.techAliases[alias] = true
+		}
+		m.engines[name] = e
+	}
+	return m, nil
+}
+
+// Workers returns the shared parallelism bound.
+func (m *Multi) Workers() int { return m.workers }
+
+// Default returns the canonical name of the default node.
+func (m *Multi) Default() string { return m.def }
+
+// Names lists the served nodes' canonical names, sorted.
+func (m *Multi) Names() []string { return m.reg.Names() }
+
+// Resolve maps a requested technology name (or "" for the default) to
+// its canonical name. An unknown name yields the registry's error, which
+// lists every known node — transports surface it verbatim.
+func (m *Multi) Resolve(name string) (string, error) {
+	if name == "" {
+		return m.def, nil
+	}
+	_, canon, err := m.reg.Get(name)
+	return canon, err
+}
+
+// Engine returns the per-node engine for the named technology (any
+// alias), for per-technology stats and direct single-node use. The
+// boolean is false for unknown names.
+func (m *Multi) Engine(name string) (*Engine, bool) {
+	canon, err := m.Resolve(name)
+	if err != nil {
+		return nil, false
+	}
+	e, ok := m.engines[canon]
+	return e, ok
+}
+
+// CacheStats aggregates cache effectiveness across every node's engine.
+// Per-node snapshots come from Engine(name).CacheStats().
+func (m *Multi) CacheStats() CacheStats {
+	var s CacheStats
+	for _, e := range m.engines {
+		st := e.CacheStats()
+		s.Hits += st.Hits
+		s.Misses += st.Misses
+		s.Rejected += st.Rejected
+		s.Evictions += st.Evictions
+		s.Entries += st.Entries
+	}
+	return s
+}
+
+// solveContext routes one job: resolve the node, delegate to its engine
+// on the given solver, and stamp the canonical name into the result. An
+// unknown node is a per-job failure, isolated like any other.
+func (m *Multi) solveContext(ctx context.Context, j Job, s *dp.Solver) Result {
+	eng, canon, err := m.route(j.Tech)
+	if err != nil {
+		return Result{Net: j.Net, TreeNet: j.TreeNet, Tech: j.Tech, Err: err}
+	}
+	j.Tech = "" // resolved here; the engine's own-node guard must not re-judge the alias
+	r := eng.solveContext(ctx, j, s)
+	r.Tech = canon
+	return r
+}
+
+func (m *Multi) route(name string) (*Engine, string, error) {
+	canon, err := m.Resolve(name)
+	if err != nil {
+		return nil, "", fmt.Errorf("engine: %w", err)
+	}
+	return m.engines[canon], canon, nil
+}
+
+// Solve optimizes one job synchronously (Result.Index is left zero).
+func (m *Multi) Solve(j Job) Result { return m.SolveContext(context.Background(), j) }
+
+// SolveContext is Solve with cancellation, with Engine.SolveContext's
+// phase-boundary semantics.
+func (m *Multi) SolveContext(ctx context.Context, j Job) Result {
+	s := dp.AcquireSolver()
+	defer dp.ReleaseSolver(s)
+	return m.solveContext(ctx, j, s)
+}
+
+// Run optimizes every job and returns results in input order. Per-net
+// failures (including unknown technology names) are reported in
+// Result.Err; Run itself never fails.
+func (m *Multi) Run(jobs []Job) []Result { return m.RunContext(context.Background(), jobs) }
+
+// RunContext is Run with cancellation, mirroring Engine.RunContext: jobs
+// not yet solving drain as context errors, every slot is filled.
+func (m *Multi) RunContext(ctx context.Context, jobs []Job) []Result {
+	return runJobs(ctx, m.workers, jobs, m.solveContext)
+}
+
+// RunStream optimizes jobs as they arrive and emits results in input
+// order under a bounded reordering window; the channel closes after the
+// last result and must be drained. Mixed-technology streams are the
+// point: each line routes independently.
+func (m *Multi) RunStream(in <-chan Job) <-chan Result {
+	return m.RunStreamContext(context.Background(), in)
+}
+
+// RunStreamContext is RunStream with cancellation, mirroring
+// Engine.RunStreamContext's window and ownership rules.
+func (m *Multi) RunStreamContext(ctx context.Context, in <-chan Job) <-chan Result {
+	return runStream(ctx, m.workers, in, m.solveContext)
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/delay"
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// multiEngine builds a Multi over the named built-ins (first = default).
+func multiEngine(t *testing.T, workers int, techs ...string) *Multi {
+	t.Helper()
+	reg := tech.NewRegistry()
+	for _, name := range techs {
+		if _, err := reg.RegisterBuiltin(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := NewMulti(reg, techs[0], Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// multiCorpus generates nets on the T180 layer stack; nets carry their
+// own RC, so the same geometry is solvable under any node.
+func multiCorpus(t *testing.T, seed int64, n int) []*wire.Net {
+	t.Helper()
+	cfg, err := netgen.DefaultConfig(tech.T180())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := netgen.Corpus(seed, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nets
+}
+
+// TestConformanceCacheIsolation submits shape-identical nets under two
+// different nodes: each node must take its own miss-then-hit sequence —
+// a T90 entry may never serve a T180 request — and every verified hit
+// must reproduce the node's own full-solve answer, proving the hit
+// evaluator ran against the correct technology.
+func TestConformanceCacheIsolation(t *testing.T) {
+	m := multiEngine(t, 1, "180nm", "90nm")
+	net := multiCorpus(t, 41, 1)[0]
+
+	solve := func(techName string) Result {
+		r := m.Solve(Job{Net: net, Tech: techName, TargetMult: 1.3})
+		if r.Err != nil {
+			t.Fatalf("%s: %v", techName, r.Err)
+		}
+		return r
+	}
+	first180, first90 := solve("180nm"), solve("90nm")
+	if first180.CacheHit || first90.CacheHit {
+		t.Fatal("first solves must be cache misses on both nodes")
+	}
+	second180, second90 := solve("180nm"), solve("90nm")
+	if !second180.CacheHit || !second90.CacheHit {
+		t.Fatal("second solves must be cache hits on both nodes")
+	}
+	for _, name := range []string{"180nm", "90nm"} {
+		e, ok := m.Engine(name)
+		if !ok {
+			t.Fatalf("no %s engine", name)
+		}
+		if st := e.CacheStats(); st.Hits != 1 || st.Misses != 1 || st.Rejected != 0 {
+			t.Fatalf("%s cache stats %+v, want exactly 1 miss then 1 hit", name, st)
+		}
+	}
+	// The hit is verified on the correct node: it reproduces that node's
+	// full solve, and the two nodes' answers genuinely differ (90nm wires
+	// are more resistive, so τmin and the placement shift).
+	assertSameSolution(t, first180, second180)
+	assertSameSolution(t, first90, second90)
+	// The served hit's delay is the verification evaluator's own
+	// recomputation — rebuild that evaluator per node and check the hit
+	// delay is exactly its answer, which a wrong-node evaluator could not
+	// produce.
+	for _, pair := range []struct {
+		node *tech.Technology
+		hit  Result
+	}{{tech.T180(), second180}, {tech.T90(), second90}} {
+		ev, err := delay.NewEvaluator(net, pair.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ev.Total(pair.hit.Res.Solution.Assignment); got != pair.hit.Res.Solution.Delay {
+			t.Fatalf("%s hit delay %g is not the node's own evaluation %g", pair.node.Name, pair.hit.Res.Solution.Delay, got)
+		}
+	}
+	if first180.TMin == first90.TMin {
+		t.Fatal("the two nodes produced identical τmin — the test would prove nothing")
+	}
+	if second180.Tech != tech.T180().Name && second180.Tech != "180nm" {
+		t.Fatalf("hit attribution %q", second180.Tech)
+	}
+}
+
+// assertSameSolution compares the solution content of two line results:
+// placement, width, budget and τmin bit for bit; delay within one part
+// in 10¹² — a verified hit re-derives its delay through the evaluator,
+// which may differ from the DP's incremental accumulation in the last
+// ulp (CacheHit and report accounting may legitimately differ too).
+func assertSameSolution(t *testing.T, a, b Result) {
+	t.Helper()
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("errs: %v / %v", a.Err, b.Err)
+	}
+	sa, sb := a.Res.Solution, b.Res.Solution
+	if a.Target != b.Target || a.TMin != b.TMin ||
+		sa.Feasible != sb.Feasible || sa.TotalWidth != sb.TotalWidth {
+		t.Fatalf("solutions differ:\n%+v (target %g, tmin %g)\n%+v (target %g, tmin %g)",
+			sa, a.Target, a.TMin, sb, b.Target, b.TMin)
+	}
+	if d := sa.Delay - sb.Delay; d > 1e-12*sa.Delay || -d > 1e-12*sa.Delay {
+		t.Fatalf("delays differ beyond float noise: %g vs %g", sa.Delay, sb.Delay)
+	}
+	if len(sa.Assignment.Positions) != len(sb.Assignment.Positions) {
+		t.Fatalf("repeater counts differ: %d vs %d", len(sa.Assignment.Positions), len(sb.Assignment.Positions))
+	}
+	for i := range sa.Assignment.Positions {
+		if sa.Assignment.Positions[i] != sb.Assignment.Positions[i] ||
+			sa.Assignment.Widths[i] != sb.Assignment.Widths[i] {
+			t.Fatalf("assignment differs at %d: (%g,%g) vs (%g,%g)", i,
+				sa.Assignment.Positions[i], sa.Assignment.Widths[i],
+				sb.Assignment.Positions[i], sb.Assignment.Widths[i])
+		}
+	}
+}
+
+// TestConformanceUnknownTechIsolated: a job naming an unknown node fails
+// alone — its error lists the served nodes — while the rest of the batch
+// solves normally, and results stay in input order.
+func TestConformanceUnknownTechIsolated(t *testing.T) {
+	m := multiEngine(t, 2, "180nm", "65nm")
+	net := multiCorpus(t, 43, 1)[0]
+	jobs := []Job{
+		{Net: net, Tech: "65nm", TargetMult: 1.3},
+		{Net: net, Tech: "7nm", TargetMult: 1.3},
+		{Net: net, TargetMult: 1.3}, // default node
+	}
+	results := m.Run(jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[0].Tech != "65nm" || results[2].Tech != "180nm" {
+		t.Fatalf("attribution: %q / %q", results[0].Tech, results[2].Tech)
+	}
+	err := results[1].Err
+	if err == nil {
+		t.Fatal("unknown node must fail the job")
+	}
+	for _, known := range []string{"180nm", "65nm"} {
+		if !strings.Contains(err.Error(), known) {
+			t.Fatalf("error %q does not list known node %s", err, known)
+		}
+	}
+}
+
+// TestConformanceSingleEngineRejectsForeignTech: a bare Engine must
+// refuse to solve a job that names a different node rather than silently
+// solving it under its own.
+func TestConformanceSingleEngineRejectsForeignTech(t *testing.T) {
+	e, err := New(tech.T180(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := multiCorpus(t, 47, 1)[0]
+	if r := e.Solve(Job{Net: net, Tech: "synthetic-90nm", TargetMult: 1.3}); r.Err == nil {
+		t.Fatal("foreign-tech job must fail on a single-node engine")
+	}
+	// Its own node's name is accepted.
+	if r := e.Solve(Job{Net: net, Tech: tech.T180().Name, TargetMult: 1.3}); r.Err != nil {
+		t.Fatalf("own-node job failed: %v", r.Err)
+	}
+}
+
+// TestConformanceUnwrappedEngineAcceptsAliases: an engine unwrapped via
+// Multi.Engine accepts jobs addressed by the registry names that
+// resolved to it — canonical, short alias, or descriptive name — and
+// still rejects other nodes' names.
+func TestConformanceUnwrappedEngineAcceptsAliases(t *testing.T) {
+	m := multiEngine(t, 1, "180nm", "90nm")
+	e, ok := m.Engine("90nm")
+	if !ok {
+		t.Fatal("no 90nm engine")
+	}
+	net := multiCorpus(t, 48, 1)[0]
+	for _, name := range []string{"90nm", "t90", "T90", "synthetic-90nm", ""} {
+		if r := e.Solve(Job{Net: net, Tech: name, TargetMult: 1.3}); r.Err != nil {
+			t.Fatalf("Tech=%q rejected by the 90nm engine: %v", name, r.Err)
+		}
+	}
+	if r := e.Solve(Job{Net: net, Tech: "180nm", TargetMult: 1.3}); r.Err == nil {
+		t.Fatal("the 90nm engine accepted a 180nm job")
+	}
+}
+
+// TestConformanceMultiSharedWorkerBudget: the Multi's engines share one
+// slot channel — total concurrent solves stay bounded by Workers no
+// matter how many nodes are served. Proven structurally: every per-node
+// engine reports the same channel.
+func TestConformanceMultiSharedWorkerBudget(t *testing.T) {
+	m := multiEngine(t, 3, "180nm", "130nm", "90nm", "65nm")
+	var shared chan struct{}
+	for _, name := range m.Names() {
+		e, ok := m.Engine(name)
+		if !ok {
+			t.Fatalf("no %s engine", name)
+		}
+		if shared == nil {
+			shared = e.solveSlots
+		} else if e.solveSlots != shared {
+			t.Fatalf("%s engine has its own solve slots", name)
+		}
+	}
+	if cap(shared) != 3 {
+		t.Fatalf("slot capacity %d, want 3", cap(shared))
+	}
+}

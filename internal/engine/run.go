@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rip-eda/rip/internal/dp"
+)
+
+// solveFunc is the per-job solve primitive the fan-out machinery drives:
+// Engine.solveContext for a single node, Multi.solveContext for routed
+// jobs. The *dp.Solver is worker-owned so every DP in a worker's run
+// reuses one set of warm arenas.
+type solveFunc func(ctx context.Context, j Job, s *dp.Solver) Result
+
+// runJobs is the shared Run/RunContext body: a bounded worker pool over
+// an indexed job slice, every result slot filled, results in input
+// order by construction.
+func runJobs(ctx context.Context, workers int, jobs []Job, solve solveFunc) []Result {
+	results := make([]Result, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers = min(workers, len(jobs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := dp.AcquireSolver()
+			defer dp.ReleaseSolver(s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				r := solve(ctx, jobs[i], s)
+				r.Index = i
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runStream is the shared RunStream/RunStreamContext body: jobs are
+// admitted under a bounded reordering window, solved by a worker pool,
+// and emitted in input order; the output channel closes after the last
+// admitted job's result. The caller owns (and closes) the input channel.
+func runStream(ctx context.Context, workers int, in <-chan Job, solve solveFunc) <-chan Result {
+	out := make(chan Result)
+	type seqJob struct {
+		idx int
+		job Job
+	}
+	// The window bounds how far completed results may run ahead of the
+	// oldest unfinished job, which bounds the reorder buffer.
+	window := 4 * workers
+	if window < 64 {
+		window = 64
+	}
+	tokens := make(chan struct{}, window)
+	jobs := make(chan seqJob)
+	done := make(chan Result, workers)
+
+	go func() { // feeder: admit jobs under the window budget
+		i := 0
+		for j := range in {
+			tokens <- struct{}{}
+			jobs <- seqJob{idx: i, job: j}
+			i++
+		}
+		close(jobs)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := dp.AcquireSolver()
+			defer dp.ReleaseSolver(s)
+			for sj := range jobs {
+				r := solve(ctx, sj.job, s)
+				r.Index = sj.idx
+				done <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	go func() { // sequencer: emit in input order
+		defer close(out)
+		pending := make(map[int]Result, window)
+		next := 0
+		for r := range done {
+			pending[r.Index] = r
+			for {
+				rr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- rr
+				<-tokens
+				next++
+			}
+		}
+	}()
+	return out
+}

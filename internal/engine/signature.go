@@ -23,7 +23,11 @@ const (
 
 // signer builds canonical cache keys for (net, target) jobs under one
 // technology. The technology prefix is computed once at engine build time
-// since every job in an engine shares the node.
+// since every job in an engine shares the node. It embeds the node's full
+// electrical identity — name, device parameters, supply/clocking context
+// and layer densities — so even if two differently-named nodes were ever
+// served from one cache, their signatures could not collide; under a
+// Multi the per-technology engines additionally keep disjoint caches.
 type signer struct {
 	techPrefix    string
 	lengthQuantum float64
@@ -38,6 +42,16 @@ func newSigner(t *tech.Technology, opts CacheOptions) *signer {
 	appendFloat(&b, t.Rs)
 	appendFloat(&b, t.Co)
 	appendFloat(&b, t.Cp)
+	appendFloat(&b, t.Vdd)
+	appendFloat(&b, t.Freq)
+	appendFloat(&b, t.Activity)
+	appendFloat(&b, t.LeakWPerUnit)
+	for _, l := range t.Layers {
+		b.WriteString(l.Name)
+		b.WriteByte(':')
+		appendFloat(&b, l.ROhmPerM)
+		appendFloat(&b, l.CFPerM)
+	}
 	s := &signer{
 		techPrefix:    b.String(),
 		lengthQuantum: opts.LengthQuantum,

@@ -31,6 +31,7 @@ func (e *Engine) solveTree(ctx context.Context, j Job, res Result) Result {
 			if hit, ok := e.verifyTree(ent, j); ok {
 				e.hits.Add(1)
 				hit.TreeNet = tn
+				hit.Tech = e.tech.Name
 				return hit
 			}
 			e.rejected.Add(1)

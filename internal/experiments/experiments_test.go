@@ -239,3 +239,36 @@ func TestSetupUsesPaperCorpus(t *testing.T) {
 		}
 	}
 }
+
+// TestFigure8SmallRun: the technology scaling study runs as one mixed
+// multi-node batch, covers all four nodes, shows more repeater width at
+// smaller nodes (relatively more resistive wires), and renders.
+func TestFigure8SmallRun(t *testing.T) {
+	res, err := Figure8(7, 2, []float64{1.2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4*2 {
+		t.Fatalf("%d rows, want 8", len(res.Rows))
+	}
+	byTech := map[string]float64{}
+	for _, row := range res.Rows {
+		if row.Infeasible > 0 {
+			t.Fatalf("%s ×%.2f: %d infeasible", row.Tech, row.Multiplier, row.Infeasible)
+		}
+		if row.Multiplier == 1.2 {
+			byTech[row.Tech] = row.AvgWidthU
+		}
+	}
+	if !(byTech["65nm"] > byTech["180nm"]) {
+		t.Fatalf("expected denser repeaters at 65nm: %v", byTech)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "65nm") {
+		t.Fatalf("render: %s", buf.String())
+	}
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

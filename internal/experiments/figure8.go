@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/power"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Fig8Row is one (node, target-multiplier) aggregate of the technology
+// scaling study.
+type Fig8Row struct {
+	// Tech is the node's canonical name.
+	Tech string
+	// Multiplier is the timing target relative to each net's τmin.
+	Multiplier float64
+	// AvgWidthU is the mean total repeater width per net, in units of u.
+	AvgWidthU float64
+	// AvgPowerMW is the mean repeater+wire power per net in milliwatts,
+	// under the node's own supply/clocking context.
+	AvgPowerMW float64
+	// AvgDelayNS is the mean solved delay in nanoseconds.
+	AvgDelayNS float64
+	// Infeasible counts nets the pipeline could not close at this target.
+	Infeasible int
+}
+
+// Figure8Result is the paper's Figure-8-style technology scaling study
+// re-run as a served workload: one mixed multi-technology batch through
+// a single engine.Multi, aggregated per node and target.
+type Figure8Result struct {
+	// Nets is the per-node corpus size.
+	Nets int
+	// Rows are ordered by node (shrink order 180→65) then multiplier.
+	Rows []Fig8Row
+}
+
+// Figure8 regenerates the technology-scaling experiment the way a
+// production deployment would run it: every node's corpus rides one
+// mixed batch through one multi-technology engine (per-request node
+// selection, per-node caches), rather than four separate single-node
+// runs. Each node gets its own seeded corpus on its own layer stack —
+// the paper's setup, where the "same" global wire is re-routed in each
+// technology — and the aggregates show the power/delay trade-off shift
+// as wires get relatively more resistive at smaller nodes.
+func Figure8(seed int64, nets int, multipliers []float64) (*Figure8Result, error) {
+	reg := tech.DefaultRegistry()
+	multi, err := engine.NewMulti(reg, "180nm", engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	nodeNames := tech.BuiltinNames()
+
+	type jobTag struct {
+		tech string
+		mult float64
+	}
+	var jobs []engine.Job
+	var tags []jobTag
+	models := make(map[string]*power.Model, len(nodeNames))
+	for _, name := range nodeNames {
+		node, _, err := reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		models[name], err = power.NewModel(node)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := netgen.DefaultConfig(node)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err := netgen.Corpus(seed, nets, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, mult := range multipliers {
+			for _, n := range corpus {
+				jobs = append(jobs, engine.Job{Net: n, Tech: name, TargetMult: mult})
+				tags = append(tags, jobTag{tech: name, mult: mult})
+			}
+		}
+	}
+
+	results := multi.Run(jobs)
+	type acc struct {
+		width, powerMW, delayNS float64
+		solved, infeasible      int
+	}
+	accs := make(map[jobTag]*acc)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("experiments: figure 8 net %q on %s: %w", r.Net.Name, tags[i].tech, r.Err)
+		}
+		a := accs[tags[i]]
+		if a == nil {
+			a = &acc{}
+			accs[tags[i]] = a
+		}
+		sol := r.Res.Solution
+		if !sol.Feasible {
+			a.infeasible++
+			continue
+		}
+		a.solved++
+		a.width += sol.TotalWidth
+		a.powerMW += models[tags[i].tech].Report(sol.TotalWidth, r.Net.Line.TotalC()).TotalW() * 1e3
+		a.delayNS += sol.Delay / units.NanoSecond
+	}
+
+	out := &Figure8Result{Nets: nets}
+	for _, name := range nodeNames {
+		for _, mult := range multipliers {
+			a := accs[jobTag{tech: name, mult: mult}]
+			row := Fig8Row{Tech: name, Multiplier: mult}
+			if a != nil {
+				row.Infeasible = a.infeasible
+				if a.solved > 0 {
+					row.AvgWidthU = a.width / float64(a.solved)
+					row.AvgPowerMW = a.powerMW / float64(a.solved)
+					row.AvgDelayNS = a.delayNS / float64(a.solved)
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render writes the study as an ASCII table.
+func (r *Figure8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8 — technology scaling as one mixed multi-node batch (%d nets/node)\n", r.Nets)
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %12s %6s\n", "tech", "×τmin", "avg width u", "avg power mW", "avg delay ns", "infeas")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	last := ""
+	for _, row := range r.Rows {
+		if last != "" && row.Tech != last {
+			fmt.Fprintln(w, strings.Repeat("-", 64))
+		}
+		last = row.Tech
+		fmt.Fprintf(w, "%-8s %8.2f %12.1f %12.3f %12.3f %6d\n",
+			row.Tech, row.Multiplier, row.AvgWidthU, row.AvgPowerMW, row.AvgDelayNS, row.Infeasible)
+	}
+}
+
+// WriteCSV writes the study in machine-readable form.
+func (r *Figure8Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "tech,multiplier,avg_width_u,avg_power_mw,avg_delay_ns,infeasible"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%d\n",
+			row.Tech, row.Multiplier, row.AvgWidthU, row.AvgPowerMW, row.AvgDelayNS, row.Infeasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -65,7 +65,7 @@ func (m *metrics) route(name string) *routeMetrics {
 
 // writePrometheus renders the counter set in the Prometheus text
 // exposition format (version 0.0.4) without any client library.
-func (m *metrics) writePrometheus(w io.Writer, eng *engine.Engine, start time.Time, draining bool) {
+func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Time, draining bool) {
 	fmt.Fprintf(w, "# HELP rip_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE rip_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "rip_uptime_seconds %g\n", time.Since(start).Seconds())
@@ -119,61 +119,78 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Engine, start time.Ti
 		fmt.Fprintf(w, "rip_http_request_duration_seconds_count{route=%q} %d\n", r.name, r.rm.latency.total.Load())
 	}
 
-	st := eng.CacheStats()
-	fmt.Fprintf(w, "# HELP rip_engine_workers The engine's parallelism bound.\n")
+	fmt.Fprintf(w, "# HELP rip_engine_workers The engine's shared parallelism bound.\n")
 	fmt.Fprintf(w, "# TYPE rip_engine_workers gauge\n")
 	fmt.Fprintf(w, "rip_engine_workers %d\n", eng.Workers())
-	fmt.Fprintf(w, "# HELP rip_cache_hits_total Solution-cache lookups served after verification.\n")
-	fmt.Fprintf(w, "# TYPE rip_cache_hits_total counter\n")
-	fmt.Fprintf(w, "rip_cache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "# HELP rip_cache_misses_total Solution-cache lookups that found no entry.\n")
-	fmt.Fprintf(w, "# TYPE rip_cache_misses_total counter\n")
-	fmt.Fprintf(w, "rip_cache_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "# HELP rip_cache_rejected_total Cache entries found but failing re-verification.\n")
-	fmt.Fprintf(w, "# TYPE rip_cache_rejected_total counter\n")
-	fmt.Fprintf(w, "rip_cache_rejected_total %d\n", st.Rejected)
-	fmt.Fprintf(w, "# HELP rip_cache_evictions_total LRU evictions.\n")
-	fmt.Fprintf(w, "# TYPE rip_cache_evictions_total counter\n")
-	fmt.Fprintf(w, "rip_cache_evictions_total %d\n", st.Evictions)
-	fmt.Fprintf(w, "# HELP rip_cache_entries Cached solutions currently held.\n")
-	fmt.Fprintf(w, "# TYPE rip_cache_entries gauge\n")
-	fmt.Fprintf(w, "rip_cache_entries %d\n", st.Entries)
+
+	// Per-technology engine counters. Every served node gets its own
+	// labeled series — the caches, and therefore the hit rates and DP
+	// workloads, are per node by construction, and folding them into one
+	// unlabeled number would hide exactly the skew an operator of a
+	// multi-technology service needs to see. Each node's stats are
+	// snapshotted once per scrape (CacheStats walks every shard lock).
+	names := eng.Names()
+	fmt.Fprintf(w, "# HELP rip_technologies Number of technology nodes served.\n")
+	fmt.Fprintf(w, "# TYPE rip_technologies gauge\n")
+	fmt.Fprintf(w, "rip_technologies %d\n", len(names))
+
+	type techSnap struct {
+		name  string
+		cache engine.CacheStats
+		dp    engine.DPStats
+		tree  engine.TreeDPStats
+	}
+	snaps := make([]techSnap, 0, len(names))
+	for _, name := range names {
+		e, ok := eng.Engine(name)
+		if !ok {
+			continue
+		}
+		snaps = append(snaps, techSnap{name: name, cache: e.CacheStats(), dp: e.DPStats(), tree: e.TreeDPStats()})
+	}
+	perTech := func(metric, kind, help string, get func(techSnap) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", metric, kind)
+		for _, s := range snaps {
+			fmt.Fprintf(w, "%s{tech=%q} %d\n", metric, s.name, get(s))
+		}
+	}
+
+	perTech("rip_cache_hits_total", "counter", "Solution-cache lookups served after verification, by node.",
+		func(s techSnap) uint64 { return s.cache.Hits })
+	perTech("rip_cache_misses_total", "counter", "Solution-cache lookups that found no entry, by node.",
+		func(s techSnap) uint64 { return s.cache.Misses })
+	perTech("rip_cache_rejected_total", "counter", "Cache entries found but failing re-verification, by node.",
+		func(s techSnap) uint64 { return s.cache.Rejected })
+	perTech("rip_cache_evictions_total", "counter", "LRU evictions, by node.",
+		func(s techSnap) uint64 { return s.cache.Evictions })
+	perTech("rip_cache_entries", "gauge", "Cached solutions currently held, by node.",
+		func(s techSnap) uint64 { return uint64(s.cache.Entries) })
 
 	// DP work counters: the actual pruning workload behind the requests
 	// (the cost the paper's Table 2 measures), pulled live from the shared
 	// engine like the cache stats above.
-	ds := eng.DPStats()
-	fmt.Fprintf(w, "# HELP rip_dp_solves_total Completed dynamic-program runs (τmin + pipeline phases).\n")
-	fmt.Fprintf(w, "# TYPE rip_dp_solves_total counter\n")
-	fmt.Fprintf(w, "rip_dp_solves_total %d\n", ds.Solves)
-	fmt.Fprintf(w, "# HELP rip_dp_generated_total Partial solutions generated across all DP runs.\n")
-	fmt.Fprintf(w, "# TYPE rip_dp_generated_total counter\n")
-	fmt.Fprintf(w, "rip_dp_generated_total %d\n", ds.Generated)
-	fmt.Fprintf(w, "# HELP rip_dp_kept_total Partial solutions surviving pruning across all DP runs.\n")
-	fmt.Fprintf(w, "# TYPE rip_dp_kept_total counter\n")
-	fmt.Fprintf(w, "rip_dp_kept_total %d\n", ds.Kept)
-	fmt.Fprintf(w, "# HELP rip_dp_max_per_level Largest surviving option set any DP level has held.\n")
-	fmt.Fprintf(w, "# TYPE rip_dp_max_per_level gauge\n")
-	fmt.Fprintf(w, "rip_dp_max_per_level %d\n", ds.MaxPerLevel)
-	fmt.Fprintf(w, "# HELP rip_dp_budget_aborts_total Solves aborted by the MaxGenerated work budget.\n")
-	fmt.Fprintf(w, "# TYPE rip_dp_budget_aborts_total counter\n")
-	fmt.Fprintf(w, "rip_dp_budget_aborts_total %d\n", ds.BudgetAborts)
+	perTech("rip_dp_solves_total", "counter", "Completed dynamic-program runs (τmin + pipeline phases), by node.",
+		func(s techSnap) uint64 { return s.dp.Solves })
+	perTech("rip_dp_generated_total", "counter", "Partial solutions generated across all DP runs, by node.",
+		func(s techSnap) uint64 { return s.dp.Generated })
+	perTech("rip_dp_kept_total", "counter", "Partial solutions surviving pruning across all DP runs, by node.",
+		func(s techSnap) uint64 { return s.dp.Kept })
+	perTech("rip_dp_max_per_level", "gauge", "Largest surviving option set any DP level has held, by node.",
+		func(s techSnap) uint64 { return s.dp.MaxPerLevel })
+	perTech("rip_dp_budget_aborts_total", "counter", "Solves aborted by the MaxGenerated work budget, by node.",
+		func(s techSnap) uint64 { return s.dp.BudgetAborts })
 
 	// Tree DP work counters: the same pruning-workload visibility for
 	// tree jobs (τmin sweeps + hybrid pipeline phases).
-	ts := eng.TreeDPStats()
-	fmt.Fprintf(w, "# HELP rip_tree_dp_solves_total Completed tree dynamic-program runs (τmin + pipeline phases).\n")
-	fmt.Fprintf(w, "# TYPE rip_tree_dp_solves_total counter\n")
-	fmt.Fprintf(w, "rip_tree_dp_solves_total %d\n", ts.Solves)
-	fmt.Fprintf(w, "# HELP rip_tree_dp_generated_total Partial solutions generated across all tree DP runs.\n")
-	fmt.Fprintf(w, "# TYPE rip_tree_dp_generated_total counter\n")
-	fmt.Fprintf(w, "rip_tree_dp_generated_total %d\n", ts.Generated)
-	fmt.Fprintf(w, "# HELP rip_tree_dp_kept_total Partial solutions surviving pruning across all tree DP runs.\n")
-	fmt.Fprintf(w, "# TYPE rip_tree_dp_kept_total counter\n")
-	fmt.Fprintf(w, "rip_tree_dp_kept_total %d\n", ts.Kept)
-	fmt.Fprintf(w, "# HELP rip_tree_dp_max_per_node Largest surviving option set any tree DP node has held.\n")
-	fmt.Fprintf(w, "# TYPE rip_tree_dp_max_per_node gauge\n")
-	fmt.Fprintf(w, "rip_tree_dp_max_per_node %d\n", ts.MaxPerNode)
+	perTech("rip_tree_dp_solves_total", "counter", "Completed tree dynamic-program runs (τmin + pipeline phases), by node.",
+		func(s techSnap) uint64 { return s.tree.Solves })
+	perTech("rip_tree_dp_generated_total", "counter", "Partial solutions generated across all tree DP runs, by node.",
+		func(s techSnap) uint64 { return s.tree.Generated })
+	perTech("rip_tree_dp_kept_total", "counter", "Partial solutions surviving pruning across all tree DP runs, by node.",
+		func(s techSnap) uint64 { return s.tree.Kept })
+	perTech("rip_tree_dp_max_per_node", "gauge", "Largest surviving option set any tree DP node has held, by node.",
+		func(s techSnap) uint64 { return s.tree.MaxPerNode })
 }
 
 func b2i(b bool) int {

@@ -1,7 +1,11 @@
 // Package server is the network layer over the batch engine: a JSON HTTP
 // API (cmd/ripd) that turns the engine's solution cache into a
-// cross-request asset. One shared engine serves every request, so a net
-// solved for one client is a warm cache hit for the next.
+// cross-request asset. One shared multi-technology engine serves every
+// request, so a net solved for one client is a warm cache hit for the
+// next — per node: each technology keeps its own cache, and requests
+// select a node with an optional "tech" field (empty = the server's
+// default). Unknown names are a 400 on /v1/optimize, and a per-line
+// error inside batches; both list the served nodes.
 //
 // Endpoints:
 //
@@ -68,11 +72,11 @@ const (
 	defaultMaxBodyBytes = 256 << 20
 )
 
-// Server is the HTTP service over one shared engine. It implements
-// http.Handler; the caller owns the engine and the http.Server around it
-// (see cmd/ripd for the canonical wiring).
+// Server is the HTTP service over one shared multi-technology engine.
+// It implements http.Handler; the caller owns the engine and the
+// http.Server around it (see cmd/ripd for the canonical wiring).
 type Server struct {
-	eng   *engine.Engine
+	eng   *engine.Multi
 	opts  Options
 	mux   *http.ServeMux
 	slots chan struct{}
@@ -87,10 +91,10 @@ type Server struct {
 	testHookAdmitted func(route string)
 }
 
-// New builds the service over an existing engine. The engine is shared,
-// not owned: the caller may keep using it directly, and the /metrics
-// cache counters reflect that traffic too.
-func New(eng *engine.Engine, opts Options) *Server {
+// New builds the service over an existing multi-technology engine. The
+// engine is shared, not owned: the caller may keep using it directly,
+// and the /metrics cache counters reflect that traffic too.
+func New(eng *engine.Multi, opts Options) *Server {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 4 * eng.Workers()
 	}
@@ -194,6 +198,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, api.ErrorResponse("", err.Error()))
 		return
 	}
+	// An unknown technology is a client error, answered before solving —
+	// the engine's resolve error lists every served node.
+	if _, err := s.eng.Resolve(req.Tech); err != nil {
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, api.ErrorResponse(req.Name(), err.Error()))
+		return
+	}
 	req.ApplyDefault(s.opts.DefaultTargetMult, 0)
 	if err := req.Validate(); err != nil {
 		s.m.netErrors.Add(1)
@@ -278,7 +289,9 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 	for i, res := range results {
 		out[i] = api.FromResult(res)
 		if msg, ok := parseErrs[i]; ok {
-			out[i].Error = msg
+			// The element never parsed, so its zero job's default-node
+			// attribution would be fiction: report only the failure.
+			out[i] = api.ErrorResponse("", msg)
 		}
 		s.m.nets.Add(1)
 		if out[i].Error != "" {
@@ -346,7 +359,9 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 		resp := api.FromResult(res)
 		mu.Lock()
 		if msg, ok := parseErrs[res.Index]; ok {
-			resp.Error = msg
+			// Unparsed lines carry only their failure, not the default
+			// node's tech attribution (see batchArray).
+			resp = api.ErrorResponse("", msg)
 		}
 		mu.Unlock()
 		s.m.nets.Add(1)
@@ -390,6 +405,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"inflight":      s.m.inflight.Load(),
 		"max_inflight":  s.opts.MaxInFlight,
 		"cache_entries": st.Entries,
+		"technologies":  s.eng.Names(),
+		"default_tech":  s.eng.Default(),
 		"uptime_s":      time.Since(s.start).Seconds(),
 	})
 }

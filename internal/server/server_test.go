@@ -31,16 +31,39 @@ func corpus(t *testing.T, seed int64, n int) []*wire.Net {
 	return nets
 }
 
-// newTestServer builds a server over a fresh engine. workers=1 makes
-// cache hit/miss sequences deterministic (duplicate in-flight signatures
-// race by design under parallelism).
-func newTestServer(t *testing.T, workers int, opts Options) (*Server, *engine.Engine) {
+// newTestServer builds a server over a fresh single-node (180nm) multi
+// engine. workers=1 makes cache hit/miss sequences deterministic
+// (duplicate in-flight signatures race by design under parallelism).
+func newTestServer(t *testing.T, workers int, opts Options) (*Server, *engine.Multi) {
 	t.Helper()
-	eng, err := engine.New(tech.T180(), engine.Options{Workers: workers})
+	return newTechServer(t, workers, opts, "180nm")
+}
+
+// newTechServer builds a server over a multi engine serving the listed
+// built-in nodes; the first is the default.
+func newTechServer(t *testing.T, workers int, opts Options, techs ...string) (*Server, *engine.Multi) {
+	t.Helper()
+	reg := tech.NewRegistry()
+	for _, name := range techs {
+		if _, err := reg.RegisterBuiltin(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, err := engine.NewMulti(reg, techs[0], engine.Options{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return New(eng, opts), eng
+}
+
+// techEngine unwraps one node's engine for per-technology stats.
+func techEngine(t *testing.T, eng *engine.Multi, name string) *engine.Engine {
+	t.Helper()
+	e, ok := eng.Engine(name)
+	if !ok {
+		t.Fatalf("no engine for node %q", name)
+	}
+	return e
 }
 
 func post(t *testing.T, s *Server, path string, body []byte) *httptest.ResponseRecorder {
@@ -253,7 +276,7 @@ func TestBatchWarmCacheVisibleInMetrics(t *testing.T) {
 		t.Fatalf("metrics status %d", rr.Code)
 	}
 	text := rr.Body.String()
-	hits := metricValue(t, text, "rip_cache_hits_total")
+	hits := metricValue(t, text, `rip_cache_hits_total{tech="180nm"}`)
 	if hits < 2*repeats-1 {
 		t.Fatalf("cache hits %g, want ≥ %d:\n%s", hits, 2*repeats-1, text)
 	}
@@ -272,18 +295,18 @@ func TestBatchWarmCacheVisibleInMetrics(t *testing.T) {
 	// DP work counters: the one full solve ran τmin + pipeline dynamic
 	// programs; the repeats were cache hits and added nothing, so the
 	// counters reflect a single net's DP workload.
-	if solves := metricValue(t, text, "rip_dp_solves_total"); solves < 2 {
+	if solves := metricValue(t, text, `rip_dp_solves_total{tech="180nm"}`); solves < 2 {
 		t.Fatalf("dp solves %g, want ≥ 2 (τmin + coarse)", solves)
 	}
-	gen := metricValue(t, text, "rip_dp_generated_total")
-	kept := metricValue(t, text, "rip_dp_kept_total")
+	gen := metricValue(t, text, `rip_dp_generated_total{tech="180nm"}`)
+	kept := metricValue(t, text, `rip_dp_kept_total{tech="180nm"}`)
 	if gen == 0 || kept == 0 || kept > gen {
 		t.Fatalf("dp work counters inconsistent: generated %g kept %g", gen, kept)
 	}
-	if mpl := metricValue(t, text, "rip_dp_max_per_level"); mpl == 0 {
+	if mpl := metricValue(t, text, `rip_dp_max_per_level{tech="180nm"}`); mpl == 0 {
 		t.Fatalf("dp max-per-level gauge not populated")
 	}
-	if aborts := metricValue(t, text, "rip_dp_budget_aborts_total"); aborts != 0 {
+	if aborts := metricValue(t, text, `rip_dp_budget_aborts_total{tech="180nm"}`); aborts != 0 {
 		t.Fatalf("unexpected dp budget aborts %g", aborts)
 	}
 }

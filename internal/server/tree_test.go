@@ -115,7 +115,10 @@ func TestBatchMixedKindsJSONL(t *testing.T) {
 	if got[4].Error == "" {
 		t.Errorf("malformed line should carry an error: %+v", got[4])
 	}
-	if st := eng.TreeDPStats(); st.Solves == 0 {
+	if got[4].Tech != "" {
+		t.Errorf("unparsed line must not claim tech attribution: %+v", got[4])
+	}
+	if st := techEngine(t, eng, "180nm").TreeDPStats(); st.Solves == 0 {
 		t.Error("tree DP counters should have accumulated")
 	}
 }

@@ -1,0 +1,82 @@
+package tech
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTechnologyJSON asserts the loader's contract: tech.Read either
+// returns an error or returns a node that passes Validate — malformed
+// JSON, NaN/Inf-shaped numbers, negative densities, empty layer lists and
+// duplicate layer names must all surface as load errors, never as a
+// half-valid node an engine could be built on. The seed corpus is the
+// four built-ins round-tripped through Write, plus one mutant per failure
+// class the validator guards.
+func FuzzTechnologyJSON(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		t, err := Builtin(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := t.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	for _, seed := range []string{
+		`{"name":"nan","rs_ohm":NaN,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`,
+		`{"name":"inf","rs_ohm":1e999,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`,
+		`{"name":"neg","rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":-5,"c_f_per_m":1e-10}]}`,
+		`{"name":"nolayers","rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[]}`,
+		`{"name":"dup","rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10},{"name":"m1","r_ohm_per_m":2,"c_f_per_m":1e-10}]}`,
+		`{"name":"hot","rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":7,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`,
+		`{"unknown_field":1}`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		node, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if node == nil {
+			t.Fatal("Read returned nil node without error")
+		}
+		if verr := node.Validate(); verr != nil {
+			t.Fatalf("Read accepted a node that fails Validate: %v\ninput: %s", verr, raw)
+		}
+		// A loaded node must also survive a Write/Read round trip: the
+		// registry persists and reloads nodes through exactly this pair.
+		var buf bytes.Buffer
+		if err := node.Write(&buf); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			// Write emits JSON that Read must accept — unless the value
+			// only survives encoding as a quoted token Go refuses (none
+			// known today); be strict.
+			t.Fatalf("round-trip read: %v\ninput: %s", err, raw)
+		}
+		if again.Name != node.Name || len(again.Layers) != len(node.Layers) {
+			t.Fatalf("round trip changed the node: %+v vs %+v", again, node)
+		}
+	})
+}
+
+// TestReadRejectsNonFinite: encoding/json cannot produce NaN/Inf floats
+// from literals, and huge literals overflow to a decode error — assert
+// both stay load errors (the fuzz property, pinned as a plain test).
+func TestReadRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{
+		`{"name":"x","rs_ohm":NaN}`,
+		`{"name":"x","rs_ohm":1e999,"co_f":1e-15,"cp_f":0,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`,
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("Read accepted %s", in)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package tech
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// Registry is a named collection of technology nodes: the built-ins plus
+// any custom nodes loaded from JSON. It is the lookup table behind
+// per-request technology selection — the engine's Multi routes each job
+// through Get, and the HTTP layer renders Get's error (which lists every
+// known node) straight into a 400.
+//
+// A Registry is mutable while being assembled (Register, LoadFile,
+// LoadDir) and immutable after Freeze: every later mutation returns
+// ErrFrozen, so a registry shared by a running service can never change
+// under it. Registered nodes are deep-copied on the way in and must be
+// treated as read-only on the way out — Get hands every caller the same
+// validated *Technology, so mutating it would corrupt every engine built
+// from the registry.
+//
+// Lookups are case-insensitive and resolve aliases: each node has one
+// canonical name (what Names lists, what results and metrics report) and
+// any number of aliases — the built-ins answer to "90nm", "t90" and
+// their descriptive Technology.Name alike.
+type Registry struct {
+	frozen  bool
+	entries map[string]*regEntry // lowercased canonical + alias names
+	canon   []string             // canonical names, sorted
+}
+
+type regEntry struct {
+	canonical string
+	node      *Technology
+}
+
+// ErrFrozen is returned by mutations attempted after Freeze.
+var ErrFrozen = fmt.Errorf("tech: registry is frozen")
+
+// NewRegistry returns an empty, unfrozen registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// DefaultRegistry returns an unfrozen registry preloaded with the four
+// built-in nodes under their canonical names ("180nm", "130nm", "90nm",
+// "65nm") and aliases ("t180", ..., plus each node's descriptive Name).
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, name := range BuiltinNames() {
+		if _, err := r.RegisterBuiltin(name); err != nil {
+			panic(err) // built-ins always validate
+		}
+	}
+	return r
+}
+
+// BuiltinNames lists the canonical built-in node names in shrink order.
+func BuiltinNames() []string { return []string{"180nm", "130nm", "90nm", "65nm"} }
+
+// RegisterBuiltin registers the named built-in node (any alias accepted)
+// under its canonical name and returns that name.
+func (r *Registry) RegisterBuiltin(name string) (string, error) {
+	t, err := Builtin(strings.ToLower(strings.TrimSpace(name)))
+	if err != nil {
+		return "", err
+	}
+	canonical := map[string]string{
+		"synthetic-180nm": "180nm",
+		"synthetic-130nm": "130nm",
+		"synthetic-90nm":  "90nm",
+		"synthetic-65nm":  "65nm",
+	}[t.Name]
+	alias := "t" + strings.TrimSuffix(canonical, "nm")
+	return canonical, r.Register(canonical, t, alias, t.Name)
+}
+
+// Register adds a node under a canonical name plus optional aliases. The
+// node is validated and deep-copied, so later caller-side mutation cannot
+// reach the registry. Duplicate names (canonical or alias, against any
+// existing entry) and frozen registries are errors.
+func (r *Registry) Register(canonical string, t *Technology, aliases ...string) error {
+	if r.frozen {
+		return ErrFrozen
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	canonical = strings.TrimSpace(canonical)
+	if canonical == "" {
+		return fmt.Errorf("tech: registry entry needs a non-empty canonical name")
+	}
+	names := append([]string{canonical}, aliases...)
+	for _, n := range names {
+		if _, dup := r.entries[strings.ToLower(n)]; dup {
+			return fmt.Errorf("tech: registry already has a node named %q", n)
+		}
+	}
+	ent := &regEntry{canonical: canonical, node: t.clone()}
+	for _, n := range names {
+		r.entries[strings.ToLower(n)] = ent
+	}
+	r.canon = append(r.canon, canonical)
+	slices.Sort(r.canon)
+	return nil
+}
+
+// LoadFile reads one node from a JSON file (the schema Technology.Write
+// emits), validates it, and registers it under its Name. It returns the
+// canonical name the node is now known by.
+func (r *Registry) LoadFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return "", fmt.Errorf("tech: loading %s: %w", path, err)
+	}
+	if err := r.Register(t.Name, t); err != nil {
+		return "", fmt.Errorf("tech: loading %s: %w", path, err)
+	}
+	return t.Name, nil
+}
+
+// LoadDir loads every *.json file in dir as a node (see LoadFile) and
+// returns the canonical names registered, in filename order. The first
+// invalid file aborts the load: a service must not come up silently
+// missing a node it was configured to serve.
+func (r *Registry) LoadDir(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	slices.Sort(paths)
+	var names []string
+	for _, p := range paths {
+		name, err := r.LoadFile(p)
+		if err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Freeze makes the registry immutable and returns it. Freezing twice is a
+// no-op.
+func (r *Registry) Freeze() *Registry {
+	r.frozen = true
+	return r
+}
+
+// Frozen reports whether the registry has been frozen.
+func (r *Registry) Frozen() bool { return r.frozen }
+
+// Get resolves a node by canonical name or alias (case-insensitive). The
+// returned node must be treated as read-only; the second result is the
+// node's canonical name (the attribution results and metrics carry). An
+// unknown name yields an error listing every known node.
+func (r *Registry) Get(name string) (*Technology, string, error) {
+	ent, ok := r.entries[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, "", fmt.Errorf("tech: unknown node %q (known: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return ent.node, ent.canonical, nil
+}
+
+// Names lists the canonical node names, sorted.
+func (r *Registry) Names() []string { return slices.Clone(r.canon) }
+
+// Aliases lists every registered name (canonical plus aliases,
+// lowercased, sorted) that resolves to the same node as name. Unknown
+// names yield nil.
+func (r *Registry) Aliases(name string) []string {
+	ent, ok := r.entries[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil
+	}
+	var names []string
+	for n, e := range r.entries {
+		if e == ent {
+			names = append(names, n)
+		}
+	}
+	slices.Sort(names)
+	return names
+}
+
+// Len reports the number of registered nodes.
+func (r *Registry) Len() int { return len(r.canon) }
+
+// clone deep-copies the node (the Layers slice is the only reference).
+func (t *Technology) clone() *Technology {
+	c := *t
+	c.Layers = slices.Clone(t.Layers)
+	return &c
+}

@@ -1,0 +1,148 @@
+package tech
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryBuiltins: the default registry resolves every built-in by
+// canonical name, short alias and descriptive name, all to the same node.
+func TestRegistryBuiltins(t *testing.T) {
+	r := DefaultRegistry()
+	want := []string{"130nm", "180nm", "65nm", "90nm"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, alias := range []string{"90nm", "t90", "synthetic-90nm", "T90", " 90NM "} {
+		node, canon, err := r.Get(alias)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", alias, err)
+		}
+		if canon != "90nm" {
+			t.Fatalf("Get(%q) canonical = %q, want 90nm", alias, canon)
+		}
+		if node.Name != T90().Name {
+			t.Fatalf("Get(%q) resolved node %q", alias, node.Name)
+		}
+	}
+}
+
+// TestRegistryUnknownListsKnown: the lookup error names every known node,
+// the message the server's 400 responses surface verbatim.
+func TestRegistryUnknownListsKnown(t *testing.T) {
+	r := DefaultRegistry()
+	_, _, err := r.Get("7nm")
+	if err == nil {
+		t.Fatal("Get(7nm) should fail")
+	}
+	for _, name := range r.Names() {
+		if !contains(err.Error(), name) {
+			t.Fatalf("error %q does not list known node %q", err, name)
+		}
+	}
+}
+
+// TestRegistryFreeze: a frozen registry rejects every mutation with
+// ErrFrozen but keeps serving lookups.
+func TestRegistryFreeze(t *testing.T) {
+	r := DefaultRegistry().Freeze()
+	if !r.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	if err := r.Register("x", T180()); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Register after freeze: %v, want ErrFrozen", err)
+	}
+	if _, err := r.LoadFile("nope.json"); err == nil {
+		t.Fatal("LoadFile after freeze should fail")
+	}
+	if _, _, err := r.Get("65nm"); err != nil {
+		t.Fatalf("Get after freeze: %v", err)
+	}
+}
+
+// TestRegistryDuplicateAndInvalid: duplicate names (canonical or alias)
+// and invalid nodes are rejected.
+func TestRegistryDuplicateAndInvalid(t *testing.T) {
+	r := DefaultRegistry()
+	if err := r.Register("180nm", T130()); err == nil {
+		t.Fatal("duplicate canonical name accepted")
+	}
+	if err := r.Register("fresh", T130(), "t90"); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+	bad := T180()
+	bad.Rs = -1
+	if err := r.Register("bad", bad); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+}
+
+// TestRegistryCopiesOnRegister: mutating the caller's node after Register
+// does not reach the registry's copy.
+func TestRegistryCopiesOnRegister(t *testing.T) {
+	r := NewRegistry()
+	mine := T180()
+	mine.Name = "custom"
+	if err := r.Register("custom", mine); err != nil {
+		t.Fatal(err)
+	}
+	mine.Rs = 1
+	mine.Layers[0].ROhmPerM = 1
+	got, _, err := r.Get("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rs != T180().Rs || got.Layers[0].ROhmPerM != T180().Layers[0].ROhmPerM {
+		t.Fatal("registered node shares memory with the caller's")
+	}
+}
+
+// TestRegistryLoadDir: JSON nodes in a directory register under their
+// Name; an invalid file aborts the load with an error naming the file.
+func TestRegistryLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	custom := T90()
+	custom.Name = "foundry-90lp"
+	writeNode(t, filepath.Join(dir, "a.json"), custom)
+
+	r := DefaultRegistry()
+	names, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"foundry-90lp"}) {
+		t.Fatalf("LoadDir names = %v", names)
+	}
+	node, canon, err := r.Get("FOUNDRY-90LP")
+	if err != nil || canon != "foundry-90lp" || node.Vdd != custom.Vdd {
+		t.Fatalf("custom node lookup: node=%v canon=%q err=%v", node, canon, err)
+	}
+
+	// A broken file fails the whole load.
+	if err := os.WriteFile(filepath.Join(dir, "b.json"), []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DefaultRegistry().LoadDir(dir); err == nil {
+		t.Fatal("invalid node file should abort LoadDir")
+	} else if !contains(err.Error(), "b.json") {
+		t.Fatalf("error %q does not name the offending file", err)
+	}
+}
+
+func writeNode(t *testing.T, path string, node *Technology) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := node.Write(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

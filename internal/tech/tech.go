@@ -9,6 +9,13 @@
 // the parameter ranges the paper itself uses (segments of 1000–2500 µm,
 // repeater widths in (10u, 400u)). Scaled 130/90/65 nm nodes are provided
 // for the technology-scaling example and tests. See DESIGN.md §4.
+//
+// Multi-technology serving resolves nodes through a Registry: built-ins
+// plus JSON-loaded custom nodes, assembled once and then frozen. A frozen
+// registry is immutable — mutations return ErrFrozen, and the nodes Get
+// hands out are shared, validated instances that every caller must treat
+// as read-only. That immutability is what lets one registry back a
+// running multi-technology service without synchronization.
 package tech
 
 import (

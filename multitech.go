@@ -1,0 +1,57 @@
+package rip
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// Multi-technology types re-exported from the implementation packages.
+type (
+	// TechRegistry is a named collection of technology nodes — built-ins
+	// plus JSON-loaded custom nodes — assembled once, then frozen. A
+	// frozen registry is immutable, which is what lets one registry back
+	// a running multi-technology service without synchronization.
+	TechRegistry = tech.Registry
+	// MultiEngine routes each job to a per-technology engine by the
+	// job's Tech name: per-node solution caches (a T90 result can never
+	// serve a T180 request) over one shared worker budget.
+	MultiEngine = engine.Multi
+)
+
+// NewTechRegistry returns an empty, unfrozen registry. Custom nodes
+// register under their Technology.Name via Register or LoadFile/LoadDir.
+func NewTechRegistry() *TechRegistry { return tech.NewRegistry() }
+
+// BuiltinTechRegistry returns an unfrozen registry preloaded with the
+// four built-in nodes under "180nm", "130nm", "90nm" and "65nm" (aliases
+// "t180"... and the descriptive names also resolve).
+func BuiltinTechRegistry() *TechRegistry { return tech.DefaultRegistry() }
+
+// LoadTechnology reads one node from a JSON file (the schema
+// Technology.Write emits) and validates it.
+func LoadTechnology(path string) (*Technology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := tech.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// NewMultiEngine builds one batch engine per node in the registry behind
+// a single facade, freezing the registry. Jobs select their node with
+// BatchJob.Tech (empty = defaultTech); results and batch output lines
+// carry the canonical node name they were solved under. Worker budget,
+// ordering, error isolation and the ownership rule are as in NewEngine —
+// a long-lived process should create exactly one MultiEngine and thread
+// it through every consumer, the way cmd/ripd does.
+func NewMultiEngine(reg *TechRegistry, defaultTech string, opts EngineOptions) (*MultiEngine, error) {
+	return engine.NewMulti(reg, defaultTech, opts)
+}
