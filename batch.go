@@ -25,6 +25,21 @@ type (
 	CacheOptions = engine.CacheOptions
 	// CacheStats snapshots cache effectiveness counters.
 	CacheStats = engine.CacheStats
+	// BudgetAnswer is one entry of a multi-budget sweep: the budget in
+	// seconds plus the line (Res) or tree (TreeRes) answer at that budget,
+	// all served from the one cached Pareto front.
+	BudgetAnswer = engine.BudgetAnswer
+	// FrontResult is a net's full power–delay Pareto front as returned by
+	// Engine.Front: the cheapest assignment at every achievable delay,
+	// computed once per net shape and cached.
+	FrontResult = engine.FrontResult
+	// FrontPoint is one point of a Pareto front: a delay (or, for
+	// embedded-deadline trees, a worst slack) and the minimum total
+	// repeater width that achieves it.
+	FrontPoint = engine.FrontPoint
+	// FrontStats snapshots the engine's front counters: fronts computed,
+	// points retained and budget answers served by lookup.
+	FrontStats = engine.FrontStats
 )
 
 // NewEngine builds a batch optimizer for the technology node. The zero

@@ -449,6 +449,71 @@ func BenchmarkBatchMixed_1k_Cold(b *testing.B) {
 	benchmarkBatchEngineJobs(b, jobs, rip.CacheOptions{}, false)
 }
 
+// Multi-budget batches: the front-native workload — every job asks for a
+// 10-budget ladder, all answered from one cached front per distinct
+// shape. Ladders are relative to each net's own τmin so every budget is
+// feasible; an infeasible budget would reject the cached entry and force
+// a fresh solve, hiding the front's leverage.
+
+func batchBenchMultiBudgetJobs(b *testing.B, distinct, total int) []rip.BatchJob {
+	b.Helper()
+	tech := rip.T180()
+	nets, err := rip.GenerateNets(tech, 2005, distinct)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ladders := make([][]float64, distinct)
+	for i, n := range nets {
+		tmin, err := rip.MinimumDelay(n, tech)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ladder := make([]float64, 10)
+		for k := range ladder {
+			ladder[k] = (1.3 + 0.17*float64(k)) * tmin
+		}
+		ladders[i] = ladder
+	}
+	jobs := make([]rip.BatchJob, total)
+	for i := range jobs {
+		jobs[i] = rip.BatchJob{Net: nets[i%distinct], Budgets: ladders[i%distinct]}
+	}
+	return jobs
+}
+
+func BenchmarkBatchMultiBudget_1k_Cold(b *testing.B) {
+	benchmarkBatchEngineJobs(b, batchBenchMultiBudgetJobs(b, 100, 1000), rip.CacheOptions{}, false)
+}
+func BenchmarkBatchMultiBudget_1k_Warm(b *testing.B) {
+	benchmarkBatchEngineJobs(b, batchBenchMultiBudgetJobs(b, 100, 1000), rip.CacheOptions{}, true)
+}
+
+// BenchmarkFrontLookup isolates the warm-path cost of answering one
+// budget from an already-cached front: signature, front point selection,
+// and the verifying re-evaluation on the actual net — no DP solve.
+func BenchmarkFrontLookup(b *testing.B) {
+	c := benchSetup(b)
+	eng, err := rip.NewEngine(c.tech, rip.EngineOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := rip.BatchJob{Net: c.net, Target: c.target}
+	if r := eng.Solve(job); r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := eng.Solve(job); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Rejected != 0 {
+		b.Fatalf("lookup bench should only hit after the first solve: %+v", st)
+	}
+}
+
 // Multi-technology batches: the same tiled workload spread round-robin
 // over all four built-in nodes through one MultiEngine — the mixed-node
 // JSONL shape ripd serves. Cold measures per-node cache fill plus

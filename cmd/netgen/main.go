@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	rip "github.com/rip-eda/rip"
 	"github.com/rip-eda/rip/internal/api"
@@ -37,6 +39,7 @@ func main() {
 		jsonl    = flag.Bool("jsonl", false, "emit JSONL request wrappers with per-line tech attribution instead of a JSON array")
 		relT     = flag.Float64("target", 0, "with -jsonl: per-line target_mult (0 = omit, the transport default applies)")
 		absT     = flag.Float64("target-ns", 0, "with -jsonl: per-line target_ns (0 = omit)")
+		sweepT   = flag.String("targets-ns", "", "with -jsonl: per-line targets_ns multi-budget list, comma-separated ns values (empty = omit)")
 		out      = flag.String("o", "", "output file (default stdout)")
 		techName = flag.String("tech", "180nm", "built-in technology node (layer RC source and JSONL tech attribution)")
 	)
@@ -50,6 +53,13 @@ func main() {
 	if *relT > 0 && *absT > 0 {
 		fatal(fmt.Errorf("give either -target or -target-ns, not both"))
 	}
+	targets, err := parseTargets(*sweepT)
+	if err != nil {
+		fatal(err)
+	}
+	if len(targets) > 0 && (*relT > 0 || *absT > 0) {
+		fatal(fmt.Errorf("give -targets-ns or a single -target/-target-ns, not both"))
+	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -60,7 +70,7 @@ func main() {
 		w = f
 	}
 	if *jsonl {
-		if err := emitJSONL(w, tech, canonical, *seed, *count, *trees, *relT, *absT); err != nil {
+		if err := emitJSONL(w, tech, canonical, *seed, *count, *trees, *relT, *absT, targets); err != nil {
 			fatal(err)
 		}
 		note(*out, *count)
@@ -91,7 +101,7 @@ func main() {
 
 // emitJSONL writes one api.Request wrapper per net, attributed to the
 // node's canonical name — the replayable mixed-corpus building block.
-func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, count int, trees bool, relT, absT float64) error {
+func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, count int, trees bool, relT, absT float64, targets []float64) error {
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	enc := json.NewEncoder(bw)
@@ -99,6 +109,7 @@ func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, 
 		req.Tech = canonical
 		req.TargetMult = relT
 		req.TargetNS = absT
+		req.TargetsNS = targets
 		return enc.Encode(req)
 	}
 	if trees {
@@ -123,6 +134,27 @@ func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, 
 		}
 	}
 	return nil
+}
+
+// parseTargets parses the -targets-ns list: comma-separated positive
+// nanosecond budgets, kept in ns (the wire unit of targets_ns).
+func parseTargets(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-targets-ns entry %q: %v", tok, err)
+		}
+		if !(v > 0) {
+			return nil, fmt.Errorf("-targets-ns entry %g is not a positive time", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func note(out string, n int) {

@@ -17,12 +17,13 @@ import (
 )
 
 // The -perf harness measures the repo's hot paths — the two-pin DP
-// kernel, the tree DP kernel and the batch engine on line, tree and
-// mixed workloads — and writes a machine-readable report (BENCH_4.json
-// in this PR's trajectory) so future PRs have a comparable perf
-// baseline. Absolute numbers are host-dependent; the committed file
-// records the shape (allocs/solve must stay 0, cold-vs-warm ratios) and
-// one host's trajectory point.
+// kernel (bounded solves and full Pareto-front sweeps), the tree DP
+// kernel and the batch engine on line, tree, mixed and multi-budget
+// workloads — and writes a machine-readable report (BENCH_5.json in
+// this PR's trajectory) so future PRs have a comparable perf baseline.
+// Absolute numbers are host-dependent; the committed file records the
+// shape (allocs/solve must stay 0, cold-vs-warm ratios, front hit
+// rates) and one host's trajectory point.
 
 // perfKernel is one DP-kernel measurement: steady-state cost through a
 // reused Solver plus the instance's work stats.
@@ -35,6 +36,8 @@ type perfKernel struct {
 	Generated      int     `json:"generated"`
 	Kept           int     `json:"kept"`
 	MaxPerLevel    int     `json:"max_per_level"`
+	// Points is a front kernel's Pareto-front size (0 for bounded solves).
+	Points int `json:"points,omitempty"`
 }
 
 // perfBatch is one batch-engine measurement.
@@ -47,6 +50,12 @@ type perfBatch struct {
 	NetsPerSec  float64 `json:"nets_per_sec"`
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
+	// HitRate is hits/(hits+misses) for the phase — the front cache's
+	// payoff, since every budget of a multi-budget job shares one lookup.
+	HitRate float64 `json:"hit_rate"`
+	// FrontLookups counts budget answers served by front lookup in the
+	// phase (≥ nets for multi-budget workloads).
+	FrontLookups uint64 `json:"front_lookups,omitempty"`
 }
 
 type perfReport struct {
@@ -97,6 +106,66 @@ func measureKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKerne
 		Generated:      stats.Generated,
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerLevel,
+	}, nil
+}
+
+// measureFrontKernel measures the unbounded Pareto-front sweep — the
+// engine's native cold-path solve, whose one run answers every budget.
+func measureFrontKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKernel, error) {
+	s := dp.NewSolver()
+	front, stats, err := s.SolveFront(ev, opts)
+	if err != nil {
+		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.SolveFront(ev, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return perfKernel{
+		Name:           name,
+		NsPerSolve:     float64(res.NsPerOp()),
+		AllocsPerSolve: float64(res.AllocsPerOp()),
+		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Candidates:     stats.Candidates,
+		Generated:      stats.Generated,
+		Kept:           stats.Kept,
+		MaxPerLevel:    stats.MaxPerLevel,
+		Points:         len(front),
+	}, nil
+}
+
+// measureTreeFrontKernel measures the tree front sweep: the max-slack DP
+// on a zero-RAT clone whose root front answers every uniform deadline.
+func measureTreeFrontKernel(name string, tn *rip.TreeNet, lib rip.Library) (perfKernel, error) {
+	ts := rip.T180()
+	work := tn.Tree.CloneWithRAT(0)
+	opts := rip.TreeOptions{Library: lib, Tech: ts, DriverWidth: tn.DriverWidth}
+	s := tree.NewSolver()
+	front, stats, err := s.InsertFront(work, opts)
+	if err != nil {
+		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.InsertFront(work, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return perfKernel{
+		Name:           name,
+		NsPerSolve:     float64(res.NsPerOp()),
+		AllocsPerSolve: float64(res.AllocsPerOp()),
+		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Generated:      stats.Generated,
+		Kept:           stats.Kept,
+		MaxPerLevel:    stats.MaxPerNode,
+		Points:         len(front),
 	}, nil
 }
 
@@ -189,6 +258,30 @@ func batchJobs(kind string, distinct, total int) ([]rip.BatchJob, error) {
 		for i := range jobs {
 			jobs[i] = rip.BatchJob{TreeNet: nets[i%distinct], TargetMult: 1.3}
 		}
+	case "multibudget":
+		// A 10-step absolute ladder per net, spanning 1.3×–2.8×τmin: every
+		// budget is feasible for this corpus, so the warm phase measures
+		// pure front lookups — an infeasible budget would reject the whole
+		// entry and re-solve (infeasibility is never served from cache).
+		nets, err := rip.GenerateNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		ladders := make([][]float64, distinct)
+		for i, n := range nets {
+			tmin, err := rip.MinimumDelay(n, tech)
+			if err != nil {
+				return nil, err
+			}
+			l := make([]float64, 10)
+			for k := range l {
+				l[k] = (1.3 + 0.17*float64(k)) * tmin
+			}
+			ladders[i] = l
+		}
+		for i := range jobs {
+			jobs[i] = rip.BatchJob{Net: nets[i%distinct], Budgets: ladders[i%distinct]}
+		}
 	case "mixed":
 		lines, err := rip.GenerateNets(tech, 2005, distinct)
 		if err != nil {
@@ -231,6 +324,7 @@ func measureBatch(name, kind string, distinct, total int) ([]perfBatch, error) {
 		}
 		dur := time.Since(start)
 		st := eng.CacheStats()
+		fs := eng.FrontStats()
 		out = append(out, perfBatch{
 			Name:       name + "_" + phase,
 			Nets:       total,
@@ -239,14 +333,21 @@ func measureBatch(name, kind string, distinct, total int) ([]perfBatch, error) {
 			Seconds:    dur.Seconds(),
 			NetsPerSec: float64(total) / dur.Seconds(),
 			// Counters are cumulative across phases; report the deltas.
-			CacheHits:   st.Hits,
-			CacheMisses: st.Misses,
+			CacheHits:    st.Hits,
+			CacheMisses:  st.Misses,
+			FrontLookups: fs.Lookups,
 		})
 	}
 	// Convert cumulative cache counters into per-phase deltas.
 	if len(out) == 2 {
 		out[1].CacheHits -= out[0].CacheHits
 		out[1].CacheMisses -= out[0].CacheMisses
+		out[1].FrontLookups -= out[0].FrontLookups
+	}
+	for i := range out {
+		if n := out[i].CacheHits + out[i].CacheMisses; n > 0 {
+			out[i].HitRate = float64(out[i].CacheHits) / float64(n)
+		}
 	}
 	return out, nil
 }
@@ -273,7 +374,7 @@ func runPerf(path string) error {
 
 	rep := perfReport{
 		Schema:      "rip-perf/1",
-		PR:          4,
+		PR:          5,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -296,6 +397,24 @@ func runPerf(path string) error {
 		}
 		rep.Kernel = append(rep.Kernel, m)
 		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
+	}
+
+	// Front kernels: the unbounded Pareto sweep at both granularities —
+	// the cold cost the front-native cache pays once per shape.
+	for _, k := range []struct {
+		name string
+		opts dp.Options
+	}{
+		{"solve_front_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron}},
+		{"solve_front_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron}},
+	} {
+		m, err := measureFrontKernel(k.name, ev, k.opts)
+		if err != nil {
+			return err
+		}
+		rep.Kernel = append(rep.Kernel, m)
+		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve  %4d points\n",
+			m.Name, m.NsPerSolve, m.AllocsPerSolve, m.Points)
 	}
 
 	// Tree kernels: the reusable tree.Solver on the benchmark 8-sink
@@ -334,6 +453,13 @@ func runPerf(path string) error {
 	}
 	rep.TreeKernel = append(rep.TreeKernel, hybrid)
 	fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", hybrid.Name, hybrid.NsPerSolve, hybrid.AllocsPerSolve)
+	treeFront, err := measureTreeFrontKernel("tree_front_coarse", tn, coarseTreeLib)
+	if err != nil {
+		return err
+	}
+	rep.TreeKernel = append(rep.TreeKernel, treeFront)
+	fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve  %4d points\n",
+		treeFront.Name, treeFront.NsPerSolve, treeFront.AllocsPerSolve, treeFront.Points)
 
 	for _, b := range []struct {
 		name, kind      string
@@ -343,6 +469,7 @@ func runPerf(path string) error {
 		{"batch_10k", "line", 250, 10000},
 		{"batch_tree_1k", "tree", 100, 1000},
 		{"batch_mixed_1k", "mixed", 50, 1000},
+		{"batch_multibudget_1k", "multibudget", 100, 1000},
 	} {
 		ms, err := measureBatch(b.name, b.kind, b.distinct, b.total)
 		if err != nil {

@@ -14,11 +14,19 @@
 //	ripcli -tree -net tree.json -target 1.3         # one routing tree
 //	ripcli -tree -gen -seed 7 -target 1.3           # random routing tree
 //	ripcli -tree -batch -net trees.jsonl -target 1.3 # tree JSONL stream
+//	ripcli -net nets.json -front                    # full power–delay front
+//	ripcli -net nets.json -targets-ns 0.8,1.0,1.5   # multi-budget sweep
 //
 // Targets: -target is relative to the net's τmin (for trees, the minimum
 // achievable worst-sink arrival); -target-ns is absolute nanoseconds.
 // Exactly one must be given, except trees whose sinks all carry rat_ns
 // deadlines, which may omit both.
+//
+// Front mode (-front) prints the net's entire power–delay Pareto front —
+// the minimum total repeater width at every achievable delay — without
+// requiring a target. Sweep mode (-targets-ns with a comma-separated
+// list) answers every listed absolute budget from one solve of that
+// front; both work for lines and, with -tree, routing trees.
 //
 // Batch mode reads one JSON object per line — either a bare net object
 // (the same schema as the array elements of -net files; with -tree, the
@@ -46,6 +54,8 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,6 +78,8 @@ func main() {
 		g         = flag.Float64("g", 10, "baseline DP width granularity in u (mode=dp)")
 		relT      = flag.Float64("target", 0, "timing target as a multiple of τmin")
 		absT      = flag.Float64("target-ns", 0, "timing target in nanoseconds")
+		targetsNS = flag.String("targets-ns", "", "comma-separated absolute targets in ns: answer every budget from one Pareto-front solve")
+		frontOut  = flag.Bool("front", false, "print the net's full power–delay Pareto front instead of solving one budget")
 		metrics   = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
 		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
 		fullRep   = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
@@ -87,6 +99,15 @@ func main() {
 	tech, _, err := reg.Get(*techName)
 	if err != nil {
 		fatal(err)
+	}
+	if *frontOut || *targetsNS != "" {
+		if *batch {
+			fatal(fmt.Errorf("-front and -targets-ns are single-net modes; batch lines carry a per-line targets_ns list instead"))
+		}
+		if err := runFrontSweep(tech, *netFile, *index, *gen, *seed, *treeMode, *frontOut, *targetsNS, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *batch {
 		bare := api.KindLine
@@ -278,6 +299,114 @@ func runTree(tech *rip.Technology, path string, gen bool, seed int64, relT, absT
 		fmt.Printf("  buffer at node %d: width %.0fu\n", id, sol.Buffers[id])
 	}
 	return nil
+}
+
+// runFrontSweep serves the two front-native single-net modes: -front
+// prints the whole power–delay Pareto front, -targets-ns answers a list
+// of absolute budgets from one solve of that front. Both go through the
+// batch engine so the output is exactly what cached multi-budget batches
+// and ripd's /v1/front serve.
+func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed int64, treeMode, front bool, targetsNS string, jsonOut bool) error {
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	var j rip.BatchJob
+	if treeMode {
+		tn, err := loadTreeNet(path, gen, seed, tech)
+		if err != nil {
+			return err
+		}
+		j.TreeNet = tn
+	} else {
+		n, err := loadNet(path, index, gen, seed, tech)
+		if err != nil {
+			return err
+		}
+		j.Net = n
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if front {
+		fr := eng.Front(j)
+		if fr.Err != nil {
+			return fr.Err
+		}
+		if jsonOut {
+			return enc.Encode(api.FromFrontResult(fr))
+		}
+		fmt.Printf("front %s (%s): %d points", frontName(j), fr.Tech, len(fr.Points))
+		if fr.TMin > 0 {
+			fmt.Printf(", τmin %s", units.Seconds(fr.TMin))
+		}
+		fmt.Println()
+		for _, p := range fr.Points {
+			if p.Delay != 0 {
+				fmt.Printf("  delay %s  width %8.1fu  repeaters %d\n",
+					units.Seconds(p.Delay), p.TotalWidth, p.Repeaters)
+			} else {
+				fmt.Printf("  slack %s  width %8.1fu  repeaters %d\n",
+					units.Seconds(p.Slack), p.TotalWidth, p.Repeaters)
+			}
+		}
+		return nil
+	}
+	budgets, err := parseTargetsNS(targetsNS)
+	if err != nil {
+		return err
+	}
+	j.Budgets = budgets
+	res := eng.Run([]rip.BatchJob{j})[0]
+	if res.Err != nil {
+		return res.Err
+	}
+	line := api.FromResult(res)
+	if jsonOut {
+		return enc.Encode(line)
+	}
+	fmt.Printf("sweep %s (%s): %d budgets answered from one front solve\n",
+		frontName(j), line.Tech, len(line.Sweep))
+	for _, p := range line.Sweep {
+		if !p.Feasible {
+			fmt.Printf("  target %g ns: INFEASIBLE\n", p.TargetNS)
+			continue
+		}
+		n := len(p.WidthsU) + len(p.Buffers)
+		fmt.Printf("  target %g ns: delay %.4g ns, width %.1fu, %d repeaters\n",
+			p.TargetNS, p.DelayNS, p.TotalWidthU, n)
+	}
+	return nil
+}
+
+func frontName(j rip.BatchJob) string {
+	if j.TreeNet != nil {
+		return j.TreeNet.Name
+	}
+	return j.Net.Name
+}
+
+// parseTargetsNS parses the -targets-ns list: comma-separated positive
+// nanosecond budgets, returned in seconds for engine.Job.Budgets.
+func parseTargetsNS(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-targets-ns entry %q: %v", tok, err)
+		}
+		if !(v > 0) {
+			return nil, fmt.Errorf("-targets-ns entry %g is not a positive time", v)
+		}
+		out = append(out, v*units.NanoSecond)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets-ns needs at least one positive value, e.g. -targets-ns 0.8,1.0,1.5")
+	}
+	return out, nil
 }
 
 func loadTreeNet(path string, gen bool, seed int64, tech *rip.Technology) (*rip.TreeNet, error) {

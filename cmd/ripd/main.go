@@ -14,12 +14,16 @@
 //
 // Endpoints (wire format shared with ripcli -batch; see internal/api):
 //
-//	POST /v1/optimize   {"net": {...}, "tech": "90nm", "target_mult": 1.2} → solution
+//	POST /v1/optimize   {"net": {...}, "tech": "90nm", "target_mult": 1.2} → solution;
+//	                    "targets_ns": [0.8, 1.0] answers every listed budget
+//	                    from one cached Pareto front ("sweep" in the response)
 //	POST /v1/batch      JSON array or JSONL stream of the same → solutions;
 //	                    lines may mix technology nodes freely
+//	POST /v1/front      {"net": {...}, "tech": "90nm"} → the net's full
+//	                    power–delay Pareto front (no budget required)
 //	GET  /healthz       liveness, draining status, served nodes
 //	GET  /metrics       Prometheus text (requests, latency, per-tech
-//	                    rip_cache_*/rip_dp_*{tech="..."} counters)
+//	                    rip_cache_*/rip_dp_*/rip_front_*{tech="..."} counters)
 //
 // Requests without a "tech" field solve on the -tech default node;
 // unknown names get a 400 (single) or per-line error (batch) listing the

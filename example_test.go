@@ -208,6 +208,49 @@ func ExampleNewEngine_mixedWorkload() {
 	// tree tree01: feasible=true buffers=1 cached=true
 }
 
+// ExampleEngine_front asks the engine for a net's whole power–delay
+// Pareto front — the curve POST /v1/front serves — and then answers a
+// three-budget sweep from the same cached front: one job, one solve,
+// every budget a lookup. The front runs from the fastest (widest) point
+// to the cheapest; a multi-budget BatchJob.Budgets sweep reads answers
+// off that curve without re-running any dynamic program.
+func ExampleEngine_front() {
+	tech := rip.T180()
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	line, err := rip.UniformLine(8e-3, 8e4, 2.3e-10, "metal4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := &rip.Net{Name: "bus", Line: line, DriverWidth: 240, ReceiverWidth: 80}
+	fr := eng.Front(rip.BatchJob{Net: net})
+	if fr.Err != nil {
+		log.Fatal(fr.Err)
+	}
+	first, last := fr.Points[0], fr.Points[len(fr.Points)-1]
+	fmt.Printf("front: %d points, fastest %v wider than cheapest: %v\n",
+		len(fr.Points), first.Delay < last.Delay, first.TotalWidth > last.TotalWidth)
+
+	sweep := eng.Solve(rip.BatchJob{Net: net, Budgets: []float64{
+		1.2 * fr.TMin, 1.5 * fr.TMin, 3 * fr.TMin,
+	}})
+	if sweep.Err != nil {
+		log.Fatal(sweep.Err)
+	}
+	for _, ba := range sweep.Sweep {
+		fmt.Printf("budget %.2g×τmin: feasible=%v\n", ba.Budget/fr.TMin, ba.Res.Solution.Feasible)
+	}
+	fmt.Printf("fronts solved: %d (sweep was a cache hit: %v)\n", eng.FrontStats().Solves, sweep.CacheHit)
+	// Output:
+	// front: 19 points, fastest true wider than cheapest: true
+	// budget 1.2×τmin: feasible=true
+	// budget 1.5×τmin: feasible=true
+	// budget 3×τmin: feasible=true
+	// fronts solved: 1 (sweep was a cache hit: true)
+}
+
 // ExampleUniformLibrary builds the paper's coarse library.
 func ExampleUniformLibrary() {
 	lib, err := rip.UniformLibrary(80, 80, 5)

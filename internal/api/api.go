@@ -51,6 +51,12 @@ type Request struct {
 	// TargetNS is the absolute budget in nanoseconds; trees apply it to
 	// every sink.
 	TargetNS float64 `json:"target_ns,omitempty"`
+	// TargetsNS is the multi-budget batch form: a list of absolute budgets
+	// in nanoseconds, all answered from the net's single retained Pareto
+	// front (one solve, one response with a per-budget "sweep" array).
+	// Mutually exclusive with TargetMult and TargetNS; every entry must be
+	// positive. Trees apply each budget to every sink.
+	TargetsNS []float64 `json:"targets_ns,omitempty"`
 }
 
 // Validate checks the request shape without solving anything.
@@ -62,14 +68,21 @@ func (r *Request) Validate() error {
 		return fmt.Errorf("api: net %q: give net or tree, not both", r.name())
 	case r.TargetMult > 0 && r.TargetNS > 0:
 		return fmt.Errorf("api: net %q: give target_mult or target_ns, not both", r.name())
+	case len(r.TargetsNS) > 0 && (r.TargetMult > 0 || r.TargetNS > 0):
+		return fmt.Errorf("api: net %q: give targets_ns or a single target_mult/target_ns, not both", r.name())
+	}
+	for _, t := range r.TargetsNS {
+		if !(t > 0) {
+			return fmt.Errorf("api: net %q: targets_ns entry %g is not a positive time", r.name(), t)
+		}
 	}
 	if r.Tree != nil {
-		if r.TargetMult <= 0 && r.TargetNS <= 0 && !r.Tree.HasDeadlines() {
+		if r.TargetMult <= 0 && r.TargetNS <= 0 && len(r.TargetsNS) == 0 && !r.Tree.HasDeadlines() {
 			return fmt.Errorf("api: tree %q: a positive target_mult or target_ns is required unless every sink carries rat_ns", r.Tree.Name)
 		}
 		return r.Tree.Validate()
 	}
-	if r.TargetMult <= 0 && r.TargetNS <= 0 {
+	if r.TargetMult <= 0 && r.TargetNS <= 0 && len(r.TargetsNS) == 0 {
 		return fmt.Errorf("api: net %q: a positive target_mult or target_ns is required", r.Net.Name)
 	}
 	return r.Net.Validate()
@@ -87,13 +100,17 @@ func (r *Request) name() string {
 
 // Job converts the request to an engine job (ns → seconds).
 func (r *Request) Job() engine.Job {
-	return engine.Job{
+	j := engine.Job{
 		Net:        r.Net,
 		TreeNet:    r.Tree,
 		Tech:       r.Tech,
 		TargetMult: r.TargetMult,
 		Target:     r.TargetNS * units.NanoSecond,
 	}
+	for _, t := range r.TargetsNS {
+		j.Budgets = append(j.Budgets, t*units.NanoSecond)
+	}
+	return j
 }
 
 // Name returns the request's net name regardless of kind, for error
@@ -105,7 +122,7 @@ func (r *Request) Name() string { return r.name() }
 // deadlines keeps them: the default would silently override per-sink
 // timing the client spelled out.
 func (r *Request) ApplyDefault(targetMult, targetNS float64) {
-	if r.TargetMult > 0 || r.TargetNS > 0 {
+	if r.TargetMult > 0 || r.TargetNS > 0 || len(r.TargetsNS) > 0 {
 		return
 	}
 	if r.Tree != nil && r.Tree.HasDeadlines() {
@@ -217,7 +234,7 @@ func FeedJSONL(ctx context.Context, in io.Reader, opts FeedOptions, jobs chan<- 
 		if err != nil {
 			noteErr(idx, fmt.Sprintf("line %d: %v", lineNo, err))
 		} else {
-			if opts.ForceDefault && req.TargetMult <= 0 && req.TargetNS <= 0 {
+			if opts.ForceDefault && req.TargetMult <= 0 && req.TargetNS <= 0 && len(req.TargetsNS) == 0 {
 				req.TargetMult, req.TargetNS = opts.DefaultMult, opts.DefaultNS
 			} else {
 				req.ApplyDefault(opts.DefaultMult, opts.DefaultNS)
@@ -266,11 +283,40 @@ type Response struct {
 	// Buffers is a tree solution's placement: one entry per inserted
 	// buffer, ordered by node ID.
 	Buffers []TreeBuffer `json:"buffers,omitempty"`
+	// Sweep holds a multi-budget (targets_ns) request's per-budget
+	// answers, in request order. For such responses the top-level Feasible
+	// aggregates the sweep (true iff every budget was met) and the other
+	// single-solution fields are left zero.
+	Sweep []SweepPoint `json:"sweep,omitempty"`
 	// CacheHit reports whether the solution came from the engine's
 	// solution cache.
 	CacheHit bool `json:"cache_hit"`
 	// Error records a per-net failure (parse, validation or solver).
 	Error string `json:"error,omitempty"`
+}
+
+// SweepPoint is one budget's answer within a multi-budget response. An
+// infeasible budget yields Feasible=false with the placement fields
+// empty — a verdict, not an error.
+type SweepPoint struct {
+	// TargetNS echoes the requested budget in nanoseconds.
+	TargetNS float64 `json:"target_ns"`
+	// Feasible reports whether any placement met this budget.
+	Feasible bool `json:"feasible"`
+	// DelayNS is the chosen point's Elmore delay (lines) or implied worst
+	// sink arrival (trees under a uniform budget) in nanoseconds.
+	DelayNS float64 `json:"delay_ns,omitempty"`
+	// SlackNS is a tree answer's worst slack in nanoseconds.
+	SlackNS float64 `json:"slack_ns,omitempty"`
+	// TotalWidthU is the summed repeater/buffer width in units of u —
+	// zero is a real answer (the bare wire already meets the budget), so
+	// the field is always emitted.
+	TotalWidthU float64 `json:"total_width_u"`
+	// PositionsUM and WidthsU are a line answer's repeater placement.
+	PositionsUM []float64 `json:"positions_um,omitempty"`
+	WidthsU     []float64 `json:"widths_u,omitempty"`
+	// Buffers is a tree answer's placement, ordered by node ID.
+	Buffers []TreeBuffer `json:"buffers,omitempty"`
 }
 
 // TreeBuffer is one inserted buffer of a tree solution.
@@ -292,6 +338,25 @@ func FromResult(r engine.Result) Response {
 		out.Error = r.Err.Error()
 		return out
 	}
+	if len(r.Sweep) > 0 {
+		out.Feasible = true // all budgets met until one misses
+		for _, ba := range r.Sweep {
+			sol := ba.Res.Solution
+			p := SweepPoint{
+				TargetNS:    ba.Budget / units.NanoSecond,
+				Feasible:    sol.Feasible,
+				DelayNS:     sol.Delay / units.NanoSecond,
+				TotalWidthU: sol.TotalWidth,
+			}
+			for _, x := range sol.Assignment.Positions {
+				p.PositionsUM = append(p.PositionsUM, units.ToMicrons(x))
+			}
+			p.WidthsU = append(p.WidthsU, sol.Assignment.Widths...)
+			out.Sweep = append(out.Sweep, p)
+			out.Feasible = out.Feasible && sol.Feasible
+		}
+		return out
+	}
 	sol := r.Res.Solution
 	out.Feasible = sol.Feasible
 	out.TargetNS = r.Target / units.NanoSecond
@@ -311,6 +376,25 @@ func fromTreeResult(r engine.Result) Response {
 		out.Error = r.Err.Error()
 		return out
 	}
+	if len(r.Sweep) > 0 {
+		out.Feasible = true // all budgets met until one misses
+		for _, ba := range r.Sweep {
+			sol := ba.TreeRes.Solution
+			p := SweepPoint{
+				TargetNS: ba.Budget / units.NanoSecond,
+				Feasible: sol.Feasible,
+			}
+			if sol.Feasible {
+				p.SlackNS = sol.Slack / units.NanoSecond
+				p.DelayNS = (ba.Budget - sol.Slack) / units.NanoSecond
+				p.TotalWidthU = sol.TotalWidth
+				p.Buffers = treeBuffers(sol.Buffers)
+			}
+			out.Sweep = append(out.Sweep, p)
+			out.Feasible = out.Feasible && sol.Feasible
+		}
+		return out
+	}
 	sol := r.TreeRes.Solution
 	out.Feasible = sol.Feasible
 	out.TargetNS = r.Target / units.NanoSecond
@@ -320,13 +404,20 @@ func fromTreeResult(r engine.Result) Response {
 		out.DelayNS = (r.Target - sol.Slack) / units.NanoSecond
 	}
 	out.TotalWidthU = sol.TotalWidth
-	ids := make([]int, 0, len(sol.Buffers))
-	for id := range sol.Buffers {
+	out.Buffers = treeBuffers(sol.Buffers)
+	return out
+}
+
+// treeBuffers renders a tree placement map ordered by node ID.
+func treeBuffers(buffers map[int]float64) []TreeBuffer {
+	ids := make([]int, 0, len(buffers))
+	for id := range buffers {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
+	out := make([]TreeBuffer, 0, len(ids))
 	for _, id := range ids {
-		out.Buffers = append(out.Buffers, TreeBuffer{NodeID: id, WidthU: sol.Buffers[id]})
+		out = append(out, TreeBuffer{NodeID: id, WidthU: buffers[id]})
 	}
 	return out
 }
@@ -334,4 +425,89 @@ func fromTreeResult(r engine.Result) Response {
 // ErrorResponse builds a response carrying only a per-net failure.
 func ErrorResponse(netName, msg string) Response {
 	return Response{Net: netName, Error: msg}
+}
+
+// ValidateFront checks a request's shape for a /v1/front curve query,
+// which needs a net but no budget: any budget fields present only select
+// the tree mode (a budget of any form forces the uniform zero-RAT curve
+// on trees; line fronts ignore them entirely).
+func (r *Request) ValidateFront() error {
+	switch {
+	case r.Net == nil && r.Tree == nil:
+		return errors.New("api: request has no net")
+	case r.Net != nil && r.Tree != nil:
+		return fmt.Errorf("api: net %q: give net or tree, not both", r.name())
+	}
+	if r.Tree != nil {
+		return r.Tree.Validate()
+	}
+	return r.Net.Validate()
+}
+
+// FrontPoint is one point of a served power–delay curve, fastest first.
+// Exactly the timing field matching the net kind is populated.
+type FrontPoint struct {
+	// DelayNS is the point's Elmore delay (lines) or worst-sink arrival
+	// (trees under a uniform budget) in nanoseconds.
+	DelayNS float64 `json:"delay_ns,omitempty"`
+	// SlackNS is the point's worst slack against a tree's embedded
+	// per-sink deadlines, in nanoseconds.
+	SlackNS float64 `json:"slack_ns,omitempty"`
+	// TotalWidthU is the summed repeater/buffer width in units of u — the
+	// power objective.
+	TotalWidthU float64 `json:"total_width_u"`
+	// Repeaters counts the inserted repeaters (buffers) at this point.
+	Repeaters int `json:"repeaters"`
+}
+
+// FrontResponse is one net's whole Pareto front — POST /v1/front's
+// response body. Adjacent points strictly trade delay for width.
+type FrontResponse struct {
+	// Net echoes the request's net name.
+	Net string `json:"net"`
+	// Kind is "tree" for tree fronts and empty (line) otherwise.
+	Kind string `json:"kind,omitempty"`
+	// Tech is the canonical node the front was solved under.
+	Tech string `json:"tech,omitempty"`
+	// TMinNS is the net's minimum achievable delay in nanoseconds (zero
+	// for embedded-deadline tree fronts).
+	TMinNS float64 `json:"tmin_ns,omitempty"`
+	// Points is the curve, fastest (most power) first.
+	Points []FrontPoint `json:"points"`
+	// CacheHit reports whether the curve came from the solution cache.
+	CacheHit bool `json:"cache_hit"`
+	// Error records a failure (validation or solver).
+	Error string `json:"error,omitempty"`
+}
+
+// FromFrontResult converts an engine front result to its wire form.
+func FromFrontResult(fr engine.FrontResult) FrontResponse {
+	out := FrontResponse{Tech: fr.Tech, CacheHit: fr.CacheHit}
+	if fr.Net != nil {
+		out.Net = fr.Net.Name
+	}
+	if fr.TreeNet != nil {
+		out.Net = fr.TreeNet.Name
+		out.Kind = "tree"
+	}
+	if fr.Err != nil {
+		out.Error = fr.Err.Error()
+		return out
+	}
+	out.TMinNS = fr.TMin / units.NanoSecond
+	out.Points = make([]FrontPoint, len(fr.Points))
+	for i, p := range fr.Points {
+		out.Points[i] = FrontPoint{
+			DelayNS:     p.Delay / units.NanoSecond,
+			SlackNS:     p.Slack / units.NanoSecond,
+			TotalWidthU: p.TotalWidth,
+			Repeaters:   p.Repeaters,
+		}
+	}
+	return out
+}
+
+// FrontErrorResponse builds a front response carrying only a failure.
+func FrontErrorResponse(netName, msg string) FrontResponse {
+	return FrontResponse{Net: netName, Error: msg}
 }

@@ -108,6 +108,10 @@ const (
 	PhaseCoarseDP Phase = "coarse-dp"
 	// PhaseRoundedRefine: fallback to REFINE's widths rounded to the grid.
 	PhaseRoundedRefine Phase = "rounded-refine"
+	// PhaseFront: the solution was read off a retained Pareto front — the
+	// batch engine's native path, which answers every budget from one
+	// width-aware DP sweep (see internal/engine).
+	PhaseFront Phase = "front"
 )
 
 // Report describes everything the pipeline did; the experiments use it for

@@ -1,0 +1,144 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/rip-eda/rip/internal/delay"
+)
+
+// FrontPoint is one point of a net's power–delay trade-off curve: the
+// cheapest assignment achieving its Delay over the solve's candidate space.
+type FrontPoint struct {
+	// Delay is the total Elmore delay of the point's assignment.
+	Delay float64
+	// TotalWidth is Σw, the power objective, of the point's assignment.
+	TotalWidth float64
+	// Assignment holds the point's repeater positions and widths.
+	Assignment delay.Assignment
+}
+
+// Front is a net's root Pareto front: Delay strictly increasing,
+// TotalWidth strictly decreasing, no dominated points. Front[0] is the
+// minimum-delay point (maximum power) and Front[len-1] the cheapest
+// feasible point (maximum delay). A Front answers any timing budget over
+// its candidate space by lookup (At), which is what lets the batch engine
+// cache one solve per net shape and serve every budget from it.
+type Front []FrontPoint
+
+// At returns the index of the minimum-power point meeting Delay ≤ target
+// — the same point a fresh budget-specific MinPower solve would return —
+// and false when no point meets the target (including NaN targets).
+func (f Front) At(target float64) (int, bool) {
+	if len(f) == 0 || math.IsNaN(target) || !(f[0].Delay <= target) {
+		return 0, false
+	}
+	// Rightmost point with Delay ≤ target: delays are strictly increasing,
+	// so binary search for the first Delay > target and step back.
+	i := sort.Search(len(f), func(i int) bool { return f[i].Delay > target })
+	return i - 1, true
+}
+
+// MinDelay returns the front's minimum achievable delay — the leftmost
+// point — or +Inf for an empty front. Over a given candidate space it
+// equals MinimumDelay bit-for-bit.
+func (f Front) MinDelay() float64 {
+	if len(f) == 0 {
+		return math.Inf(1)
+	}
+	return f[0].Delay
+}
+
+// frontRoot is one driver-closed root option during front extraction.
+type frontRoot struct {
+	total float64
+	w     float64
+	idx   int32
+}
+
+// SolveFront runs one unbounded width-aware DP sweep and extracts the
+// complete root Pareto front. Options.Objective and Target are ignored:
+// the sweep is always 3-D (width-aware) and unbounded, so the returned
+// Front answers every budget. For any target T, Front.At(T) selects the
+// identical assignment (bit-for-bit: same positions, widths and delay) a
+// bounded MinPower solve at Target=T over the same Options would pick,
+// because the bounded run's surviving options are exactly the unbounded
+// run's filtered to delay ≤ T and both resolve width ties by arena order.
+func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, error) {
+	if opts.Library.Size() == 0 {
+		return nil, Stats{}, errors.New("dp: empty repeater library")
+	}
+	n, err := s.prepare(ev, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{Candidates: n}
+	ok, err := s.runLevels(ev, opts, math.Inf(1), true, &stats)
+	if err != nil || !ok {
+		return nil, stats, err
+	}
+
+	// Close every surviving level-0 option with the driver stage.
+	t := ev.Tech
+	rsCp := t.Rs * t.Cp
+	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
+	cw := s.wC[0]
+	m := s.wM[0]
+	rw := s.wR[0]
+	rsOverWd := t.Rs / ev.Wd
+	roots := make([]frontRoot, 0, len(first))
+	for i := range first {
+		o := &first[i]
+		roots = append(roots, frontRoot{
+			total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
+			w:     o.w,
+			idx:   int32(i),
+		})
+	}
+
+	// Skyline sweep: sort (total asc, w asc, idx asc) and keep a point only
+	// when its width strictly undercuts everything cheaper-in-delay. The
+	// kept point where the record first drops to some width w* is the
+	// min-total, earliest-arena option of width w* — exactly the option the
+	// bounded driver loop picks for any target that admits it.
+	sort.Slice(roots, func(a, b int) bool {
+		ra, rb := &roots[a], &roots[b]
+		switch {
+		case ra.total != rb.total:
+			return ra.total < rb.total
+		case ra.w != rb.w:
+			return ra.w < rb.w
+		}
+		return ra.idx < rb.idx
+	})
+	front := make(Front, 0, 8)
+	bestW := math.Inf(1)
+	for _, r := range roots {
+		if !(r.w < bestW) {
+			continue
+		}
+		bestW = r.w
+		p := FrontPoint{Delay: r.total}
+		// Reconstruct by walking the arena parent pointers.
+		idx := s.lvlOff[0] + r.idx
+		for k := 0; k < n; k++ {
+			o := &s.arena[idx]
+			if o.act >= 0 {
+				p.Assignment.Positions = append(p.Assignment.Positions, s.cand[k])
+				p.Assignment.Widths = append(p.Assignment.Widths, s.widths[o.act])
+			}
+			idx = o.next
+		}
+		p.TotalWidth = p.Assignment.TotalWidth()
+		front = append(front, p)
+	}
+	return front, stats, nil
+}
+
+// SolveFront runs the front extraction on a pooled Solver.
+func SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, error) {
+	s := AcquireSolver()
+	defer ReleaseSolver(s)
+	return s.SolveFront(ev, opts)
+}

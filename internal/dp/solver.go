@@ -103,55 +103,11 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 	if opts.Objective == MinPower && !(opts.Target > 0) {
 		return fmt.Errorf("dp: min-power needs a positive timing target, got %g", opts.Target)
 	}
-	s.cand = s.cand[:0]
-	if opts.Positions == nil {
-		if !(opts.Pitch > 0) {
-			return errors.New("dp: need explicit Positions or a positive Pitch")
-		}
-		s.cand = ev.Line.AppendLegalPositions(s.cand, opts.Pitch)
-	} else {
-		s.cand = append(s.cand, opts.Positions...)
-		slices.Sort(s.cand)
-		for i, x := range s.cand {
-			if !ev.Line.Legal(x) {
-				return fmt.Errorf("dp: candidate %d at %g is not a legal repeater position", i, x)
-			}
-			if i > 0 && x == s.cand[i-1] {
-				return fmt.Errorf("dp: duplicate candidate position %g", x)
-			}
-		}
+	n, err := s.prepare(ev, opts)
+	if err != nil {
+		return err
 	}
-
-	t := ev.Tech
-	n := len(s.cand)
 	stats := Stats{Candidates: n}
-
-	// Per-solve precomputation: every stage's wire R/C/M in one prepass,
-	// and the per-width electrical constants.
-	s.points = append(s.points[:0], 0)
-	s.points = append(s.points, s.cand...)
-	s.points = append(s.points, ev.Line.Length())
-	s.wR, s.wC, s.wM = ev.StageRCM(s.points, s.wR[:0], s.wC[:0], s.wM[:0])
-	s.widths = opts.Library.AppendWidths(s.widths[:0])
-	s.rsOverW = s.rsOverW[:0]
-	s.coW = s.coW[:0]
-	for _, w := range s.widths {
-		s.rsOverW = append(s.rsOverW, t.Rs/w)
-		s.coW = append(s.coW, t.Co*w)
-	}
-	rsCp := t.Rs * t.Cp
-
-	if cap(s.lvlOff) < n+1 {
-		s.lvlOff = make([]int32, n+1)
-		s.lvlCnt = make([]int32, n+1)
-	}
-	s.lvlOff = s.lvlOff[:n+1]
-	s.lvlCnt = s.lvlCnt[:n+1]
-
-	// Receiver pseudo-level: a single seed option at arena[0].
-	s.arena = append(s.arena[:0], option{c: t.Co * ev.Wr, d: 0, w: 0, act: -1, next: -1})
-	s.lvlOff[n] = 0
-	s.lvlCnt[n] = 1
 
 	// Delay bound for pruning: delays only grow walking upstream, so any
 	// partial already past the target is dead. (MinDelay has no bound.)
@@ -161,64 +117,20 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 		bound = opts.Target
 	}
 
-	for k := n - 1; k >= 0; k-- {
-		// Stage k+1 spans [cand[k], next candidate or L].
-		cw := s.wC[k+1]
-		rw := s.wR[k+1]
-		m := s.wM[k+1]
-
-		s.pr.reset(len(s.widths) + 1)
-		downOff := s.lvlOff[k+1]
-		down := s.arena[downOff : downOff+s.lvlCnt[k+1]]
-		gen := 0
-		for di := range down {
-			o := &down[di]
-			baseC := o.c + cw
-			baseD := o.d + rw*o.c + m
-			if baseD > bound {
-				continue
-			}
-			next := downOff + int32(di)
-			// No repeater at this candidate.
-			s.pr.buckets[0] = append(s.pr.buckets[0], option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
-			// Repeater of each library width: within bucket wi+1 the load
-			// coordinate c is the constant Co·w, which is what lets the
-			// pruner treat the bucket as a 2-D (d, w) front.
-			for wi := range s.widths {
-				d := rsCp + s.rsOverW[wi]*baseC + baseD
-				if d > bound {
-					continue
-				}
-				s.pr.buckets[wi+1] = append(s.pr.buckets[wi+1],
-					option{c: s.coW[wi], d: d, w: o.w + s.widths[wi], act: int32(wi), next: next})
-			}
-		}
-		for _, b := range s.pr.buckets {
-			gen += len(b)
-		}
-		stats.Generated += gen
-		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
-			sol.Stats = stats
-			return fmt.Errorf("%w: %d partial solutions (limit %d)",
-				ErrBudget, stats.Generated, opts.MaxGenerated)
-		}
-		start := int32(len(s.arena))
-		s.arena = s.pr.pruneInto(s.arena, threeD)
-		kept := int32(len(s.arena)) - start
-		stats.Kept += int(kept)
-		if int(kept) > stats.MaxPerLevel {
-			stats.MaxPerLevel = int(kept)
-		}
-		if kept == 0 {
-			// Everything timed out; infeasible.
-			sol.Stats = stats
-			return nil
-		}
-		s.lvlOff[k] = start
-		s.lvlCnt[k] = kept
+	ok, err := s.runLevels(ev, opts, bound, threeD, &stats)
+	if err != nil {
+		sol.Stats = stats
+		return err
+	}
+	if !ok {
+		// Everything timed out; infeasible.
+		sol.Stats = stats
+		return nil
 	}
 
 	// Close with the driver stage: wire from 0 to the first level.
+	t := ev.Tech
+	rsCp := t.Rs * t.Cp
 	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
 	cw := s.wC[0]
 	m := s.wM[0]
@@ -264,4 +176,121 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 	sol.TotalWidth = sol.Assignment.TotalWidth()
 	sol.Feasible = true
 	return nil
+}
+
+// prepare resolves the candidate list and fills every per-solve scratch
+// buffer: stage wire R/C/M, per-width electrical constants, level tables
+// and the receiver seed at arena[0]. It returns the candidate count.
+// Callers validate Options first (prepare assumes a non-empty library).
+func (s *Solver) prepare(ev *delay.Evaluator, opts Options) (int, error) {
+	s.cand = s.cand[:0]
+	if opts.Positions == nil {
+		if !(opts.Pitch > 0) {
+			return 0, errors.New("dp: need explicit Positions or a positive Pitch")
+		}
+		s.cand = ev.Line.AppendLegalPositions(s.cand, opts.Pitch)
+	} else {
+		s.cand = append(s.cand, opts.Positions...)
+		slices.Sort(s.cand)
+		for i, x := range s.cand {
+			if !ev.Line.Legal(x) {
+				return 0, fmt.Errorf("dp: candidate %d at %g is not a legal repeater position", i, x)
+			}
+			if i > 0 && x == s.cand[i-1] {
+				return 0, fmt.Errorf("dp: duplicate candidate position %g", x)
+			}
+		}
+	}
+
+	t := ev.Tech
+	n := len(s.cand)
+
+	// Per-solve precomputation: every stage's wire R/C/M in one prepass,
+	// and the per-width electrical constants.
+	s.points = append(s.points[:0], 0)
+	s.points = append(s.points, s.cand...)
+	s.points = append(s.points, ev.Line.Length())
+	s.wR, s.wC, s.wM = ev.StageRCM(s.points, s.wR[:0], s.wC[:0], s.wM[:0])
+	s.widths = opts.Library.AppendWidths(s.widths[:0])
+	s.rsOverW = s.rsOverW[:0]
+	s.coW = s.coW[:0]
+	for _, w := range s.widths {
+		s.rsOverW = append(s.rsOverW, t.Rs/w)
+		s.coW = append(s.coW, t.Co*w)
+	}
+
+	if cap(s.lvlOff) < n+1 {
+		s.lvlOff = make([]int32, n+1)
+		s.lvlCnt = make([]int32, n+1)
+	}
+	s.lvlOff = s.lvlOff[:n+1]
+	s.lvlCnt = s.lvlCnt[:n+1]
+
+	// Receiver pseudo-level: a single seed option at arena[0].
+	s.arena = append(s.arena[:0], option{c: t.Co * ev.Wr, d: 0, w: 0, act: -1, next: -1})
+	s.lvlOff[n] = 0
+	s.lvlCnt[n] = 1
+	return n, nil
+}
+
+// runLevels executes the bottom-up sweep over every candidate level after
+// prepare, growing the arena level by level. It reports ok=false when a
+// level prunes to nothing (every partial timed out — infeasible) and
+// ErrBudget when MaxGenerated is exceeded; stats accumulate either way.
+func (s *Solver) runLevels(ev *delay.Evaluator, opts Options, bound float64, threeD bool, stats *Stats) (bool, error) {
+	rsCp := ev.Tech.Rs * ev.Tech.Cp
+	for k := len(s.cand) - 1; k >= 0; k-- {
+		// Stage k+1 spans [cand[k], next candidate or L].
+		cw := s.wC[k+1]
+		rw := s.wR[k+1]
+		m := s.wM[k+1]
+
+		s.pr.reset(len(s.widths) + 1)
+		downOff := s.lvlOff[k+1]
+		down := s.arena[downOff : downOff+s.lvlCnt[k+1]]
+		gen := 0
+		for di := range down {
+			o := &down[di]
+			baseC := o.c + cw
+			baseD := o.d + rw*o.c + m
+			if baseD > bound {
+				continue
+			}
+			next := downOff + int32(di)
+			// No repeater at this candidate.
+			s.pr.buckets[0] = append(s.pr.buckets[0], option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+			// Repeater of each library width: within bucket wi+1 the load
+			// coordinate c is the constant Co·w, which is what lets the
+			// pruner treat the bucket as a 2-D (d, w) front.
+			for wi := range s.widths {
+				d := rsCp + s.rsOverW[wi]*baseC + baseD
+				if d > bound {
+					continue
+				}
+				s.pr.buckets[wi+1] = append(s.pr.buckets[wi+1],
+					option{c: s.coW[wi], d: d, w: o.w + s.widths[wi], act: int32(wi), next: next})
+			}
+		}
+		for _, b := range s.pr.buckets {
+			gen += len(b)
+		}
+		stats.Generated += gen
+		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
+			return false, fmt.Errorf("%w: %d partial solutions (limit %d)",
+				ErrBudget, stats.Generated, opts.MaxGenerated)
+		}
+		start := int32(len(s.arena))
+		s.arena = s.pr.pruneInto(s.arena, threeD)
+		kept := int32(len(s.arena)) - start
+		stats.Kept += int(kept)
+		if int(kept) > stats.MaxPerLevel {
+			stats.MaxPerLevel = int(kept)
+		}
+		if kept == 0 {
+			return false, nil
+		}
+		s.lvlOff[k] = start
+		s.lvlCnt[k] = kept
+	}
+	return true, nil
 }

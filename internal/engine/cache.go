@@ -3,35 +3,78 @@ package engine
 import (
 	"container/list"
 	"hash/fnv"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
-
-	"github.com/rip-eda/rip/internal/core"
 )
 
-// cached is one memoized solution. It stores only what is needed to
-// reconstruct and re-verify an assignment on a signature-equivalent net;
-// the full pipeline report is not kept (it would pin the coarse/fine DP
-// working sets of millions of nets in memory).
-type cached struct {
+// linePoint is one retained point of a line net's power–delay Pareto
+// front: the cheapest assignment achieving its delay over the engine's
+// native candidate space.
+type linePoint struct {
+	delay      float64
+	totalWidth float64
 	positions  []float64
 	widths     []float64
-	totalWidth float64
-	// tmin is the signature's τmin; non-zero only for relative-target
-	// entries, whose key embeds the target multiple. For tree entries it
-	// is the minimum achievable worst-sink arrival.
-	tmin   float64
-	picked core.Phase
+}
 
-	// Tree entries (key prefix "T") reuse widths for the buffer sizes;
-	// treeIDs carries the buffered node IDs (parallel to widths), slack
-	// the solution's worst slack and treePicked the winning phase. Line
-	// and tree keys are disjoint, so a signature never decodes as the
-	// wrong kind.
-	tree       bool
-	treeIDs    []int32
+// lineFront is a retained line front: delay strictly increasing,
+// totalWidth strictly decreasing (the dp.Front invariants).
+type lineFront []linePoint
+
+// at returns the index of the minimum-power point with delay ≤ target —
+// mirroring dp.Front.At — and false when no point meets it.
+func (f lineFront) at(target float64) (int, bool) {
+	if len(f) == 0 || math.IsNaN(target) || !(f[0].delay <= target) {
+		return 0, false
+	}
+	i := sort.Search(len(f), func(i int) bool { return f[i].delay > target })
+	return i - 1, true
+}
+
+// treePoint is one retained point of a tree's power–slack Pareto front.
+// ids are pre-order walk positions (not node IDs) of the buffered nodes,
+// parallel to widths, so the entry serves any shape-equal tree.
+type treePoint struct {
 	slack      float64
-	treePicked string
+	totalWidth float64
+	ids        []int32
+	widths     []float64
+}
+
+// treeFront is a retained tree front: slack strictly decreasing,
+// totalWidth strictly decreasing (the tree.Front invariants).
+type treeFront []treePoint
+
+// at returns the index of the minimum-power point with slack ≥ minSlack —
+// mirroring tree.Front.At — and false when no point reaches it.
+func (f treeFront) at(minSlack float64) (int, bool) {
+	if len(f) == 0 || math.IsNaN(minSlack) || !(f[0].slack >= minSlack) {
+		return 0, false
+	}
+	i := sort.Search(len(f), func(i int) bool { return f[i].slack < minSlack })
+	return i - 1, true
+}
+
+// cached is one memoized Pareto front — the engine's native cached
+// object. It stores only what is needed to answer any budget and
+// re-verify the chosen point on a signature-equivalent net; the DP
+// working sets and pipeline reports are not kept (they would pin the
+// arenas of millions of nets in memory).
+type cached struct {
+	// front is a line entry's power–delay front.
+	front lineFront
+	// tmin is the signature's reference-space τmin (line) or minimum
+	// achievable worst-sink arrival (tree, uniform mode), retained so
+	// relative-target hits skip the τmin dynamic program too.
+	tmin float64
+
+	// Tree entries (key prefix "T") carry treeFront instead. Line and
+	// tree keys are disjoint, so a signature never decodes as the wrong
+	// kind.
+	tree      bool
+	treeFront treeFront
 }
 
 // cacheShard is one independently locked slice of the cache: an LRU list

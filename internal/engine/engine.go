@@ -1,11 +1,14 @@
 // Package engine is the batch-optimization layer that turns the per-net
-// RIP pipeline into a chip-scale service: a worker pool fans a stream of
-// nets out over the hybrid DP→REFINE→DP solver while a bounded, sharded
-// LRU cache memoizes solutions by canonical net signature (technology
-// node, quantized segment length/RC profile, zone layout, terminal widths
-// and timing-budget class), so repeated-signature nets — ubiquitous in
-// real designs, where buses and repeated macros produce thousands of
-// electrically identical wires — skip the dynamic programs entirely.
+// RIP dynamic programs into a chip-scale service: a worker pool fans a
+// stream of nets out over the solver while a bounded, sharded LRU cache
+// memoizes each net's whole power–delay Pareto front by canonical net
+// signature (technology node, quantized segment length/RC profile, zone
+// layout and terminal widths — the timing budget is deliberately NOT part
+// of the key). One width-aware DP sweep per distinct shape retains the
+// complete trade-off curve, and every budget — MinPower at any target,
+// MinDelay, a whole Job.Budgets sweep — is answered from that front by
+// lookup, so repeated-signature nets (buses, arrayed macros) and repeated
+// what-if budgets alike skip the dynamic programs entirely.
 //
 // Three properties the layer guarantees:
 //
@@ -13,22 +16,25 @@
 //     how workers interleave, so batch output is reproducible.
 //   - Error isolation: a net that fails to validate or solve yields a
 //     Result with Err set; it never aborts the rest of the batch.
-//   - Verified hits: a cache hit is re-validated on the actual net (legal
-//     positions, recomputed Elmore delay ≤ target) before being served;
-//     entries that fail verification fall through to a full solve. For
-//     absolute targets the delay check is exact. For relative targets
-//     the budget is TargetMult times the signature's τmin — exact for
-//     byte-identical nets, while a quantized neighbor inherits a τmin
-//     that can differ by up to the quantization error (≈0.01 % of a
-//     global net at the default 1 µm LengthQuantum). Widen the quanta
+//   - Verified hits: a cache hit re-validates the front point chosen for
+//     this job's budget on the actual net (legal positions, recomputed
+//     Elmore delay ≤ target) before being served; entries that fail
+//     verification for any requested budget fall through to a full
+//     solve. For absolute targets the delay check is exact. For relative
+//     targets the budget is TargetMult times the signature's τmin —
+//     exact for byte-identical nets, while a quantized neighbor inherits
+//     a τmin that can differ by up to the quantization error (≈0.01 % of
+//     a global net at the default 1 µm LengthQuantum). Widen the quanta
 //     only when that tolerance is acceptable.
 //
 // Duplicate in-flight signatures are deliberately allowed to race rather
 // than block on a single flight: a waiting worker would sit idle, whereas
 // a racing worker makes throughput progress, and the loser's store is a
-// harmless refresh. Only feasible solutions are cached — an infeasible
-// verdict depends on the exact target, so serving it across a slack class
-// could wrongly declare an easier net infeasible.
+// harmless refresh. A front is budget-independent, so entries are cached
+// even when the triggering job's budget was infeasible — but a hit whose
+// front cannot meet the requested budget is rejected and re-solved
+// fresh, so an infeasibility verdict is always pronounced by a solve on
+// the exact net, never inherited by a quantized neighbor.
 //
 // Work items are polymorphic: a Job carries either a two-pin line net or
 // a routing tree (tree.Net), and both kinds share the worker pool, the
@@ -47,6 +53,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -54,6 +61,7 @@ import (
 	"github.com/rip-eda/rip/internal/core"
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/repeater"
 	"github.com/rip-eda/rip/internal/tech"
 	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/wire"
@@ -87,6 +95,13 @@ type Job struct {
 	TargetMult float64
 	// Target is the absolute timing budget in seconds.
 	Target float64
+	// Budgets is the multi-budget batch form: a list of absolute timing
+	// budgets in seconds, all answered from the net's single retained
+	// Pareto front (one solve, len(Budgets) answers, in Result.Sweep).
+	// Mutually exclusive with TargetMult and Target; every entry must be
+	// positive and finite. For trees each budget is a uniform per-sink
+	// deadline.
+	Budgets []float64
 }
 
 // Result is one net's outcome. Err is per-net: a failed job never aborts
@@ -118,10 +133,26 @@ type Result struct {
 	// TreeRes is a tree job's pipeline outcome; only Solution and Picked
 	// are populated on a cache hit.
 	TreeRes tree.HybridResult
+	// Sweep holds a multi-budget job's per-budget answers, in
+	// Job.Budgets order; Res and TreeRes are left zero and Target is 0
+	// for such jobs. All answers come from one front solve (or one
+	// verified front hit).
+	Sweep []BudgetAnswer
 	// CacheHit reports whether the solution was served from cache.
 	CacheHit bool
 	// Err records a per-net failure (validation or solver error).
 	Err error
+}
+
+// BudgetAnswer is one budget's outcome within a multi-budget job.
+type BudgetAnswer struct {
+	// Budget is the absolute target in seconds, echoed from Job.Budgets.
+	Budget float64
+	// Res carries a line job's answer at this budget (infeasible budgets
+	// yield Feasible=false, never an error).
+	Res core.Result
+	// TreeRes carries a tree job's answer at this budget.
+	TreeRes tree.HybridResult
 }
 
 // name returns the job's net name regardless of kind, for error paths.
@@ -147,11 +178,13 @@ type CacheOptions struct {
 	// LengthQuantum is the grid, in meters, that segment lengths and zone
 	// bounds are snapped to when forming signatures (default 1 µm).
 	LengthQuantum float64
-	// TargetMultQuantum is the slack-class width for relative targets
-	// (default 1e-3, i.e. 0.1 % of τmin).
+	// TargetMultQuantum is retained for compatibility; the timing budget
+	// is no longer part of any signature (fronts answer every budget), so
+	// it is unused.
 	TargetMultQuantum float64
-	// TargetQuantum is the slack-class width, in seconds, for absolute
-	// targets (default 0.1 ps).
+	// TargetQuantum is the grid, in seconds, that embedded per-sink tree
+	// deadlines are snapped to when forming signatures (default 0.1 ps).
+	// Uniform budgets do not enter signatures at all.
 	TargetQuantum float64
 }
 
@@ -198,8 +231,14 @@ type Engine struct {
 	// refOpts is the τmin candidate space (dp.ReferenceOptions), shared
 	// with the facade so relative targets mean the same thing everywhere.
 	refOpts dp.Options
-	cache   *solutionCache
-	sig     *signer
+	// frontOpts is the native front space: the width-aware DP sweep that
+	// produces the retained Pareto front runs over this library and
+	// candidate pitch (built by New from the pipeline config's width
+	// range, granularity and coarse pitch). Every served answer is a
+	// point of a front solved over this space.
+	frontOpts dp.Options
+	cache     *solutionCache
+	sig       *signer
 	// techAliases are additional (lowercased) names the own-node guard
 	// accepts in Job.Tech besides tech.Name — set by NewMulti to the
 	// node's registry names, so an engine unwrapped via Multi.Engine
@@ -228,12 +267,19 @@ type Engine struct {
 
 	// Tree DP work counters, the rip_tree_dp_* analogue of the above:
 	// aggregated from every tree dynamic program the engine runs (τmin
-	// max-slack sweeps plus the hybrid pipeline's coarse and fine
-	// phases).
+	// max-slack sweeps plus the native front sweeps).
 	treeSolves     atomic.Uint64
 	treeGenerated  atomic.Uint64
 	treeKept       atomic.Uint64
 	treeMaxPerNode atomic.Uint64
+
+	// Front counters, exported at /metrics as rip_front_*: how many
+	// fronts were computed, how many points they retain, and how many
+	// budget answers were served by front lookup.
+	frontSolves    atomic.Uint64
+	frontPoints    atomic.Uint64
+	frontMaxPoints atomic.Uint64
+	frontLookups   atomic.Uint64
 }
 
 // New builds an Engine for the technology node.
@@ -252,11 +298,16 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	frontOpts, err := frontOptions(opts.Pipeline)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		tech:       t,
 		cfg:        opts.Pipeline,
 		workers:    workers,
 		refOpts:    refOpts,
+		frontOpts:  frontOpts,
 		solveSlots: make(chan struct{}, workers),
 	}
 	if !opts.Cache.Disabled {
@@ -272,6 +323,44 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 		e.sig = newSigner(t, opts.Cache)
 	}
 	return e, nil
+}
+
+// frontStepFactor scales the pipeline's concise-library granularity
+// (paper §6: 10u) up to the native front space's width step (40u by
+// default): fine enough that front answers stay within a few percent of
+// the per-budget hybrid pipeline's power, coarse enough that one
+// unbounded width-aware sweep per shape stays in the tens of
+// milliseconds on Table 2-scale nets.
+const frontStepFactor = 4
+
+// frontOptions derives the native front space from the pipeline config:
+// the concise library's width range at frontStepFactor times its
+// granularity, on the coarse candidate pitch, under the same generation
+// budget as the pipeline's DP phases. Zero config fields take the
+// paper's §6 defaults, matching the pipeline's own behavior.
+func frontOptions(cfg core.Config) (dp.Options, error) {
+	d := core.DefaultConfig()
+	if cfg.MinWidth <= 0 {
+		cfg.MinWidth = d.MinWidth
+	}
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = d.MaxWidth
+	}
+	if cfg.RoundGranularity <= 0 {
+		cfg.RoundGranularity = d.RoundGranularity
+	}
+	if cfg.CoarsePitch <= 0 {
+		cfg.CoarsePitch = d.CoarsePitch
+	}
+	lib, err := repeater.Range(cfg.MinWidth, cfg.MaxWidth, frontStepFactor*cfg.RoundGranularity)
+	if err != nil {
+		return dp.Options{}, fmt.Errorf("engine: front library: %w", err)
+	}
+	return dp.Options{
+		Library:      lib,
+		Pitch:        cfg.CoarsePitch,
+		MaxGenerated: cfg.MaxGenerated,
+	}, nil
 }
 
 // Workers returns the engine's parallelism bound.
@@ -383,6 +472,48 @@ func (e *Engine) noteTree(st tree.Stats) {
 	}
 }
 
+// FrontStats is a point-in-time snapshot of the engine's Pareto-front
+// activity — the rip_front_* counters ripd exports next to the cache
+// stats.
+type FrontStats struct {
+	// Solves counts fronts computed (one per cold shape; hits add none).
+	Solves uint64
+	// Points is the total number of front points retained across those
+	// solves.
+	Points uint64
+	// MaxPoints is the largest single front computed — a high-water
+	// mark, not a sum.
+	MaxPoints uint64
+	// Lookups counts budget answers served by front lookup, across cold
+	// solves, verified hits and Front curve queries.
+	Lookups uint64
+}
+
+// FrontStats snapshots the front counters.
+func (e *Engine) FrontStats() FrontStats {
+	return FrontStats{
+		Solves:    e.frontSolves.Load(),
+		Points:    e.frontPoints.Load(),
+		MaxPoints: e.frontMaxPoints.Load(),
+		Lookups:   e.frontLookups.Load(),
+	}
+}
+
+// noteFront folds one computed front into the counters.
+func (e *Engine) noteFront(points int) {
+	e.frontSolves.Add(1)
+	e.frontPoints.Add(uint64(points))
+	for {
+		cur := e.frontMaxPoints.Load()
+		if uint64(points) <= cur {
+			break
+		}
+		if e.frontMaxPoints.CompareAndSwap(cur, uint64(points)) {
+			break
+		}
+	}
+}
+
 // noteDPErr counts budget-aborted solves.
 func (e *Engine) noteDPErr(err error) {
 	if errors.Is(err, dp.ErrBudget) {
@@ -487,12 +618,21 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	case j.TargetMult > 0 && j.Target > 0:
 		res.Err = fmt.Errorf("engine: net %q: give TargetMult or Target, not both", res.name())
 		return res
-	case j.Net != nil && j.TargetMult <= 0 && j.Target <= 0:
+	case len(j.Budgets) > 0 && (j.TargetMult > 0 || j.Target > 0):
+		res.Err = fmt.Errorf("engine: net %q: give Budgets or a single TargetMult/Target, not both", res.name())
+		return res
+	case j.Net != nil && j.TargetMult <= 0 && j.Target <= 0 && len(j.Budgets) == 0:
 		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", res.name())
 		return res
-	case j.TreeNet != nil && j.TargetMult <= 0 && j.Target <= 0 && !j.TreeNet.HasDeadlines():
+	case j.TreeNet != nil && j.TargetMult <= 0 && j.Target <= 0 && len(j.Budgets) == 0 && !j.TreeNet.HasDeadlines():
 		res.Err = fmt.Errorf("engine: tree net %q: a positive TargetMult or Target is required unless every sink carries its own deadline", res.name())
 		return res
+	}
+	for _, bgt := range j.Budgets {
+		if math.IsNaN(bgt) || math.IsInf(bgt, 0) || bgt <= 0 {
+			res.Err = fmt.Errorf("engine: net %q: budget %g is not a positive finite time", res.name(), bgt)
+			return res
+		}
 	}
 	// Take an engine-wide solve slot: concurrent callers queue here
 	// rather than multiplying parallelism beyond the worker budget.
@@ -519,8 +659,8 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	var key string
 	if e.cache != nil {
 		key = e.sig.key(j)
-		if ent, ok := e.cache.get(key); ok {
-			if hit, ok := e.verify(ev, ent, j); ok {
+		if ent, ok := e.cache.get(key); ok && !ent.tree {
+			if hit, ok := e.verifyLine(ev, ent, j); ok {
 				e.hits.Add(1)
 				hit.Net = j.Net
 				hit.Tech = e.tech.Name
@@ -532,93 +672,169 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		}
 	}
 
-	// Full solve: resolve the budget (computing τmin for relative
-	// targets), run the hybrid pipeline, memoize feasible outcomes.
+	// Cold solve: one τmin reference sweep plus one unbounded width-aware
+	// front sweep per distinct shape; the front then answers every budget
+	// this job (and any future shape-equal job) asks for.
+	pts, tmin, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	// Answer from the local front, serving the DP's own delay per point.
+	answer := func(target float64) core.Result {
+		e.frontLookups.Add(1)
+		out := core.Result{Report: core.Report{Picked: core.PhaseFront}}
+		idx, ok := pts.at(target)
+		if !ok {
+			return out // infeasible at this budget: a verdict, not an error
+		}
+		p := pts[idx]
+		out.Solution = dp.Solution{
+			Assignment: delay.Assignment{
+				Positions: append([]float64(nil), p.positions...),
+				Widths:    append([]float64(nil), p.widths...),
+			},
+			Delay:      p.delay,
+			TotalWidth: p.totalWidth,
+			Feasible:   true,
+		}
+		return out
+	}
+	if len(j.Budgets) > 0 {
+		res.Sweep = make([]BudgetAnswer, len(j.Budgets))
+		for i, bgt := range j.Budgets {
+			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: answer(bgt)}
+		}
+		return res
+	}
 	target := j.Target
 	if j.TargetMult > 0 {
-		if err := ctx.Err(); err != nil {
-			res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
-			return res
-		}
-		tmin, st, err := s.MinimumDelayStats(ev, e.refOpts)
-		e.noteDP(st)
-		if err != nil {
-			e.noteDPErr(err)
-			res.Err = fmt.Errorf("engine: τmin for %q: %w", j.Net.Name, err)
-			return res
-		}
 		res.TMin = tmin
 		target = j.TargetMult * tmin
 	}
 	res.Target = target
-	if err := ctx.Err(); err != nil {
-		res.Err = fmt.Errorf("engine: net %q: %w", j.Net.Name, err)
-		return res
-	}
-	out, err := core.InsertWith(s, ev, target, e.cfg)
-	e.noteDP(out.Report.CoarseDP.Stats)
-	e.noteDP(out.Report.FinalDP.Stats)
-	if err != nil {
-		e.noteDPErr(err)
-		res.Err = fmt.Errorf("engine: solving %q: %w", j.Net.Name, err)
-		return res
-	}
-	res.Res = out
-	if e.cache != nil && out.Solution.Feasible {
-		sol := out.Solution
-		e.cache.put(key, cached{
-			positions:  append([]float64(nil), sol.Assignment.Positions...),
-			widths:     append([]float64(nil), sol.Assignment.Widths...),
-			totalWidth: sol.TotalWidth,
-			tmin:       res.TMin,
-			picked:     out.Report.Picked,
-		})
-	}
+	res.Res = answer(target)
 	return res
 }
 
-// verify checks a cached assignment against the actual net: structurally
-// legal, and its recomputed Elmore delay meets this job's budget. The
-// returned Result carries the recomputed delay, so a served hit is always
-// consistent with the net it is served for. Relative budgets are
-// evaluated against the signature's τmin (recomputing τmin per hit would
-// cost the DP the cache exists to skip); see the package comment for the
-// resulting tolerance on quantized neighbors.
-func (e *Engine) verify(ev *delay.Evaluator, ent cached, j Job) (Result, bool) {
-	// Served assignments are copies: a caller mutating its result must
-	// not corrupt the shared cache entry.
-	a := delay.Assignment{
-		Positions: append([]float64(nil), ent.positions...),
-		Widths:    append([]float64(nil), ent.widths...),
+// solveLineFront computes a line shape's reference-space τmin and native
+// Pareto front — the two dynamic programs of a cold solve — folding the
+// work into the DP counters and caching the entry under key. The τmin is
+// computed unconditionally: the entry must serve future relative-target
+// jobs without re-running any DP, and the second sweep is the expensive
+// one anyway. The returned points alias the cached entry's slices;
+// callers must copy before serving.
+func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Evaluator, name, key string) (lineFront, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("engine: net %q: %w", name, err)
 	}
-	if err := ev.Validate(a); err != nil {
-		return Result{}, false
+	tmin, st, err := s.MinimumDelayStats(ev, e.refOpts)
+	e.noteDP(st)
+	if err != nil {
+		e.noteDPErr(err)
+		return nil, 0, fmt.Errorf("engine: τmin for %q: %w", name, err)
 	}
-	target := j.Target
-	tmin := 0.0
-	if j.TargetMult > 0 {
-		if ent.tmin <= 0 {
-			return Result{}, false
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("engine: net %q: %w", name, err)
+	}
+	front, fst, err := s.SolveFront(ev, e.frontOpts)
+	e.noteDP(fst)
+	if err != nil {
+		e.noteDPErr(err)
+		return nil, 0, fmt.Errorf("engine: solving %q: %w", name, err)
+	}
+	e.noteFront(len(front))
+	pts := make(lineFront, len(front))
+	for i, p := range front {
+		pts[i] = linePoint{
+			delay:      p.Delay,
+			totalWidth: p.TotalWidth,
+			positions:  p.Assignment.Positions,
+			widths:     p.Assignment.Widths,
 		}
-		tmin = ent.tmin
-		target = j.TargetMult * tmin
 	}
-	d := ev.Total(a)
-	if d > target {
+	if e.cache != nil {
+		e.cache.put(key, cached{front: pts, tmin: tmin})
+	}
+	return pts, tmin, nil
+}
+
+// verifyLine answers a job from a cached front, re-validating the point
+// chosen for every requested budget on the actual net: structurally
+// legal, and its recomputed Elmore delay meets the budget. The served
+// results carry the recomputed delay, so a hit is always consistent with
+// the net it is served for. Any budget the front cannot meet rejects the
+// whole lookup — infeasibility must be pronounced by a fresh solve on
+// the exact net, never inherited from a quantized neighbor's front.
+// Relative budgets are evaluated against the signature's τmin
+// (recomputing τmin per hit would cost the DP the cache exists to skip);
+// see the package comment for the resulting tolerance on quantized
+// neighbors.
+func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, bool) {
+	if len(ent.front) == 0 {
 		return Result{}, false
 	}
-	return Result{
-		Target: target,
-		TMin:   tmin,
-		Res: core.Result{
+	answer := func(target float64) (core.Result, bool) {
+		idx, ok := ent.front.at(target)
+		if !ok {
+			return core.Result{}, false
+		}
+		p := ent.front[idx]
+		// Served assignments are copies: a caller mutating its result
+		// must not corrupt the shared cache entry.
+		a := delay.Assignment{
+			Positions: append([]float64(nil), p.positions...),
+			Widths:    append([]float64(nil), p.widths...),
+		}
+		if err := ev.Validate(a); err != nil {
+			return core.Result{}, false
+		}
+		d := ev.Total(a)
+		if d > target {
+			return core.Result{}, false
+		}
+		return core.Result{
 			Solution: dp.Solution{
 				Assignment: a,
 				Delay:      d,
-				TotalWidth: ent.totalWidth,
+				TotalWidth: p.totalWidth,
 				Feasible:   true,
 			},
-			Report: core.Report{Picked: ent.picked},
-		},
-		CacheHit: true,
-	}, true
+			Report: core.Report{Picked: core.PhaseFront},
+		}, true
+	}
+	var res Result
+	var lookups uint64
+	switch {
+	case len(j.Budgets) > 0:
+		res.Sweep = make([]BudgetAnswer, len(j.Budgets))
+		for i, bgt := range j.Budgets {
+			r, ok := answer(bgt)
+			if !ok {
+				return Result{}, false
+			}
+			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: r}
+		}
+		lookups = uint64(len(j.Budgets))
+	default:
+		target := j.Target
+		if j.TargetMult > 0 {
+			if ent.tmin <= 0 {
+				return Result{}, false
+			}
+			res.TMin = ent.tmin
+			target = j.TargetMult * ent.tmin
+		}
+		res.Target = target
+		r, ok := answer(target)
+		if !ok {
+			return Result{}, false
+		}
+		res.Res = r
+		lookups = 1
+	}
+	e.frontLookups.Add(lookups)
+	res.CacheHit = true
+	return res, true
 }

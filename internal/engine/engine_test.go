@@ -147,10 +147,10 @@ func TestDPStatsAccounting(t *testing.T) {
 		}
 	}
 	ds := eng.DPStats()
-	// Each of the 3 distinct nets runs at least τmin + coarse DP; repeats
-	// are cache hits and add nothing.
+	// Each of the 3 distinct nets runs exactly τmin + the front sweep;
+	// repeats are cache hits and add nothing.
 	if ds.Solves < 2*uint64(len(distinct)) {
-		t.Fatalf("Solves = %d, want ≥ %d (τmin + coarse per distinct net)", ds.Solves, 2*len(distinct))
+		t.Fatalf("Solves = %d, want ≥ %d (τmin + front per distinct net)", ds.Solves, 2*len(distinct))
 	}
 	if ds.Generated == 0 || ds.Kept == 0 || ds.MaxPerLevel == 0 {
 		t.Fatalf("work counters not populated: %+v", ds)
@@ -415,12 +415,15 @@ func TestVerifiedHitRejection(t *testing.T) {
 }
 
 // TestPipelineConfigRespected: a non-default pipeline config flows
-// through the engine to the solver.
+// through the engine into the native front space — the engine's answer
+// must be bit-identical to a direct front solve over the space derived
+// from that config.
 func TestPipelineConfigRespected(t *testing.T) {
 	node := tech.T180()
 	net := corpus(t, 19, 1)[0]
 	cfg := core.DefaultConfig()
-	cfg.LocalWindow = 2
+	cfg.CoarsePitch = 400 * units.Micron
+	cfg.RoundGranularity = 20 // front step 80u instead of the default 40u
 	eng, err := New(node, Options{Workers: 1, Pipeline: cfg, Cache: CacheOptions{Disabled: true}})
 	if err != nil {
 		t.Fatal(err)
@@ -429,16 +432,39 @@ func TestPipelineConfigRespected(t *testing.T) {
 	if r.Err != nil {
 		t.Fatal(r.Err)
 	}
+	if r.Res.Report.Picked != core.PhaseFront {
+		t.Fatalf("picked %q, want %q", r.Res.Report.Picked, core.PhaseFront)
+	}
 	ev, err := delay.NewEvaluator(net, node)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := core.Insert(ev, r.Target, cfg)
+	opts, err := frontOptions(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Res.Solution.TotalWidth != want.Solution.TotalWidth {
-		t.Fatalf("engine %g != direct %g under custom config", r.Res.Solution.TotalWidth, want.Solution.TotalWidth)
+	front, _, err := dp.SolveFront(ev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := front.At(r.Target)
+	if !ok {
+		t.Fatalf("direct front cannot meet target %g the engine met", r.Target)
+	}
+	want := front[idx]
+	if r.Res.Solution.Delay != want.Delay || r.Res.Solution.TotalWidth != want.TotalWidth {
+		t.Fatalf("engine (%g, %g) != direct front point (%g, %g) under custom config",
+			r.Res.Solution.Delay, r.Res.Solution.TotalWidth, want.Delay, want.TotalWidth)
+	}
+	// The generation budget flows too: a tiny cap must abort the sweep.
+	capped := core.DefaultConfig()
+	capped.MaxGenerated = 10
+	eng2, err := New(node, Options{Workers: 1, Pipeline: capped, Cache: CacheOptions{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := eng2.Solve(Job{Net: net, TargetMult: 1.3}); !errors.Is(r.Err, dp.ErrBudget) {
+		t.Fatalf("capped engine err = %v, want dp.ErrBudget", r.Err)
 	}
 }
 

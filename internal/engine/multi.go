@@ -156,6 +156,23 @@ func (m *Multi) route(name string) (*Engine, string, error) {
 	return m.engines[canon], canon, nil
 }
 
+// Front returns one net's full Pareto front, routed by technology like
+// Solve.
+func (m *Multi) Front(j Job) FrontResult { return m.FrontContext(context.Background(), j) }
+
+// FrontContext is Front with cancellation, with Engine.FrontContext's
+// phase-boundary semantics.
+func (m *Multi) FrontContext(ctx context.Context, j Job) FrontResult {
+	eng, canon, err := m.route(j.Tech)
+	if err != nil {
+		return FrontResult{Net: j.Net, TreeNet: j.TreeNet, Tech: j.Tech, Err: err}
+	}
+	j.Tech = "" // resolved here; the engine's own-node guard must not re-judge the alias
+	fr := eng.FrontContext(ctx, j)
+	fr.Tech = canon
+	return fr
+}
+
 // Solve optimizes one job synchronously (Result.Index is left zero).
 func (m *Multi) Solve(j Job) Result { return m.SolveContext(context.Background(), j) }
 

@@ -71,9 +71,10 @@ func newSigner(t *tech.Technology, opts CacheOptions) *signer {
 }
 
 // key canonicalizes a job: technology node, quantized segment
-// length/RC profile, zone layout, terminal widths and the timing-budget
-// class (relative multiple or quantized absolute target). Nets that
-// canonicalize identically are solved once and served from cache.
+// length/RC profile, zone layout and terminal widths. The timing budget
+// is deliberately absent — the cached object is the net's whole Pareto
+// front, which answers every budget by lookup, so nets that canonicalize
+// identically are solved once and served for any target.
 func (s *signer) key(j Job) string {
 	var b strings.Builder
 	b.Grow(64 + 32*j.Net.Line.NumSegments())
@@ -94,13 +95,6 @@ func (s *signer) key(j Job) string {
 		appendQuant(&b, z.Start, s.lengthQuantum)
 		appendQuant(&b, z.End, s.lengthQuantum)
 		b.WriteByte(';')
-	}
-	if j.TargetMult > 0 {
-		b.WriteString("|m")
-		appendQuant(&b, j.TargetMult, s.multQuantum)
-	} else {
-		b.WriteString("|a")
-		appendQuant(&b, j.Target, s.targetQuantum)
 	}
 	return b.String()
 }

@@ -198,13 +198,17 @@ func TestTreeCacheHits(t *testing.T) {
 		t.Errorf("hit width %g differs from solve width %g",
 			hit.TreeRes.Solution.TotalWidth, miss.TreeRes.Solution.TotalWidth)
 	}
-	// A different budget class is a distinct signature.
+	// The key carries no budget: a different uniform budget is answered
+	// from the same shape entry's front.
 	r := eng.Solve(Job{TreeNet: tn, TargetMult: 1.5})
 	if r.Err != nil {
 		t.Fatal(r.Err)
 	}
-	if r.CacheHit {
-		t.Error("a new budget class must not hit the 1.3× entry")
+	if !r.CacheHit {
+		t.Error("a new uniform budget should be served from the shape entry's front")
+	}
+	if !r.TreeRes.Solution.Feasible {
+		t.Error("looser budget served from the front should stay feasible")
 	}
 }
 

@@ -51,16 +51,31 @@ type routeMetrics struct {
 type metrics struct {
 	optimize  routeMetrics
 	batch     routeMetrics
+	front     routeMetrics
 	inflight  atomic.Int64
 	nets      atomic.Uint64 // nets solved over HTTP (all routes)
 	netErrors atomic.Uint64 // per-net failures over HTTP
 }
 
 func (m *metrics) route(name string) *routeMetrics {
-	if name == "batch" {
+	switch name {
+	case "batch":
 		return &m.batch
+	case "front":
+		return &m.front
 	}
 	return &m.optimize
+}
+
+// routes lists the per-route counter sets in render order.
+func (m *metrics) routes() []struct {
+	name string
+	rm   *routeMetrics
+} {
+	return []struct {
+		name string
+		rm   *routeMetrics
+	}{{"optimize", &m.optimize}, {"batch", &m.batch}, {"front", &m.front}}
 }
 
 // writePrometheus renders the counter set in the Prometheus text
@@ -76,15 +91,13 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 
 	fmt.Fprintf(w, "# HELP rip_requests_total Admitted optimization requests by route.\n")
 	fmt.Fprintf(w, "# TYPE rip_requests_total counter\n")
-	fmt.Fprintf(w, "rip_requests_total{route=\"optimize\"} %d\n", m.optimize.requests.Load())
-	fmt.Fprintf(w, "rip_requests_total{route=\"batch\"} %d\n", m.batch.requests.Load())
+	for _, r := range m.routes() {
+		fmt.Fprintf(w, "rip_requests_total{route=%q} %d\n", r.name, r.rm.requests.Load())
+	}
 
 	fmt.Fprintf(w, "# HELP rip_requests_rejected_total Requests refused before solving, by route and reason.\n")
 	fmt.Fprintf(w, "# TYPE rip_requests_rejected_total counter\n")
-	for _, r := range []struct {
-		name string
-		rm   *routeMetrics
-	}{{"optimize", &m.optimize}, {"batch", &m.batch}} {
+	for _, r := range m.routes() {
 		fmt.Fprintf(w, "rip_requests_rejected_total{route=%q,reason=\"saturated\"} %d\n", r.name, r.rm.saturated.Load())
 		fmt.Fprintf(w, "rip_requests_rejected_total{route=%q,reason=\"draining\"} %d\n", r.name, r.rm.draining.Load())
 	}
@@ -103,10 +116,7 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 
 	fmt.Fprintf(w, "# HELP rip_http_request_duration_seconds Request latency by route.\n")
 	fmt.Fprintf(w, "# TYPE rip_http_request_duration_seconds histogram\n")
-	for _, r := range []struct {
-		name string
-		rm   *routeMetrics
-	}{{"optimize", &m.optimize}, {"batch", &m.batch}} {
+	for _, r := range m.routes() {
 		var cum uint64
 		for i, b := range durationBuckets {
 			cum += r.rm.latency.counts[i].Load()
@@ -139,6 +149,7 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		cache engine.CacheStats
 		dp    engine.DPStats
 		tree  engine.TreeDPStats
+		front engine.FrontStats
 	}
 	snaps := make([]techSnap, 0, len(names))
 	for _, name := range names {
@@ -146,7 +157,8 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		if !ok {
 			continue
 		}
-		snaps = append(snaps, techSnap{name: name, cache: e.CacheStats(), dp: e.DPStats(), tree: e.TreeDPStats()})
+		snaps = append(snaps, techSnap{name: name, cache: e.CacheStats(), dp: e.DPStats(),
+			tree: e.TreeDPStats(), front: e.FrontStats()})
 	}
 	perTech := func(metric, kind, help string, get func(techSnap) uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
@@ -191,6 +203,19 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		func(s techSnap) uint64 { return s.tree.Kept })
 	perTech("rip_tree_dp_max_per_node", "gauge", "Largest surviving option set any tree DP node has held, by node.",
 		func(s techSnap) uint64 { return s.tree.MaxPerNode })
+
+	// Front counters: the engine's native cached object is the Pareto
+	// front — one solve per distinct shape, every budget answered by
+	// lookup. Lookups vs solves is the multi-budget leverage the front
+	// refactor buys; points per front sizes the retained curves.
+	perTech("rip_front_solves_total", "counter", "Pareto fronts computed (one per cold net shape), by node.",
+		func(s techSnap) uint64 { return s.front.Solves })
+	perTech("rip_front_points_total", "counter", "Front points retained across all computed fronts, by node.",
+		func(s techSnap) uint64 { return s.front.Points })
+	perTech("rip_front_max_points", "gauge", "Largest single front computed, by node.",
+		func(s techSnap) uint64 { return s.front.MaxPoints })
+	perTech("rip_front_lookups_total", "counter", "Budget answers served by front lookup, by node.",
+		func(s techSnap) uint64 { return s.front.Lookups })
 }
 
 func b2i(b bool) int {

@@ -10,11 +10,14 @@
 // Endpoints:
 //
 //	POST /v1/optimize   one api.Request in, one api.Response out
+//	                    (targets_ns sweeps many budgets in one request)
 //	POST /v1/batch      JSON array or JSONL stream of api.Request in,
 //	                    results in input order, per-net error isolation
+//	POST /v1/front      one api.Request in (no budget required), the
+//	                    net's whole power–delay Pareto front out
 //	GET  /healthz       liveness + draining status
 //	GET  /metrics       Prometheus text: requests, rejections, in-flight,
-//	                    latency histograms, engine cache counters
+//	                    latency histograms, engine cache + front counters
 //
 // Operational behavior:
 //
@@ -113,6 +116,7 @@ func New(eng *engine.Multi, opts Options) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/front", s.handleFront)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -221,6 +225,60 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.m.netErrors.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 	case errors.Is(res.Err, context.Canceled):
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	}
+}
+
+// handleFront serves one net's whole power–delay Pareto front: the same
+// request body as /v1/optimize, but no budget is required — the response
+// is the full trade-off curve the engine retains per net shape, so a
+// client sweeps budgets (or reads off MinDelay) without any further
+// solves. The curve is cached under the same shape-keyed entries the
+// optimize path uses: a front queried here warms the cache for later
+// optimize calls and vice versa.
+func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, "front")
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, bodyErrStatus(err), api.FrontErrorResponse("", "reading request: "+err.Error()))
+		return
+	}
+	req, err := api.ParseRequest(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse("", err.Error()))
+		return
+	}
+	if _, err := s.eng.Resolve(req.Tech); err != nil {
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse(req.Name(), err.Error()))
+		return
+	}
+	if err := req.ValidateFront(); err != nil {
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse(req.Name(), err.Error()))
+		return
+	}
+	fr := s.eng.FrontContext(ctx, req.Job())
+	s.m.nets.Add(1)
+	resp := api.FromFrontResult(fr)
+	switch {
+	case fr.Err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(fr.Err, context.DeadlineExceeded):
+		s.m.netErrors.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(fr.Err, context.Canceled):
 		s.m.netErrors.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:

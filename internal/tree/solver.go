@@ -92,108 +92,13 @@ func (s *Solver) Insert(t *Tree, opts Options) (Solution, error) {
 // InsertInto is Insert writing into a caller-owned Solution, reusing its
 // Buffers map when present — the alloc-free steady-state entry.
 func (s *Solver) InsertInto(sol *Solution, t *Tree, opts Options) error {
-	if t == nil {
-		return errors.New("tree: nil tree")
-	}
-	if opts.Library.Size() == 0 {
-		return errors.New("tree: empty buffer library")
-	}
-	if err := opts.Tech.Validate(); err != nil {
+	stats, err := s.sweep(t, opts, !opts.MaxSlack)
+	if err != nil {
 		return err
 	}
-	if !(opts.DriverWidth > 0) {
-		return fmt.Errorf("tree: driver width must be positive, got %g", opts.DriverWidth)
-	}
-	s.widths = opts.Library.AppendWidths(s.widths[:0])
 	widths := s.widths
 	ts := opts.Tech
 	n := len(t.nodes)
-	s.reset(t)
-	stats := Stats{}
-
-	// Bottom-up sweep: reversed pre-order visits every child before its
-	// parent.
-	for i := n - 1; i >= 0; i-- {
-		node := t.nodes[i]
-		kids := s.childList[s.childStart[i]:s.childStart[i+1]]
-		stride := len(kids)
-		s.kidBuf = s.kidBuf[:0]
-		s.cur = s.cur[:0]
-		if node.SinkCap > 0 {
-			s.cur = append(s.cur, sopt{c: node.SinkCap, q: node.SinkRAT, buf: -1, kids: -1})
-		} else {
-			// Merge children: the cross product of the running base with
-			// each child's options propagated across the child's edge
-			// (c += EdgeC, q -= EdgeR·(EdgeC/2 + c)), pruned as it grows.
-			s.cur = append(s.cur, sopt{c: 0, q: math.Inf(1), buf: -1, kids: s.claimKids(stride)})
-			for ci, childIdx := range kids {
-				child := t.nodes[childIdx]
-				childOpts := s.arena[s.nodeOff[childIdx] : s.nodeOff[childIdx]+s.nodeCnt[childIdx]]
-				s.prop = s.prop[:0]
-				for oi, o := range childOpts {
-					s.prop = append(s.prop, sopt{
-						c:   o.c + child.EdgeC,
-						q:   o.q - child.EdgeR*(child.EdgeC/2+o.c),
-						w:   o.w,
-						buf: int32(oi), // child option index, consumed below
-					})
-				}
-				merged := s.mrg[:0]
-				for _, b := range s.cur {
-					for _, p := range s.prop {
-						off := s.claimKids(stride)
-						copy(s.kidBuf[off:off+int32(stride)], s.kidBuf[b.kids:b.kids+int32(stride)])
-						s.kidBuf[off+int32(ci)] = p.buf
-						merged = append(merged, sopt{
-							c:    b.c + p.c,
-							q:    math.Min(b.q, p.q),
-							w:    b.w + p.w,
-							buf:  -1,
-							kids: off,
-						})
-					}
-				}
-				s.mrg = merged // keep any growth for the next round
-				stats.Generated += len(merged)
-				s.cur = append(s.cur[:0], s.pruneS(merged, !opts.MaxSlack)...)
-			}
-		}
-		// Buffer insertion at the node (after the merge, before the
-		// parent edge), mirroring the two-pin DP's per-candidate choice.
-		if node.BufferSite {
-			base := len(s.cur)
-			for bi := 0; bi < base; bi++ {
-				b := s.cur[bi]
-				for wi, wb := range widths {
-					s.cur = append(s.cur, sopt{
-						c:    ts.Co * wb,
-						q:    b.q - (ts.Rs*ts.Cp + ts.Rs/wb*b.c),
-						w:    b.w + wb,
-						buf:  int32(wi),
-						kids: b.kids,
-					})
-				}
-			}
-			stats.Generated += len(s.cur) - base
-			s.cur = s.pruneS(s.cur, !opts.MaxSlack)
-		}
-		stats.Kept += len(s.cur)
-		if len(s.cur) > stats.MaxPerNode {
-			stats.MaxPerNode = len(s.cur)
-		}
-		// Commit the survivors: compact options and their child-choice
-		// regions into the persistent arenas.
-		s.nodeOff[i] = int32(len(s.arena))
-		s.nodeCnt[i] = int32(len(s.cur))
-		for _, o := range s.cur {
-			if o.kids >= 0 {
-				off := int32(len(s.kidArena))
-				s.kidArena = append(s.kidArena, s.kidBuf[o.kids:o.kids+int32(stride)]...)
-				o.kids = off
-			}
-			s.arena = append(s.arena, o)
-		}
-	}
 
 	// Driver closing: slack = q − (Rs·Cp + Rs/wd·c).
 	rootOpts := s.arena[s.nodeOff[0] : s.nodeOff[0]+s.nodeCnt[0]]
@@ -252,6 +157,118 @@ func (s *Solver) InsertInto(sol *Solution, t *Tree, opts Options) error {
 		Stats:      stats,
 	}
 	return nil
+}
+
+// sweep validates the inputs and runs the bottom-up option sweep over the
+// whole tree, committing every node's surviving options (and their
+// child-choice regions) to the persistent arenas. width selects
+// width-aware (3-D) pruning; the max-slack τmin search prunes width-blind.
+// After sweep returns, the root's survivors are
+// arena[nodeOff[0]:nodeOff[0]+nodeCnt[0]] and s.widths holds the library.
+func (s *Solver) sweep(t *Tree, opts Options, width bool) (Stats, error) {
+	if t == nil {
+		return Stats{}, errors.New("tree: nil tree")
+	}
+	if opts.Library.Size() == 0 {
+		return Stats{}, errors.New("tree: empty buffer library")
+	}
+	if err := opts.Tech.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if !(opts.DriverWidth > 0) {
+		return Stats{}, fmt.Errorf("tree: driver width must be positive, got %g", opts.DriverWidth)
+	}
+	s.widths = opts.Library.AppendWidths(s.widths[:0])
+	widths := s.widths
+	ts := opts.Tech
+	n := len(t.nodes)
+	s.reset(t)
+	stats := Stats{}
+
+	// Bottom-up sweep: reversed pre-order visits every child before its
+	// parent.
+	for i := n - 1; i >= 0; i-- {
+		node := t.nodes[i]
+		kids := s.childList[s.childStart[i]:s.childStart[i+1]]
+		stride := len(kids)
+		s.kidBuf = s.kidBuf[:0]
+		s.cur = s.cur[:0]
+		if node.SinkCap > 0 {
+			s.cur = append(s.cur, sopt{c: node.SinkCap, q: node.SinkRAT, buf: -1, kids: -1})
+		} else {
+			// Merge children: the cross product of the running base with
+			// each child's options propagated across the child's edge
+			// (c += EdgeC, q -= EdgeR·(EdgeC/2 + c)), pruned as it grows.
+			s.cur = append(s.cur, sopt{c: 0, q: math.Inf(1), buf: -1, kids: s.claimKids(stride)})
+			for ci, childIdx := range kids {
+				child := t.nodes[childIdx]
+				childOpts := s.arena[s.nodeOff[childIdx] : s.nodeOff[childIdx]+s.nodeCnt[childIdx]]
+				s.prop = s.prop[:0]
+				for oi, o := range childOpts {
+					s.prop = append(s.prop, sopt{
+						c:   o.c + child.EdgeC,
+						q:   o.q - child.EdgeR*(child.EdgeC/2+o.c),
+						w:   o.w,
+						buf: int32(oi), // child option index, consumed below
+					})
+				}
+				merged := s.mrg[:0]
+				for _, b := range s.cur {
+					for _, p := range s.prop {
+						off := s.claimKids(stride)
+						copy(s.kidBuf[off:off+int32(stride)], s.kidBuf[b.kids:b.kids+int32(stride)])
+						s.kidBuf[off+int32(ci)] = p.buf
+						merged = append(merged, sopt{
+							c:    b.c + p.c,
+							q:    math.Min(b.q, p.q),
+							w:    b.w + p.w,
+							buf:  -1,
+							kids: off,
+						})
+					}
+				}
+				s.mrg = merged // keep any growth for the next round
+				stats.Generated += len(merged)
+				s.cur = append(s.cur[:0], s.pruneS(merged, width)...)
+			}
+		}
+		// Buffer insertion at the node (after the merge, before the
+		// parent edge), mirroring the two-pin DP's per-candidate choice.
+		if node.BufferSite {
+			base := len(s.cur)
+			for bi := 0; bi < base; bi++ {
+				b := s.cur[bi]
+				for wi, wb := range widths {
+					s.cur = append(s.cur, sopt{
+						c:    ts.Co * wb,
+						q:    b.q - (ts.Rs*ts.Cp + ts.Rs/wb*b.c),
+						w:    b.w + wb,
+						buf:  int32(wi),
+						kids: b.kids,
+					})
+				}
+			}
+			stats.Generated += len(s.cur) - base
+			s.cur = s.pruneS(s.cur, width)
+		}
+		stats.Kept += len(s.cur)
+		if len(s.cur) > stats.MaxPerNode {
+			stats.MaxPerNode = len(s.cur)
+		}
+		// Commit the survivors: compact options and their child-choice
+		// regions into the persistent arenas.
+		s.nodeOff[i] = int32(len(s.arena))
+		s.nodeCnt[i] = int32(len(s.cur))
+		for _, o := range s.cur {
+			if o.kids >= 0 {
+				off := int32(len(s.kidArena))
+				s.kidArena = append(s.kidArena, s.kidBuf[o.kids:o.kids+int32(stride)]...)
+				o.kids = off
+			}
+			s.arena = append(s.arena, o)
+		}
+	}
+	return stats, nil
 }
 
 // MinArrival returns the minimum achievable worst-sink arrival time over

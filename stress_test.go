@@ -1,7 +1,10 @@
 package rip_test
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	rip "github.com/rip-eda/rip"
@@ -174,6 +177,118 @@ func TestManyTargetsConsistency(t *testing.T) {
 	}
 	if violations > 3 {
 		t.Errorf("width not roughly monotone across targets: %d inversions", violations)
+	}
+}
+
+// TestConcurrentFrontCacheStress hammers the shape-keyed front cache
+// with concurrent mixed-budget batches over shape-equal nets (same
+// geometry, different names): results must stay input-ordered and
+// deterministic across overlapping runs, every budget's answer must meet
+// its budget, and the hit rate must beat a budget-classed cache on the
+// same corpus — with budgets dropped from the signature, only distinct
+// shapes can miss, not distinct (shape, budget) pairs. Run with -race.
+func TestConcurrentFrontCacheStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent cache stress")
+	}
+	tech := rip.T180()
+	shapes, err := rip.GenerateNets(tech, 61, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmins := make([]float64, len(shapes))
+	for i, n := range shapes {
+		if tmins[i], err = rip.MinimumDelay(n, tech); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 shape-equal relabelings × 4 shapes, each at one of 5 budget
+	// classes, plus one multi-budget job per shape: a budget-classed
+	// cache would split these into shapes×budgets distinct entries.
+	const relabels, budgetClasses = 5, 5
+	var jobs []rip.BatchJob
+	for rep := 0; rep < relabels; rep++ {
+		for s, base := range shapes {
+			clone := *base
+			clone.Name = fmt.Sprintf("%s-r%d", base.Name, rep)
+			jobs = append(jobs, rip.BatchJob{Net: &clone, TargetMult: 1.3 + 0.1*float64((rep+s)%budgetClasses)})
+		}
+	}
+	for s := range shapes {
+		ladder := make([]float64, budgetClasses)
+		for k := range ladder {
+			ladder[k] = (1.3 + 0.1*float64(k)) * tmins[s]
+		}
+		jobs = append(jobs, rip.BatchJob{Net: shapes[s], Budgets: ladder})
+	}
+
+	eng, err := rip.NewEngine(tech, rip.EngineOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	results := make([][]rip.BatchResult, runs)
+	var wg sync.WaitGroup
+	for g := 0; g < runs; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = eng.Run(jobs)
+		}()
+	}
+	wg.Wait()
+
+	for g, rs := range results {
+		if len(rs) != len(jobs) {
+			t.Fatalf("run %d: %d results for %d jobs", g, len(rs), len(jobs))
+		}
+		for i, r := range rs {
+			if r.Err != nil {
+				t.Fatalf("run %d net %d: %v", g, i, r.Err)
+			}
+			if r.Index != i {
+				t.Fatalf("run %d: result %d carries index %d", g, i, r.Index)
+			}
+			if len(jobs[i].Budgets) > 0 {
+				for k, ba := range r.Sweep {
+					if !ba.Res.Solution.Feasible || ba.Res.Solution.Delay > ba.Budget {
+						t.Fatalf("run %d net %d budget %d: %+v misses budget %g",
+							g, i, k, ba.Res.Solution, ba.Budget)
+					}
+				}
+				continue
+			}
+			if !r.Res.Solution.Feasible || r.Res.Solution.Delay > r.Target {
+				t.Fatalf("run %d net %d: %+v misses target %g", g, i, r.Res.Solution, r.Target)
+			}
+		}
+		// Deterministic across overlapping runs: the chosen front point
+		// (and so the width) is exact; the delay differs only by the hit
+		// path's re-evaluation on the actual net (ulp-level).
+		for i := range rs {
+			a, b := results[0][i].Res.Solution, rs[i].Res.Solution
+			if a.TotalWidth != b.TotalWidth || math.Abs(a.Delay-b.Delay) > 1e-12*a.Delay {
+				t.Fatalf("run %d net %d: nondeterministic answer (%g/%g vs %g/%g)",
+					g, i, b.TotalWidth, b.Delay, a.TotalWidth, a.Delay)
+			}
+		}
+	}
+
+	// Hit-rate floor: a budget-classed cache could at best miss once per
+	// (shape, budget-class) pair per concurrent first encounter; the
+	// shape-keyed front cache only misses per shape. Allow for racing
+	// first lookups, which may duplicate a shape's cold solve, but the
+	// aggregate must still clear the budget-classed ceiling.
+	st := eng.CacheStats()
+	total := uint64(runs * len(jobs))
+	if st.Hits+st.Misses+st.Rejected != total {
+		t.Fatalf("lookup accounting: %d hits + %d misses + %d rejected != %d solves",
+			st.Hits, st.Misses, st.Rejected, total)
+	}
+	budgetClassedHits := total - uint64(len(shapes)*budgetClasses)
+	if st.Hits < budgetClassedHits {
+		t.Fatalf("front cache served %d hits of %d; a budget-classed cache would serve ≥ %d",
+			st.Hits, total, budgetClassedHits)
 	}
 }
 
