@@ -11,6 +11,8 @@
 //	ripd -techs 90nm,65nm                  # serve only these nodes
 //	ripd -tech-dir ./nodes -tech foundry-90lp   # + custom JSON nodes
 //	ripd -max-inflight 64 -timeout 30s    # backpressure + per-request budget
+//	ripd -cache-save rip.snap -cache-load rip.snap   # warm restarts
+//	ripd -self host1:8080 -peers host1:8080,host2:8080,host3:8080   # ring
 //
 // Endpoints (wire format shared with ripcli -batch; see internal/api):
 //
@@ -21,16 +23,36 @@
 //	                    lines may mix technology nodes freely
 //	POST /v1/front      {"net": {...}, "tech": "90nm"} → the net's full
 //	                    power–delay Pareto front (no budget required)
-//	GET  /healthz       liveness, draining status, served nodes
+//	GET  /livez         process liveness (always 200 while up)
+//	GET  /readyz        traffic readiness: 503 while draining or while a
+//	                    snapshot restore is still running; reports ring
+//	                    peers and snapshot age (/healthz is an alias)
 //	GET  /metrics       Prometheus text (requests, latency, per-tech
-//	                    rip_cache_*/rip_dp_*/rip_front_*{tech="..."} counters)
+//	                    rip_cache_*/rip_dp_*/rip_front_*{tech="..."} and
+//	                    rip_cluster_*/rip_snapshot_* series)
 //
 // Requests without a "tech" field solve on the -tech default node;
 // unknown names get a 400 (single) or per-line error (batch) listing the
-// served nodes. Saturation answers 429 rather than queuing unboundedly.
-// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503 so load
+// served nodes. Every failure carries the structured error envelope
+// {"error": {"code", "message", ...}}. Saturation answers 429 (with
+// Retry-After) rather than queuing unboundedly.
+//
+// With -cache-save, the Pareto-front caches are snapshotted to disk
+// periodically and at shutdown (atomic rename — kill -9 never leaves a
+// torn file); with -cache-load, a snapshot is restored at boot in the
+// background while /readyz reports "loading". Restored entries are
+// verified against the actual net before being served.
+//
+// With -peers, the replicas form a consistent-hash ring over net-shape
+// signatures: each shape has one owning replica, non-owners forward to
+// it over the ordinary /v1/* wire format, and the fleet's caches
+// partition instead of duplicating. An unreachable owner degrades to a
+// local solve (default) or an explicit retryable peer_unavailable error
+// (-peer-strict).
+//
+// SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503 so load
 // balancers stop routing here, in-flight requests finish (bounded by
-// -grace), then the process exits.
+// -grace), a final snapshot is written, then the process exits.
 package main
 
 import (
@@ -47,7 +69,9 @@ import (
 	"time"
 
 	rip "github.com/rip-eda/rip"
+	"github.com/rip-eda/rip/internal/cluster"
 	"github.com/rip-eda/rip/internal/server"
+	"github.com/rip-eda/rip/internal/snapshot"
 )
 
 func main() {
@@ -62,6 +86,15 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request solving timeout (0 = none)")
 		target      = flag.Float64("target", 0, "default target_mult for requests that carry no budget (0 = require one per request)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
+
+		cacheSave    = flag.String("cache-save", "", "snapshot the caches to this file periodically and at shutdown")
+		cacheLoad    = flag.String("cache-load", "", "restore a cache snapshot from this file at boot (missing file is not an error)")
+		saveInterval = flag.Duration("cache-save-interval", 5*time.Minute, "interval between background snapshots (requires -cache-save)")
+
+		self        = flag.String("self", "", "this replica's own address as peers see it (required with -peers)")
+		peers       = flag.String("peers", "", "comma-separated replica addresses forming the consistent-hash ring (include every replica; self is added if absent)")
+		peerTimeout = flag.Duration("peer-timeout", 15*time.Second, "per-forward timeout for peer requests")
+		peerStrict  = flag.Bool("peer-strict", false, "answer peer failures with a retryable peer_unavailable error instead of solving locally")
 	)
 	flag.Parse()
 
@@ -102,10 +135,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Ring membership. The forwarder hooks into the engine itself, so
+	// singles, batches and streams all route identically.
+	var node *cluster.Node
+	if *peers != "" {
+		if *self == "" {
+			fatal(errors.New("-peers requires -self (this replica's own address)"))
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:            *self,
+			Peers:           strings.Split(*peers, ","),
+			Timeout:         *peerTimeout,
+			DisableFallback: *peerStrict,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		eng.SetForwarder(node.Forwarder(eng))
+		log.Printf("ripd: ring of %d replicas (self %s)", len(node.Peers()), node.Self())
+	}
+
+	// Periodic snapshots; the saver's last-save time feeds /readyz and
+	// rip_snapshot_age_seconds.
+	var saver *snapshot.Saver
+	var lastSnap func() time.Time
+	if *cacheSave != "" {
+		saver = snapshot.NewSaver(*cacheSave, *saveInterval, eng, log.Printf)
+		lastSnap = saver.LastSave
+	}
+
 	srv := server.New(eng, server.Options{
 		MaxInFlight:       *maxInFlight,
 		RequestTimeout:    *timeout,
 		DefaultTargetMult: *target,
+		Cluster:           node,
+		LastSnapshot:      lastSnap,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -115,6 +180,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if saver != nil {
+		go saver.Run(ctx)
+	}
+
+	// Restore in the background: the server answers immediately (cold
+	// requests just miss the still-filling cache) while /readyz reports
+	// "loading" so balancers prefer warm replicas.
+	if *cacheLoad != "" {
+		srv.SetReady(false)
+		go func() {
+			defer srv.SetReady(true)
+			st, err := rip.LoadCacheSnapshot(*cacheLoad, eng)
+			switch {
+			case errors.Is(err, os.ErrNotExist):
+				log.Printf("ripd: no snapshot at %s (cold start)", *cacheLoad)
+			case err != nil:
+				log.Printf("ripd: snapshot restore failed (cold start): %v", err)
+			default:
+				log.Printf("ripd: restored %d cache entries (%d nodes, %d skipped) from %s",
+					st.Entries, st.Nodes, st.SkippedNodes, *cacheLoad)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -134,6 +223,14 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal(err)
+	}
+	// One final snapshot after the drain, so the image includes every
+	// request that finished during it. (Saver.Run also snapshots on ctx
+	// cancellation, but that races the drain; this one is ordered.)
+	if saver != nil {
+		if err := saver.SaveNow(); err == nil {
+			log.Printf("ripd: final snapshot written to %s", *cacheSave)
+		}
 	}
 	st := eng.CacheStats()
 	log.Printf("ripd: stopped — caches served %d hits / %d misses / %d rejected (%d entries)",

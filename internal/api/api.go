@@ -33,6 +33,11 @@ import (
 // sink carries its own rat_ns deadline, in which case the tree may omit
 // the budget and is solved against those embedded deadlines.
 type Request struct {
+	// V is the wire-format version the request speaks. Zero (absent)
+	// means 1, today's only version; any other value is rejected with
+	// code "unsupported_version" so a client speaking a future format
+	// fails loudly instead of being half-understood.
+	V int `json:"v,omitempty"`
 	// Net is the routed two-pin interconnect, in the schema of
 	// internal/wire (µm / Ω·µm⁻¹ / fF·µm⁻¹ units).
 	Net *wire.Net `json:"net,omitempty"`
@@ -59,8 +64,28 @@ type Request struct {
 	TargetsNS []float64 `json:"targets_ns,omitempty"`
 }
 
-// Validate checks the request shape without solving anything.
-func (r *Request) Validate() error {
+// WireVersion is the wire-format version this package speaks; requests
+// carrying any other non-zero "v" are rejected.
+const WireVersion = 1
+
+// checkVersion rejects wire versions this server does not speak.
+func (r *Request) checkVersion() error {
+	if r.V != 0 && r.V != WireVersion {
+		return Codef(CodeUnsupportedVersion,
+			"api: unsupported wire version %d (this server speaks v%d)", r.V, WireVersion)
+	}
+	return nil
+}
+
+// Validate checks the request shape without solving anything. Every
+// failure carries an envelope code — bad_request unless the failing
+// check assigned something more specific (unsupported_version).
+func (r *Request) Validate() error { return asBadRequest(r.validate()) }
+
+func (r *Request) validate() error {
+	if err := r.checkVersion(); err != nil {
+		return err
+	}
 	switch {
 	case r.Net == nil && r.Tree == nil:
 		return errors.New("api: request has no net")
@@ -251,12 +276,15 @@ func FeedJSONL(ctx context.Context, in io.Reader, opts FeedOptions, jobs chan<- 
 	return idx, sc.Err()
 }
 
-// Response is one net's outcome. Error is per-net: a failed request is
-// reported in its own response and never aborts a batch. Line and tree
+// Response is one net's outcome. Errors are per-net: a failed request
+// is reported in its own response — the structured Err envelope plus
+// the deprecated Error string — and never aborts a batch. Line and tree
 // responses share the envelope; Kind distinguishes them, and the
 // placement fields differ — positions/widths along the line versus
 // per-node buffers on the tree.
 type Response struct {
+	// V is the wire-format version of this response (1).
+	V int `json:"v,omitempty"`
 	// Net echoes the request's net name.
 	Net string `json:"net"`
 	// Kind is "tree" for tree results and empty (line) otherwise, so
@@ -291,8 +319,14 @@ type Response struct {
 	// CacheHit reports whether the solution came from the engine's
 	// solution cache.
 	CacheHit bool `json:"cache_hit"`
-	// Error records a per-net failure (parse, validation or solver).
-	Error string `json:"error,omitempty"`
+	// Err is the structured error envelope for a per-net failure
+	// (parse, validation, routing or solver); nil on success. Its Code
+	// is the stable field to branch on.
+	Err *ErrorInfo `json:"error,omitempty"`
+	// Error duplicates Err.Message under the pre-envelope key
+	// "error_message". Deprecated: kept populated for one release so
+	// message-scraping clients migrate off it; branch on Err.Code.
+	Error string `json:"error_message,omitempty"`
 }
 
 // SweepPoint is one budget's answer within a multi-budget response. An
@@ -327,7 +361,7 @@ type TreeBuffer struct {
 
 // FromResult converts an engine result to its wire form.
 func FromResult(r engine.Result) Response {
-	out := Response{Tech: r.Tech, CacheHit: r.CacheHit}
+	out := Response{V: WireVersion, Tech: r.Tech, CacheHit: r.CacheHit}
 	if r.TreeNet != nil {
 		return fromTreeResult(r)
 	}
@@ -335,6 +369,7 @@ func FromResult(r engine.Result) Response {
 		out.Net = r.Net.Name
 	}
 	if r.Err != nil {
+		out.Err = errorInfo(r.Err, out.Net, out.Tech)
 		out.Error = r.Err.Error()
 		return out
 	}
@@ -371,8 +406,9 @@ func FromResult(r engine.Result) Response {
 
 // fromTreeResult renders a tree job's outcome.
 func fromTreeResult(r engine.Result) Response {
-	out := Response{Net: r.TreeNet.Name, Kind: "tree", Tech: r.Tech, CacheHit: r.CacheHit}
+	out := Response{V: WireVersion, Net: r.TreeNet.Name, Kind: "tree", Tech: r.Tech, CacheHit: r.CacheHit}
 	if r.Err != nil {
+		out.Err = errorInfo(r.Err, out.Net, out.Tech)
 		out.Error = r.Err.Error()
 		return out
 	}
@@ -422,16 +458,35 @@ func treeBuffers(buffers map[int]float64) []TreeBuffer {
 	return out
 }
 
-// ErrorResponse builds a response carrying only a per-net failure.
+// CodedErrorResponse builds a response carrying only a per-net failure
+// under an explicit envelope code.
+func CodedErrorResponse(code, netName, techName, msg string) Response {
+	return Response{
+		V:     WireVersion,
+		Net:   netName,
+		Err:   &ErrorInfo{Code: code, Message: msg, Net: netName, Tech: techName},
+		Error: msg,
+	}
+}
+
+// ErrorResponse builds a response carrying only a per-net failure,
+// classified as a bad request.
+//
+// Deprecated: use CodedErrorResponse with the precise code.
 func ErrorResponse(netName, msg string) Response {
-	return Response{Net: netName, Error: msg}
+	return CodedErrorResponse(CodeBadRequest, netName, "", msg)
 }
 
 // ValidateFront checks a request's shape for a /v1/front curve query,
 // which needs a net but no budget: any budget fields present only select
 // the tree mode (a budget of any form forces the uniform zero-RAT curve
 // on trees; line fronts ignore them entirely).
-func (r *Request) ValidateFront() error {
+func (r *Request) ValidateFront() error { return asBadRequest(r.validateFront()) }
+
+func (r *Request) validateFront() error {
+	if err := r.checkVersion(); err != nil {
+		return err
+	}
 	switch {
 	case r.Net == nil && r.Tree == nil:
 		return errors.New("api: request has no net")
@@ -463,6 +518,8 @@ type FrontPoint struct {
 // FrontResponse is one net's whole Pareto front — POST /v1/front's
 // response body. Adjacent points strictly trade delay for width.
 type FrontResponse struct {
+	// V is the wire-format version of this response (1).
+	V int `json:"v,omitempty"`
 	// Net echoes the request's net name.
 	Net string `json:"net"`
 	// Kind is "tree" for tree fronts and empty (line) otherwise.
@@ -476,13 +533,17 @@ type FrontResponse struct {
 	Points []FrontPoint `json:"points"`
 	// CacheHit reports whether the curve came from the solution cache.
 	CacheHit bool `json:"cache_hit"`
-	// Error records a failure (validation or solver).
-	Error string `json:"error,omitempty"`
+	// Err is the structured error envelope for a failure (validation,
+	// routing or solver); nil on success.
+	Err *ErrorInfo `json:"error,omitempty"`
+	// Error duplicates Err.Message under the pre-envelope key
+	// "error_message". Deprecated: branch on Err.Code.
+	Error string `json:"error_message,omitempty"`
 }
 
 // FromFrontResult converts an engine front result to its wire form.
 func FromFrontResult(fr engine.FrontResult) FrontResponse {
-	out := FrontResponse{Tech: fr.Tech, CacheHit: fr.CacheHit}
+	out := FrontResponse{V: WireVersion, Tech: fr.Tech, CacheHit: fr.CacheHit}
 	if fr.Net != nil {
 		out.Net = fr.Net.Name
 	}
@@ -491,6 +552,7 @@ func FromFrontResult(fr engine.FrontResult) FrontResponse {
 		out.Kind = "tree"
 	}
 	if fr.Err != nil {
+		out.Err = errorInfo(fr.Err, out.Net, out.Tech)
 		out.Error = fr.Err.Error()
 		return out
 	}
@@ -507,7 +569,21 @@ func FromFrontResult(fr engine.FrontResult) FrontResponse {
 	return out
 }
 
-// FrontErrorResponse builds a front response carrying only a failure.
+// CodedFrontErrorResponse builds a front response carrying only a
+// failure under an explicit envelope code.
+func CodedFrontErrorResponse(code, netName, techName, msg string) FrontResponse {
+	return FrontResponse{
+		V:     WireVersion,
+		Net:   netName,
+		Err:   &ErrorInfo{Code: code, Message: msg, Net: netName, Tech: techName},
+		Error: msg,
+	}
+}
+
+// FrontErrorResponse builds a front response carrying only a failure,
+// classified as a bad request.
+//
+// Deprecated: use CodedFrontErrorResponse with the precise code.
 func FrontErrorResponse(netName, msg string) FrontResponse {
-	return FrontResponse{Net: netName, Error: msg}
+	return CodedFrontErrorResponse(CodeBadRequest, netName, "", msg)
 }

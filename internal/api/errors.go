@@ -1,0 +1,148 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/tech"
+)
+
+// Stable machine-readable error codes — the "code" field of the error
+// envelope every failing response carries. Codes are API surface:
+// clients branch on them, so existing codes never change meaning and
+// new failure modes get new codes.
+const (
+	// CodeBadRequest: the request itself is malformed — undecodable
+	// JSON, missing net, conflicting budget fields, an invalid net.
+	CodeBadRequest = "bad_request"
+	// CodeUnknownTech: the requested technology node is not registered;
+	// the message lists every known node.
+	CodeUnknownTech = "unknown_tech"
+	// CodeUnsupportedVersion: the request's "v" names a wire version
+	// this server does not speak.
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeTooLarge: the request body exceeded the transport's size cap.
+	CodeTooLarge = "too_large"
+	// CodeInfeasible: reserved for clients tagging infeasible verdicts.
+	// The server never emits it — "no placement meets the budget" is an
+	// answer (feasible=false, HTTP 200), not an error.
+	CodeInfeasible = "infeasible"
+	// CodeOverloaded: the server shed the request at admission
+	// (saturated); retry after the Retry-After delay.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and admits no new work.
+	CodeDraining = "draining"
+	// CodePeerUnavailable: the shape's owning replica could not be
+	// reached and local fallback is disabled; retryable.
+	CodePeerUnavailable = "peer_unavailable"
+	// CodeTimeout: the per-request deadline expired before the solve
+	// finished.
+	CodeTimeout = "timeout"
+	// CodeCanceled: the client went away before the solve finished.
+	CodeCanceled = "canceled"
+	// CodeSolveFailed: the solver itself failed on a well-formed
+	// request — the catch-all for internal errors.
+	CodeSolveFailed = "solve_failed"
+)
+
+// ErrorInfo is the structured error envelope: what failed (Code,
+// stable and machine-readable; Message, human-readable) and where (the
+// net and technology node of the failing request, when known).
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Net     string `json:"net,omitempty"`
+	Tech    string `json:"tech,omitempty"`
+}
+
+// UnmarshalJSON also accepts the pre-envelope form — a bare string —
+// so new clients can replay response files recorded by old servers.
+func (e *ErrorInfo) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		*e = ErrorInfo{Code: CodeSolveFailed, Message: s}
+		return nil
+	}
+	type plain ErrorInfo // shed the method to avoid recursion
+	var p plain
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return err
+	}
+	*e = ErrorInfo(p)
+	return nil
+}
+
+// Err converts the envelope back to a Go error carrying its code (nil
+// receiver → nil), so forwarded failures keep their classification
+// across hops: a peer's timeout re-renders as "timeout", not as the
+// generic solve_failed.
+func (e *ErrorInfo) Err() error {
+	if e == nil {
+		return nil
+	}
+	return Coded(e.Code, errors.New(e.Message))
+}
+
+// codedError carries an explicit envelope code through error chains
+// that classification-by-sentinel cannot reach (peer responses,
+// transport-level failures).
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e codedError) Error() string { return e.err.Error() }
+func (e codedError) Unwrap() error { return e.err }
+
+// Coded wraps err with an explicit envelope code, which ErrorCode then
+// reports verbatim. A nil err yields nil.
+func Coded(code string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return codedError{code: code, err: err}
+}
+
+// Codef builds a coded error from a format string.
+func Codef(code, format string, args ...any) error {
+	return codedError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// asBadRequest codes a validation failure as bad_request, unless the
+// failing check already assigned something more specific (the version
+// check, for one). Nil passes through.
+func asBadRequest(err error) error {
+	var ce codedError
+	if err == nil || errors.As(err, &ce) {
+		return err
+	}
+	return Coded(CodeBadRequest, err)
+}
+
+// ErrorCode classifies err into its stable envelope code: an explicit
+// Coded wrapper wins, then the sentinel chain (unknown node, malformed
+// job, deadline, cancellation), else solve_failed.
+func ErrorCode(err error) string {
+	var ce codedError
+	switch {
+	case errors.As(err, &ce):
+		return ce.code
+	case errors.Is(err, tech.ErrUnknown):
+		return CodeUnknownTech
+	case errors.Is(err, engine.ErrBadJob):
+		return CodeBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeSolveFailed
+}
+
+// errorInfo renders a non-nil error as its envelope.
+func errorInfo(err error, net, techName string) *ErrorInfo {
+	return &ErrorInfo{Code: ErrorCode(err), Message: err.Error(), Net: net, Tech: techName}
+}

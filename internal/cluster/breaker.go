@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer circuit breaker: after threshold consecutive
+// failures the peer is skipped outright for cooldown (owned shapes are
+// solved locally without paying a doomed connection attempt per
+// request), then a single half-open probe decides whether it closes.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	failures  int
+	openUntil time.Time
+	probing   bool // one in-flight half-open probe at a time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may try this peer now. While open it
+// refuses everything until cooldown expires, then admits exactly one
+// probe; the probe's success or failure (or abandonment via done)
+// decides what happens to everyone else.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a working peer and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a failed attempt; crossing the threshold (or failing
+// the half-open probe) opens the breaker for another cooldown.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	b.failures++
+	b.probing = false
+	if b.failures >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// open reports whether the breaker currently refuses ordinary traffic.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures >= b.threshold && (now.Before(b.openUntil) || b.probing)
+}

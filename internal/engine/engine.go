@@ -219,6 +219,28 @@ const (
 	defaultCacheShards   = 16
 )
 
+// ErrBadJob classifies a job that failed validation before any solving
+// started — a malformed request rather than a solver failure. Transports
+// test Result.Err with errors.Is(err, ErrBadJob) to pick a client-error
+// status and the "bad_request" envelope code; the error message itself
+// is unchanged by the classification.
+var ErrBadJob = errors.New("engine: invalid job")
+
+// badJobError tags an error as ErrBadJob without altering its message.
+type badJobError struct{ err error }
+
+func (e badJobError) Error() string        { return e.err.Error() }
+func (e badJobError) Unwrap() error        { return e.err }
+func (e badJobError) Is(target error) bool { return target == ErrBadJob }
+
+// badJob builds a validation failure carrying the ErrBadJob class.
+func badJob(format string, args ...any) error {
+	return badJobError{fmt.Errorf(format, args...)}
+}
+
+// asBadJob wraps an existing validation error with the ErrBadJob class.
+func asBadJob(err error) error { return badJobError{err} }
+
 // Engine is a concurrent batch optimizer for one technology node. It is
 // safe for concurrent use; a single Engine may serve many goroutines and
 // overlapping Run / RunStream calls, all sharing one cache and one
@@ -309,6 +331,9 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 		refOpts:    refOpts,
 		frontOpts:  frontOpts,
 		solveSlots: make(chan struct{}, workers),
+		// The signer exists even with the cache disabled: Signature backs
+		// consistent-hash peer routing, which is orthogonal to memoization.
+		sig: newSigner(t, opts.Cache),
 	}
 	if !opts.Cache.Disabled {
 		capacity := opts.Cache.Capacity
@@ -320,7 +345,6 @@ func New(t *tech.Technology, opts Options) (*Engine, error) {
 			shards = defaultCacheShards
 		}
 		e.cache = newSolutionCache(capacity, shards)
-		e.sig = newSigner(t, opts.Cache)
 	}
 	return e, nil
 }
@@ -606,31 +630,31 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		// A Multi resolves Tech and clears it before delegating; a bare
 		// Engine reaching this point would solve under the wrong node.
 		res.Tech = j.Tech
-		res.Err = fmt.Errorf("engine: net %q requests node %q but this engine solves %q (serve multiple nodes through a Multi)",
+		res.Err = badJob("engine: net %q requests node %q but this engine solves %q (serve multiple nodes through a Multi)",
 			res.name(), j.Tech, e.tech.Name)
 		return res
 	case j.Net == nil && j.TreeNet == nil:
-		res.Err = errors.New("engine: job has a nil net")
+		res.Err = badJob("engine: job has a nil net")
 		return res
 	case j.Net != nil && j.TreeNet != nil:
-		res.Err = fmt.Errorf("engine: net %q: give Net or TreeNet, not both", res.name())
+		res.Err = badJob("engine: net %q: give Net or TreeNet, not both", res.name())
 		return res
 	case j.TargetMult > 0 && j.Target > 0:
-		res.Err = fmt.Errorf("engine: net %q: give TargetMult or Target, not both", res.name())
+		res.Err = badJob("engine: net %q: give TargetMult or Target, not both", res.name())
 		return res
 	case len(j.Budgets) > 0 && (j.TargetMult > 0 || j.Target > 0):
-		res.Err = fmt.Errorf("engine: net %q: give Budgets or a single TargetMult/Target, not both", res.name())
+		res.Err = badJob("engine: net %q: give Budgets or a single TargetMult/Target, not both", res.name())
 		return res
 	case j.Net != nil && j.TargetMult <= 0 && j.Target <= 0 && len(j.Budgets) == 0:
-		res.Err = fmt.Errorf("engine: net %q: a positive TargetMult or Target is required", res.name())
+		res.Err = badJob("engine: net %q: a positive TargetMult or Target is required", res.name())
 		return res
 	case j.TreeNet != nil && j.TargetMult <= 0 && j.Target <= 0 && len(j.Budgets) == 0 && !j.TreeNet.HasDeadlines():
-		res.Err = fmt.Errorf("engine: tree net %q: a positive TargetMult or Target is required unless every sink carries its own deadline", res.name())
+		res.Err = badJob("engine: tree net %q: a positive TargetMult or Target is required unless every sink carries its own deadline", res.name())
 		return res
 	}
 	for _, bgt := range j.Budgets {
 		if math.IsNaN(bgt) || math.IsInf(bgt, 0) || bgt <= 0 {
-			res.Err = fmt.Errorf("engine: net %q: budget %g is not a positive finite time", res.name(), bgt)
+			res.Err = badJob("engine: net %q: budget %g is not a positive finite time", res.name(), bgt)
 			return res
 		}
 	}
@@ -652,7 +676,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	}
 	ev, err := delay.NewEvaluator(j.Net, e.tech)
 	if err != nil {
-		res.Err = err
+		res.Err = asBadJob(err)
 		return res
 	}
 

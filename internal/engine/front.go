@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"github.com/rip-eda/rip/internal/delay"
@@ -77,14 +76,14 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 	switch {
 	case !e.acceptsTech(j.Tech):
 		fr.Tech = j.Tech
-		fr.Err = fmt.Errorf("engine: net %q requests node %q but this engine solves %q (serve multiple nodes through a Multi)",
+		fr.Err = badJob("engine: net %q requests node %q but this engine solves %q (serve multiple nodes through a Multi)",
 			name, j.Tech, e.tech.Name)
 		return fr
 	case j.Net == nil && j.TreeNet == nil:
-		fr.Err = errors.New("engine: job has a nil net")
+		fr.Err = badJob("engine: job has a nil net")
 		return fr
 	case j.Net != nil && j.TreeNet != nil:
-		fr.Err = fmt.Errorf("engine: net %q: give Net or TreeNet, not both", name)
+		fr.Err = badJob("engine: net %q: give Net or TreeNet, not both", name)
 		return fr
 	}
 	select {
@@ -104,7 +103,7 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 
 	ev, err := delay.NewEvaluator(j.Net, e.tech)
 	if err != nil {
-		fr.Err = err
+		fr.Err = asBadJob(err)
 		return fr
 	}
 	var key string
@@ -135,7 +134,7 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 func (e *Engine) treeFrontContext(ctx context.Context, j Job, fr FrontResult) FrontResult {
 	tn := j.TreeNet
 	if err := tn.Validate(); err != nil {
-		fr.Err = err
+		fr.Err = asBadJob(err)
 		return fr
 	}
 	embedded := treeEmbedded(j)

@@ -5,10 +5,28 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/tech"
 )
+
+// Forwarder lets a transport claim jobs before the Multi solves them
+// locally — the hook consistent-hash peer routing plugs into. Both
+// methods receive the job with Tech already resolved to its canonical
+// name and report handled=false to decline (job unroutable, shape owned
+// locally, peer unreachable with fallback enabled, ...), in which case
+// the Multi solves locally as if no forwarder were installed. A
+// forwarder that returns handled=true must return a complete Result /
+// FrontResult (its Err field carrying any remote failure).
+//
+// Hooking at the Multi rather than the transport means every path —
+// single solves, array batches, JSONL streams — inherits routing, with
+// fan-out bounded by the same worker pool that bounds local solves.
+type Forwarder interface {
+	ForwardSolve(ctx context.Context, j Job) (Result, bool)
+	ForwardFront(ctx context.Context, j Job) (FrontResult, bool)
+}
 
 // Multi is the multi-technology facade over a set of per-node Engines:
 // every job carries an optional Tech name and is routed to the engine
@@ -34,6 +52,7 @@ type Multi struct {
 	engines map[string]*Engine // canonical name → engine
 	def     string             // canonical default node
 	workers int
+	fwd     atomic.Value // Forwarder; nil until SetForwarder
 }
 
 // NewMulti builds one Engine per node in the registry, with shared solve
@@ -134,13 +153,51 @@ func (m *Multi) CacheStats() CacheStats {
 	return s
 }
 
-// solveContext routes one job: resolve the node, delegate to its engine
-// on the given solver, and stamp the canonical name into the result. An
-// unknown node is a per-job failure, isolated like any other.
+// SetForwarder installs (or, with nil, removes) the peer-routing hook.
+// Install before serving traffic; swapping forwarders under load is
+// safe but routes jobs already in flight unpredictably.
+func (m *Multi) SetForwarder(f Forwarder) {
+	m.fwd.Store(&f)
+}
+
+// forwarder returns the installed hook, or nil.
+func (m *Multi) forwarder() Forwarder {
+	if p, ok := m.fwd.Load().(*Forwarder); ok && p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Signature returns the job's canonical cache key under its resolved
+// technology node — the identity peer routing hashes — and false when
+// the job is unroutable (unknown node, or a shape that cannot be
+// keyed). It never solves anything.
+func (m *Multi) Signature(j Job) (string, bool) {
+	eng, _, err := m.route(j.Tech)
+	if err != nil {
+		return "", false
+	}
+	j.Tech = ""
+	return eng.Signature(j)
+}
+
+// solveContext routes one job: resolve the node, offer the job to the
+// forwarder (if installed), else delegate to the node's engine on the
+// given solver; either way the canonical name is stamped into the
+// result. An unknown node is a per-job failure, isolated like any
+// other.
 func (m *Multi) solveContext(ctx context.Context, j Job, s *dp.Solver) Result {
 	eng, canon, err := m.route(j.Tech)
 	if err != nil {
 		return Result{Net: j.Net, TreeNet: j.TreeNet, Tech: j.Tech, Err: err}
+	}
+	if f := m.forwarder(); f != nil {
+		fj := j
+		fj.Tech = canon
+		if r, handled := f.ForwardSolve(ctx, fj); handled {
+			r.Tech = canon
+			return r
+		}
 	}
 	j.Tech = "" // resolved here; the engine's own-node guard must not re-judge the alias
 	r := eng.solveContext(ctx, j, s)
@@ -166,6 +223,14 @@ func (m *Multi) FrontContext(ctx context.Context, j Job) FrontResult {
 	eng, canon, err := m.route(j.Tech)
 	if err != nil {
 		return FrontResult{Net: j.Net, TreeNet: j.TreeNet, Tech: j.Tech, Err: err}
+	}
+	if f := m.forwarder(); f != nil {
+		fj := j
+		fj.Tech = canon
+		if fr, handled := f.ForwardFront(ctx, fj); handled {
+			fr.Tech = canon
+			return fr
+		}
 	}
 	j.Tech = "" // resolved here; the engine's own-node guard must not re-judge the alias
 	fr := eng.FrontContext(ctx, j)

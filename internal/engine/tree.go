@@ -44,7 +44,7 @@ func treeEmbedded(j Job) bool {
 func (e *Engine) solveTree(ctx context.Context, j Job, res Result) Result {
 	tn := j.TreeNet
 	if err := tn.Validate(); err != nil {
-		res.Err = err
+		res.Err = asBadJob(err)
 		return res
 	}
 	embedded := treeEmbedded(j)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rip-eda/rip/internal/cluster"
 	"github.com/rip-eda/rip/internal/engine"
 )
 
@@ -80,7 +81,8 @@ func (m *metrics) routes() []struct {
 
 // writePrometheus renders the counter set in the Prometheus text
 // exposition format (version 0.0.4) without any client library.
-func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Time, draining bool) {
+func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Time, draining bool,
+	node *cluster.Node, lastSnap func() time.Time) {
 	fmt.Fprintf(w, "# HELP rip_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE rip_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "rip_uptime_seconds %g\n", time.Since(start).Seconds())
@@ -216,6 +218,35 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		func(s techSnap) uint64 { return s.front.MaxPoints })
 	perTech("rip_front_lookups_total", "counter", "Budget answers served by front lookup, by node.",
 		func(s techSnap) uint64 { return s.front.Lookups })
+
+	// Cluster forwarding health (only when a ring is configured). The
+	// forwards/fallbacks split is the signal that matters: fallbacks
+	// climbing means owners are unreachable and the fleet is quietly
+	// re-duplicating cache entries it meant to partition.
+	if node != nil {
+		cs := node.Stats()
+		cg := func(metric, kind, help string, v uint64) {
+			fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", metric, kind)
+			fmt.Fprintf(w, "%s %d\n", metric, v)
+		}
+		cg("rip_cluster_peers", "gauge", "Ring members, self included.", uint64(cs.Peers))
+		cg("rip_cluster_forwards_total", "counter", "Jobs answered by their owning peer.", cs.Forwards)
+		cg("rip_cluster_forward_failures_total", "counter", "Forward attempts that failed.", cs.Failures)
+		cg("rip_cluster_fallbacks_total", "counter", "Peer failures absorbed by a local solve.", cs.Fallbacks)
+		cg("rip_cluster_unroutable_total", "counter", "Jobs declined as unroutable (no shape signature).", cs.Unroutable)
+		cg("rip_cluster_open_breakers", "gauge", "Peers currently skipped by an open circuit breaker.", uint64(cs.OpenBreakers))
+	}
+
+	// Snapshot age (only when periodic snapshots are configured): a
+	// stalled saver shows as unbounded growth here.
+	if lastSnap != nil {
+		if last := lastSnap(); !last.IsZero() {
+			fmt.Fprintf(w, "# HELP rip_snapshot_age_seconds Seconds since the last successful cache snapshot.\n")
+			fmt.Fprintf(w, "# TYPE rip_snapshot_age_seconds gauge\n")
+			fmt.Fprintf(w, "rip_snapshot_age_seconds %g\n", time.Since(last).Seconds())
+		}
+	}
 }
 
 func b2i(b bool) int {

@@ -15,9 +15,20 @@
 //	                    results in input order, per-net error isolation
 //	POST /v1/front      one api.Request in (no budget required), the
 //	                    net's whole power–delay Pareto front out
-//	GET  /healthz       liveness + draining status
+//	GET  /livez         process liveness: 200 as long as the process
+//	                    serves HTTP at all
+//	GET  /readyz        traffic readiness: 503 while draining or while
+//	                    a cache snapshot is still loading; reports ring
+//	                    peers and snapshot age
+//	GET  /healthz       readiness alias (kept for existing probes)
 //	GET  /metrics       Prometheus text: requests, rejections, in-flight,
-//	                    latency histograms, engine cache + front counters
+//	                    latency histograms, engine cache + front counters,
+//	                    cluster forwarding and snapshot gauges
+//
+// Every failing response carries the structured error envelope (see
+// api.ErrorInfo): a stable machine-readable "code" plus a message, with
+// the HTTP status derived from the code. 429 and 503 responses carry a
+// Retry-After header.
 //
 // Operational behavior:
 //
@@ -29,9 +40,13 @@
 //     request stops at the next solver phase boundary instead of
 //     occupying a worker indefinitely.
 //   - Graceful shutdown: BeginShutdown flips the server into draining
-//     mode — new work is refused with 503 (and /healthz fails, so load
+//     mode — new work is refused with 503 (and /readyz fails, so load
 //     balancers stop routing here) while requests already admitted run
 //     to completion under http.Server.Shutdown.
+//   - Clustering: when the engine carries a cluster forwarder, requests
+//     whose shapes other replicas own are forwarded there; a request
+//     arriving with the cluster.ForwardHeader is answered locally
+//     unconditionally, so rings that disagree cannot loop.
 package server
 
 import (
@@ -48,8 +63,8 @@ import (
 	"time"
 
 	"github.com/rip-eda/rip/internal/api"
+	"github.com/rip-eda/rip/internal/cluster"
 	"github.com/rip-eda/rip/internal/engine"
-	"github.com/rip-eda/rip/internal/wire"
 )
 
 // Options configures the service layer. The zero value is usable.
@@ -68,6 +83,14 @@ type Options struct {
 	MaxBatchNets int
 	// MaxBodyBytes caps a request body (default 256 MiB).
 	MaxBodyBytes int64
+	// Cluster is this replica's ring node, for /readyz peer reporting
+	// and /metrics forwarding counters (nil = single-replica). The
+	// forwarding hook itself lives on the engine (Multi.SetForwarder).
+	Cluster *cluster.Node
+	// LastSnapshot reports the time of the last successful cache
+	// snapshot (zero time = none); /readyz and /metrics report its age.
+	// Nil when snapshotting is off.
+	LastSnapshot func() time.Time
 }
 
 const (
@@ -86,6 +109,7 @@ type Server struct {
 	start time.Time
 
 	draining atomic.Bool
+	ready    atomic.Bool
 	m        metrics
 
 	// testHookAdmitted, when non-nil, runs after a request is admitted
@@ -114,13 +138,25 @@ func New(eng *engine.Multi, opts Options) *Server {
 		slots: make(chan struct{}, opts.MaxInFlight),
 		start: time.Now(),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/front", s.handleFront)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// /healthz predates the livez/readyz split; existing probes expect
+	// readiness semantics (it failed while draining), so it aliases
+	// /readyz.
+	s.mux.HandleFunc("GET /healthz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// SetReady flips traffic readiness: ripd holds it false while a cache
+// snapshot is still loading so load balancers route cold traffic to
+// warm replicas first. Requests arriving while not ready are still
+// served (they just miss the restoring cache); only /readyz changes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -141,22 +177,23 @@ func (s *Server) InFlight() int64 { return s.m.inflight.Load() }
 func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
 
 // admit implements admission control: draining refuses with 503,
-// saturation with 429, otherwise a slot is taken and the returned
-// release must be deferred.
+// saturation with 429 (both coded, both with Retry-After), otherwise a
+// slot is taken and the returned release must be deferred.
 func (s *Server) admit(w http.ResponseWriter, route string) (release func(), ok bool) {
 	rm := s.m.route(route)
 	if s.draining.Load() {
 		rm.draining.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, api.ErrorResponse("", "server is shutting down"))
+		respond(w, http.StatusServiceUnavailable,
+			api.CodedErrorResponse(api.CodeDraining, "", "", "server is shutting down"))
 		return nil, false
 	}
 	select {
 	case s.slots <- struct{}{}:
 	default:
 		rm.saturated.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests,
-			api.ErrorResponse("", fmt.Sprintf("server saturated: %d requests in flight", s.opts.MaxInFlight)))
+		respond(w, http.StatusTooManyRequests,
+			api.CodedErrorResponse(api.CodeOverloaded, "", "",
+				fmt.Sprintf("server saturated: %d requests in flight", s.opts.MaxInFlight)))
 		return nil, false
 	}
 	rm.requests.Add(1)
@@ -173,12 +210,93 @@ func (s *Server) admit(w http.ResponseWriter, route string) (release func(), ok 
 }
 
 // requestCtx derives the solving context: the client's context, bounded
-// by the per-request timeout when one is configured.
+// by the per-request timeout when one is configured, and marked
+// local-only when the request already took its one forwarding hop.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.opts.RequestTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	ctx := r.Context()
+	if r.Header.Get(cluster.ForwardHeader) != "" {
+		ctx = cluster.WithLocalOnly(ctx)
 	}
-	return context.WithCancel(r.Context())
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// statusFor maps an envelope code to its HTTP status — the single
+// source of truth for every /v1/* error path.
+func statusFor(code string) int {
+	switch code {
+	case api.CodeBadRequest, api.CodeUnknownTech, api.CodeUnsupportedVersion:
+		return http.StatusBadRequest
+	case api.CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case api.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case api.CodeDraining, api.CodeCanceled, api.CodePeerUnavailable:
+		return http.StatusServiceUnavailable
+	case api.CodeTimeout:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// respond writes the JSON payload, stamping Retry-After on the
+// statuses a client should back off from and retry (shed load, drain,
+// unreachable owner).
+func respond(w http.ResponseWriter, status int, v any) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, v)
+}
+
+// fail writes one coded error, shaped for the endpoint (front=true
+// emits a FrontResponse envelope).
+func (s *Server) fail(w http.ResponseWriter, front bool, code, net, tech, msg string) {
+	if front {
+		respond(w, statusFor(code), api.CodedFrontErrorResponse(code, net, tech, msg))
+		return
+	}
+	respond(w, statusFor(code), api.CodedErrorResponse(code, net, tech, msg))
+}
+
+// decodeSingle is the one decode-validate path behind /v1/optimize and
+// /v1/front (their three formerly separate decode blocks): read the
+// body (one request line of the shared wire format — a wrapper or a
+// bare net, exactly like a JSONL batch line), parse it, resolve the
+// technology, apply the default budget (optimize only; fronts need no
+// budget) and validate. On failure the coded error envelope has been
+// written and ok is false.
+func (s *Server) decodeSingle(w http.ResponseWriter, r *http.Request, front bool) (api.Request, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.fail(w, front, bodyErrCode(err), "", "", "reading request: "+err.Error())
+		return api.Request{}, false
+	}
+	req, err := api.ParseRequest(raw)
+	if err != nil {
+		s.fail(w, front, api.CodeBadRequest, "", "", err.Error())
+		return api.Request{}, false
+	}
+	// An unknown technology is a client error, answered before solving —
+	// the engine's resolve error lists every served node.
+	if _, err := s.eng.Resolve(req.Tech); err != nil {
+		s.m.netErrors.Add(1)
+		s.fail(w, front, api.CodeUnknownTech, req.Name(), req.Tech, err.Error())
+		return api.Request{}, false
+	}
+	validate := req.ValidateFront
+	if !front {
+		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+		validate = req.Validate
+	}
+	if err := validate(); err != nil {
+		s.m.netErrors.Add(1)
+		s.fail(w, front, api.ErrorCode(err), req.Name(), req.Tech, err.Error())
+		return api.Request{}, false
+	}
+	return req, true
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -190,47 +308,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
-	// The body is one request line of the shared wire format: a wrapper
-	// or a bare net, exactly like a JSONL batch line.
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err != nil {
-		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", "reading request: "+err.Error()))
-		return
-	}
-	req, err := api.ParseRequest(raw)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.ErrorResponse("", err.Error()))
-		return
-	}
-	// An unknown technology is a client error, answered before solving —
-	// the engine's resolve error lists every served node.
-	if _, err := s.eng.Resolve(req.Tech); err != nil {
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, api.ErrorResponse(req.Name(), err.Error()))
-		return
-	}
-	req.ApplyDefault(s.opts.DefaultTargetMult, 0)
-	if err := req.Validate(); err != nil {
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, api.ErrorResponse(netName(req.Net), err.Error()))
+	req, ok := s.decodeSingle(w, r, false)
+	if !ok {
 		return
 	}
 	res := s.eng.SolveContext(ctx, req.Job())
 	s.m.nets.Add(1)
-	resp := api.FromResult(res)
-	switch {
-	case res.Err == nil:
-		writeJSON(w, http.StatusOK, resp)
-	case errors.Is(res.Err, context.DeadlineExceeded):
+	status := http.StatusOK
+	if res.Err != nil {
 		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, resp)
-	case errors.Is(res.Err, context.Canceled):
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, resp)
-	default:
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		status = statusFor(api.ErrorCode(res.Err))
 	}
+	respond(w, status, api.FromResult(res))
 }
 
 // handleFront serves one net's whole power–delay Pareto front: the same
@@ -249,42 +338,18 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
-	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err != nil {
-		writeJSON(w, bodyErrStatus(err), api.FrontErrorResponse("", "reading request: "+err.Error()))
-		return
-	}
-	req, err := api.ParseRequest(raw)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse("", err.Error()))
-		return
-	}
-	if _, err := s.eng.Resolve(req.Tech); err != nil {
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse(req.Name(), err.Error()))
-		return
-	}
-	if err := req.ValidateFront(); err != nil {
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusBadRequest, api.FrontErrorResponse(req.Name(), err.Error()))
+	req, ok := s.decodeSingle(w, r, true)
+	if !ok {
 		return
 	}
 	fr := s.eng.FrontContext(ctx, req.Job())
 	s.m.nets.Add(1)
-	resp := api.FromFrontResult(fr)
-	switch {
-	case fr.Err == nil:
-		writeJSON(w, http.StatusOK, resp)
-	case errors.Is(fr.Err, context.DeadlineExceeded):
+	status := http.StatusOK
+	if fr.Err != nil {
 		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, resp)
-	case errors.Is(fr.Err, context.Canceled):
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, resp)
-	default:
-		s.m.netErrors.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		status = statusFor(api.ErrorCode(fr.Err))
 	}
+	respond(w, status, api.FromFrontResult(fr))
 }
 
 // handleBatch accepts the two body shapes of the shared wire format: a
@@ -308,7 +373,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if !errors.Is(err, io.EOF) {
 			msg = "reading batch body: " + err.Error()
 		}
-		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", msg))
+		s.fail(w, false, bodyErrCode(err), "", "", msg)
 		return
 	}
 	if first == '[' {
@@ -323,12 +388,12 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 	// lines), so one malformed element fails alone, not the whole batch.
 	var raws []json.RawMessage
 	if err := json.NewDecoder(br).Decode(&raws); err != nil {
-		writeJSON(w, bodyErrStatus(err), api.ErrorResponse("", "decoding batch array: "+err.Error()))
+		s.fail(w, false, bodyErrCode(err), "", "", "decoding batch array: "+err.Error())
 		return
 	}
 	if len(raws) > s.opts.MaxBatchNets {
-		writeJSON(w, http.StatusRequestEntityTooLarge, api.ErrorResponse("",
-			fmt.Sprintf("batch of %d nets exceeds the %d-net limit (stream JSONL instead)", len(raws), s.opts.MaxBatchNets)))
+		s.fail(w, false, api.CodeTooLarge, "", "",
+			fmt.Sprintf("batch of %d nets exceeds the %d-net limit (stream JSONL instead)", len(raws), s.opts.MaxBatchNets))
 		return
 	}
 	jobs := make([]engine.Job, len(raws))
@@ -349,10 +414,10 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 		if msg, ok := parseErrs[i]; ok {
 			// The element never parsed, so its zero job's default-node
 			// attribution would be fiction: report only the failure.
-			out[i] = api.ErrorResponse("", msg)
+			out[i] = api.CodedErrorResponse(api.CodeBadRequest, "", "", msg)
 		}
 		s.m.nets.Add(1)
-		if out[i].Error != "" {
+		if out[i].Err != nil {
 			s.m.netErrors.Add(1)
 		}
 	}
@@ -419,11 +484,11 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 		if msg, ok := parseErrs[res.Index]; ok {
 			// Unparsed lines carry only their failure, not the default
 			// node's tech attribution (see batchArray).
-			resp = api.ErrorResponse("", msg)
+			resp = api.CodedErrorResponse(api.CodeBadRequest, "", "", msg)
 		}
 		mu.Unlock()
 		s.m.nets.Add(1)
-		if resp.Error != "" {
+		if resp.Err != nil {
 			s.m.netErrors.Add(1)
 		}
 		if err := enc.Encode(resp); err != nil {
@@ -446,18 +511,35 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 	mu.Unlock()
 	if truncated {
 		s.m.netErrors.Add(1)
-		enc.Encode(api.ErrorResponse("", msg)) //nolint:errcheck // best-effort trailer
+		enc.Encode(api.CodedErrorResponse(api.CodeBadRequest, "", "", msg)) //nolint:errcheck // best-effort trailer
 	}
 	bw.Flush()
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleLivez is pure process liveness: if this handler runs, the
+// process is up. Draining and snapshot loading do not fail it — a
+// supervisor must not restart a replica for refusing traffic on
+// purpose.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is traffic readiness (also served at /healthz): 503
+// while draining or while a cache snapshot load is still running, with
+// the ring membership and snapshot age for operators.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.CacheStats()
 	status, code := "ok", http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status, code = "loading", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":        status,
 		"workers":       s.eng.Workers(),
 		"inflight":      s.m.inflight.Load(),
@@ -466,13 +548,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"technologies":  s.eng.Names(),
 		"default_tech":  s.eng.Default(),
 		"uptime_s":      time.Since(s.start).Seconds(),
-	})
+	}
+	if s.opts.Cluster != nil {
+		body["self"] = s.opts.Cluster.Self()
+		body["peers"] = s.opts.Cluster.Peers()
+	}
+	if s.opts.LastSnapshot != nil {
+		if last := s.opts.LastSnapshot(); !last.IsZero() {
+			body["snapshot_age_s"] = time.Since(last).Seconds()
+		}
+	}
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var buf bytes.Buffer
-	s.m.writePrometheus(&buf, s.eng, s.start, s.draining.Load())
+	s.m.writePrometheus(&buf, s.eng, s.start, s.draining.Load(), s.opts.Cluster, s.opts.LastSnapshot)
 	w.Write(buf.Bytes())
 }
 
@@ -493,22 +588,15 @@ func firstNonSpace(br *bufio.Reader) (byte, error) {
 	}
 }
 
-// bodyErrStatus maps a body read/decode failure to its status: the
-// MaxBytesReader cap is the client sending too much (413, retriable by
-// streaming JSONL), anything else is a malformed request (400).
-func bodyErrStatus(err error) int {
+// bodyErrCode maps a body read/decode failure to its envelope code:
+// the MaxBytesReader cap is the client sending too much (too_large,
+// retriable by streaming JSONL), anything else is a malformed request.
+func bodyErrCode(err error) string {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge
+		return api.CodeTooLarge
 	}
-	return http.StatusBadRequest
-}
-
-func netName(n *wire.Net) string {
-	if n == nil {
-		return ""
-	}
-	return n.Name
+	return api.CodeBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,169 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+
+	"github.com/rip-eda/rip/internal/engine"
+)
+
+// Entry payload layout (inside the u32 length prefix; little-endian):
+//
+//	u32 + bytes   signature key
+//	f64           tmin
+//	u8            kind (0 = line, 1 = tree)
+//	u32           point count
+//	per line point:
+//	  f64 delay, f64 totalWidth, u32 n, n×f64 positions, n×f64 widths
+//	per tree point:
+//	  f64 slack, f64 totalWidth, u32 n, n×i32 walk, n×f64 widths
+//
+// The explicit length prefix lets a reader skip a payload it cannot
+// parse without losing framing for the rest of the section.
+
+const (
+	kindLine = 0
+	kindTree = 1
+)
+
+// writeEntry serializes one cache entry as a length-prefixed payload.
+func writeEntry(w io.Writer, e *engine.CacheEntry) error {
+	n := entrySize(e)
+	buf := make([]byte, 0, n)
+	buf = appendU32(buf, uint32(len(e.Key)))
+	buf = append(buf, e.Key...)
+	buf = appendF64(buf, e.TMin)
+	if e.Tree {
+		buf = append(buf, kindTree)
+		buf = appendU32(buf, uint32(len(e.TreePts)))
+		for _, p := range e.TreePts {
+			buf = appendF64(buf, p.Slack)
+			buf = appendF64(buf, p.TotalWidth)
+			buf = appendU32(buf, uint32(len(p.Walk)))
+			for _, q := range p.Walk {
+				buf = appendU32(buf, uint32(q))
+			}
+			for _, v := range p.Widths {
+				buf = appendF64(buf, v)
+			}
+		}
+	} else {
+		buf = append(buf, kindLine)
+		buf = appendU32(buf, uint32(len(e.Line)))
+		for _, p := range e.Line {
+			buf = appendF64(buf, p.Delay)
+			buf = appendF64(buf, p.TotalWidth)
+			buf = appendU32(buf, uint32(len(p.Positions)))
+			for _, v := range p.Positions {
+				buf = appendF64(buf, v)
+			}
+			for _, v := range p.Widths {
+				buf = appendF64(buf, v)
+			}
+		}
+	}
+	if err := writeU32(w, uint32(len(buf))); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// entrySize pre-computes the payload length so the buffer allocates
+// once.
+func entrySize(e *engine.CacheEntry) int {
+	n := 4 + len(e.Key) + 8 + 1 + 4
+	for _, p := range e.TreePts {
+		n += 8 + 8 + 4 + 4*len(p.Walk) + 8*len(p.Widths)
+	}
+	for _, p := range e.Line {
+		n += 8 + 8 + 4 + 8*len(p.Positions) + 8*len(p.Widths)
+	}
+	return n
+}
+
+// readEntry parses one length-prefixed payload off the cursor. A
+// payload that cannot be parsed fails the cursor (the section framing
+// is already untrusted at that point; the checksum upstream means this
+// only happens on a genuinely inconsistent image).
+func readEntry(c *cursor) (engine.CacheEntry, bool) {
+	payload := c.bytes()
+	if c.failed {
+		return engine.CacheEntry{}, false
+	}
+	p := &cursor{b: payload}
+	var e engine.CacheEntry
+	e.Key = string(p.bytes())
+	e.TMin = p.f64()
+	var kind [1]byte
+	p.read(kind[:])
+	count := int(p.u32())
+	if p.failed || count < 0 {
+		c.failed = true
+		return engine.CacheEntry{}, false
+	}
+	switch kind[0] {
+	case kindTree:
+		e.Tree = true
+		e.TreePts = make([]engine.CacheTreePoint, 0, min(count, 1024))
+		for i := 0; i < count; i++ {
+			var tp engine.CacheTreePoint
+			tp.Slack = p.f64()
+			tp.TotalWidth = p.f64()
+			n := int(p.u32())
+			if p.failed || n < 0 || p.off+12*n > len(p.b) {
+				c.failed = true
+				return engine.CacheEntry{}, false
+			}
+			tp.Walk = make([]int32, n)
+			for k := range tp.Walk {
+				tp.Walk[k] = int32(p.u32())
+			}
+			tp.Widths = make([]float64, n)
+			for k := range tp.Widths {
+				tp.Widths[k] = p.f64()
+			}
+			e.TreePts = append(e.TreePts, tp)
+		}
+	case kindLine:
+		e.Line = make([]engine.CachePoint, 0, min(count, 1024))
+		for i := 0; i < count; i++ {
+			var lp engine.CachePoint
+			lp.Delay = p.f64()
+			lp.TotalWidth = p.f64()
+			n := int(p.u32())
+			if p.failed || n < 0 || p.off+16*n > len(p.b) {
+				c.failed = true
+				return engine.CacheEntry{}, false
+			}
+			lp.Positions = make([]float64, n)
+			for k := range lp.Positions {
+				lp.Positions[k] = p.f64()
+			}
+			lp.Widths = make([]float64, n)
+			for k := range lp.Widths {
+				lp.Widths[k] = p.f64()
+			}
+			e.Line = append(e.Line, lp)
+		}
+	default:
+		c.failed = true
+		return engine.CacheEntry{}, false
+	}
+	if p.failed || p.off != len(p.b) {
+		c.failed = true
+		return engine.CacheEntry{}, false
+	}
+	return e, true
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func fromBits(v uint64) float64 { return math.Float64frombits(v) }

@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/rip-eda/rip/internal/engine"
+)
+
+// Saver writes periodic background snapshots of a Multi's caches, each
+// via Save's atomic temp-file-and-rename, so the on-disk snapshot is
+// always a complete consistent image no matter when the process dies.
+type Saver struct {
+	path     string
+	interval time.Duration
+	m        *engine.Multi
+	logf     func(format string, args ...any)
+
+	lastUnix atomic.Int64 // unix seconds of the last successful save
+}
+
+// NewSaver configures a periodic saver; logf (optional) receives one
+// line per save or failure. Nothing runs until Run.
+func NewSaver(path string, interval time.Duration, m *engine.Multi, logf func(format string, args ...any)) *Saver {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Saver{path: path, interval: interval, m: m, logf: logf}
+}
+
+// Run snapshots every interval until ctx is done, then takes one final
+// snapshot — so a drained shutdown persists everything the last
+// periodic tick missed — and returns. Run is synchronous; callers
+// start it in a goroutine.
+func (s *Saver) Run(ctx context.Context) {
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.save()
+		case <-ctx.Done():
+			s.save()
+			return
+		}
+	}
+}
+
+// SaveNow takes one snapshot immediately.
+func (s *Saver) SaveNow() error { return s.save() }
+
+func (s *Saver) save() error {
+	st, err := SaveMulti(s.path, s.m)
+	if err != nil {
+		s.logf("snapshot: save %s failed: %v", s.path, err)
+		return err
+	}
+	s.lastUnix.Store(time.Now().Unix())
+	s.logf("snapshot: saved %d entries (%d nodes) to %s", st.Entries, st.Nodes, s.path)
+	return nil
+}
+
+// LastSave returns the time of the last successful save (zero if
+// none). /readyz reports its age.
+func (s *Saver) LastSave() time.Time {
+	u := s.lastUnix.Load()
+	if u == 0 {
+		return time.Time{}
+	}
+	return time.Unix(u, 0)
+}

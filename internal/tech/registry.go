@@ -40,6 +40,12 @@ type regEntry struct {
 // ErrFrozen is returned by mutations attempted after Freeze.
 var ErrFrozen = fmt.Errorf("tech: registry is frozen")
 
+// ErrUnknown flags a lookup name that resolves to no registered node.
+// Get wraps it, so transports can classify the failure (the structured
+// error envelope's "unknown_tech" code) with errors.Is while still
+// surfacing the wrapped message, which lists every known node.
+var ErrUnknown = fmt.Errorf("tech: unknown node")
+
 // NewRegistry returns an empty, unfrozen registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*regEntry)}
@@ -165,8 +171,8 @@ func (r *Registry) Frozen() bool { return r.frozen }
 func (r *Registry) Get(name string) (*Technology, string, error) {
 	ent, ok := r.entries[strings.ToLower(strings.TrimSpace(name))]
 	if !ok {
-		return nil, "", fmt.Errorf("tech: unknown node %q (known: %s)",
-			name, strings.Join(r.Names(), ", "))
+		return nil, "", fmt.Errorf("%w %q (known: %s)",
+			ErrUnknown, name, strings.Join(r.Names(), ", "))
 	}
 	return ent.node, ent.canonical, nil
 }

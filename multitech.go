@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/snapshot"
 	"github.com/rip-eda/rip/internal/tech"
 )
 
@@ -54,4 +55,27 @@ func LoadTechnology(path string) (*Technology, error) {
 // it through every consumer, the way cmd/ripd does.
 func NewMultiEngine(reg *TechRegistry, defaultTech string, opts EngineOptions) (*MultiEngine, error) {
 	return engine.NewMulti(reg, defaultTech, opts)
+}
+
+// SnapshotStats summarizes one cache snapshot save or restore: sections
+// and entries written, or accepted and skipped on load.
+type SnapshotStats = snapshot.Stats
+
+// SaveCacheSnapshot persists every per-node Pareto-front cache of the
+// engine to one versioned, checksummed file, written atomically
+// (temp file + rename) so a crash mid-save never corrupts the previous
+// snapshot.
+func SaveCacheSnapshot(path string, m *MultiEngine) (SnapshotStats, error) {
+	return snapshot.SaveMulti(path, m)
+}
+
+// LoadCacheSnapshot restores a snapshot written by SaveCacheSnapshot
+// into the engine's caches. Sections recorded under a technology the
+// engine does not serve — or under a node whose electrical identity has
+// changed since the save — are skipped whole; structurally unsound
+// entries are dropped individually. Restored entries are still verified
+// against the actual net before being served, so a stale or corrupt
+// snapshot can cost misses but never wrong answers.
+func LoadCacheSnapshot(path string, m *MultiEngine) (SnapshotStats, error) {
+	return snapshot.LoadMulti(path, m)
 }
