@@ -19,11 +19,17 @@ import (
 // The -perf harness measures the repo's hot paths — the two-pin DP
 // kernel (bounded solves and full Pareto-front sweeps), the tree DP
 // kernel and the batch engine on line, tree, mixed and multi-budget
-// workloads — and writes a machine-readable report (BENCH_5.json in
+// workloads — and writes a machine-readable report (BENCH_7.json in
 // this PR's trajectory) so future PRs have a comparable perf baseline.
 // Absolute numbers are host-dependent; the committed file records the
 // shape (allocs/solve must stay 0, cold-vs-warm ratios, front hit
 // rates) and one host's trajectory point.
+//
+// Min-power kernels are measured on the production exact path (the
+// bit-identical coarse-to-fine ladder); the `_flat` variant keeps the
+// pre-ladder single-pass cost visible, and `_eps` variants run the
+// ε-relaxed prune at dp.DefaultEps, reporting the answer's certified
+// width bound alongside the speed.
 
 // perfKernel is one DP-kernel measurement: steady-state cost through a
 // reused Solver plus the instance's work stats.
@@ -38,6 +44,19 @@ type perfKernel struct {
 	MaxPerLevel    int     `json:"max_per_level"`
 	// Points is a front kernel's Pareto-front size (0 for bounded solves).
 	Points int `json:"points,omitempty"`
+	// Eps is the kernel's ε relaxation (0 for exact kernels).
+	Eps float64 `json:"eps,omitempty"`
+	// EpsBound is the certified relative width bound of a bounded ε
+	// kernel's answer at the benchmark target — (Wret−Wlb)/Wret with Wlb
+	// the relaxed front's own width at target·EpsFactor (the run's
+	// realized delay inflation, ≤ 1+ε), a provable lower bound on the
+	// exact optimum (the same certificate the engine serves as
+	// "eps_bound"). Present exactly for ε kernels: a certified 0 means
+	// the answer is provably the exact optimum.
+	EpsBound *float64 `json:"eps_bound,omitempty"`
+	// EpsPruned counts options the relaxed dominance test killed that
+	// exact dominance would have kept (0 for exact kernels).
+	EpsPruned int `json:"eps_pruned,omitempty"`
 }
 
 // perfBatch is one batch-engine measurement.
@@ -97,7 +116,7 @@ func measureKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKerne
 			}
 		}
 	})
-	return perfKernel{
+	k := perfKernel{
 		Name:           name,
 		NsPerSolve:     float64(res.NsPerOp()),
 		AllocsPerSolve: float64(res.AllocsPerOp()),
@@ -106,7 +125,45 @@ func measureKernel(name string, ev *delay.Evaluator, opts dp.Options) (perfKerne
 		Generated:      stats.Generated,
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerLevel,
-	}, nil
+		Eps:            opts.Eps,
+		EpsPruned:      stats.EpsPruned,
+	}
+	if opts.Eps > 0 {
+		bound, err := epsKernelBound(ev, opts)
+		if err != nil {
+			return perfKernel{}, fmt.Errorf("%s: %w", name, err)
+		}
+		k.EpsBound = &bound
+	}
+	return k, nil
+}
+
+// epsKernelBound reproduces the engine's per-answer certificate for a
+// bounded ε kernel: solve the relaxed front once and compare the width
+// returned at Target against the front's own width at Target·φ, which
+// the ε-dominance invariant proves is a lower bound on the exact
+// optimum at Target. φ = Stats.EpsFactor is the delay inflation the
+// relaxed run actually realized — at most 1+ε, and much smaller when
+// the relaxation fired in few levels.
+func epsKernelBound(ev *delay.Evaluator, opts dp.Options) (float64, error) {
+	front, st, err := dp.SolveFront(ev, opts)
+	if err != nil {
+		return 0, err
+	}
+	idx, ok := front.At(opts.Target)
+	if !ok {
+		return 0, nil
+	}
+	wret := front[idx].TotalWidth
+	lb, ok := front.At(opts.Target * st.EpsFactor(opts.Eps))
+	if !ok || !(wret > 0) {
+		return 0, nil
+	}
+	wlb := front[lb].TotalWidth
+	if wlb >= wret {
+		return 0, nil
+	}
+	return (wret - wlb) / wret, nil
 }
 
 // measureFrontKernel measures the unbounded Pareto-front sweep — the
@@ -135,6 +192,8 @@ func measureFrontKernel(name string, ev *delay.Evaluator, opts dp.Options) (perf
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerLevel,
 		Points:         len(front),
+		Eps:            opts.Eps,
+		EpsPruned:      stats.EpsPruned,
 	}, nil
 }
 
@@ -162,6 +221,7 @@ func measureTreeFrontKernel(name string, tn *rip.TreeNet, lib rip.Library) (perf
 		NsPerSolve:     float64(res.NsPerOp()),
 		AllocsPerSolve: float64(res.AllocsPerOp()),
 		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Candidates:     stats.Candidates,
 		Generated:      stats.Generated,
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerNode,
@@ -194,6 +254,7 @@ func measureTreeKernel(name string, tn *rip.TreeNet, lib rip.Library, target flo
 		NsPerSolve:     float64(res.NsPerOp()),
 		AllocsPerSolve: float64(res.AllocsPerOp()),
 		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Candidates:     stats.Candidates,
 		Generated:      stats.Generated,
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerNode,
@@ -212,6 +273,7 @@ func measureTreeHybrid(name string, tn *rip.TreeNet, target float64) (perfKernel
 		return perfKernel{}, fmt.Errorf("%s: %w", name, err)
 	}
 	stats := out.Coarse.Stats
+	stats.Candidates += out.Final.Stats.Candidates
 	stats.Generated += out.Final.Stats.Generated
 	stats.Kept += out.Final.Stats.Kept
 	if out.Final.Stats.MaxPerNode > stats.MaxPerNode {
@@ -230,6 +292,7 @@ func measureTreeHybrid(name string, tn *rip.TreeNet, target float64) (perfKernel
 		NsPerSolve:     float64(res.NsPerOp()),
 		AllocsPerSolve: float64(res.AllocsPerOp()),
 		BytesPerSolve:  float64(res.AllocedBytesPerOp()),
+		Candidates:     stats.Candidates,
 		Generated:      stats.Generated,
 		Kept:           stats.Kept,
 		MaxPerLevel:    stats.MaxPerNode,
@@ -249,6 +312,16 @@ func batchJobs(kind string, distinct, total int) ([]rip.BatchJob, error) {
 		}
 		for i := range jobs {
 			jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3}
+		}
+	case "line_eps":
+		// The same line workload solved ε-relaxed at the recommended
+		// default; relaxed entries cache under their own signatures.
+		nets, err := rip.GenerateNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3, Eps: dp.DefaultEps}
 		}
 	case "tree":
 		nets, err := rip.GenerateTreeNets(tech, 2005, distinct)
@@ -363,6 +436,10 @@ func runPerf(path string) error {
 	if err != nil {
 		return err
 	}
+	midLib, err := repeater.Range(10, 400, 20)
+	if err != nil {
+		return err
+	}
 	coarseLib, err := repeater.Range(10, 400, 40)
 	if err != nil {
 		return err
@@ -374,7 +451,7 @@ func runPerf(path string) error {
 
 	rep := perfReport{
 		Schema:      "rip-perf/1",
-		PR:          5,
+		PR:          8,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -382,12 +459,18 @@ func runPerf(path string) error {
 		CPUs:        runtime.NumCPU(),
 	}
 
+	// Bounded kernels run the production exact path (Ladder — value-
+	// identical to the flat sweep); the `_flat` variant keeps the pre-
+	// ladder cost visible and `_eps` the relaxed prune at DefaultEps.
 	kernels := []struct {
 		name string
 		opts dp.Options
 	}{
-		{"solve_minpower_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin}},
-		{"solve_minpower_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin}},
+		{"solve_minpower_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true}},
+		{"solve_minpower_g10_flat", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin}},
+		{"solve_minpower_g10_eps", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true, Eps: dp.DefaultEps}},
+		{"solve_minpower_g20", dp.Options{Library: midLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true}},
+		{"solve_minpower_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true}},
 		{"solve_mindelay_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinDelay}},
 	}
 	for _, k := range kernels {
@@ -396,24 +479,27 @@ func runPerf(path string) error {
 			return err
 		}
 		rep.Kernel = append(rep.Kernel, m)
-		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
+		fmt.Fprintf(os.Stderr, "perf: %-22s %12.0f ns/solve  %6.1f allocs/solve\n", m.Name, m.NsPerSolve, m.AllocsPerSolve)
 	}
 
 	// Front kernels: the unbounded Pareto sweep at both granularities —
-	// the cold cost the front-native cache pays once per shape.
+	// the cold cost the front-native cache pays once per shape. Ladder
+	// matches the engine's production front path; `_eps` is the relaxed
+	// sweep whose skipped points show up as a smaller Points count.
 	for _, k := range []struct {
 		name string
 		opts dp.Options
 	}{
-		{"solve_front_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron}},
-		{"solve_front_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron}},
+		{"solve_front_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Ladder: true}},
+		{"solve_front_g10_eps", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Ladder: true, Eps: dp.DefaultEps}},
+		{"solve_front_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Ladder: true}},
 	} {
 		m, err := measureFrontKernel(k.name, ev, k.opts)
 		if err != nil {
 			return err
 		}
 		rep.Kernel = append(rep.Kernel, m)
-		fmt.Fprintf(os.Stderr, "perf: %-20s %12.0f ns/solve  %6.1f allocs/solve  %4d points\n",
+		fmt.Fprintf(os.Stderr, "perf: %-22s %12.0f ns/solve  %6.1f allocs/solve  %4d points\n",
 			m.Name, m.NsPerSolve, m.AllocsPerSolve, m.Points)
 	}
 
@@ -466,6 +552,7 @@ func runPerf(path string) error {
 		distinct, total int
 	}{
 		{"batch_1k", "line", 100, 1000},
+		{"batch_eps_1k", "line_eps", 100, 1000},
 		{"batch_10k", "line", 250, 10000},
 		{"batch_tree_1k", "tree", 100, 1000},
 		{"batch_mixed_1k", "mixed", 50, 1000},

@@ -16,6 +16,7 @@
 //	ripcli -tree -batch -net trees.jsonl -target 1.3 # tree JSONL stream
 //	ripcli -net nets.json -front                    # full power–delay front
 //	ripcli -net nets.json -targets-ns 0.8,1.0,1.5   # multi-budget sweep
+//	ripcli -net nets.json -targets-ns 1.0 -eps 0.02 # ε-relaxed: ~10× faster, certified
 //
 // Targets: -target is relative to the net's τmin (for trees, the minimum
 // achievable worst-sink arrival); -target-ns is absolute nanoseconds.
@@ -27,6 +28,16 @@
 // requiring a target. Sweep mode (-targets-ns with a comma-separated
 // list) answers every listed absolute budget from one solve of that
 // front; both work for lines and, with -tree, routing trees.
+//
+// ε relaxation (-eps, line nets only): min-power solves prune with a
+// relaxed dominance test — answers still meet their budgets exactly,
+// run up to an order of magnitude faster, and are certified to cost at
+// most the exact optimum width at target/(1+eps). Relaxed JSON output
+// carries "eps" and the certified per-answer "eps_bound". The flag
+// applies to the engine-backed modes: -batch (as the default for lines
+// that carry no "eps" of their own; per-line "eps" wins, and an
+// explicit "eps": 0 forces bit-exact), -front and -targets-ns. 0
+// keeps every solve bit-exact.
 //
 // Batch mode reads one JSON object per line — either a bare net object
 // (the same schema as the array elements of -net files; with -tree, the
@@ -79,6 +90,7 @@ func main() {
 		relT      = flag.Float64("target", 0, "timing target as a multiple of τmin")
 		absT      = flag.Float64("target-ns", 0, "timing target in nanoseconds")
 		targetsNS = flag.String("targets-ns", "", "comma-separated absolute targets in ns: answer every budget from one Pareto-front solve")
+		eps       = flag.Float64("eps", 0, "ε relaxation for line min-power solves (0 = bit-exact; max 0.5); applies to -batch, -front and -targets-ns")
 		frontOut  = flag.Bool("front", false, "print the net's full power–delay Pareto front instead of solving one budget")
 		metrics   = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
 		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
@@ -100,11 +112,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if e := *eps; e != 0 && !(e > 0 && e <= rip.MaxEps) {
+		fatal(fmt.Errorf("-eps %g is not in [0, %g]", e, rip.MaxEps))
+	}
+	if *eps > 0 {
+		switch {
+		case *treeMode && !*batch:
+			// Batch tree streams may still carry wrapped line nets that
+			// the default legitimately applies to; pure tree modes cannot.
+			fatal(fmt.Errorf("-eps is only supported for line nets"))
+		case !*batch && !*frontOut && *targetsNS == "":
+			fatal(fmt.Errorf("-eps applies to the engine-backed modes: -batch, -front or -targets-ns"))
+		}
+	}
 	if *frontOut || *targetsNS != "" {
 		if *batch {
 			fatal(fmt.Errorf("-front and -targets-ns are single-net modes; batch lines carry a per-line targets_ns list instead"))
 		}
-		if err := runFrontSweep(tech, *netFile, *index, *gen, *seed, *treeMode, *frontOut, *targetsNS, *jsonOut); err != nil {
+		if err := runFrontSweep(tech, *netFile, *index, *gen, *seed, *treeMode, *frontOut, *targetsNS, *eps, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -114,7 +139,7 @@ func main() {
 		if *treeMode {
 			bare = api.KindTree
 		}
-		if err := runBatch(reg, *techName, *netFile, *relT, *absT, *workers, *cacheSize, bare); err != nil {
+		if err := runBatch(reg, *techName, *netFile, *relT, *absT, *eps, *workers, *cacheSize, bare); err != nil {
 			fatal(err)
 		}
 		return
@@ -306,7 +331,7 @@ func runTree(tech *rip.Technology, path string, gen bool, seed int64, relT, absT
 // of absolute budgets from one solve of that front. Both go through the
 // batch engine so the output is exactly what cached multi-budget batches
 // and ripd's /v1/front serve.
-func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed int64, treeMode, front bool, targetsNS string, jsonOut bool) error {
+func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed int64, treeMode, front bool, targetsNS string, eps float64, jsonOut bool) error {
 	eng, err := rip.NewEngine(tech, rip.EngineOptions{})
 	if err != nil {
 		return err
@@ -324,6 +349,7 @@ func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed 
 			return err
 		}
 		j.Net = n
+		j.Eps = eps
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -496,7 +522,7 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 // internal/api's Request/Response — the same wire format cmd/ripd
 // serves, so batch files replay against the HTTP service as-is,
 // mixed-node corpora included.
-func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT float64, workers, cacheSize int, bare api.Kind) error {
+func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT, eps float64, workers, cacheSize int, bare api.Kind) error {
 	in := os.Stdin
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
@@ -528,7 +554,7 @@ func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT float6
 	var readErr error
 	go func() {
 		defer close(jobs)
-		readErr = feedBatch(in, relT, absT, bare, jobs, func(idx int, msg string) {
+		readErr = feedBatch(in, relT, absT, eps, bare, jobs, func(idx int, msg string) {
 			mu.Lock()
 			parseErrs[idx] = msg
 			mu.Unlock()
@@ -583,13 +609,14 @@ func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT float6
 // parse is reported via noteErr and emitted as a nil-net job, so the
 // failure surfaces in the output stream at the right position instead
 // of killing the run.
-func feedBatch(in io.Reader, relT, absT float64, bare api.Kind, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
+func feedBatch(in io.Reader, relT, absT, eps float64, bare api.Kind, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
 	if relT > 0 && absT > 0 {
 		return fmt.Errorf("give either -target or -target-ns, not both")
 	}
 	opts := api.FeedOptions{
 		DefaultMult: relT,
 		DefaultNS:   absT,
+		DefaultEps:  eps,
 		Bare:        bare,
 		// An explicit -target/-target-ns means what it means in single
 		// mode: it overrides embedded tree deadlines too. Per-line

@@ -11,6 +11,7 @@
 //	ripd -techs 90nm,65nm                  # serve only these nodes
 //	ripd -tech-dir ./nodes -tech foundry-90lp   # + custom JSON nodes
 //	ripd -max-inflight 64 -timeout 30s    # backpressure + per-request budget
+//	ripd -eps 0.02                        # serve ε-relaxed min-power answers by default
 //	ripd -cache-save rip.snap -cache-load rip.snap   # warm restarts
 //	ripd -self host1:8080 -peers host1:8080,host2:8080,host3:8080   # ring
 //
@@ -30,6 +31,15 @@
 //	GET  /metrics       Prometheus text (requests, latency, per-tech
 //	                    rip_cache_*/rip_dp_*/rip_front_*{tech="..."} and
 //	                    rip_cluster_*/rip_snapshot_* series)
+//
+// With -eps, line requests that carry no "eps" of their own are solved
+// ε-relaxed: answers still meet their budgets exactly, but the solves
+// run up to an order of magnitude faster, certified to return at most
+// the exact optimum width at target/(1+eps). Each relaxed response
+// carries "eps" and its certified "eps_bound"; a request's explicit
+// "eps": 0 always forces bit-exact solving, and /v1/front never
+// inherits the default. Exact and relaxed fronts cache separately, so
+// the modes cannot contaminate each other.
 //
 // Requests without a "tech" field solve on the -tech default node;
 // unknown names get a 400 (single) or per-line error (batch) listing the
@@ -85,6 +95,7 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "concurrent requests admitted before 429 (0 = 4x workers)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request solving timeout (0 = none)")
 		target      = flag.Float64("target", 0, "default target_mult for requests that carry no budget (0 = require one per request)")
+		defaultEps  = flag.Float64("eps", 0, "default ε relaxation for line requests that carry no eps (0 = bit-exact; max 0.5)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
 
 		cacheSave    = flag.String("cache-save", "", "snapshot the caches to this file periodically and at shutdown")
@@ -97,6 +108,10 @@ func main() {
 		peerStrict  = flag.Bool("peer-strict", false, "answer peer failures with a retryable peer_unavailable error instead of solving locally")
 	)
 	flag.Parse()
+
+	if e := *defaultEps; e != 0 && !(e > 0 && e <= rip.MaxEps) {
+		fatal(fmt.Errorf("ripd: -eps %g is not in [0, %g]", e, rip.MaxEps))
+	}
 
 	reg := rip.NewTechRegistry()
 	defTech := *techName
@@ -169,6 +184,7 @@ func main() {
 		MaxInFlight:       *maxInFlight,
 		RequestTimeout:    *timeout,
 		DefaultTargetMult: *target,
+		DefaultEps:        *defaultEps,
 		Cluster:           node,
 		LastSnapshot:      lastSnap,
 	})

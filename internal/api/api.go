@@ -19,6 +19,7 @@ import (
 	"io"
 	"slices"
 
+	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/engine"
 	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/units"
@@ -62,6 +63,13 @@ type Request struct {
 	// Mutually exclusive with TargetMult and TargetNS; every entry must be
 	// positive. Trees apply each budget to every sink.
 	TargetsNS []float64 `json:"targets_ns,omitempty"`
+	// Eps opts the request into ε-relaxed solving (line nets only): the
+	// answer still meets the budget exactly, but the solve may thin the
+	// Pareto front, certified to return at most the exact optimum width
+	// at target/(1+eps). Valid range [0, 0.5]; absent inherits the
+	// transport's default (ripcli/ripd -eps), while an explicit 0 forces
+	// bit-exact solving regardless of that default.
+	Eps *float64 `json:"eps,omitempty"`
 }
 
 // WireVersion is the wire-format version this package speaks; requests
@@ -101,6 +109,9 @@ func (r *Request) validate() error {
 			return fmt.Errorf("api: net %q: targets_ns entry %g is not a positive time", r.name(), t)
 		}
 	}
+	if err := r.checkEps(); err != nil {
+		return err
+	}
 	if r.Tree != nil {
 		if r.TargetMult <= 0 && r.TargetNS <= 0 && len(r.TargetsNS) == 0 && !r.Tree.HasDeadlines() {
 			return fmt.Errorf("api: tree %q: a positive target_mult or target_ns is required unless every sink carries rat_ns", r.Tree.Name)
@@ -111,6 +122,23 @@ func (r *Request) validate() error {
 		return fmt.Errorf("api: net %q: a positive target_mult or target_ns is required", r.Net.Name)
 	}
 	return r.Net.Validate()
+}
+
+// checkEps rejects ε values the dp layer cannot certify, and ε on tree
+// requests (the tree DP has no relaxed mode). NaN fails e >= 0, so
+// non-finite, negative and oversized values all land in the first arm.
+func (r *Request) checkEps() error {
+	if r.Eps == nil {
+		return nil
+	}
+	e := *r.Eps
+	if !(e >= 0) || e > dp.MaxEps {
+		return fmt.Errorf("api: net %q: eps %g is not in [0, %g]", r.name(), e, dp.MaxEps)
+	}
+	if r.Tree != nil && e > 0 {
+		return fmt.Errorf("api: tree %q: eps is only supported for line nets", r.Tree.Name)
+	}
+	return nil
 }
 
 func (r *Request) name() string {
@@ -135,6 +163,9 @@ func (r *Request) Job() engine.Job {
 	for _, t := range r.TargetsNS {
 		j.Budgets = append(j.Budgets, t*units.NanoSecond)
 	}
+	if r.Eps != nil {
+		j.Eps = *r.Eps
+	}
 	return j
 }
 
@@ -155,6 +186,17 @@ func (r *Request) ApplyDefault(targetMult, targetNS float64) {
 	}
 	r.TargetMult = targetMult
 	r.TargetNS = targetNS
+}
+
+// ApplyDefaultEps fills in the transport-level default ε relaxation
+// (ripcli/ripd -eps) when the request carries none of its own. Tree
+// requests are skipped — ε is a line-net mode — and an explicit
+// "eps": 0 stays exact: absent and zero mean different things here.
+func (r *Request) ApplyDefaultEps(eps float64) {
+	if r.Eps != nil || r.Tree != nil || eps <= 0 {
+		return
+	}
+	r.Eps = &eps
 }
 
 // ParseRequest decodes one request line. Three forms are accepted: the
@@ -219,6 +261,9 @@ type FeedOptions struct {
 	// DefaultMult / DefaultNS are the transport's default budget, applied
 	// to requests that carry none of their own (see Request.ApplyDefault).
 	DefaultMult, DefaultNS float64
+	// DefaultEps is the transport's default ε relaxation, applied to line
+	// requests that carry no "eps" of their own (see ApplyDefaultEps).
+	DefaultEps float64
 	// Bare selects how unwrapped JSON objects decode (line nets by
 	// default; KindTree for ripcli -tree streams).
 	Bare Kind
@@ -264,6 +309,7 @@ func FeedJSONL(ctx context.Context, in io.Reader, opts FeedOptions, jobs chan<- 
 			} else {
 				req.ApplyDefault(opts.DefaultMult, opts.DefaultNS)
 			}
+			req.ApplyDefaultEps(opts.DefaultEps)
 			job = req.Job()
 		}
 		select {
@@ -316,6 +362,17 @@ type Response struct {
 	// aggregates the sweep (true iff every budget was met) and the other
 	// single-solution fields are left zero.
 	Sweep []SweepPoint `json:"sweep,omitempty"`
+	// Eps echoes the ε relaxation the net was solved under; absent means
+	// bit-exact.
+	Eps float64 `json:"eps,omitempty"`
+	// EpsBound is a served ε answer's certified relative width
+	// suboptimality — (width − lower bound)/width, in [0, 1] — so a
+	// client can see how far, at worst, the relaxed answer is from the
+	// exact optimum. Present exactly for ε answers (a certified 0 means
+	// the answer is provably the exact optimum — a pointer so that 0
+	// survives serialization); absent for exact answers and multi-budget
+	// responses (each sweep point carries its own bound).
+	EpsBound *float64 `json:"eps_bound,omitempty"`
 	// CacheHit reports whether the solution came from the engine's
 	// solution cache.
 	CacheHit bool `json:"cache_hit"`
@@ -351,6 +408,10 @@ type SweepPoint struct {
 	WidthsU     []float64 `json:"widths_u,omitempty"`
 	// Buffers is a tree answer's placement, ordered by node ID.
 	Buffers []TreeBuffer `json:"buffers,omitempty"`
+	// EpsBound is this budget's certified relative width-suboptimality
+	// bound under an ε request (see Response.EpsBound — present exactly
+	// for ε answers, certified 0 included).
+	EpsBound *float64 `json:"eps_bound,omitempty"`
 }
 
 // TreeBuffer is one inserted buffer of a tree solution.
@@ -373,6 +434,11 @@ func FromResult(r engine.Result) Response {
 		out.Error = r.Err.Error()
 		return out
 	}
+	out.Eps = r.Eps
+	if r.Eps > 0 && len(r.Sweep) == 0 {
+		b := r.EpsBound
+		out.EpsBound = &b
+	}
 	if len(r.Sweep) > 0 {
 		out.Feasible = true // all budgets met until one misses
 		for _, ba := range r.Sweep {
@@ -382,6 +448,10 @@ func FromResult(r engine.Result) Response {
 				Feasible:    sol.Feasible,
 				DelayNS:     sol.Delay / units.NanoSecond,
 				TotalWidthU: sol.TotalWidth,
+			}
+			if r.Eps > 0 {
+				b := ba.EpsBound
+				p.EpsBound = &b
 			}
 			for _, x := range sol.Assignment.Positions {
 				p.PositionsUM = append(p.PositionsUM, units.ToMicrons(x))
@@ -493,6 +563,9 @@ func (r *Request) validateFront() error {
 	case r.Net != nil && r.Tree != nil:
 		return fmt.Errorf("api: net %q: give net or tree, not both", r.name())
 	}
+	if err := r.checkEps(); err != nil {
+		return err
+	}
 	if r.Tree != nil {
 		return r.Tree.Validate()
 	}
@@ -531,6 +604,9 @@ type FrontResponse struct {
 	TMinNS float64 `json:"tmin_ns,omitempty"`
 	// Points is the curve, fastest (most power) first.
 	Points []FrontPoint `json:"points"`
+	// Eps echoes the ε relaxation the curve was solved under; absent
+	// means the exact front.
+	Eps float64 `json:"eps,omitempty"`
 	// CacheHit reports whether the curve came from the solution cache.
 	CacheHit bool `json:"cache_hit"`
 	// Err is the structured error envelope for a failure (validation,
@@ -557,6 +633,7 @@ func FromFrontResult(fr engine.FrontResult) FrontResponse {
 		return out
 	}
 	out.TMinNS = fr.TMin / units.NanoSecond
+	out.Eps = fr.Eps
 	out.Points = make([]FrontPoint, len(fr.Points))
 	for i, p := range fr.Points {
 		out.Points[i] = FrontPoint{

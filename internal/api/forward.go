@@ -32,6 +32,12 @@ func FromJob(j engine.Job) Request {
 	for _, b := range j.Budgets {
 		r.TargetsNS = append(r.TargetsNS, b/units.NanoSecond)
 	}
+	if j.TreeNet == nil {
+		// Always explicit for line jobs: a bare absent "eps" would let the
+		// peer's own -eps default relax a job the client asked to be exact.
+		eps := j.Eps
+		r.Eps = &eps
+	}
 	return r
 }
 
@@ -50,6 +56,10 @@ func ToResult(resp Response, j engine.Job) engine.Result {
 	if err := respErr(resp.Err, resp.Error); err != nil {
 		r.Err = err
 		return r
+	}
+	r.Eps = resp.Eps
+	if resp.EpsBound != nil {
+		r.EpsBound = *resp.EpsBound
 	}
 	tree := j.TreeNet != nil
 	if len(resp.Sweep) > 0 {
@@ -108,6 +118,9 @@ func respErr(info *ErrorInfo, legacy string) error {
 
 func toBudgetAnswer(p SweepPoint, isTree bool) engine.BudgetAnswer {
 	ba := engine.BudgetAnswer{Budget: p.TargetNS * units.NanoSecond}
+	if p.EpsBound != nil {
+		ba.EpsBound = *p.EpsBound
+	}
 	if isTree {
 		ba.TreeRes.Solution = toTreeSolution(p.Feasible, p.SlackNS, p.TotalWidthU, p.Buffers)
 		return ba

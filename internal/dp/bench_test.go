@@ -49,9 +49,12 @@ func benchOpts(b *testing.B, ev *delay.Evaluator, g float64, objective Objective
 // benchmarkSolve measures the steady-state kernel cost: one warm Solver,
 // one reused Solution, repeated SolveInto — the shape batch workers run.
 // Steady state performs zero heap allocations.
-func benchmarkSolve(b *testing.B, g float64, objective Objective) {
+func benchmarkSolve(b *testing.B, g float64, objective Objective, mut ...func(*Options)) {
 	ev := benchEval(b)
 	opts := benchOpts(b, ev, g, objective)
+	for _, m := range mut {
+		m(&opts)
+	}
 	s := NewSolver()
 	var sol Solution
 	b.ReportAllocs()
@@ -69,6 +72,18 @@ func benchmarkSolve(b *testing.B, g float64, objective Objective) {
 func BenchmarkSolve(b *testing.B)          { benchmarkSolve(b, 10, MinPower) }
 func BenchmarkSolve_g40(b *testing.B)      { benchmarkSolve(b, 40, MinPower) }
 func BenchmarkSolve_MinDelay(b *testing.B) { benchmarkSolve(b, 10, MinDelay) }
+
+// BenchmarkSolveLadder measures the exact-mode coarse-to-fine ladder: same
+// bit-identical answers, coarse-pass bounds pruning the fine sweep.
+func BenchmarkSolveLadder(b *testing.B) {
+	benchmarkSolve(b, 10, MinPower, func(o *Options) { o.Ladder = true })
+}
+
+// BenchmarkSolveEps measures the relaxed mode the engine serves when a
+// request opts in: ladder plus ε-dominance at the recommended DefaultEps.
+func BenchmarkSolveEps(b *testing.B) {
+	benchmarkSolve(b, 10, MinPower, func(o *Options) { o.Ladder = true; o.Eps = DefaultEps })
+}
 
 // BenchmarkSolvePooled measures the package-level convenience entry point
 // (pool acquire + fresh result Solution per call) for comparison with the

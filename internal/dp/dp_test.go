@@ -335,7 +335,9 @@ func TestStatsGrowWithLibrary(t *testing.T) {
 func pruneAll(opts []option, width bool) []option {
 	var p pruner
 	p.reset(1)
-	p.buckets[0] = append(p.buckets[0], opts...)
+	for _, o := range opts {
+		p.add(0, o)
+	}
 	return p.pruneInto(nil, width)
 }
 

@@ -2,7 +2,9 @@ package dp
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/rip-eda/rip/internal/delay"
@@ -57,24 +59,67 @@ type frontRoot struct {
 	idx   int32
 }
 
+// cmpRoot orders driver-closed roots for the skyline sweep: total
+// ascending, then width, then arena order for determinism.
+func cmpRoot(a, b frontRoot) int {
+	switch {
+	case a.total != b.total:
+		if a.total < b.total {
+			return -1
+		}
+		return 1
+	case a.w != b.w:
+		if a.w < b.w {
+			return -1
+		}
+		return 1
+	case a.idx != b.idx:
+		if a.idx < b.idx {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // SolveFront runs one unbounded width-aware DP sweep and extracts the
 // complete root Pareto front. Options.Objective and Target are ignored:
 // the sweep is always 3-D (width-aware) and unbounded, so the returned
-// Front answers every budget. For any target T, Front.At(T) selects the
-// identical assignment (bit-for-bit: same positions, widths and delay) a
-// bounded MinPower solve at Target=T over the same Options would pick,
-// because the bounded run's surviving options are exactly the unbounded
-// run's filtered to delay ≤ T and both resolve width ties by arena order.
+// Front answers every budget. In exact mode (Eps == 0), for any target T,
+// Front.At(T) selects an assignment with the identical delay and total
+// width a bounded MinPower solve at Target=T over the same Options would
+// pick, because the bounded run's surviving options are exactly the
+// unbounded run's filtered to delay ≤ T.
+//
+// With Eps > 0 the front is ε-relaxed: every point's Delay and TotalWidth
+// are still exact properties of a real, feasible assignment, but the
+// curve may skip points — certified so that for every exact front point
+// (D, W) the relaxed front holds a point with Delay ≤ D·φ and
+// TotalWidth ≤ W, where φ = Stats.EpsFactor(Eps) ≤ 1+Eps is the delay
+// inflation the run actually realized. Front.At(T) therefore never
+// returns a width above the exact optimum at T/φ.
 func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, error) {
 	if opts.Library.Size() == 0 {
 		return nil, Stats{}, errors.New("dp: empty repeater library")
 	}
-	n, err := s.prepare(ev, opts)
+	if !validEps(opts.Eps) {
+		return nil, Stats{}, fmt.Errorf("dp: eps must be in [0, %g], got %g", MaxEps, opts.Eps)
+	}
+	n, err := s.prepare(ev, opts, nil)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	stats := Stats{Candidates: n}
+	s.configureSweep(opts, true)
+	if opts.Ladder && len(s.widths) >= 2*ladderStride {
+		if err := s.ladderFront(ev, opts, &stats); err != nil {
+			return nil, stats, err
+		}
+		s.computeMinRem(ev)
+		s.sw.useWc = true
+	}
 	ok, err := s.runLevels(ev, opts, math.Inf(1), true, &stats)
+	s.fillEpsStats(&stats)
 	if err != nil || !ok {
 		return nil, stats, err
 	}
@@ -87,10 +132,10 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 	m := s.wM[0]
 	rw := s.wR[0]
 	rsOverWd := t.Rs / ev.Wd
-	roots := make([]frontRoot, 0, len(first))
+	s.roots = s.roots[:0]
 	for i := range first {
 		o := &first[i]
-		roots = append(roots, frontRoot{
+		s.roots = append(s.roots, frontRoot{
 			total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
 			w:     o.w,
 			idx:   int32(i),
@@ -102,19 +147,10 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 	// kept point where the record first drops to some width w* is the
 	// min-total, earliest-arena option of width w* — exactly the option the
 	// bounded driver loop picks for any target that admits it.
-	sort.Slice(roots, func(a, b int) bool {
-		ra, rb := &roots[a], &roots[b]
-		switch {
-		case ra.total != rb.total:
-			return ra.total < rb.total
-		case ra.w != rb.w:
-			return ra.w < rb.w
-		}
-		return ra.idx < rb.idx
-	})
+	slices.SortFunc(s.roots, cmpRoot)
 	front := make(Front, 0, 8)
 	bestW := math.Inf(1)
-	for _, r := range roots {
+	for _, r := range s.roots {
 		if !(r.w < bestW) {
 			continue
 		}
@@ -134,6 +170,89 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 		front = append(front, p)
 	}
 	return front, stats, nil
+}
+
+// ladderFront runs the coarse pass of the front-mode ladder: an exact
+// unbounded front solve on every ladderStride-th width, keeping only the
+// (delay, width) skyline. The fine pass kills any option whose width a
+// complete coarse solution already undercuts at a delay none of the
+// option's completions can beat (d·invC + minRem[k]); the coarse chains
+// themselves survive those kills (width-minimal killers are never
+// killed), so the exact fine front's point values are unchanged and the
+// ε fine front keeps its certified bound. Coarse work counters fold into
+// stats so MaxGenerated caps the combined work.
+func (s *Solver) ladderFront(ev *delay.Evaluator, opts Options, stats *Stats) error {
+	s.ladWidths = s.ladWidths[:0]
+	for i := 0; i < len(s.widths); i += ladderStride {
+		s.ladWidths = append(s.ladWidths, s.widths[i])
+	}
+	if s.lad == nil {
+		s.lad = NewSolver()
+	}
+	copts := opts
+	copts.Ladder = false
+	copts.Eps = 0
+	copts.Positions = s.cand
+	var cst Stats
+	var err error
+	s.coarseD, s.coarseW, cst, err = s.lad.solveFrontDW(ev, copts, s.ladWidths, s.coarseD[:0], s.coarseW[:0])
+	stats.Generated += cst.Generated
+	stats.Kept += cst.Kept
+	if cst.MaxPerLevel > stats.MaxPerLevel {
+		stats.MaxPerLevel = cst.MaxPerLevel
+	}
+	if err != nil {
+		return err
+	}
+	if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
+		return fmt.Errorf("%w: %d partial solutions (limit %d)",
+			ErrBudget, stats.Generated, opts.MaxGenerated)
+	}
+	return nil
+}
+
+// solveFrontDW runs one exact unbounded width-aware sweep over lib and
+// appends the root front skyline — delay strictly ascending, width
+// strictly descending — to outD/outW, skipping assignment reconstruction
+// entirely. It is the ladder's coarse-front kernel.
+func (s *Solver) solveFrontDW(ev *delay.Evaluator, opts Options, lib []float64, outD, outW []float64) ([]float64, []float64, Stats, error) {
+	n, err := s.prepare(ev, opts, lib)
+	if err != nil {
+		return outD, outW, Stats{}, err
+	}
+	stats := Stats{Candidates: n}
+	s.configureSweep(opts, true)
+	ok, err := s.runLevels(ev, opts, math.Inf(1), true, &stats)
+	if err != nil || !ok {
+		return outD, outW, stats, err
+	}
+	t := ev.Tech
+	rsCp := t.Rs * t.Cp
+	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
+	cw := s.wC[0]
+	m := s.wM[0]
+	rw := s.wR[0]
+	rsOverWd := t.Rs / ev.Wd
+	s.roots = s.roots[:0]
+	for i := range first {
+		o := &first[i]
+		s.roots = append(s.roots, frontRoot{
+			total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
+			w:     o.w,
+			idx:   int32(i),
+		})
+	}
+	slices.SortFunc(s.roots, cmpRoot)
+	bestW := math.Inf(1)
+	for _, r := range s.roots {
+		if !(r.w < bestW) {
+			continue
+		}
+		bestW = r.w
+		outD = append(outD, r.total)
+		outW = append(outW, r.w)
+	}
+	return outD, outW, stats, nil
 }
 
 // SolveFront runs the front extraction on a pooled Solver.

@@ -3,6 +3,8 @@ package dp
 import (
 	"math"
 	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // Pruning strategy
@@ -22,6 +24,9 @@ import (
 //     dominance: a 2-key sort plus a linear sweep keeps the bucket's front
 //     (d ascending, w strictly descending). Under the delay objective the
 //     whole bucket collapses to its min-d element with no sort at all.
+//     Because the bucket's c and action are constants, the bucket stores
+//     bare (d, w, next) records — 24 bytes instead of 40 — so the sort
+//     and sweep stream 40% less memory (the SoA layout of the hot merge).
 //   - The no-repeater bucket inherits the downstream level's (c, d, w)
 //     order (kept runs are emitted sorted), so it is already sorted; a
 //     linear check guards the rare rounding collision that breaks the
@@ -29,20 +34,49 @@ import (
 //   - The bucket fronts are then k-way merged in ascending (c, d, w)
 //     order through one incremental (d, w) front, which performs the exact
 //     dominance filter of the classic algorithm without ever sorting the
-//     full generated set.
+//     full generated set. The front is held as two parallel float slices
+//     (frontD, frontW) so the binary-search filter touches contiguous
+//     floats only.
 //
 // The result is exactly the set of non-dominated distinct (c, d, w) values
 // (one representative each), emitted in ascending (c, d, w) order — the
 // same value set the reference O(G log G + G·F) prune keeps, which the
 // property tests in prune_test.go verify against an O(G²) dominance
 // filter.
+//
+// Two opt-in relaxations bolt onto this skeleton without touching the
+// exact default path:
+//
+//   - ε-dominance (epsMul > 1): the merge filter treats an incoming option
+//     as dominated when a kept entry beats it on c and w and is within a
+//     (1+ε)^(1/n) delay factor of it, where n is the candidate count. The
+//     stage-1 bucket reduces stay exact, so each level introduces at most
+//     one relaxed hop and the whole sweep's delay inflation telescopes to
+//     at most 1+ε — and, since a hop only costs its factor at a level
+//     whose merge actually performed a relaxed kill, to the tighter
+//     (1+ε)^(epsLevels/n) that Stats.EpsFactor certifies per run. Kept
+//     entries always record their exact delay, so the relaxation never
+//     compounds through the front itself.
+//   - intra-net parallelism (par > 1): stage-1 bucket reduces are
+//     independent by construction, so levels whose generated count crosses
+//     thresh fan them across a bounded goroutine group; the stage-2 merge
+//     stays serial, so results are bit-identical to the serial schedule.
 
-// dw is one (delay, width) Pareto-front entry.
+// dw is one (delay, width) Pareto-front entry (kept for the preserved
+// reference implementation in reference_test.go).
 type dw struct{ d, w float64 }
+
+// dwn is one repeater-bucket record: the bucket's c and action are
+// constants held once in the pruner, so options in it are just
+// (delay, width, arena-link).
+type dwn struct {
+	d, w float64
+	next int32
+}
 
 // mergeHead is one cursor of the k-way bucket merge.
 type mergeHead struct {
-	b int32 // bucket index
+	b int32 // bucket index: 0 = no-repeater, i+1 = width index i
 	i int32 // next unconsumed option in that bucket
 }
 
@@ -50,22 +84,81 @@ type mergeHead struct {
 // levels and solves; bucket 0 is the no-repeater action, bucket i+1 the
 // library's width index i.
 type pruner struct {
-	buckets [][]option
-	front   []dw
-	heap    []mergeHead
+	b0     []option  // no-repeater bucket: arbitrary c, inherits sort order
+	rb     [][]dwn   // repeater buckets, one per library width
+	rbC    []float64 // the constant c of each repeater bucket
+	frontD []float64 // incremental front, delay coordinates (ascending)
+	frontW []float64 // incremental front, width coordinates (descending)
+	heap   []mergeHead
+
+	// epsMul > 1 enables ε-relaxed dominance in the merge filter: an
+	// option is pruned when a kept entry dominates its (c, w) and has
+	// d ≤ o.d·epsMul. 1 (or 0) means exact.
+	epsMul float64
+	// epsPruned counts options pruned by the relaxation that exact
+	// dominance would have kept, accumulated across a solve's levels.
+	epsPruned int
+	// epsLevels counts levels whose prune performed at least one such
+	// relaxed kill. A witness chain loses its (1+ε)^(1/n) delay factor
+	// only at those levels, so the run's realized inflation telescopes
+	// to (1+ε)^(epsLevels/n) — the tightened per-run certificate
+	// Stats.EpsFactor reports.
+	epsLevels int
+	// epsFac is the realized inflation product: per level, the largest
+	// delay ratio any relaxed kill actually forced on its cheapest valid
+	// witness redirect (the fastest kept entry at width ≤ the victim's),
+	// multiplied across levels. Always within [1, (1+ε)^(epsLevels/n)]
+	// and usually far below it — each kill's realized ratio is capped by
+	// (1+ε)^(1/n) but typically near 1.
+	epsFac float64
+
+	// par > 1 fans stage-1 bucket reduces across up to par goroutines
+	// (including the caller) for levels generating ≥ thresh options.
+	// acquire/release, when set, gate each extra goroutine against the
+	// engine's shared worker budget; a failed acquire just means fewer
+	// helpers.
+	par     int
+	thresh  int
+	acquire func() bool
+	release func()
 }
 
-// reset prepares nb buckets for a new level, keeping allocated capacity.
+// reset prepares the pruner for a new level of nb buckets (one no-repeater
+// plus nb-1 repeater widths), keeping allocated capacity.
 func (p *pruner) reset(nb int) {
-	if cap(p.buckets) < nb {
-		grown := make([][]option, nb)
-		copy(grown, p.buckets)
-		p.buckets = grown
+	p.b0 = p.b0[:0]
+	nr := nb - 1
+	if cap(p.rb) < nr {
+		grown := make([][]dwn, nr)
+		copy(grown, p.rb)
+		p.rb = grown
+		p.rbC = make([]float64, nr)
 	}
-	p.buckets = p.buckets[:nb]
-	for i := range p.buckets {
-		p.buckets[i] = p.buckets[i][:0]
+	p.rb = p.rb[:nr]
+	p.rbC = p.rbC[:nr]
+	for i := range p.rb {
+		p.rb[i] = p.rb[i][:0]
 	}
+}
+
+// add places one generated option into its bucket. The solver's hot loop
+// appends directly; this helper keeps tests and cold paths readable.
+func (p *pruner) add(bi int, o option) {
+	if bi == 0 {
+		p.b0 = append(p.b0, o)
+		return
+	}
+	p.rbC[bi-1] = o.c
+	p.rb[bi-1] = append(p.rb[bi-1], dwn{d: o.d, w: o.w, next: o.next})
+}
+
+// generated reports the number of options currently in the buckets.
+func (p *pruner) generated() int {
+	n := len(p.b0)
+	for i := range p.rb {
+		n += len(p.rb[i])
+	}
+	return n
 }
 
 // cmpOpt orders options by (c, d, w) ascending — (c, d) only when the
@@ -92,6 +185,126 @@ func cmpOpt(a, b *option, threeD bool) int {
 	return 0
 }
 
+// reduceB0 reduces bucket 0 to sorted (c, d, w) order. It inherits the
+// downstream kept order, so the common case is a verify-only pass.
+func (p *pruner) reduceB0(threeD bool) {
+	if !slices.IsSortedFunc(p.b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) }) {
+		slices.SortFunc(p.b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) })
+	}
+}
+
+// reduceRB reduces repeater bucket bi to its own (d, w) front — or, width
+// ignored, to its single min-d element.
+func (p *pruner) reduceRB(bi int, threeD bool) {
+	b := p.rb[bi]
+	if len(b) <= 1 {
+		return
+	}
+	if !threeD {
+		// Constant c, width ignored: the min-d element dominates the
+		// whole bucket. Keep the first minimum.
+		best := 0
+		for i := 1; i < len(b); i++ {
+			if b[i].d < b[best].d {
+				best = i
+			}
+		}
+		b[0] = b[best]
+		p.rb[bi] = b[:1]
+		return
+	}
+	// Constant c: 2-D (d, w) front. Sort by (d, w) and keep strictly
+	// decreasing widths.
+	slices.SortFunc(b, func(a, b dwn) int {
+		switch {
+		case a.d != b.d:
+			if a.d < b.d {
+				return -1
+			}
+			return 1
+		case a.w != b.w:
+			if a.w < b.w {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	out := b[:0]
+	minW := math.Inf(1)
+	for i := range b {
+		if b[i].w < minW {
+			minW = b[i].w
+			out = append(out, b[i])
+		}
+	}
+	p.rb[bi] = out
+}
+
+// reduceAll runs stage 1 over every bucket — serially, or fanned across a
+// bounded goroutine group when the level is wide enough to pay for it.
+// Buckets are independent, so the parallel schedule produces bit-identical
+// bucket fronts.
+func (p *pruner) reduceAll(threeD bool) {
+	nb := 1 + len(p.rb)
+	if p.par > 1 && p.generated() >= p.thresh && nb > 1 {
+		var next atomic.Int64
+		work := func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nb {
+					return
+				}
+				if i == 0 {
+					p.reduceB0(threeD)
+				} else {
+					p.reduceRB(i-1, threeD)
+				}
+			}
+		}
+		extra := p.par - 1
+		if extra > nb-1 {
+			extra = nb - 1
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < extra; i++ {
+			if p.acquire != nil && !p.acquire() {
+				break // worker budget exhausted: fewer helpers, not an error
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if p.release != nil {
+					defer p.release()
+				}
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+		return
+	}
+	p.reduceB0(threeD)
+	for bi := range p.rb {
+		p.reduceRB(bi, threeD)
+	}
+}
+
+// frontIdx returns the first front index whose delay exceeds key — the
+// binary search both the dominance filter and the insert position use.
+func (p *pruner) frontIdx(key float64) int {
+	lo, hi := 0, len(p.frontD)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.frontD[mid] > key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // pruneInto removes dominated options from the filled buckets and appends
 // the survivors to dst in ascending (c, d, w) order, returning the
 // extended slice. With threeD it applies the 3-D Pareto rule on (c, d, w);
@@ -99,78 +312,43 @@ func cmpOpt(a, b *option, threeD bool) int {
 // without mutating any option.
 func (p *pruner) pruneInto(dst []option, threeD bool) []option {
 	// Stage 1: reduce each bucket to its own front.
-	//
-	// Bucket 0 (no repeater) carries arbitrary c values but inherits the
-	// downstream kept order; verify and only sort on the rare violation.
-	b0 := p.buckets[0]
-	if !slices.IsSortedFunc(b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) }) {
-		slices.SortFunc(b0, func(a, b option) int { return cmpOpt(&a, &b, threeD) })
-	}
-	for bi := 1; bi < len(p.buckets); bi++ {
-		b := p.buckets[bi]
-		if len(b) <= 1 {
-			continue
-		}
-		if !threeD {
-			// Constant c, width ignored: the min-d element dominates the
-			// whole bucket. Keep the first minimum.
-			best := 0
-			for i := 1; i < len(b); i++ {
-				if b[i].d < b[best].d {
-					best = i
-				}
-			}
-			b[0] = b[best]
-			p.buckets[bi] = b[:1]
-			continue
-		}
-		// Constant c: 2-D (d, w) front. Sort by (d, w) and keep strictly
-		// decreasing widths.
-		slices.SortFunc(b, func(a, b option) int {
-			switch {
-			case a.d != b.d:
-				if a.d < b.d {
-					return -1
-				}
-				return 1
-			case a.w != b.w:
-				if a.w < b.w {
-					return -1
-				}
-				return 1
-			}
-			return 0
-		})
-		out := b[:0]
-		minW := math.Inf(1)
-		for i := range b {
-			if b[i].w < minW {
-				minW = b[i].w
-				out = append(out, b[i])
-			}
-		}
-		p.buckets[bi] = out
-	}
+	p.reduceAll(threeD)
 
 	// Stage 2: k-way merge of the bucket fronts in ascending (c, d, w)
 	// order through a single incremental (d, w) front. Every run is sorted
 	// in that order (repeater buckets have constant c and ascending d), so
 	// a small binary heap over the run heads yields the global order.
 	p.heap = p.heap[:0]
-	for bi := range p.buckets {
-		if len(p.buckets[bi]) > 0 {
-			p.heap = append(p.heap, mergeHead{b: int32(bi)})
+	if len(p.b0) > 0 {
+		p.heap = append(p.heap, mergeHead{b: 0})
+	}
+	for bi := range p.rb {
+		if len(p.rb[bi]) > 0 {
+			p.heap = append(p.heap, mergeHead{b: int32(bi + 1)})
 		}
 	}
 	for i := len(p.heap)/2 - 1; i >= 0; i-- {
 		p.siftDown(i, threeD)
 	}
 
-	p.front = p.front[:0]
+	relaxed := p.epsMul > 1
+	epsBefore := p.epsPruned
+	lvlRatio := 1.0
+	p.frontD = p.frontD[:0]
+	p.frontW = p.frontW[:0]
 	for len(p.heap) > 0 {
 		h := p.heap[0]
-		o := p.buckets[h.b][h.i]
-		if int(h.i)+1 < len(p.buckets[h.b]) {
+		var o option
+		var blen int
+		if h.b == 0 {
+			o = p.b0[h.i]
+			blen = len(p.b0)
+		} else {
+			e := p.rb[h.b-1][h.i]
+			o = option{c: p.rbC[h.b-1], d: e.d, w: e.w, act: h.b - 1, next: e.next}
+			blen = len(p.rb[h.b-1])
+		}
+		if int(h.i)+1 < blen {
 			p.heap[0].i++
 		} else {
 			last := len(p.heap) - 1
@@ -181,49 +359,111 @@ func (p *pruner) pruneInto(dst []option, threeD bool) []option {
 
 		// front holds kept (d, w) pairs sorted by d ascending with
 		// strictly decreasing w; every entry's c ≤ o.c by merge order, so
-		// o is dominated iff some entry has d ≤ o.d and w ≤ o.w.
+		// o is dominated iff some entry has d ≤ o.d and w ≤ o.w. Under
+		// ε-dominance the delay window widens to d ≤ o.d·epsMul; kept
+		// entries still record exact delays, so the relaxation never
+		// compounds within a level.
 		ow := o.w
 		if !threeD {
 			ow = 0
 		}
-		lo, hi := 0, len(p.front)
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if p.front[mid].d > o.d {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
+		key := o.d
+		if relaxed {
+			key = o.d * p.epsMul
 		}
-		if lo > 0 && p.front[lo-1].w <= ow {
+		lo := p.frontIdx(key)
+		if lo > 0 && p.frontW[lo-1] <= ow {
+			if relaxed {
+				// Attribute the kill: did the relaxation prune what exact
+				// dominance would have kept? Only then is it an ε-prune —
+				// and only then does a witness chain through the victim
+				// pay a delay hop, bounded by the ratio to its cheapest
+				// valid redirect: the fastest kept entry at width ≤ ow
+				// (widths are strictly descending, so the first such).
+				ex := p.frontIdx(o.d)
+				if ex == 0 || p.frontW[ex-1] > ow {
+					p.epsPruned++
+					if r := p.frontD[p.widthIdx(ow)] / o.d; r > lvlRatio {
+						lvlRatio = r
+					}
+				}
+			}
 			continue // dominated (or a duplicate of a kept value)
 		}
 		dst = append(dst, o)
-		// Insert (o.d, ow); drop entries it dominates (d ≥ o.d, w ≥ ow).
-		j := lo
-		for j < len(p.front) && p.front[j].w >= ow {
+		// Insert (o.d, ow) at its exact-delay position; drop entries it
+		// dominates (d ≥ o.d, w ≥ ow). The inflated key only widened the
+		// search left of the exact position, so ins ≤ lo and the entries
+		// in between have w > ow — descending order is preserved.
+		ins := lo
+		if relaxed {
+			ins = p.frontIdx(o.d)
+		}
+		j := ins
+		for j < len(p.frontW) && p.frontW[j] >= ow {
 			j++
 		}
-		if j == lo {
-			p.front = append(p.front, dw{})
-			copy(p.front[lo+1:], p.front[lo:])
-			p.front[lo] = dw{o.d, ow}
+		if j == ins {
+			p.frontD = append(p.frontD, 0)
+			copy(p.frontD[ins+1:], p.frontD[ins:])
+			p.frontD[ins] = o.d
+			p.frontW = append(p.frontW, 0)
+			copy(p.frontW[ins+1:], p.frontW[ins:])
+			p.frontW[ins] = ow
 		} else {
-			p.front[lo] = dw{o.d, ow}
-			p.front = append(p.front[:lo+1], p.front[j:]...)
+			p.frontD[ins] = o.d
+			p.frontD = append(p.frontD[:ins+1], p.frontD[j:]...)
+			p.frontW[ins] = ow
+			p.frontW = append(p.frontW[:ins+1], p.frontW[j:]...)
 		}
 	}
+	if p.epsPruned > epsBefore {
+		p.epsLevels++
+		p.epsFac *= lvlRatio
+	}
 	return dst
+}
+
+// widthIdx returns the first front index whose width is ≤ w. Front
+// widths are strictly descending, so the returned entry is the fastest
+// kept option no wider than w; callers guarantee one exists.
+func (p *pruner) widthIdx(w float64) int {
+	lo, hi := 0, len(p.frontW)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.frontW[mid] > w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // headLess orders merge cursors by their head option's (c, d, w), breaking
 // exact value ties by bucket index for determinism.
 func (p *pruner) headLess(x, y mergeHead, threeD bool) bool {
-	c := cmpOpt(&p.buckets[x.b][x.i], &p.buckets[y.b][y.i], threeD)
-	if c != 0 {
-		return c < 0
+	xc, xd, xw := p.headVal(x)
+	yc, yd, yw := p.headVal(y)
+	switch {
+	case xc != yc:
+		return xc < yc
+	case xd != yd:
+		return xd < yd
+	case threeD && xw != yw:
+		return xw < yw
 	}
 	return x.b < y.b
+}
+
+// headVal reads the (c, d, w) of a merge cursor's head option.
+func (p *pruner) headVal(h mergeHead) (c, d, w float64) {
+	if h.b == 0 {
+		o := &p.b0[h.i]
+		return o.c, o.d, o.w
+	}
+	e := &p.rb[h.b-1][h.i]
+	return p.rbC[h.b-1], e.d, e.w
 }
 
 // siftDown restores the heap property from index i.

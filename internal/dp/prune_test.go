@@ -67,7 +67,9 @@ func checkPrune(t *testing.T, buckets [][]option, threeD bool) {
 	var p pruner
 	p.reset(len(buckets))
 	for bi, b := range buckets {
-		p.buckets[bi] = append(p.buckets[bi], b...)
+		for _, o := range b {
+			p.add(bi, o)
+		}
 	}
 	kept := p.pruneInto(nil, threeD)
 

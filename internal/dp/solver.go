@@ -45,10 +45,54 @@ type Solver struct {
 
 	pr pruner
 
+	// sw is the per-solve sweep configuration the ladder and ε machinery
+	// hang off runLevels; all defaults mean "exact classic sweep".
+	sw sweepCfg
+
+	// Ladder scratch: the coarse pass runs on a private inner Solver so
+	// the outer arenas survive it. ladWidths is the subsampled library,
+	// minRem the per-level remaining-delay lower bounds, coarseD/coarseW
+	// the coarse front skyline the fine front pass queries.
+	lad       *Solver
+	ladSol    Solution
+	ladWidths []float64
+	minRem    []float64
+	coarseD   []float64
+	coarseW   []float64
+
+	// roots is the driver-closure scratch for front extraction.
+	roots []frontRoot
+
 	// mdSol is MinimumDelay's scratch solution, so τmin queries stay
 	// allocation-free too.
 	mdSol Solution
 }
+
+// sweepCfg carries the per-solve pruning configuration runLevels reads.
+// The zero value (plus wUB = +Inf, epsC = invC = 1 from configureSweep)
+// is the exact classic sweep.
+type sweepCfg struct {
+	// wUB kills repeater options whose accumulated width exceeds it: the
+	// ladder's coarse solution is a valid full-library solution, so no
+	// partial wider than it can end up optimal. +Inf = no bound.
+	wUB float64
+	// useRem tightens the per-level delay bound to Target − minRem[k]·epsC:
+	// an option whose delay plus a lower bound on all remaining stage
+	// delays already misses the (deflated) target is dead.
+	useRem bool
+	// useWc kills options against the coarse front skyline (front mode,
+	// which has no Target): an option is dead when a complete coarse
+	// solution undercuts its width at a delay its completions can't beat.
+	useWc bool
+	// epsC = 1+Eps is the certified delay inflation factor; invC = 1/epsC.
+	// Both 1 in exact mode.
+	epsC float64
+	invC float64
+}
+
+// ladderStride is the coarse pass's library subsampling factor: every
+// ladderStride-th width, so a g10 library's coarse pass is a g40 solve.
+const ladderStride = 4
 
 // NewSolver returns an empty Solver; arenas grow on first use and are
 // retained afterwards.
@@ -75,6 +119,10 @@ func (s *Solver) MinimumDelay(ev *delay.Evaluator, opts Options) (float64, error
 func (s *Solver) MinimumDelayStats(ev *delay.Evaluator, opts Options) (float64, Stats, error) {
 	opts.Objective = MinDelay
 	opts.Target = 0
+	// τmin is a contract across the repo (relative targets resolve against
+	// it), so it is always computed exactly.
+	opts.Eps = 0
+	opts.Ladder = false
 	if err := s.SolveInto(&s.mdSol, ev, opts); err != nil {
 		return 0, s.mdSol.Stats, err
 	}
@@ -90,6 +138,13 @@ func (s *Solver) MinimumDelayStats(ev *delay.Evaluator, opts Options) (float64, 
 // that retain solutions across solves must pass distinct *sol values (or
 // use Solve, which always returns fresh memory).
 func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) error {
+	return s.solveInto(sol, ev, opts, nil)
+}
+
+// solveInto is SolveInto with an optional library override: when lib is
+// non-nil it replaces opts.Library's width set (the ladder's coarse pass
+// passes its subsample without building a repeater.Library for it).
+func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib []float64) error {
 	sol.Assignment.Positions = sol.Assignment.Positions[:0]
 	sol.Assignment.Widths = sol.Assignment.Widths[:0]
 	sol.Delay = 0
@@ -97,13 +152,16 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 	sol.Feasible = false
 	sol.Stats = Stats{}
 
-	if opts.Library.Size() == 0 {
+	if opts.Library.Size() == 0 && lib == nil {
 		return errors.New("dp: empty repeater library")
 	}
 	if opts.Objective == MinPower && !(opts.Target > 0) {
 		return fmt.Errorf("dp: min-power needs a positive timing target, got %g", opts.Target)
 	}
-	n, err := s.prepare(ev, opts)
+	if !validEps(opts.Eps) {
+		return fmt.Errorf("dp: eps must be in [0, %g], got %g", MaxEps, opts.Eps)
+	}
+	n, err := s.prepare(ev, opts, lib)
 	if err != nil {
 		return err
 	}
@@ -117,7 +175,18 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 		bound = opts.Target
 	}
 
+	s.configureSweep(opts, threeD)
+	if threeD && opts.Ladder && len(s.widths) >= 2*ladderStride {
+		if err := s.ladderBounded(ev, opts, &stats); err != nil {
+			sol.Stats = stats
+			return err
+		}
+		s.computeMinRem(ev)
+		s.sw.useRem = true
+	}
+
 	ok, err := s.runLevels(ev, opts, bound, threeD, &stats)
+	s.fillEpsStats(&stats)
 	if err != nil {
 		sol.Stats = stats
 		return err
@@ -182,7 +251,8 @@ func (s *Solver) SolveInto(sol *Solution, ev *delay.Evaluator, opts Options) err
 // buffer: stage wire R/C/M, per-width electrical constants, level tables
 // and the receiver seed at arena[0]. It returns the candidate count.
 // Callers validate Options first (prepare assumes a non-empty library).
-func (s *Solver) prepare(ev *delay.Evaluator, opts Options) (int, error) {
+// A non-nil lib overrides opts.Library's width set.
+func (s *Solver) prepare(ev *delay.Evaluator, opts Options, lib []float64) (int, error) {
 	s.cand = s.cand[:0]
 	if opts.Positions == nil {
 		if !(opts.Pitch > 0) {
@@ -211,7 +281,11 @@ func (s *Solver) prepare(ev *delay.Evaluator, opts Options) (int, error) {
 	s.points = append(s.points, s.cand...)
 	s.points = append(s.points, ev.Line.Length())
 	s.wR, s.wC, s.wM = ev.StageRCM(s.points, s.wR[:0], s.wC[:0], s.wM[:0])
-	s.widths = opts.Library.AppendWidths(s.widths[:0])
+	if lib != nil {
+		s.widths = append(s.widths[:0], lib...)
+	} else {
+		s.widths = opts.Library.AppendWidths(s.widths[:0])
+	}
 	s.rsOverW = s.rsOverW[:0]
 	s.coW = s.coW[:0]
 	for _, w := range s.widths {
@@ -233,47 +307,211 @@ func (s *Solver) prepare(ev *delay.Evaluator, opts Options) (int, error) {
 	return n, nil
 }
 
+// configureSweep resets the sweep configuration and the pruner's ε and
+// parallelism knobs for a new solve. threeD gates the ε machinery: the
+// relaxation is defined on the width-aware sweep only.
+func (s *Solver) configureSweep(opts Options, threeD bool) {
+	s.sw = sweepCfg{wUB: math.Inf(1), epsC: 1, invC: 1}
+	s.pr.epsMul = 0
+	s.pr.epsPruned = 0
+	s.pr.epsLevels = 0
+	s.pr.epsFac = 1
+	s.pr.par = 0
+	s.pr.thresh = 0
+	s.pr.acquire = nil
+	s.pr.release = nil
+	if opts.Parallel > 1 {
+		s.pr.par = opts.Parallel
+		s.pr.thresh = opts.ParallelThreshold
+		if s.pr.thresh <= 0 {
+			s.pr.thresh = DefaultParallelThreshold
+		}
+		s.pr.acquire = opts.AcquireWorker
+		s.pr.release = opts.ReleaseWorker
+	}
+	if threeD && opts.Eps > 0 {
+		// The certified delay inflation is at most 1+Eps: the stage-1
+		// bucket reduces are exact, so each level's merge introduces at
+		// most one relaxed hop of factor (1+Eps)^(1/n), and a chain
+		// crosses n levels — the hops telescope to (1+Eps). Per run the
+		// realized inflation is the tighter Stats.EpsFactor, which only
+		// charges the levels whose merge performed a relaxed kill.
+		s.sw.epsC = 1 + opts.Eps
+		s.sw.invC = 1 / s.sw.epsC
+		if n := len(s.cand); n > 0 {
+			s.pr.epsMul = math.Pow(s.sw.epsC, 1/float64(n))
+		}
+	}
+}
+
+// fillEpsStats copies the pruner's relaxation counters into stats after a
+// sweep. EpsInflation carries a 1e-12 headroom: each realized ratio is a
+// rounded division and the certificate is proved in real arithmetic, so
+// the headroom dwarfs any accumulated ulp without costing measurable
+// tightness. Exact runs leave all three fields zero.
+func (s *Solver) fillEpsStats(stats *Stats) {
+	stats.EpsPruned = s.pr.epsPruned
+	stats.EpsLevels = s.pr.epsLevels
+	if s.pr.epsLevels > 0 {
+		stats.EpsInflation = s.pr.epsFac * (1 + 1e-12)
+	}
+}
+
+// ladderBounded runs the coarse pass of the bounded (MinPower) ladder: an
+// exact solve on every ladderStride-th width at target Target/(1+Eps).
+// Its solution is a valid full-library solution at the deflated target,
+// so its TotalWidth upper-bounds every width the fine pass ever needs to
+// keep (the exact optimum is no wider), and killing wider partials is
+// admissible — for the exact fine pass bit-identically, for the ε pass
+// within the certified bound. The coarse pass's work counters fold into
+// stats so MaxGenerated caps the combined work.
+func (s *Solver) ladderBounded(ev *delay.Evaluator, opts Options, stats *Stats) error {
+	s.ladWidths = s.ladWidths[:0]
+	for i := 0; i < len(s.widths); i += ladderStride {
+		s.ladWidths = append(s.ladWidths, s.widths[i])
+	}
+	if s.lad == nil {
+		s.lad = NewSolver()
+	}
+	copts := opts
+	copts.Ladder = false
+	copts.Eps = 0
+	copts.Positions = s.cand
+	copts.Target = opts.Target / s.sw.epsC
+	err := s.lad.solveInto(&s.ladSol, ev, copts, s.ladWidths)
+	cst := s.ladSol.Stats
+	stats.Generated += cst.Generated
+	stats.Kept += cst.Kept
+	if cst.MaxPerLevel > stats.MaxPerLevel {
+		stats.MaxPerLevel = cst.MaxPerLevel
+	}
+	if err != nil {
+		return err
+	}
+	if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
+		return fmt.Errorf("%w: %d partial solutions (limit %d)",
+			ErrBudget, stats.Generated, opts.MaxGenerated)
+	}
+	if s.ladSol.Feasible {
+		s.sw.wUB = s.ladSol.TotalWidth
+	}
+	return nil
+}
+
+// computeMinRem fills minRem[k] with a lower bound on the delay any
+// option at level k still accumulates before the driver closes it: the
+// distributed self-delay of every remaining stage plus the driver's
+// irreducible intrinsic and first-stage-load terms. Everything else
+// (resistance·load cross terms) is nonnegative, so d + minRem[k] ≤ total
+// holds for every completion of every level-k option.
+func (s *Solver) computeMinRem(ev *delay.Evaluator) {
+	n := len(s.cand)
+	if cap(s.minRem) < n {
+		s.minRem = make([]float64, n)
+	}
+	s.minRem = s.minRem[:n]
+	t := ev.Tech
+	acc := t.Rs*t.Cp + (t.Rs/ev.Wd)*s.wC[0] + s.wM[0]
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			acc += s.wM[k]
+		}
+		// Deflate by a hair: the bound is proved in real arithmetic, and
+		// the fine sweep accumulates delays through rounded additions, so
+		// an exactly-tight floor could kill a chain rounding just under
+		// it. 1e-9 relative dwarfs any accumulated ulp while costing
+		// nothing measurable in pruning power.
+		s.minRem[k] = acc * (1 - 1e-9)
+	}
+}
+
+// wcAt returns the width of the cheapest coarse-front solution whose
+// delay is ≤ x, or +Inf when no coarse solution is that fast. coarseD is
+// ascending with coarseW strictly descending (a skyline), so the
+// rightmost qualifying point is the cheapest.
+func (s *Solver) wcAt(x float64) float64 {
+	lo, hi := 0, len(s.coarseD)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.coarseD[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return s.coarseW[lo-1]
+}
+
 // runLevels executes the bottom-up sweep over every candidate level after
 // prepare, growing the arena level by level. It reports ok=false when a
 // level prunes to nothing (every partial timed out — infeasible) and
 // ErrBudget when MaxGenerated is exceeded; stats accumulate either way.
 func (s *Solver) runLevels(ev *delay.Evaluator, opts Options, bound float64, threeD bool, stats *Stats) (bool, error) {
 	rsCp := ev.Tech.Rs * ev.Tech.Cp
+	useRem, useWc := s.sw.useRem, s.sw.useWc
+	wUB := s.sw.wUB
+	checkUB := !math.IsInf(wUB, 1)
+	invC := s.sw.invC
 	for k := len(s.cand) - 1; k >= 0; k-- {
 		// Stage k+1 spans [cand[k], next candidate or L].
 		cw := s.wC[k+1]
 		rw := s.wR[k+1]
 		m := s.wM[k+1]
 
+		// Ladder bounds for options generated at this level. The delay
+		// bound tightens by the remaining-delay floor (deflated targets
+		// inflate it back by epsC so ε-surrogate chains always survive);
+		// the width bounds kill partials no completion can redeem.
+		lb := bound
+		var rem float64
+		if useRem || useWc {
+			rem = s.minRem[k]
+		}
+		if useRem {
+			if b := opts.Target - rem*s.sw.epsC; b < lb {
+				lb = b
+			}
+		}
+
 		s.pr.reset(len(s.widths) + 1)
+		copy(s.pr.rbC, s.coW)
 		downOff := s.lvlOff[k+1]
 		down := s.arena[downOff : downOff+s.lvlCnt[k+1]]
-		gen := 0
 		for di := range down {
 			o := &down[di]
 			baseC := o.c + cw
 			baseD := o.d + rw*o.c + m
-			if baseD > bound {
+			if baseD > lb {
 				continue
 			}
 			next := downOff + int32(di)
 			// No repeater at this candidate.
-			s.pr.buckets[0] = append(s.pr.buckets[0], option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+			if !useWc || o.w <= s.wcAt(baseD*invC+rem) {
+				s.pr.b0 = append(s.pr.b0, option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+			}
 			// Repeater of each library width: within bucket wi+1 the load
 			// coordinate c is the constant Co·w, which is what lets the
-			// pruner treat the bucket as a 2-D (d, w) front.
+			// pruner treat the bucket as a 2-D (d, w) front of bare
+			// (d, w, next) records.
 			for wi := range s.widths {
 				d := rsCp + s.rsOverW[wi]*baseC + baseD
-				if d > bound {
+				if d > lb {
 					continue
 				}
-				s.pr.buckets[wi+1] = append(s.pr.buckets[wi+1],
-					option{c: s.coW[wi], d: d, w: o.w + s.widths[wi], act: int32(wi), next: next})
+				w := o.w + s.widths[wi]
+				if checkUB && w > wUB {
+					continue
+				}
+				if useWc && w > s.wcAt(d*invC+rem) {
+					continue
+				}
+				s.pr.rb[wi] = append(s.pr.rb[wi], dwn{d: d, w: w, next: next})
 			}
 		}
-		for _, b := range s.pr.buckets {
-			gen += len(b)
-		}
+		gen := s.pr.generated()
 		stats.Generated += gen
 		if opts.MaxGenerated > 0 && stats.Generated > opts.MaxGenerated {
 			return false, fmt.Errorf("%w: %d partial solutions (limit %d)",

@@ -102,6 +102,14 @@ type Job struct {
 	// positive and finite. For trees each budget is a uniform per-sink
 	// deadline.
 	Budgets []float64
+	// Eps opts the job into ε-relaxed front solving (line nets only).
+	// Served answers still meet the requested budget exactly — the
+	// relaxation only thins the retained front, with the certified
+	// guarantee that the returned width never exceeds the exact optimum
+	// at Target/(1+Eps). 0 (the default) is bit-exact; the valid range
+	// is [0, dp.MaxEps]. ε fronts are cached under keys disjoint from
+	// exact ones, so the two modes never alias.
+	Eps float64
 }
 
 // Result is one net's outcome. Err is per-net: a failed job never aborts
@@ -138,6 +146,14 @@ type Result struct {
 	// for such jobs. All answers come from one front solve (or one
 	// verified front hit).
 	Sweep []BudgetAnswer
+	// Eps echoes the ε relaxation the answer was solved under (0 = exact).
+	Eps float64
+	// EpsBound is the certified relative width-suboptimality of a served
+	// ε answer: (width − lowerBound)/width ∈ [0, 1], where lowerBound is
+	// the ε front's width at Target·(1+Eps) — provably no larger than the
+	// exact optimum's width at Target. 0 for exact jobs, infeasible
+	// answers, and multi-budget jobs (see BudgetAnswer.EpsBound).
+	EpsBound float64
 	// CacheHit reports whether the solution was served from cache.
 	CacheHit bool
 	// Err records a per-net failure (validation or solver error).
@@ -153,6 +169,10 @@ type BudgetAnswer struct {
 	Res core.Result
 	// TreeRes carries a tree job's answer at this budget.
 	TreeRes tree.HybridResult
+	// EpsBound is this budget's certified relative width-suboptimality
+	// bound under an ε job (see Result.EpsBound); 0 for exact jobs and
+	// infeasible budgets.
+	EpsBound float64
 }
 
 // name returns the job's net name regardless of kind, for error paths.
@@ -302,6 +322,18 @@ type Engine struct {
 	frontPoints    atomic.Uint64
 	frontMaxPoints atomic.Uint64
 	frontLookups   atomic.Uint64
+
+	// ε-mode counters, exported at /metrics as rip_dp_eps_*: how many
+	// front solves ran relaxed, how many candidates only the relaxation
+	// pruned, how many answers were served from ε fronts, and a fixed-
+	// bucket histogram of the certified per-answer suboptimality bound.
+	epsSolves   atomic.Uint64
+	epsPruned   atomic.Uint64
+	epsAnswers  atomic.Uint64
+	epsBoundHst [len(EpsBoundBuckets) + 1]atomic.Uint64
+	// epsBoundSum accumulates certified bounds in nano-units (bound·1e9)
+	// so the histogram's _sum renders without a float CAS loop.
+	epsBoundSum atomic.Uint64
 }
 
 // New builds an Engine for the technology node.
@@ -538,6 +570,67 @@ func (e *Engine) noteFront(points int) {
 	}
 }
 
+// EpsBoundBuckets are the upper edges of the certified-bound histogram
+// EpsStats carries: an answer with EpsBound b lands in the first bucket
+// whose edge is ≥ b, or in the overflow slot past the last edge. The
+// edges bracket the regime the default ε targets (≤1 % excess width).
+var EpsBoundBuckets = [...]float64{0.0005, 0.001, 0.005, 0.01, 0.05}
+
+// EpsStats is a point-in-time snapshot of the engine's ε-relaxed solve
+// activity — the rip_dp_eps_* counters ripd exports. Exact solves
+// contribute nothing here.
+type EpsStats struct {
+	// Solves counts front solves performed in ε mode (cache hits on ε
+	// entries add none, mirroring DPStats).
+	Solves uint64
+	// Pruned counts candidates pruned only by the ε relaxation — kills
+	// exact dominance would not have made — summed over those solves.
+	Pruned uint64
+	// Answers counts budget answers served from ε fronts, across cold
+	// solves and verified hits.
+	Answers uint64
+	// BoundHist is the certified EpsBound histogram over those answers:
+	// BoundHist[i] counts answers with bound ≤ EpsBoundBuckets[i] (first
+	// matching bucket); the final slot counts answers past the last edge.
+	BoundHist [len(EpsBoundBuckets) + 1]uint64
+	// BoundSum is the sum of certified bounds over those answers, so
+	// BoundSum/Answers is the mean certified suboptimality.
+	BoundSum float64
+}
+
+// EpsStats snapshots the ε-mode counters.
+func (e *Engine) EpsStats() EpsStats {
+	s := EpsStats{
+		Solves:  e.epsSolves.Load(),
+		Pruned:  e.epsPruned.Load(),
+		Answers: e.epsAnswers.Load(),
+	}
+	for i := range e.epsBoundHst {
+		s.BoundHist[i] = e.epsBoundHst[i].Load()
+	}
+	s.BoundSum = float64(e.epsBoundSum.Load()) / 1e9
+	return s
+}
+
+// noteEps folds one ε-mode front solve's stats into the counters.
+func (e *Engine) noteEps(st dp.Stats) {
+	e.epsSolves.Add(1)
+	e.epsPruned.Add(uint64(st.EpsPruned))
+}
+
+// noteEpsAnswer records one served ε answer's certified bound.
+func (e *Engine) noteEpsAnswer(bound float64) {
+	e.epsAnswers.Add(1)
+	e.epsBoundSum.Add(uint64(bound*1e9 + 0.5))
+	for i, edge := range EpsBoundBuckets {
+		if bound <= edge {
+			e.epsBoundHst[i].Add(1)
+			return
+		}
+	}
+	e.epsBoundHst[len(EpsBoundBuckets)].Add(1)
+}
+
 // noteDPErr counts budget-aborted solves.
 func (e *Engine) noteDPErr(err error) {
 	if errors.Is(err, dp.ErrBudget) {
@@ -651,6 +744,14 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	case j.TreeNet != nil && j.TargetMult <= 0 && j.Target <= 0 && len(j.Budgets) == 0 && !j.TreeNet.HasDeadlines():
 		res.Err = badJob("engine: tree net %q: a positive TargetMult or Target is required unless every sink carries its own deadline", res.name())
 		return res
+	case j.Eps != 0 && !(j.Eps > 0 && j.Eps <= dp.MaxEps):
+		// NaN fails j.Eps > 0, so non-finite, negative and oversized eps
+		// all land here.
+		res.Err = badJob("engine: net %q: eps %g is not in [0, %g]", res.name(), j.Eps, dp.MaxEps)
+		return res
+	case j.TreeNet != nil && j.Eps > 0:
+		res.Err = badJob("engine: tree net %q: eps is only supported for line nets", res.name())
+		return res
 	}
 	for _, bgt := range j.Budgets {
 		if math.IsNaN(bgt) || math.IsInf(bgt, 0) || bgt <= 0 {
@@ -680,6 +781,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		return res
 	}
 
+	res.Eps = j.Eps
 	var key string
 	if e.cache != nil {
 		key = e.sig.key(j)
@@ -688,6 +790,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 				e.hits.Add(1)
 				hit.Net = j.Net
 				hit.Tech = e.tech.Name
+				hit.Eps = j.Eps
 				return hit
 			}
 			e.rejected.Add(1)
@@ -699,19 +802,19 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	// Cold solve: one τmin reference sweep plus one unbounded width-aware
 	// front sweep per distinct shape; the front then answers every budget
 	// this job (and any future shape-equal job) asks for.
-	pts, tmin, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key)
+	pts, tmin, fac, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 
 	// Answer from the local front, serving the DP's own delay per point.
-	answer := func(target float64) core.Result {
+	answer := func(target float64) (core.Result, float64) {
 		e.frontLookups.Add(1)
 		out := core.Result{Report: core.Report{Picked: core.PhaseFront}}
 		idx, ok := pts.at(target)
 		if !ok {
-			return out // infeasible at this budget: a verdict, not an error
+			return out, 0 // infeasible at this budget: a verdict, not an error
 		}
 		p := pts[idx]
 		out.Solution = dp.Solution{
@@ -723,12 +826,17 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 			TotalWidth: p.totalWidth,
 			Feasible:   true,
 		}
-		return out
+		bound := epsBoundFor(pts, idx, target, j.Eps, fac)
+		if j.Eps > 0 {
+			e.noteEpsAnswer(bound)
+		}
+		return out, bound
 	}
 	if len(j.Budgets) > 0 {
 		res.Sweep = make([]BudgetAnswer, len(j.Budgets))
 		for i, bgt := range j.Budgets {
-			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: answer(bgt)}
+			r, bound := answer(bgt)
+			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: r, EpsBound: bound}
 		}
 		return res
 	}
@@ -738,8 +846,39 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		target = j.TargetMult * tmin
 	}
 	res.Target = target
-	res.Res = answer(target)
+	res.Res, res.EpsBound = answer(target)
 	return res
+}
+
+// epsBoundFor certifies one ε answer: with idx the front point served at
+// target, the front's own width at target·φ is provably no larger than
+// the exact optimum's width at target (every exact point (D, W) has an
+// ε-front point at delay ≤ D·φ with width ≤ W), so the served excess
+// width is at most (Wret − Wlb)/Wret. φ is the inflation factor the
+// solve realized (dp.Stats.EpsFactor); fac < 1 means the factor is
+// unknown — snapshot-restored entries — and the worst-case 1+eps is
+// used instead. Returns 0 for exact mode — the served point then IS the
+// optimum.
+func epsBoundFor(f lineFront, idx int, target, eps, fac float64) float64 {
+	if eps <= 0 {
+		return 0
+	}
+	if fac < 1 {
+		fac = 1 + eps
+	}
+	wret := f[idx].totalWidth
+	if !(wret > 0) {
+		return 0
+	}
+	lb, ok := f.at(target * fac)
+	if !ok {
+		return 0
+	}
+	wlb := f[lb].totalWidth
+	if wlb >= wret {
+		return 0
+	}
+	return (wret - wlb) / wret
 }
 
 // solveLineFront computes a line shape's reference-space τmin and native
@@ -747,28 +886,56 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 // work into the DP counters and caching the entry under key. The τmin is
 // computed unconditionally: the entry must serve future relative-target
 // jobs without re-running any DP, and the second sweep is the expensive
-// one anyway. The returned points alias the cached entry's slices;
-// callers must copy before serving.
-func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Evaluator, name, key string) (lineFront, float64, error) {
+// one anyway. The front sweep always runs the coarse-to-fine ladder
+// (value-identical to a flat sweep) and, when the engine has spare
+// worker slots, fans its bucket reduces across them; eps > 0 switches it
+// to ε-dominance with the dp layer's certified bound, and the returned
+// fac is the delay-inflation factor that run realized (1 for exact),
+// which per-answer certificates query the front with. The returned
+// points alias the cached entry's slices; callers must copy before
+// serving.
+func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Evaluator, name, key string, eps float64) (_ lineFront, tmin, fac float64, _ error) {
 	if err := ctx.Err(); err != nil {
-		return nil, 0, fmt.Errorf("engine: net %q: %w", name, err)
+		return nil, 0, 0, fmt.Errorf("engine: net %q: %w", name, err)
 	}
 	tmin, st, err := s.MinimumDelayStats(ev, e.refOpts)
 	e.noteDP(st)
 	if err != nil {
 		e.noteDPErr(err)
-		return nil, 0, fmt.Errorf("engine: τmin for %q: %w", name, err)
+		return nil, 0, 0, fmt.Errorf("engine: τmin for %q: %w", name, err)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, 0, fmt.Errorf("engine: net %q: %w", name, err)
+		return nil, 0, 0, fmt.Errorf("engine: net %q: %w", name, err)
 	}
-	front, fst, err := s.SolveFront(ev, e.frontOpts)
+	fo := e.frontOpts
+	fo.Ladder = true
+	fo.Eps = eps
+	if e.workers > 1 {
+		// Intra-net parallelism borrows idle solve slots: the non-blocking
+		// acquire means a busy engine degrades to the serial sweep instead
+		// of oversubscribing the worker budget.
+		fo.Parallel = e.workers
+		fo.AcquireWorker = func() bool {
+			select {
+			case e.solveSlots <- struct{}{}:
+				return true
+			default:
+				return false
+			}
+		}
+		fo.ReleaseWorker = func() { <-e.solveSlots }
+	}
+	front, fst, err := s.SolveFront(ev, fo)
 	e.noteDP(fst)
+	if eps > 0 {
+		e.noteEps(fst)
+	}
 	if err != nil {
 		e.noteDPErr(err)
-		return nil, 0, fmt.Errorf("engine: solving %q: %w", name, err)
+		return nil, 0, 0, fmt.Errorf("engine: solving %q: %w", name, err)
 	}
 	e.noteFront(len(front))
+	fac = fst.EpsFactor(eps)
 	pts := make(lineFront, len(front))
 	for i, p := range front {
 		pts[i] = linePoint{
@@ -779,9 +946,9 @@ func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Eva
 		}
 	}
 	if e.cache != nil {
-		e.cache.put(key, cached{front: pts, tmin: tmin})
+		e.cache.put(key, cached{front: pts, tmin: tmin, epsFac: fac})
 	}
-	return pts, tmin, nil
+	return pts, tmin, fac, nil
 }
 
 // verifyLine answers a job from a cached front, re-validating the point
@@ -799,10 +966,10 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 	if len(ent.front) == 0 {
 		return Result{}, false
 	}
-	answer := func(target float64) (core.Result, bool) {
+	answer := func(target float64) (core.Result, float64, bool) {
 		idx, ok := ent.front.at(target)
 		if !ok {
-			return core.Result{}, false
+			return core.Result{}, 0, false
 		}
 		p := ent.front[idx]
 		// Served assignments are copies: a caller mutating its result
@@ -812,11 +979,11 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 			Widths:    append([]float64(nil), p.widths...),
 		}
 		if err := ev.Validate(a); err != nil {
-			return core.Result{}, false
+			return core.Result{}, 0, false
 		}
 		d := ev.Total(a)
 		if d > target {
-			return core.Result{}, false
+			return core.Result{}, 0, false
 		}
 		return core.Result{
 			Solution: dp.Solution{
@@ -826,7 +993,7 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 				Feasible:   true,
 			},
 			Report: core.Report{Picked: core.PhaseFront},
-		}, true
+		}, epsBoundFor(ent.front, idx, target, j.Eps, ent.epsFac), true
 	}
 	var res Result
 	var lookups uint64
@@ -834,11 +1001,11 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 	case len(j.Budgets) > 0:
 		res.Sweep = make([]BudgetAnswer, len(j.Budgets))
 		for i, bgt := range j.Budgets {
-			r, ok := answer(bgt)
+			r, bound, ok := answer(bgt)
 			if !ok {
 				return Result{}, false
 			}
-			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: r}
+			res.Sweep[i] = BudgetAnswer{Budget: bgt, Res: r, EpsBound: bound}
 		}
 		lookups = uint64(len(j.Budgets))
 	default:
@@ -851,14 +1018,25 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 			target = j.TargetMult * ent.tmin
 		}
 		res.Target = target
-		r, ok := answer(target)
+		r, bound, ok := answer(target)
 		if !ok {
 			return Result{}, false
 		}
 		res.Res = r
+		res.EpsBound = bound
 		lookups = 1
 	}
 	e.frontLookups.Add(lookups)
+	// Count ε answers only once the whole lookup is accepted: a rejected
+	// hit falls through to a fresh solve whose answers are counted there.
+	if j.Eps > 0 {
+		for _, ba := range res.Sweep {
+			e.noteEpsAnswer(ba.EpsBound)
+		}
+		if len(res.Sweep) == 0 {
+			e.noteEpsAnswer(res.EpsBound)
+		}
+	}
 	res.CacheHit = true
 	return res, true
 }

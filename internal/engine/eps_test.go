@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/rip-eda/rip/internal/dp"
+)
+
+// TestEpsJobValidation: malformed ε values and ε on tree jobs are
+// rejected as ErrBadJob (the bad_request class) by both the solve and
+// the front paths, before any solving starts.
+func TestEpsJobValidation(t *testing.T) {
+	eng := mustEngine(t, Options{Workers: 1})
+	net := corpus(t, 3, 1)[0]
+	tn := treeCorpus(t, 3, 1)[0]
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.01, dp.MaxEps * 1.01, 7}
+	for _, eps := range bad {
+		r := eng.Solve(Job{Net: net, TargetMult: 1.3, Eps: eps})
+		if r.Err == nil || !errors.Is(r.Err, ErrBadJob) {
+			t.Fatalf("eps=%g: want ErrBadJob, got %v", eps, r.Err)
+		}
+		fr := eng.Front(Job{Net: net, Eps: eps})
+		if fr.Err == nil || !errors.Is(fr.Err, ErrBadJob) {
+			t.Fatalf("front eps=%g: want ErrBadJob, got %v", eps, fr.Err)
+		}
+	}
+	r := eng.Solve(Job{TreeNet: tn, TargetMult: 1.3, Eps: dp.DefaultEps})
+	if r.Err == nil || !errors.Is(r.Err, ErrBadJob) {
+		t.Fatalf("tree+eps: want ErrBadJob, got %v", r.Err)
+	}
+	fr := eng.Front(Job{TreeNet: tn, Eps: dp.DefaultEps})
+	if fr.Err == nil || !errors.Is(fr.Err, ErrBadJob) {
+		t.Fatalf("tree front+eps: want ErrBadJob, got %v", fr.Err)
+	}
+	// The boundary values are legal.
+	for _, eps := range []float64{0, dp.MaxEps} {
+		if r := eng.Solve(Job{Net: net, TargetMult: 1.3, Eps: eps}); r.Err != nil {
+			t.Fatalf("eps=%g rejected: %v", eps, r.Err)
+		}
+	}
+}
+
+// TestEpsCacheNeverAliasesExact: an ε job must never be served from an
+// exact entry or vice versa — the signature embeds ε — while repeats of
+// the same mode hit. Served ε answers still meet the budget exactly and
+// stay within the certified width bound of the exact front.
+func TestEpsCacheNeverAliasesExact(t *testing.T) {
+	eng := mustEngine(t, Options{Workers: 1})
+	nets := corpus(t, 21, 4)
+	const eps = 0.1
+
+	for i, n := range nets {
+		exact := eng.Solve(Job{Net: n, TargetMult: 1.4})
+		if exact.Err != nil || !exact.Res.Solution.Feasible {
+			t.Fatalf("net %d exact: %+v", i, exact.Err)
+		}
+		if exact.CacheHit {
+			t.Fatalf("net %d: first exact solve claims a cache hit", i)
+		}
+		if exact.Eps != 0 || exact.EpsBound != 0 {
+			t.Fatalf("net %d: exact answer carries eps attribution %g/%g", i, exact.Eps, exact.EpsBound)
+		}
+
+		rel := eng.Solve(Job{Net: n, TargetMult: 1.4, Eps: eps})
+		if rel.Err != nil || !rel.Res.Solution.Feasible {
+			t.Fatalf("net %d eps: %+v", i, rel.Err)
+		}
+		if rel.CacheHit {
+			t.Fatalf("net %d: ε job served from the exact entry", i)
+		}
+		if rel.Eps != eps {
+			t.Fatalf("net %d: eps echo %g, want %g", i, rel.Eps, eps)
+		}
+		if rel.EpsBound < 0 || rel.EpsBound > 1 {
+			t.Fatalf("net %d: EpsBound %g outside [0,1]", i, rel.EpsBound)
+		}
+		if rel.Res.Solution.Delay > rel.Target {
+			t.Fatalf("net %d: ε answer delay %g exceeds budget %g", i, rel.Res.Solution.Delay, rel.Target)
+		}
+		// Certified guarantee: the ε width never exceeds the exact
+		// optimum at Target/(1+eps).
+		ref := eng.Solve(Job{Net: n, Target: rel.Target * (1 - 1e-9) / (1 + eps)})
+		if ref.Err != nil {
+			t.Fatalf("net %d ref: %v", i, ref.Err)
+		}
+		if ref.Res.Solution.Feasible && rel.Res.Solution.TotalWidth > ref.Res.Solution.TotalWidth {
+			t.Fatalf("net %d: ε width %g exceeds certified bound %g",
+				i, rel.Res.Solution.TotalWidth, ref.Res.Solution.TotalWidth)
+		}
+
+		// Repeats of each mode hit their own entries.
+		if again := eng.Solve(Job{Net: n, TargetMult: 1.4}); !again.CacheHit {
+			t.Fatalf("net %d: exact repeat missed", i)
+		} else if again.Res.Solution.TotalWidth != exact.Res.Solution.TotalWidth {
+			t.Fatalf("net %d: exact repeat width drifted", i)
+		}
+		again := eng.Solve(Job{Net: n, TargetMult: 1.4, Eps: eps})
+		if !again.CacheHit {
+			t.Fatalf("net %d: ε repeat missed", i)
+		}
+		if again.Res.Solution.TotalWidth != rel.Res.Solution.TotalWidth {
+			t.Fatalf("net %d: ε repeat width drifted", i)
+		}
+		if again.Eps != eps || again.EpsBound != rel.EpsBound {
+			t.Fatalf("net %d: ε hit attribution %g/%g, want %g/%g",
+				i, again.Eps, again.EpsBound, eps, rel.EpsBound)
+		}
+	}
+}
+
+// TestEpsStatsAccounting: ε counters move only on ε work — exact solves
+// and hits contribute nothing; every served ε answer lands in exactly
+// one histogram bucket.
+func TestEpsStatsAccounting(t *testing.T) {
+	eng := mustEngine(t, Options{Workers: 1})
+	nets := corpus(t, 9, 3)
+
+	for _, n := range nets {
+		if r := eng.Solve(Job{Net: n, TargetMult: 1.3}); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if st := eng.EpsStats(); st != (EpsStats{}) {
+		t.Fatalf("exact solves moved ε counters: %+v", st)
+	}
+
+	for _, n := range nets {
+		if r := eng.Solve(Job{Net: n, TargetMult: 1.3, Eps: dp.DefaultEps}); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	st := eng.EpsStats()
+	if st.Solves != uint64(len(nets)) {
+		t.Fatalf("ε solves %d, want %d", st.Solves, len(nets))
+	}
+	if st.Answers != uint64(len(nets)) {
+		t.Fatalf("ε answers %d, want %d", st.Answers, len(nets))
+	}
+	var hist uint64
+	for _, c := range st.BoundHist {
+		hist += c
+	}
+	if hist != st.Answers {
+		t.Fatalf("histogram total %d != answers %d", hist, st.Answers)
+	}
+
+	// Verified ε hits add answers (and histogram mass) but no solves.
+	for _, n := range nets {
+		r := eng.Solve(Job{Net: n, TargetMult: 1.3, Eps: dp.DefaultEps})
+		if r.Err != nil || !r.CacheHit {
+			t.Fatalf("ε repeat: err=%v hit=%v", r.Err, r.CacheHit)
+		}
+	}
+	st2 := eng.EpsStats()
+	if st2.Solves != st.Solves {
+		t.Fatalf("ε hits re-solved: %d -> %d", st.Solves, st2.Solves)
+	}
+	if st2.Answers != st.Answers+uint64(len(nets)) {
+		t.Fatalf("ε hit answers %d, want %d", st2.Answers, st.Answers+uint64(len(nets)))
+	}
+}
+
+// TestEpsSweepAndFront: multi-budget ε jobs attribute a certified bound
+// per budget, and the front path echoes ε on relaxed curves that stay
+// subsets no larger than the exact curve.
+func TestEpsSweepAndFront(t *testing.T) {
+	eng := mustEngine(t, Options{Workers: 1})
+	n := corpus(t, 33, 1)[0]
+
+	exact := eng.Front(Job{Net: n})
+	if exact.Err != nil || exact.Eps != 0 {
+		t.Fatalf("exact front: err=%v eps=%g", exact.Err, exact.Eps)
+	}
+	rel := eng.Front(Job{Net: n, Eps: 0.1})
+	if rel.Err != nil {
+		t.Fatal(rel.Err)
+	}
+	if rel.Eps != 0.1 {
+		t.Fatalf("front eps echo %g, want 0.1", rel.Eps)
+	}
+	if rel.CacheHit {
+		t.Fatal("ε front served from the exact entry")
+	}
+	if len(rel.Points) > len(exact.Points) {
+		t.Fatalf("ε front has %d points, exact only %d", len(rel.Points), len(exact.Points))
+	}
+	if len(rel.Points) == 0 {
+		t.Fatal("ε front is empty")
+	}
+
+	tmin := exact.TMin
+	budgets := []float64{1.2 * tmin, 1.5 * tmin, 2 * tmin}
+	r := eng.Solve(Job{Net: n, Budgets: budgets, Eps: 0.1})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	for i, ba := range r.Sweep {
+		if !ba.Res.Solution.Feasible {
+			t.Fatalf("budget %d infeasible", i)
+		}
+		if ba.Res.Solution.Delay > ba.Budget {
+			t.Fatalf("budget %d: delay %g exceeds %g", i, ba.Res.Solution.Delay, ba.Budget)
+		}
+		if ba.EpsBound < 0 || ba.EpsBound > 1 {
+			t.Fatalf("budget %d: bound %g outside [0,1]", i, ba.EpsBound)
+		}
+	}
+}

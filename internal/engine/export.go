@@ -16,7 +16,9 @@ import (
 // that finds an imported entry re-validates the chosen point on the
 // actual net exactly like any other hit, so a stale or corrupt snapshot
 // can only degrade to misses (or verification rejects), never to wrong
-// answers.
+// answers. The realized ε-inflation factor (cached.epsFac) is not
+// exported: ε entries served from a restored cache re-certify with the
+// worst-case 1+ε bound, which is looser but never wrong.
 
 // CachePoint is one exported point of a line net's power–delay front.
 type CachePoint struct {

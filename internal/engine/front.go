@@ -43,6 +43,10 @@ type FrontResult struct {
 	TMin float64
 	// Points is the front, fastest first.
 	Points []FrontPoint
+	// Eps echoes the ε relaxation the curve was solved under (0 = exact).
+	// Relaxed curves may omit points whose delay is within a factor
+	// (1+Eps) of a retained point's.
+	Eps float64
 	// CacheHit reports whether the curve came from the solution cache.
 	CacheHit bool
 	// Err records a failure (validation or solver error).
@@ -85,6 +89,12 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 	case j.Net != nil && j.TreeNet != nil:
 		fr.Err = badJob("engine: net %q: give Net or TreeNet, not both", name)
 		return fr
+	case j.Eps != 0 && !(j.Eps > 0 && j.Eps <= dp.MaxEps):
+		fr.Err = badJob("engine: net %q: eps %g is not in [0, %g]", name, j.Eps, dp.MaxEps)
+		return fr
+	case j.TreeNet != nil && j.Eps > 0:
+		fr.Err = badJob("engine: tree net %q: eps is only supported for line nets", name)
+		return fr
 	}
 	select {
 	case e.solveSlots <- struct{}{}:
@@ -106,6 +116,7 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 		fr.Err = asBadJob(err)
 		return fr
 	}
+	fr.Eps = j.Eps
 	var key string
 	if e.cache != nil {
 		key = e.sig.key(j)
@@ -120,7 +131,7 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 	}
 	s := dp.AcquireSolver()
 	defer dp.ReleaseSolver(s)
-	pts, tmin, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key)
+	pts, tmin, _, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps)
 	if err != nil {
 		fr.Err = err
 		return fr

@@ -74,7 +74,11 @@ func newSigner(t *tech.Technology, opts CacheOptions) *signer {
 // length/RC profile, zone layout and terminal widths. The timing budget
 // is deliberately absent — the cached object is the net's whole Pareto
 // front, which answers every budget by lookup, so nets that canonicalize
-// identically are solved once and served for any target.
+// identically are solved once and served for any target. A positive ε
+// relaxation IS part of the key (appended as a trailing "|e" token):
+// relaxed fronts drop points an exact job is entitled to, so exact and
+// ε entries must never alias — and exact jobs emit the historical key
+// unchanged, keeping existing snapshots importable.
 func (s *signer) key(j Job) string {
 	var b strings.Builder
 	b.Grow(64 + 32*j.Net.Line.NumSegments())
@@ -95,6 +99,10 @@ func (s *signer) key(j Job) string {
 		appendQuant(&b, z.Start, s.lengthQuantum)
 		appendQuant(&b, z.End, s.lengthQuantum)
 		b.WriteByte(';')
+	}
+	if j.Eps > 0 {
+		b.WriteString("|e")
+		appendFloat(&b, j.Eps)
 	}
 	return b.String()
 }

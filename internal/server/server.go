@@ -78,6 +78,11 @@ type Options struct {
 	// DefaultTargetMult is applied to requests that carry no budget of
 	// their own (default 0: such requests fail per-net).
 	DefaultTargetMult float64
+	// DefaultEps is the ε relaxation applied to line requests that carry
+	// no "eps" of their own (default 0: bit-exact solving). An explicit
+	// "eps": 0 in a request always forces exact mode. /v1/front is not
+	// defaulted — curve queries stay exact unless the request opts in.
+	DefaultEps float64
 	// MaxBatchNets caps the nets accepted in one array-bodied batch
 	// (default 100000). JSONL bodies stream and are not subject to it.
 	MaxBatchNets int
@@ -289,6 +294,7 @@ func (s *Server) decodeSingle(w http.ResponseWriter, r *http.Request, front bool
 	validate := req.ValidateFront
 	if !front {
 		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+		req.ApplyDefaultEps(s.opts.DefaultEps)
 		validate = req.Validate
 	}
 	if err := validate(); err != nil {
@@ -405,6 +411,7 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 			continue // zero job: the engine reports it as a nil-net failure
 		}
 		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+		req.ApplyDefaultEps(s.opts.DefaultEps)
 		jobs[i] = req.Job()
 	}
 	results := s.eng.RunContext(ctx, jobs)
@@ -455,7 +462,7 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 	}
 	go func() {
 		defer close(jobs)
-		fed, err := api.FeedJSONL(ctx, br, api.FeedOptions{DefaultMult: s.opts.DefaultTargetMult}, jobs, note)
+		fed, err := api.FeedJSONL(ctx, br, api.FeedOptions{DefaultMult: s.opts.DefaultTargetMult, DefaultEps: s.opts.DefaultEps}, jobs, note)
 		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			// The body broke mid-stream (client gone, line too long).
 			// Already-admitted jobs still produce their result lines;

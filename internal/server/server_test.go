@@ -353,3 +353,105 @@ func TestEmptyBatchBody(t *testing.T) {
 		t.Fatalf("status %d, want 400", rr.Code)
 	}
 }
+
+// TestOptimizeEps: a request's "eps" is solved relaxed with attribution
+// echoed on the wire; an out-of-range eps is a 400 with the bad_request
+// envelope; the server-wide default applies only to requests that carry
+// no eps of their own, with an explicit 0 staying exact; and the ε
+// metrics series appear on /metrics.
+func TestOptimizeEps(t *testing.T) {
+	s, eng := newTestServer(t, 1, Options{DefaultEps: 0.02})
+	net := corpus(t, 17, 1)[0]
+	eps := func(v float64) *float64 { return &v }
+
+	// Explicit eps on the request.
+	rr := post(t, s, "/v1/optimize", mustMarshal(t, api.Request{Net: net, TargetMult: 1.3, Eps: eps(0.1)}))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	resp := decodeResponse(t, rr)
+	if !resp.Feasible || resp.Eps != 0.1 {
+		t.Fatalf("eps echo: feasible=%v eps=%g", resp.Feasible, resp.Eps)
+	}
+	if resp.EpsBound == nil {
+		t.Fatal("ε answer dropped eps_bound (a certified 0 must still be emitted)")
+	}
+	if b := *resp.EpsBound; b < 0 || b > 1 {
+		t.Fatalf("eps_bound %g outside [0,1]", b)
+	}
+	if resp.DelayNS > resp.TargetNS*(1+1e-12) {
+		t.Fatalf("ε answer misses budget: %g > %g", resp.DelayNS, resp.TargetNS)
+	}
+
+	// No eps: the server default (0.02) applies.
+	rr = post(t, s, "/v1/optimize", mustMarshal(t, api.Request{Net: net, TargetMult: 1.3}))
+	if resp = decodeResponse(t, rr); resp.Eps != 0.02 {
+		t.Fatalf("default eps not applied: %g", resp.Eps)
+	}
+
+	// Explicit zero beats the default.
+	rr = post(t, s, "/v1/optimize", mustMarshal(t, api.Request{Net: net, TargetMult: 1.3, Eps: eps(0)}))
+	if resp = decodeResponse(t, rr); resp.Eps != 0 {
+		t.Fatalf("explicit eps=0 overridden: %g", resp.Eps)
+	}
+	if resp.EpsBound != nil {
+		t.Fatalf("exact answer carries eps_bound %g", *resp.EpsBound)
+	}
+
+	// Out of range is a 400 before solving.
+	rr = post(t, s, "/v1/optimize", mustMarshal(t, api.Request{Net: net, TargetMult: 1.3, Eps: eps(0.9)}))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("eps=0.9: status %d, want 400 (%s)", rr.Code, rr.Body.String())
+	}
+	if resp = decodeResponse(t, rr); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("eps=0.9 envelope: %+v", resp.Err)
+	}
+
+	// The ε counters moved, and /metrics renders their series.
+	if st := techEngine(t, eng, "180nm").EpsStats(); st.Solves == 0 || st.Answers == 0 {
+		t.Fatalf("ε stats did not move: %+v", st)
+	}
+	body := get(t, s, "/metrics").Body.String()
+	for _, series := range []string{
+		"rip_dp_eps_solves_total", "rip_dp_eps_pruned_total",
+		"rip_dp_eps_answers_total", "rip_dp_eps_bound_bucket",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("metrics missing %s", series)
+		}
+	}
+}
+
+// TestFrontEps: /v1/front honors an explicit request eps (echoed on the
+// response) but never inherits the server default — curve queries stay
+// exact unless the client opts in.
+func TestFrontEps(t *testing.T) {
+	s, _ := newTestServer(t, 1, Options{DefaultEps: 0.02})
+	net := corpus(t, 19, 1)[0]
+	eps := func(v float64) *float64 { return &v }
+
+	rr := post(t, s, "/v1/front", mustMarshal(t, api.Request{Net: net}))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var fr api.FrontResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Eps != 0 {
+		t.Fatalf("front inherited the server default eps: %g", fr.Eps)
+	}
+
+	rr = post(t, s, "/v1/front", mustMarshal(t, api.Request{Net: net, Eps: eps(0.1)}))
+	if err := json.Unmarshal(rr.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Eps != 0.1 || len(fr.Points) == 0 {
+		t.Fatalf("ε front: eps=%g points=%d", fr.Eps, len(fr.Points))
+	}
+
+	rr = post(t, s, "/v1/front", mustMarshal(t, api.Request{Net: net, Eps: eps(-1)}))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("front eps=-1: status %d, want 400", rr.Code)
+	}
+}

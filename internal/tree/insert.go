@@ -34,6 +34,9 @@ type Solution struct {
 
 // Stats describes the DP's work.
 type Stats struct {
+	// Candidates counts buffer sites the sweep visited — the tree
+	// analogue of the two-pin DP's candidate locations.
+	Candidates                  int
 	Generated, Kept, MaxPerNode int
 }
 

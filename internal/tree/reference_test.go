@@ -92,6 +92,7 @@ func referenceInsert(t *Tree, opts Options) (Solution, error) {
 		// Buffer insertion at this node (after the merge, before the
 		// parent edge), mirroring the two-pin DP's per-candidate choice.
 		if n.BufferSite {
+			stats.Candidates++
 			withBuf := make([]treeOption, 0, len(base)*(1+len(widths)))
 			withBuf = append(withBuf, base...)
 			for _, b := range base {

@@ -235,6 +235,7 @@ func (s *Solver) sweep(t *Tree, opts Options, width bool) (Stats, error) {
 		// Buffer insertion at the node (after the merge, before the
 		// parent edge), mirroring the two-pin DP's per-candidate choice.
 		if node.BufferSite {
+			stats.Candidates++
 			base := len(s.cur)
 			for bi := 0; bi < base; bi++ {
 				b := s.cur[bi]
