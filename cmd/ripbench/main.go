@@ -7,6 +7,7 @@
 //	ripbench -table1 -csv out/    # Table 1, plus CSV files under out/
 //	ripbench -table2 -targets 10  # Table 2 with a reduced target sweep
 //	ripbench -fig7 -net 4         # Figure 7 on corpus net #5
+//	ripbench -fig9                # crosstalk: pessimistic vs staggered power
 //	ripbench -ablate              # pipeline ablations
 //	ripbench -perf BENCH_3.json   # machine-readable perf trajectory point
 //
@@ -30,6 +31,7 @@ func main() {
 		table2   = flag.Bool("table2", false, "reproduce Table 2")
 		fig7     = flag.Bool("fig7", false, "reproduce Figure 7")
 		fig8     = flag.Bool("fig8", false, "run the Figure-8-style technology scaling study as one mixed multi-node batch")
+		fig9     = flag.Bool("fig9", false, "run the crosstalk study: power to close the same budgets under pessimistic coupling vs with staggering allowed")
 		ablate   = flag.Bool("ablate", false, "run pipeline ablations")
 		analytic = flag.Bool("analytic", false, "compare against the closed-form analytical baseline")
 		zones    = flag.Bool("zones", false, "sweep forbidden-zone coverage")
@@ -51,9 +53,10 @@ func main() {
 	if *all {
 		*table1, *table2, *fig7, *ablate = true, true, true, true
 		*analytic, *zones, *trees, *fig8 = true, true, true, true
+		*fig9 = true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*ablate && !*analytic && !*zones && !*trees {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -fig8, -ablate, -analytic, -zones, -trees, -perf or -all")
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*fig9 && !*ablate && !*analytic && !*zones && !*trees {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -fig8, -fig9, -ablate, -analytic, -zones, -trees, -perf or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -116,6 +119,15 @@ func main() {
 		res.Render(os.Stdout)
 		fmt.Println()
 		writeCSV("figure8.csv", func(f *os.File) error { return res.WriteCSV(f) })
+	}
+	if *fig9 {
+		res, err := experiments.Figure9(*seed, *nets)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+		writeCSV("figure9.csv", func(f *os.File) error { return res.WriteCSV(f) })
 	}
 	if *table2 {
 		res, err := experiments.Table2(s, nil)

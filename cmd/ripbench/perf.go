@@ -11,16 +11,20 @@ import (
 	rip "github.com/rip-eda/rip"
 	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/dp"
+	"github.com/rip-eda/rip/internal/experiments"
 	"github.com/rip-eda/rip/internal/repeater"
 	"github.com/rip-eda/rip/internal/tree"
 	"github.com/rip-eda/rip/internal/units"
 )
 
 // The -perf harness measures the repo's hot paths — the two-pin DP
-// kernel (bounded solves and full Pareto-front sweeps), the tree DP
-// kernel and the batch engine on line, tree, mixed and multi-budget
-// workloads — and writes a machine-readable report (BENCH_7.json in
-// this PR's trajectory) so future PRs have a comparable perf baseline.
+// kernel (bounded solves and full Pareto-front sweeps, classic and
+// crosstalk-coupled), the tree DP kernel and the batch engine on line,
+// tree, mixed, multi-budget and coupled workloads — and writes a
+// machine-readable report (BENCH_8.json in this PR's trajectory) so
+// future PRs have a comparable perf baseline. The report also embeds
+// the Figure-9 crosstalk study (pessimistic vs staggered power), the
+// PR's headline result.
 // Absolute numbers are host-dependent; the committed file records the
 // shape (allocs/solve must stay 0, cold-vs-warm ratios, front hit
 // rates) and one host's trajectory point.
@@ -88,6 +92,10 @@ type perfReport struct {
 	Kernel      []perfKernel `json:"kernel"`
 	TreeKernel  []perfKernel `json:"tree_kernel"`
 	Batch       []perfBatch  `json:"batch"`
+	// Fig9 embeds the crosstalk study: per node, the power to close the
+	// same absolute budgets under worst-case coupling with no
+	// countermeasures versus with staggering allowed.
+	Fig9 *experiments.Figure9Result `json:"fig9,omitempty"`
 }
 
 // perfEval reproduces the dp benchmark instance (the paperish 8mm
@@ -323,6 +331,16 @@ func batchJobs(kind string, distinct, total int) ([]rip.BatchJob, error) {
 		for i := range jobs {
 			jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3, Eps: dp.DefaultEps}
 		}
+	case "line_coupled":
+		// The line workload under worst-case aggressors with staggering
+		// allowed; coupled entries cache under their own signatures.
+		nets, err := rip.GenerateNets(tech, 2005, distinct)
+		if err != nil {
+			return nil, err
+		}
+		for i := range jobs {
+			jobs[i] = rip.BatchJob{Net: nets[i%distinct], TargetMult: 1.3, Aggressor: "worst", Scheme: "staggered"}
+		}
 	case "tree":
 		nets, err := rip.GenerateTreeNets(tech, 2005, distinct)
 		if err != nil {
@@ -448,10 +466,22 @@ func runPerf(path string) error {
 	if err != nil {
 		return err
 	}
+	// Coupled kernels price worst-case aggressors with staggering on the
+	// menu — the engine's hot path for crosstalk-aware requests. Their
+	// target is 1.3× the coupled τmin (the uncoupled one may be
+	// unreachable once neighbors switch against the victim).
+	cpl, err := delay.NewCoupling(rip.T180(), delay.AggressorWorst, delay.SchemeModeStaggered)
+	if err != nil {
+		return err
+	}
+	cplTMin, err := dp.MinimumDelay(ev, dp.Options{Library: refLib, Pitch: 200 * units.Micron, Coupling: cpl})
+	if err != nil {
+		return err
+	}
 
 	rep := perfReport{
 		Schema:      "rip-perf/1",
-		PR:          8,
+		PR:          9,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -472,6 +502,7 @@ func runPerf(path string) error {
 		{"solve_minpower_g20", dp.Options{Library: midLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true}},
 		{"solve_minpower_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * tmin, Ladder: true}},
 		{"solve_mindelay_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinDelay}},
+		{"solve_minpower_g10_coupled", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Objective: dp.MinPower, Target: 1.3 * cplTMin, Ladder: true, Coupling: cpl}},
 	}
 	for _, k := range kernels {
 		m, err := measureKernel(k.name, ev, k.opts)
@@ -493,6 +524,7 @@ func runPerf(path string) error {
 		{"solve_front_g10", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Ladder: true}},
 		{"solve_front_g10_eps", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Ladder: true, Eps: dp.DefaultEps}},
 		{"solve_front_g40", dp.Options{Library: coarseLib, Pitch: 200 * units.Micron, Ladder: true}},
+		{"solve_front_g10_coupled", dp.Options{Library: refLib, Pitch: 200 * units.Micron, Ladder: true, Coupling: cpl}},
 	} {
 		m, err := measureFrontKernel(k.name, ev, k.opts)
 		if err != nil {
@@ -557,6 +589,7 @@ func runPerf(path string) error {
 		{"batch_tree_1k", "tree", 100, 1000},
 		{"batch_mixed_1k", "mixed", 50, 1000},
 		{"batch_multibudget_1k", "multibudget", 100, 1000},
+		{"batch_coupled_1k", "line_coupled", 100, 1000},
 	} {
 		ms, err := measureBatch(b.name, b.kind, b.distinct, b.total)
 		if err != nil {
@@ -566,6 +599,16 @@ func runPerf(path string) error {
 		for _, m := range ms {
 			fmt.Fprintf(os.Stderr, "perf: %-20s %10.0f nets/s (%d nets, %s cache)\n", m.Name, m.NetsPerSec, m.Nets, m.Cache)
 		}
+	}
+
+	fig9, err := experiments.Figure9(2005, 6)
+	if err != nil {
+		return err
+	}
+	rep.Fig9 = fig9
+	for _, row := range fig9.Rows {
+		fmt.Fprintf(os.Stderr, "perf: fig9 %-8s plain %.3f mW  staggered %.3f mW  saved %.1f%%\n",
+			row.Tech, row.AvgPowerPlainMW, row.AvgPowerStagMW, row.SavingsPct)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -17,6 +17,8 @@
 //	ripcli -net nets.json -front                    # full power–delay front
 //	ripcli -net nets.json -targets-ns 0.8,1.0,1.5   # multi-budget sweep
 //	ripcli -net nets.json -targets-ns 1.0 -eps 0.02 # ε-relaxed: ~10× faster, certified
+//	ripcli -net nets.json -targets-ns 1.0 -aggressor worst -scheme staggered
+//	                                                # crosstalk-aware, staggering allowed
 //
 // Targets: -target is relative to the net's τmin (for trees, the minimum
 // achievable worst-sink arrival); -target-ns is absolute nanoseconds.
@@ -28,6 +30,15 @@
 // requiring a target. Sweep mode (-targets-ns with a comma-separated
 // list) answers every listed absolute budget from one solve of that
 // front; both work for lines and, with -tree, routing trees.
+//
+// Crosstalk (-aggressor/-scheme, line nets only): -aggressor prices the
+// node's coupling capacitance under a neighbor-switching assumption
+// (worst, best or quiet; requires a node with a coupling model), and
+// -scheme selects which per-interval countermeasures the solver may
+// deploy: plain (none), staggered, shielded or auto (both). Like -eps,
+// the flags apply to the engine-backed modes (-batch as the default for
+// lines that carry no "aggressor" of their own — an explicit
+// "aggressor": "none" stays classic — plus -front and -targets-ns).
 //
 // ε relaxation (-eps, line nets only): min-power solves prune with a
 // relaxed dominance test — answers still meet their budgets exactly,
@@ -72,6 +83,7 @@ import (
 
 	rip "github.com/rip-eda/rip"
 	"github.com/rip-eda/rip/internal/api"
+	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/report"
 	"github.com/rip-eda/rip/internal/units"
 	"github.com/rip-eda/rip/internal/wire"
@@ -91,6 +103,8 @@ func main() {
 		absT      = flag.Float64("target-ns", 0, "timing target in nanoseconds")
 		targetsNS = flag.String("targets-ns", "", "comma-separated absolute targets in ns: answer every budget from one Pareto-front solve")
 		eps       = flag.Float64("eps", 0, "ε relaxation for line min-power solves (0 = bit-exact; max 0.5); applies to -batch, -front and -targets-ns")
+		aggressor = flag.String("aggressor", "", "crosstalk aggressor assumption for line nets: worst, best, quiet or none (empty = classic ground-only model); applies to -batch, -front and -targets-ns")
+		scheme    = flag.String("scheme", "", "crosstalk countermeasures a coupled solve may deploy: plain, staggered, shielded or auto (needs -aggressor)")
 		frontOut  = flag.Bool("front", false, "print the net's full power–delay Pareto front instead of solving one budget")
 		metrics   = flag.Bool("metrics", false, "also report the two-moment (D2M) delay of the solution")
 		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
@@ -125,11 +139,29 @@ func main() {
 			fatal(fmt.Errorf("-eps applies to the engine-backed modes: -batch, -front or -targets-ns"))
 		}
 	}
+	agg, err := delay.ParseAggressor(*aggressor)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := delay.ParseSchemeMode(*scheme); err != nil {
+		fatal(err)
+	}
+	if agg == delay.AggressorNone && *scheme != "" {
+		fatal(fmt.Errorf("-scheme %q needs -aggressor worst, best or quiet", *scheme))
+	}
+	if agg != delay.AggressorNone {
+		switch {
+		case *treeMode && !*batch:
+			fatal(fmt.Errorf("-aggressor is only supported for line nets"))
+		case !*batch && !*frontOut && *targetsNS == "":
+			fatal(fmt.Errorf("-aggressor applies to the engine-backed modes: -batch, -front or -targets-ns"))
+		}
+	}
 	if *frontOut || *targetsNS != "" {
 		if *batch {
 			fatal(fmt.Errorf("-front and -targets-ns are single-net modes; batch lines carry a per-line targets_ns list instead"))
 		}
-		if err := runFrontSweep(tech, *netFile, *index, *gen, *seed, *treeMode, *frontOut, *targetsNS, *eps, *jsonOut); err != nil {
+		if err := runFrontSweep(tech, *netFile, *index, *gen, *seed, *treeMode, *frontOut, *targetsNS, *eps, *aggressor, *scheme, *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -139,7 +171,7 @@ func main() {
 		if *treeMode {
 			bare = api.KindTree
 		}
-		if err := runBatch(reg, *techName, *netFile, *relT, *absT, *eps, *workers, *cacheSize, bare); err != nil {
+		if err := runBatch(reg, *techName, *netFile, *relT, *absT, *eps, *aggressor, *scheme, *workers, *cacheSize, bare); err != nil {
 			fatal(err)
 		}
 		return
@@ -331,7 +363,7 @@ func runTree(tech *rip.Technology, path string, gen bool, seed int64, relT, absT
 // of absolute budgets from one solve of that front. Both go through the
 // batch engine so the output is exactly what cached multi-budget batches
 // and ripd's /v1/front serve.
-func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed int64, treeMode, front bool, targetsNS string, eps float64, jsonOut bool) error {
+func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed int64, treeMode, front bool, targetsNS string, eps float64, aggressor, scheme string, jsonOut bool) error {
 	eng, err := rip.NewEngine(tech, rip.EngineOptions{})
 	if err != nil {
 		return err
@@ -350,6 +382,8 @@ func runFrontSweep(tech *rip.Technology, path string, index int, gen bool, seed 
 		}
 		j.Net = n
 		j.Eps = eps
+		j.Aggressor = aggressor
+		j.Scheme = scheme
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -522,7 +556,7 @@ func emitJSON(net *rip.Net, sol rip.Solution, target float64) {
 // internal/api's Request/Response — the same wire format cmd/ripd
 // serves, so batch files replay against the HTTP service as-is,
 // mixed-node corpora included.
-func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT, eps float64, workers, cacheSize int, bare api.Kind) error {
+func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT, eps float64, aggressor, scheme string, workers, cacheSize int, bare api.Kind) error {
 	in := os.Stdin
 	if path != "" && path != "-" {
 		f, err := os.Open(path)
@@ -554,7 +588,7 @@ func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT, eps f
 	var readErr error
 	go func() {
 		defer close(jobs)
-		readErr = feedBatch(in, relT, absT, eps, bare, jobs, func(idx int, msg string) {
+		readErr = feedBatch(in, relT, absT, eps, aggressor, scheme, bare, jobs, func(idx int, msg string) {
 			mu.Lock()
 			parseErrs[idx] = msg
 			mu.Unlock()
@@ -609,15 +643,17 @@ func runBatch(reg *rip.TechRegistry, defaultTech, path string, relT, absT, eps f
 // parse is reported via noteErr and emitted as a nil-net job, so the
 // failure surfaces in the output stream at the right position instead
 // of killing the run.
-func feedBatch(in io.Reader, relT, absT, eps float64, bare api.Kind, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
+func feedBatch(in io.Reader, relT, absT, eps float64, aggressor, scheme string, bare api.Kind, jobs chan<- rip.BatchJob, noteErr func(int, string)) error {
 	if relT > 0 && absT > 0 {
 		return fmt.Errorf("give either -target or -target-ns, not both")
 	}
 	opts := api.FeedOptions{
-		DefaultMult: relT,
-		DefaultNS:   absT,
-		DefaultEps:  eps,
-		Bare:        bare,
+		DefaultMult:      relT,
+		DefaultNS:        absT,
+		DefaultEps:       eps,
+		DefaultAggressor: aggressor,
+		DefaultScheme:    scheme,
+		Bare:             bare,
 		// An explicit -target/-target-ns means what it means in single
 		// mode: it overrides embedded tree deadlines too. Per-line
 		// wrapper budgets still win.

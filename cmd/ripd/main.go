@@ -12,6 +12,7 @@
 //	ripd -tech-dir ./nodes -tech foundry-90lp   # + custom JSON nodes
 //	ripd -max-inflight 64 -timeout 30s    # backpressure + per-request budget
 //	ripd -eps 0.02                        # serve ε-relaxed min-power answers by default
+//	ripd -aggressor worst -scheme staggered   # crosstalk-aware defaults
 //	ripd -cache-save rip.snap -cache-load rip.snap   # warm restarts
 //	ripd -self host1:8080 -peers host1:8080,host2:8080,host3:8080   # ring
 //
@@ -40,6 +41,13 @@
 // "eps": 0 always forces bit-exact solving, and /v1/front never
 // inherits the default. Exact and relaxed fronts cache separately, so
 // the modes cannot contaminate each other.
+//
+// With -aggressor, line requests that carry no "aggressor" of their
+// own are solved under that crosstalk scenario (-scheme picks which
+// countermeasures the solver may deploy; see internal/delay). A
+// request's explicit "aggressor": "none" always forces the classic
+// ground-only model, and /v1/front never inherits the defaults.
+// Coupled and uncoupled solves cache separately.
 //
 // Requests without a "tech" field solve on the -tech default node;
 // unknown names get a 400 (single) or per-line error (batch) listing the
@@ -80,6 +88,7 @@ import (
 
 	rip "github.com/rip-eda/rip"
 	"github.com/rip-eda/rip/internal/cluster"
+	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/server"
 	"github.com/rip-eda/rip/internal/snapshot"
 )
@@ -96,6 +105,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request solving timeout (0 = none)")
 		target      = flag.Float64("target", 0, "default target_mult for requests that carry no budget (0 = require one per request)")
 		defaultEps  = flag.Float64("eps", 0, "default ε relaxation for line requests that carry no eps (0 = bit-exact; max 0.5)")
+		defaultAgg  = flag.String("aggressor", "", "default crosstalk aggressor for line requests that carry no \"aggressor\": worst, best, quiet or none (empty = classic ground-only model)")
+		defaultSch  = flag.String("scheme", "", "default countermeasure scheme for coupled requests that carry no \"scheme\": plain, staggered, shielded or auto (needs -aggressor)")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
 
 		cacheSave    = flag.String("cache-save", "", "snapshot the caches to this file periodically and at shutdown")
@@ -111,6 +122,16 @@ func main() {
 
 	if e := *defaultEps; e != 0 && !(e > 0 && e <= rip.MaxEps) {
 		fatal(fmt.Errorf("ripd: -eps %g is not in [0, %g]", e, rip.MaxEps))
+	}
+	agg, err := delay.ParseAggressor(*defaultAgg)
+	if err != nil {
+		fatal(fmt.Errorf("ripd: -aggressor: %v", err))
+	}
+	if _, err := delay.ParseSchemeMode(*defaultSch); err != nil {
+		fatal(fmt.Errorf("ripd: -scheme: %v", err))
+	}
+	if *defaultSch != "" && agg == delay.AggressorNone {
+		fatal(fmt.Errorf("ripd: -scheme %q needs -aggressor worst, best or quiet", *defaultSch))
 	}
 
 	reg := rip.NewTechRegistry()
@@ -185,6 +206,8 @@ func main() {
 		RequestTimeout:    *timeout,
 		DefaultTargetMult: *target,
 		DefaultEps:        *defaultEps,
+		DefaultAggressor:  *defaultAgg,
+		DefaultScheme:     *defaultSch,
 		Cluster:           node,
 		LastSnapshot:      lastSnap,
 	})

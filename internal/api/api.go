@@ -19,6 +19,7 @@ import (
 	"io"
 	"slices"
 
+	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/dp"
 	"github.com/rip-eda/rip/internal/engine"
 	"github.com/rip-eda/rip/internal/tree"
@@ -70,6 +71,18 @@ type Request struct {
 	// transport's default (ripcli/ripd -eps), while an explicit 0 forces
 	// bit-exact solving regardless of that default.
 	Eps *float64 `json:"eps,omitempty"`
+	// Aggressor opts the request into crosstalk-aware solving (line nets
+	// only): "worst", "best" or "quiet" prices coupling capacitance under
+	// that neighbor-switching assumption; "none" forces the classic
+	// ground-only model even when the transport carries a default
+	// aggressor; absent inherits that default. Requires a node with a
+	// coupling model.
+	Aggressor string `json:"aggressor,omitempty"`
+	// Scheme selects the countermeasures a coupled solve may deploy per
+	// grid interval: "plain" (none), "staggered", "shielded" or "auto"
+	// (both). Only meaningful with an aggressor; absent inherits the
+	// transport's default scheme.
+	Scheme string `json:"scheme,omitempty"`
 }
 
 // WireVersion is the wire-format version this package speaks; requests
@@ -112,6 +125,9 @@ func (r *Request) validate() error {
 	if err := r.checkEps(); err != nil {
 		return err
 	}
+	if err := r.checkCoupling(); err != nil {
+		return err
+	}
 	if r.Tree != nil {
 		if r.TargetMult <= 0 && r.TargetNS <= 0 && len(r.TargetsNS) == 0 && !r.Tree.HasDeadlines() {
 			return fmt.Errorf("api: tree %q: a positive target_mult or target_ns is required unless every sink carries rat_ns", r.Tree.Name)
@@ -141,6 +157,30 @@ func (r *Request) checkEps() error {
 	return nil
 }
 
+// checkCoupling rejects malformed crosstalk fields: unknown tokens, a
+// scheme without an aggressor, and aggressors on tree requests (the
+// coupling model is a line-net mode). Whether the node actually carries
+// a coupling model is the engine's call — it owns the technology.
+func (r *Request) checkCoupling() error {
+	agg, err := delay.ParseAggressor(r.Aggressor)
+	if err != nil {
+		return fmt.Errorf("api: net %q: %v", r.name(), err)
+	}
+	if _, err := delay.ParseSchemeMode(r.Scheme); err != nil {
+		return fmt.Errorf("api: net %q: %v", r.name(), err)
+	}
+	if agg == delay.AggressorNone {
+		if r.Scheme != "" {
+			return fmt.Errorf("api: net %q: scheme %q needs an aggressor (set aggressor to worst, best or quiet)", r.name(), r.Scheme)
+		}
+		return nil
+	}
+	if r.Tree != nil {
+		return fmt.Errorf("api: tree %q: aggressor is only supported for line nets", r.Tree.Name)
+	}
+	return nil
+}
+
 func (r *Request) name() string {
 	if r.Net != nil {
 		return r.Net.Name
@@ -159,6 +199,8 @@ func (r *Request) Job() engine.Job {
 		Tech:       r.Tech,
 		TargetMult: r.TargetMult,
 		Target:     r.TargetNS * units.NanoSecond,
+		Aggressor:  r.Aggressor,
+		Scheme:     r.Scheme,
 	}
 	for _, t := range r.TargetsNS {
 		j.Budgets = append(j.Budgets, t*units.NanoSecond)
@@ -197,6 +239,25 @@ func (r *Request) ApplyDefaultEps(eps float64) {
 		return
 	}
 	r.Eps = &eps
+}
+
+// ApplyDefaultCoupling fills in the transport-level default crosstalk
+// scenario (ripcli/ripd -aggressor/-scheme) on line requests that carry
+// no "aggressor" of their own. An explicit "none" stays uncoupled —
+// absent and none mean different things here — and a request-level
+// scheme always wins over the default scheme.
+func (r *Request) ApplyDefaultCoupling(aggressor, scheme string) {
+	if r.Tree != nil || aggressor == "" {
+		return
+	}
+	if r.Aggressor == "" {
+		r.Aggressor = aggressor
+	}
+	if r.Scheme == "" && scheme != "" {
+		if agg, err := delay.ParseAggressor(r.Aggressor); err == nil && agg != delay.AggressorNone {
+			r.Scheme = scheme
+		}
+	}
 }
 
 // ParseRequest decodes one request line. Three forms are accepted: the
@@ -264,6 +325,10 @@ type FeedOptions struct {
 	// DefaultEps is the transport's default ε relaxation, applied to line
 	// requests that carry no "eps" of their own (see ApplyDefaultEps).
 	DefaultEps float64
+	// DefaultAggressor / DefaultScheme are the transport's default
+	// crosstalk scenario, applied to line requests that carry no
+	// "aggressor" of their own (see ApplyDefaultCoupling).
+	DefaultAggressor, DefaultScheme string
 	// Bare selects how unwrapped JSON objects decode (line nets by
 	// default; KindTree for ripcli -tree streams).
 	Bare Kind
@@ -310,6 +375,7 @@ func FeedJSONL(ctx context.Context, in io.Reader, opts FeedOptions, jobs chan<- 
 				req.ApplyDefault(opts.DefaultMult, opts.DefaultNS)
 			}
 			req.ApplyDefaultEps(opts.DefaultEps)
+			req.ApplyDefaultCoupling(opts.DefaultAggressor, opts.DefaultScheme)
 			job = req.Job()
 		}
 		select {
@@ -373,6 +439,16 @@ type Response struct {
 	// survives serialization); absent for exact answers and multi-budget
 	// responses (each sweep point carries its own bound).
 	EpsBound *float64 `json:"eps_bound,omitempty"`
+	// Aggressor and Scheme echo a coupled request's crosstalk scenario in
+	// normalized form ("worst"/"best"/"quiet" and "plain"/"staggered"/
+	// "shielded"/"auto"); both absent for uncoupled requests.
+	Aggressor string `json:"aggressor,omitempty"`
+	Scheme    string `json:"scheme,omitempty"`
+	// StaggeredUM and ShieldedUM are the summed lengths, in µm, of the
+	// solution's staggered and shielded wire intervals. Present only on
+	// coupled answers.
+	StaggeredUM float64 `json:"staggered_um,omitempty"`
+	ShieldedUM  float64 `json:"shielded_um,omitempty"`
 	// CacheHit reports whether the solution came from the engine's
 	// solution cache.
 	CacheHit bool `json:"cache_hit"`
@@ -412,6 +488,10 @@ type SweepPoint struct {
 	// bound under an ε request (see Response.EpsBound — present exactly
 	// for ε answers, certified 0 included).
 	EpsBound *float64 `json:"eps_bound,omitempty"`
+	// StaggeredUM and ShieldedUM are this answer's staggered / shielded
+	// interval lengths in µm (coupled requests only).
+	StaggeredUM float64 `json:"staggered_um,omitempty"`
+	ShieldedUM  float64 `json:"shielded_um,omitempty"`
 }
 
 // TreeBuffer is one inserted buffer of a tree solution.
@@ -435,6 +515,8 @@ func FromResult(r engine.Result) Response {
 		return out
 	}
 	out.Eps = r.Eps
+	out.Aggressor = r.Aggressor
+	out.Scheme = r.Scheme
 	if r.Eps > 0 && len(r.Sweep) == 0 {
 		b := r.EpsBound
 		out.EpsBound = &b
@@ -448,6 +530,8 @@ func FromResult(r engine.Result) Response {
 				Feasible:    sol.Feasible,
 				DelayNS:     sol.Delay / units.NanoSecond,
 				TotalWidthU: sol.TotalWidth,
+				StaggeredUM: units.ToMicrons(sol.StaggerLen),
+				ShieldedUM:  units.ToMicrons(sol.ShieldLen),
 			}
 			if r.Eps > 0 {
 				b := ba.EpsBound
@@ -467,6 +551,8 @@ func FromResult(r engine.Result) Response {
 	out.TargetNS = r.Target / units.NanoSecond
 	out.DelayNS = sol.Delay / units.NanoSecond
 	out.TotalWidthU = sol.TotalWidth
+	out.StaggeredUM = units.ToMicrons(sol.StaggerLen)
+	out.ShieldedUM = units.ToMicrons(sol.ShieldLen)
 	for _, x := range sol.Assignment.Positions {
 		out.PositionsUM = append(out.PositionsUM, units.ToMicrons(x))
 	}
@@ -586,6 +672,10 @@ type FrontPoint struct {
 	TotalWidthU float64 `json:"total_width_u"`
 	// Repeaters counts the inserted repeaters (buffers) at this point.
 	Repeaters int `json:"repeaters"`
+	// StaggeredUM and ShieldedUM are the point's staggered / shielded
+	// interval lengths in µm (coupled line fronts only).
+	StaggeredUM float64 `json:"staggered_um,omitempty"`
+	ShieldedUM  float64 `json:"shielded_um,omitempty"`
 }
 
 // FrontResponse is one net's whole Pareto front — POST /v1/front's
@@ -607,6 +697,10 @@ type FrontResponse struct {
 	// Eps echoes the ε relaxation the curve was solved under; absent
 	// means the exact front.
 	Eps float64 `json:"eps,omitempty"`
+	// Aggressor and Scheme echo a coupled query's crosstalk scenario in
+	// normalized form; both absent for uncoupled queries.
+	Aggressor string `json:"aggressor,omitempty"`
+	Scheme    string `json:"scheme,omitempty"`
 	// CacheHit reports whether the curve came from the solution cache.
 	CacheHit bool `json:"cache_hit"`
 	// Err is the structured error envelope for a failure (validation,
@@ -634,6 +728,8 @@ func FromFrontResult(fr engine.FrontResult) FrontResponse {
 	}
 	out.TMinNS = fr.TMin / units.NanoSecond
 	out.Eps = fr.Eps
+	out.Aggressor = fr.Aggressor
+	out.Scheme = fr.Scheme
 	out.Points = make([]FrontPoint, len(fr.Points))
 	for i, p := range fr.Points {
 		out.Points[i] = FrontPoint{
@@ -641,6 +737,8 @@ func FromFrontResult(fr engine.FrontResult) FrontResponse {
 			SlackNS:     p.Slack / units.NanoSecond,
 			TotalWidthU: p.TotalWidth,
 			Repeaters:   p.Repeaters,
+			StaggeredUM: units.ToMicrons(p.StaggerLen),
+			ShieldedUM:  units.ToMicrons(p.ShieldLen),
 		}
 	}
 	return out

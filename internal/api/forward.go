@@ -37,6 +37,20 @@ func FromJob(j engine.Job) Request {
 		// peer's own -eps default relax a job the client asked to be exact.
 		eps := j.Eps
 		r.Eps = &eps
+		// The crosstalk scenario is explicit for the same reason: an absent
+		// "aggressor" would let the peer's own -aggressor default couple a
+		// job the client asked to be classic, so uncoupled jobs forward a
+		// literal "none". A coupled job with an absent scheme pins "plain".
+		if agg, err := delay.ParseAggressor(j.Aggressor); err == nil && agg == delay.AggressorNone {
+			r.Aggressor = delay.AggressorNone.String()
+			r.Scheme = ""
+		} else {
+			r.Aggressor = j.Aggressor
+			r.Scheme = j.Scheme
+			if r.Scheme == "" {
+				r.Scheme = delay.SchemePlainOnly.String()
+			}
+		}
 	}
 	return r
 }
@@ -58,6 +72,8 @@ func ToResult(resp Response, j engine.Job) engine.Result {
 		return r
 	}
 	r.Eps = resp.Eps
+	r.Aggressor = resp.Aggressor
+	r.Scheme = resp.Scheme
 	if resp.EpsBound != nil {
 		r.EpsBound = *resp.EpsBound
 	}
@@ -75,6 +91,8 @@ func ToResult(resp Response, j engine.Job) engine.Result {
 		return r
 	}
 	r.Res.Solution = toLineSolution(resp.Feasible, resp.DelayNS, resp.TotalWidthU, resp.PositionsUM, resp.WidthsU)
+	r.Res.Solution.StaggerLen = units.Microns(resp.StaggeredUM)
+	r.Res.Solution.ShieldLen = units.Microns(resp.ShieldedUM)
 	return r
 }
 
@@ -92,6 +110,9 @@ func ToFrontResult(resp FrontResponse, j engine.Job) engine.FrontResult {
 		return fr
 	}
 	fr.TMin = resp.TMinNS * units.NanoSecond
+	fr.Eps = resp.Eps
+	fr.Aggressor = resp.Aggressor
+	fr.Scheme = resp.Scheme
 	fr.Points = make([]engine.FrontPoint, len(resp.Points))
 	for i, p := range resp.Points {
 		fr.Points[i] = engine.FrontPoint{
@@ -99,6 +120,8 @@ func ToFrontResult(resp FrontResponse, j engine.Job) engine.FrontResult {
 			Slack:      p.SlackNS * units.NanoSecond,
 			TotalWidth: p.TotalWidthU,
 			Repeaters:  p.Repeaters,
+			StaggerLen: units.Microns(p.StaggeredUM),
+			ShieldLen:  units.Microns(p.ShieldedUM),
 		}
 	}
 	return fr
@@ -126,6 +149,8 @@ func toBudgetAnswer(p SweepPoint, isTree bool) engine.BudgetAnswer {
 		return ba
 	}
 	ba.Res.Solution = toLineSolution(p.Feasible, p.DelayNS, p.TotalWidthU, p.PositionsUM, p.WidthsU)
+	ba.Res.Solution.StaggerLen = units.Microns(p.StaggeredUM)
+	ba.Res.Solution.ShieldLen = units.Microns(p.ShieldedUM)
 	return ba
 }
 

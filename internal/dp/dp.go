@@ -110,6 +110,15 @@ type Options struct {
 	// helpers.
 	AcquireWorker func() bool
 	ReleaseWorker func()
+
+	// Coupling, when non-nil, prices every grid interval's capacitance as
+	// ground + MF·coupling under the scenario's aggressor assumption and
+	// lets the sweep choose one of the scenario's allowed countermeasure
+	// schemes per interval (an extra generation dimension; pruning stays
+	// exact because the per-option summary (c, d, w) already captures a
+	// scheme choice's entire downstream effect). nil is the classic
+	// ground-only model — that code path is untouched by this knob.
+	Coupling *delay.Coupling
 }
 
 const (
@@ -195,6 +204,20 @@ type Solution struct {
 	Feasible bool
 	// Stats describes the run's cost.
 	Stats Stats
+
+	// Schemes, for coupled solves (Options.Coupling non-nil), records the
+	// chosen countermeasure per candidate-grid interval — candidates+1
+	// entries of delay.Scheme* values, driver-side interval first. Empty
+	// for uncoupled solves.
+	Schemes []uint8
+	// StaggerLen and ShieldLen are the summed lengths (meters) of
+	// staggered and shielded intervals in Schemes. Zero when uncoupled.
+	StaggerLen float64
+	ShieldLen  float64
+	// Cost is the DP objective value: TotalWidth plus the width-equivalent
+	// shielding cost of Schemes. Equals TotalWidth when nothing is
+	// shielded (up to summation order).
+	Cost float64
 }
 
 // option is one partial solution during the bottom-up sweep.
@@ -206,6 +229,10 @@ type option struct {
 	// next is the arena index of the downstream option this one extends,
 	// or -1 at the receiver.
 	next int32
+	// sch is the countermeasure scheme of the interval just downstream of
+	// this level's candidate (coupled solves only; always SchemePlain, 0,
+	// otherwise).
+	sch uint8
 }
 
 // solverPool backs the package-level Solve and MinimumDelay so one-shot

@@ -19,6 +19,19 @@ type FrontPoint struct {
 	TotalWidth float64
 	// Assignment holds the point's repeater positions and widths.
 	Assignment delay.Assignment
+
+	// Schemes, for coupled fronts (Options.Coupling non-nil), is the
+	// point's per-interval countermeasure vector — candidates+1 entries,
+	// driver-side interval first. Empty for uncoupled fronts.
+	Schemes []uint8
+	// StaggerLen and ShieldLen sum the staggered/shielded interval
+	// lengths of Schemes in meters. Zero when uncoupled.
+	StaggerLen float64
+	ShieldLen  float64
+	// Cost is the DP objective value at this point: TotalWidth plus the
+	// width-equivalent shielding cost of Schemes. The front's skyline is
+	// over Cost, so it is strictly decreasing along the front.
+	Cost float64
 }
 
 // Front is a net's root Pareto front: Delay strictly increasing,
@@ -53,14 +66,18 @@ func (f Front) MinDelay() float64 {
 }
 
 // frontRoot is one driver-closed root option during front extraction.
+// Coupled solves close each arena option once per allowed driver-interval
+// scheme, so several roots may share an idx; sch disambiguates them.
 type frontRoot struct {
 	total float64
 	w     float64
 	idx   int32
+	sch   uint8
 }
 
 // cmpRoot orders driver-closed roots for the skyline sweep: total
-// ascending, then width, then arena order for determinism.
+// ascending, then width, then arena order, then scheme (plain-first, so
+// zero-coupling duplicate roots deterministically keep the plain close).
 func cmpRoot(a, b frontRoot) int {
 	switch {
 	case a.total != b.total:
@@ -75,6 +92,11 @@ func cmpRoot(a, b frontRoot) int {
 		return 1
 	case a.idx != b.idx:
 		if a.idx < b.idx {
+			return -1
+		}
+		return 1
+	case a.sch != b.sch:
+		if a.sch < b.sch {
 			return -1
 		}
 		return 1
@@ -115,7 +137,7 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 		if err := s.ladderFront(ev, opts, &stats); err != nil {
 			return nil, stats, err
 		}
-		s.computeMinRem(ev)
+		s.computeMinRem(ev, opts.Coupling)
 		s.sw.useWc = true
 	}
 	ok, err := s.runLevels(ev, opts, math.Inf(1), true, &stats)
@@ -124,7 +146,8 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 		return nil, stats, err
 	}
 
-	// Close every surviving level-0 option with the driver stage.
+	// Close every surviving level-0 option with the driver stage — once
+	// per allowed driver-interval scheme when coupled.
 	t := ev.Tech
 	rsCp := t.Rs * t.Cp
 	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
@@ -132,14 +155,37 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 	m := s.wM[0]
 	rw := s.wR[0]
 	rsOverWd := t.Rs / ev.Wd
+	cpl := opts.Coupling
 	s.roots = s.roots[:0]
-	for i := range first {
-		o := &first[i]
-		s.roots = append(s.roots, frontRoot{
-			total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
-			w:     o.w,
-			idx:   int32(i),
-		})
+	if cpl == nil {
+		for i := range first {
+			o := &first[i]
+			s.roots = append(s.roots, frontRoot{
+				total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
+				w:     o.w,
+				idx:   int32(i),
+			})
+		}
+	} else {
+		var cwS, mS, wAddS [3]float64
+		stage0 := s.points[1] - s.points[0]
+		for si, sch := range cpl.Schemes {
+			mf := cpl.MF[sch]
+			cwS[si] = cw + mf*s.wCc[0]
+			mS[si] = m + mf*s.wMc[0]
+			wAddS[si] = cpl.CostUPerM[sch] * stage0
+		}
+		for i := range first {
+			o := &first[i]
+			for si, sch := range cpl.Schemes {
+				s.roots = append(s.roots, frontRoot{
+					total: rsCp + rsOverWd*(o.c+cwS[si]) + rw*o.c + mS[si] + o.d,
+					w:     o.w + wAddS[si],
+					idx:   int32(i),
+					sch:   sch,
+				})
+			}
+		}
 	}
 
 	// Skyline sweep: sort (total asc, w asc, idx asc) and keep a point only
@@ -155,7 +201,10 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 			continue
 		}
 		bestW = r.w
-		p := FrontPoint{Delay: r.total}
+		p := FrontPoint{Delay: r.total, Cost: r.w}
+		if cpl != nil {
+			p.Schemes = append(p.Schemes, r.sch)
+		}
 		// Reconstruct by walking the arena parent pointers.
 		idx := s.lvlOff[0] + r.idx
 		for k := 0; k < n; k++ {
@@ -164,9 +213,15 @@ func (s *Solver) SolveFront(ev *delay.Evaluator, opts Options) (Front, Stats, er
 				p.Assignment.Positions = append(p.Assignment.Positions, s.cand[k])
 				p.Assignment.Widths = append(p.Assignment.Widths, s.widths[o.act])
 			}
+			if cpl != nil {
+				p.Schemes = append(p.Schemes, o.sch)
+			}
 			idx = o.next
 		}
 		p.TotalWidth = p.Assignment.TotalWidth()
+		if cpl != nil {
+			p.StaggerLen, p.ShieldLen = delay.SchemeLengths(s.points, p.Schemes)
+		}
 		front = append(front, p)
 	}
 	return front, stats, nil
@@ -233,14 +288,37 @@ func (s *Solver) solveFrontDW(ev *delay.Evaluator, opts Options, lib []float64, 
 	m := s.wM[0]
 	rw := s.wR[0]
 	rsOverWd := t.Rs / ev.Wd
+	cpl := opts.Coupling
 	s.roots = s.roots[:0]
-	for i := range first {
-		o := &first[i]
-		s.roots = append(s.roots, frontRoot{
-			total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
-			w:     o.w,
-			idx:   int32(i),
-		})
+	if cpl == nil {
+		for i := range first {
+			o := &first[i]
+			s.roots = append(s.roots, frontRoot{
+				total: rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d,
+				w:     o.w,
+				idx:   int32(i),
+			})
+		}
+	} else {
+		var cwS, mS, wAddS [3]float64
+		stage0 := s.points[1] - s.points[0]
+		for si, sch := range cpl.Schemes {
+			mf := cpl.MF[sch]
+			cwS[si] = cw + mf*s.wCc[0]
+			mS[si] = m + mf*s.wMc[0]
+			wAddS[si] = cpl.CostUPerM[sch] * stage0
+		}
+		for i := range first {
+			o := &first[i]
+			for si, sch := range cpl.Schemes {
+				s.roots = append(s.roots, frontRoot{
+					total: rsCp + rsOverWd*(o.c+cwS[si]) + rw*o.c + mS[si] + o.d,
+					w:     o.w + wAddS[si],
+					idx:   int32(i),
+					sch:   sch,
+				})
+			}
+		}
 	}
 	slices.SortFunc(s.roots, cmpRoot)
 	bestW := math.Inf(1)

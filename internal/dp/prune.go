@@ -68,10 +68,12 @@ type dw struct{ d, w float64 }
 
 // dwn is one repeater-bucket record: the bucket's c and action are
 // constants held once in the pruner, so options in it are just
-// (delay, width, arena-link).
+// (delay, width, arena-link) plus the scheme byte coupled solves carry
+// (it fits in the struct's existing padding).
 type dwn struct {
 	d, w float64
 	next int32
+	sch  uint8
 }
 
 // mergeHead is one cursor of the k-way bucket merge.
@@ -149,7 +151,7 @@ func (p *pruner) add(bi int, o option) {
 		return
 	}
 	p.rbC[bi-1] = o.c
-	p.rb[bi-1] = append(p.rb[bi-1], dwn{d: o.d, w: o.w, next: o.next})
+	p.rb[bi-1] = append(p.rb[bi-1], dwn{d: o.d, w: o.w, next: o.next, sch: o.sch})
 }
 
 // generated reports the number of options currently in the buckets.
@@ -163,7 +165,11 @@ func (p *pruner) generated() int {
 
 // cmpOpt orders options by (c, d, w) ascending — (c, d) only when the
 // width coordinate is ignored (2-D mode). Width-blindness is a comparison
-// concern: the options' real widths are never modified.
+// concern: the options' real widths are never modified. Exact value ties
+// break by scheme so coupled solves stay deterministic under the unstable
+// sorts (plain first, which is what makes a zero-coupling duplicate kill
+// keep the plain option); uncoupled solves carry sch == 0 everywhere and
+// are unaffected.
 func cmpOpt(a, b *option, threeD bool) int {
 	switch {
 	case a.c != b.c:
@@ -178,6 +184,11 @@ func cmpOpt(a, b *option, threeD bool) int {
 		return 1
 	case threeD && a.w != b.w:
 		if a.w < b.w {
+			return -1
+		}
+		return 1
+	case a.sch != b.sch:
+		if a.sch < b.sch {
 			return -1
 		}
 		return 1
@@ -214,7 +225,7 @@ func (p *pruner) reduceRB(bi int, threeD bool) {
 		return
 	}
 	// Constant c: 2-D (d, w) front. Sort by (d, w) and keep strictly
-	// decreasing widths.
+	// decreasing widths. Ties break by scheme (see cmpOpt).
 	slices.SortFunc(b, func(a, b dwn) int {
 		switch {
 		case a.d != b.d:
@@ -224,6 +235,11 @@ func (p *pruner) reduceRB(bi int, threeD bool) {
 			return 1
 		case a.w != b.w:
 			if a.w < b.w {
+				return -1
+			}
+			return 1
+		case a.sch != b.sch:
+			if a.sch < b.sch {
 				return -1
 			}
 			return 1
@@ -345,7 +361,7 @@ func (p *pruner) pruneInto(dst []option, threeD bool) []option {
 			blen = len(p.b0)
 		} else {
 			e := p.rb[h.b-1][h.i]
-			o = option{c: p.rbC[h.b-1], d: e.d, w: e.w, act: h.b - 1, next: e.next}
+			o = option{c: p.rbC[h.b-1], d: e.d, w: e.w, act: h.b - 1, next: e.next, sch: e.sch}
 			blen = len(p.rb[h.b-1])
 		}
 		if int(h.i)+1 < blen {

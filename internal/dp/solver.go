@@ -30,6 +30,12 @@ type Solver struct {
 	wR     []float64
 	wC     []float64
 	wM     []float64
+	// wCc/wMc are the per-interval unscaled coupling capacitance and
+	// coupling self-delay (coupled solves only; see delay.Coupling). The
+	// interval's effective values under Miller factor MF are
+	// wC + MF·wCc and wM + MF·wMc.
+	wCc []float64
+	wMc []float64
 
 	// widths is the library scratch; rsOverW and coW are the per-width
 	// constants Rs/w and Co·w hoisted out of the generation loop (the
@@ -151,6 +157,10 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 	sol.TotalWidth = 0
 	sol.Feasible = false
 	sol.Stats = Stats{}
+	sol.Schemes = sol.Schemes[:0]
+	sol.StaggerLen = 0
+	sol.ShieldLen = 0
+	sol.Cost = 0
 
 	if opts.Library.Size() == 0 && lib == nil {
 		return errors.New("dp: empty repeater library")
@@ -181,7 +191,7 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 			sol.Stats = stats
 			return err
 		}
-		s.computeMinRem(ev)
+		s.computeMinRem(ev, opts.Coupling)
 		s.sw.useRem = true
 	}
 
@@ -197,7 +207,9 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 		return nil
 	}
 
-	// Close with the driver stage: wire from 0 to the first level.
+	// Close with the driver stage: wire from 0 to the first level. A
+	// coupled solve additionally chooses the driver-side interval's scheme
+	// here (the sweep only decided intervals downstream of candidates).
 	t := ev.Tech
 	rsCp := t.Rs * t.Cp
 	first := s.arena[s.lvlOff[0] : s.lvlOff[0]+s.lvlCnt[0]]
@@ -208,20 +220,53 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 	bestIdx := int32(-1)
 	bestDelay := math.Inf(1)
 	bestWidth := math.Inf(1)
-	for i := range first {
-		o := &first[i]
-		total := rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d
-		switch opts.Objective {
-		case MinPower:
-			if total > opts.Target {
-				continue
+	bestSch := uint8(0)
+	cpl := opts.Coupling
+	if cpl == nil {
+		for i := range first {
+			o := &first[i]
+			total := rsCp + rsOverWd*(o.c+cw) + rw*o.c + m + o.d
+			switch opts.Objective {
+			case MinPower:
+				if total > opts.Target {
+					continue
+				}
+				if o.w < bestWidth || (o.w == bestWidth && total < bestDelay) {
+					bestIdx, bestWidth, bestDelay = int32(i), o.w, total
+				}
+			case MinDelay:
+				if total < bestDelay {
+					bestIdx, bestWidth, bestDelay = int32(i), o.w, total
+				}
 			}
-			if o.w < bestWidth || (o.w == bestWidth && total < bestDelay) {
-				bestIdx, bestWidth, bestDelay = int32(i), o.w, total
-			}
-		case MinDelay:
-			if total < bestDelay {
-				bestIdx, bestWidth, bestDelay = int32(i), o.w, total
+		}
+	} else {
+		var cwS, mS, wAddS [3]float64
+		stage0 := s.points[1] - s.points[0]
+		for si, sch := range cpl.Schemes {
+			mf := cpl.MF[sch]
+			cwS[si] = cw + mf*s.wCc[0]
+			mS[si] = m + mf*s.wMc[0]
+			wAddS[si] = cpl.CostUPerM[sch] * stage0
+		}
+		for i := range first {
+			o := &first[i]
+			for si, sch := range cpl.Schemes {
+				total := rsCp + rsOverWd*(o.c+cwS[si]) + rw*o.c + mS[si] + o.d
+				w := o.w + wAddS[si]
+				switch opts.Objective {
+				case MinPower:
+					if total > opts.Target {
+						continue
+					}
+					if w < bestWidth || (w == bestWidth && total < bestDelay) {
+						bestIdx, bestWidth, bestDelay, bestSch = int32(i), w, total, sch
+					}
+				case MinDelay:
+					if total < bestDelay {
+						bestIdx, bestWidth, bestDelay, bestSch = int32(i), w, total, sch
+					}
+				}
 			}
 		}
 	}
@@ -231,7 +276,11 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 	}
 
 	// Reconstruct by walking the arena parent pointers from the chosen
-	// level-0 option.
+	// level-0 option. The scheme vector leads with the driver-close choice
+	// (interval 0); the level-k option's sch is interval k+1's.
+	if cpl != nil {
+		sol.Schemes = append(sol.Schemes, bestSch)
+	}
 	idx := s.lvlOff[0] + bestIdx
 	for k := 0; k < n; k++ {
 		o := &s.arena[idx]
@@ -239,10 +288,17 @@ func (s *Solver) solveInto(sol *Solution, ev *delay.Evaluator, opts Options, lib
 			sol.Assignment.Positions = append(sol.Assignment.Positions, s.cand[k])
 			sol.Assignment.Widths = append(sol.Assignment.Widths, s.widths[o.act])
 		}
+		if cpl != nil {
+			sol.Schemes = append(sol.Schemes, o.sch)
+		}
 		idx = o.next
 	}
 	sol.Delay = bestDelay
 	sol.TotalWidth = sol.Assignment.TotalWidth()
+	sol.Cost = bestWidth
+	if cpl != nil {
+		sol.StaggerLen, sol.ShieldLen = delay.SchemeLengths(s.points, sol.Schemes)
+	}
 	sol.Feasible = true
 	return nil
 }
@@ -281,6 +337,9 @@ func (s *Solver) prepare(ev *delay.Evaluator, opts Options, lib []float64) (int,
 	s.points = append(s.points, s.cand...)
 	s.points = append(s.points, ev.Line.Length())
 	s.wR, s.wC, s.wM = ev.StageRCM(s.points, s.wR[:0], s.wC[:0], s.wM[:0])
+	if opts.Coupling != nil {
+		s.wCc, s.wMc = ev.StageCcMc(s.points, s.wCc[:0], s.wMc[:0])
+	}
 	if lib != nil {
 		s.widths = append(s.widths[:0], lib...)
 	} else {
@@ -393,7 +452,15 @@ func (s *Solver) ladderBounded(ev *delay.Evaluator, opts Options, stats *Stats) 
 			ErrBudget, stats.Generated, opts.MaxGenerated)
 	}
 	if s.ladSol.Feasible {
-		s.sw.wUB = s.ladSol.TotalWidth
+		// The width bound must live in the sweep's own w coordinate, which
+		// for coupled solves includes shielding cost — Solution.Cost, not
+		// the repeater-only TotalWidth (an undercount there could kill a
+		// partial that completes below the coarse solution's true cost).
+		if opts.Coupling != nil {
+			s.sw.wUB = s.ladSol.Cost
+		} else {
+			s.sw.wUB = s.ladSol.TotalWidth
+		}
 	}
 	return nil
 }
@@ -404,17 +471,34 @@ func (s *Solver) ladderBounded(ev *delay.Evaluator, opts Options, stats *Stats) 
 // irreducible intrinsic and first-stage-load terms. Everything else
 // (resistance·load cross terms) is nonnegative, so d + minRem[k] ≤ total
 // holds for every completion of every level-k option.
-func (s *Solver) computeMinRem(ev *delay.Evaluator) {
+func (s *Solver) computeMinRem(ev *delay.Evaluator, cpl *delay.Coupling) {
 	n := len(s.cand)
 	if cap(s.minRem) < n {
 		s.minRem = make([]float64, n)
 	}
 	s.minRem = s.minRem[:n]
 	t := ev.Tech
-	acc := t.Rs*t.Cp + (t.Rs/ev.Wd)*s.wC[0] + s.wM[0]
+	// Under coupling, every interval's self-delay is at least its ground
+	// part plus the smallest allowed Miller factor's share of the coupling
+	// part (the sweep may pick schemes per interval, but none prices below
+	// MinMF), so the floor stays admissible.
+	mf := 0.0
+	if cpl != nil {
+		mf = cpl.MinMF()
+	}
+	var acc float64
+	if cpl == nil {
+		acc = t.Rs*t.Cp + (t.Rs/ev.Wd)*s.wC[0] + s.wM[0]
+	} else {
+		acc = t.Rs*t.Cp + (t.Rs/ev.Wd)*(s.wC[0]+mf*s.wCc[0]) + (s.wM[0] + mf*s.wMc[0])
+	}
 	for k := 0; k < n; k++ {
 		if k > 0 {
-			acc += s.wM[k]
+			if cpl == nil {
+				acc += s.wM[k]
+			} else {
+				acc += s.wM[k] + mf*s.wMc[k]
+			}
 		}
 		// Deflate by a hair: the bound is proved in real arithmetic, and
 		// the fine sweep accumulates delays through rounded additions, so
@@ -455,6 +539,7 @@ func (s *Solver) runLevels(ev *delay.Evaluator, opts Options, bound float64, thr
 	wUB := s.sw.wUB
 	checkUB := !math.IsInf(wUB, 1)
 	invC := s.sw.invC
+	cpl := opts.Coupling
 	for k := len(s.cand) - 1; k >= 0; k-- {
 		// Stage k+1 spans [cand[k], next candidate or L].
 		cw := s.wC[k+1]
@@ -480,35 +565,85 @@ func (s *Solver) runLevels(ev *delay.Evaluator, opts Options, bound float64, thr
 		copy(s.pr.rbC, s.coW)
 		downOff := s.lvlOff[k+1]
 		down := s.arena[downOff : downOff+s.lvlCnt[k+1]]
-		for di := range down {
-			o := &down[di]
-			baseC := o.c + cw
-			baseD := o.d + rw*o.c + m
-			if baseD > lb {
-				continue
+		if cpl == nil {
+			for di := range down {
+				o := &down[di]
+				baseC := o.c + cw
+				baseD := o.d + rw*o.c + m
+				if baseD > lb {
+					continue
+				}
+				next := downOff + int32(di)
+				// No repeater at this candidate.
+				if !useWc || o.w <= s.wcAt(baseD*invC+rem) {
+					s.pr.b0 = append(s.pr.b0, option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+				}
+				// Repeater of each library width: within bucket wi+1 the load
+				// coordinate c is the constant Co·w, which is what lets the
+				// pruner treat the bucket as a 2-D (d, w) front of bare
+				// (d, w, next) records.
+				for wi := range s.widths {
+					d := rsCp + s.rsOverW[wi]*baseC + baseD
+					if d > lb {
+						continue
+					}
+					w := o.w + s.widths[wi]
+					if checkUB && w > wUB {
+						continue
+					}
+					if useWc && w > s.wcAt(d*invC+rem) {
+						continue
+					}
+					s.pr.rb[wi] = append(s.pr.rb[wi], dwn{d: d, w: w, next: next})
+				}
 			}
-			next := downOff + int32(di)
-			// No repeater at this candidate.
-			if !useWc || o.w <= s.wcAt(baseD*invC+rem) {
-				s.pr.b0 = append(s.pr.b0, option{c: baseC, d: baseD, w: o.w, act: -1, next: next})
+		} else {
+			// Coupled arm: generate one option per allowed scheme of the
+			// interval, pricing it at the scheme's effective capacitance /
+			// self-delay and charging any shielding cost into w. The pruner
+			// needs no new machinery — a scheme choice's entire downstream
+			// effect is already inside (c, d, w); the sch byte is carried
+			// for reconstruction only. With zero coupling densities the
+			// plain scheme's arithmetic is bit-identical to the arm above
+			// and the extra schemes generate only duplicates or dominated
+			// options, which the (plain-first) deterministic prune removes
+			// — the differential oracle in coupling_test.go pins that.
+			var cwS, mS, wAddS [3]float64
+			stageLen := s.points[k+2] - s.points[k+1]
+			for si, sch := range cpl.Schemes {
+				mf := cpl.MF[sch]
+				cwS[si] = cw + mf*s.wCc[k+1]
+				mS[si] = m + mf*s.wMc[k+1]
+				wAddS[si] = cpl.CostUPerM[sch] * stageLen
 			}
-			// Repeater of each library width: within bucket wi+1 the load
-			// coordinate c is the constant Co·w, which is what lets the
-			// pruner treat the bucket as a 2-D (d, w) front of bare
-			// (d, w, next) records.
-			for wi := range s.widths {
-				d := rsCp + s.rsOverW[wi]*baseC + baseD
-				if d > lb {
-					continue
+			for di := range down {
+				o := &down[di]
+				next := downOff + int32(di)
+				for si, sch := range cpl.Schemes {
+					baseC := o.c + cwS[si]
+					baseD := o.d + rw*o.c + mS[si]
+					if baseD > lb {
+						continue
+					}
+					ow := o.w + wAddS[si]
+					if !useWc || ow <= s.wcAt(baseD*invC+rem) {
+						s.pr.b0 = append(s.pr.b0, option{c: baseC, d: baseD, w: ow, act: -1, next: next, sch: sch})
+					}
+					for wi := range s.widths {
+						d := rsCp + s.rsOverW[wi]*baseC + baseD
+						if d > lb {
+							continue
+						}
+						w := ow + s.widths[wi]
+						if checkUB && w > wUB {
+							continue
+						}
+						if useWc && w > s.wcAt(d*invC+rem) {
+							continue
+						}
+						s.pr.rb[wi] = append(s.pr.rb[wi], dwn{d: d, w: w, next: next, sch: sch})
+					}
 				}
-				w := o.w + s.widths[wi]
-				if checkUB && w > wUB {
-					continue
-				}
-				if useWc && w > s.wcAt(d*invC+rem) {
-					continue
-				}
-				s.pr.rb[wi] = append(s.pr.rb[wi], dwn{d: d, w: w, next: next})
 			}
 		}
 		gen := s.pr.generated()

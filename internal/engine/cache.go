@@ -11,12 +11,18 @@ import (
 
 // linePoint is one retained point of a line net's power–delay Pareto
 // front: the cheapest assignment achieving its delay over the engine's
-// native candidate space.
+// native candidate space. Points of coupled fronts (entries keyed with a
+// crosstalk scenario) additionally carry the per-grid-interval
+// countermeasure schemes and their summed lengths; uncoupled points
+// leave them empty.
 type linePoint struct {
 	delay      float64
 	totalWidth float64
 	positions  []float64
 	widths     []float64
+	schemes    []uint8
+	staggerLen float64
+	shieldLen  float64
 }
 
 // lineFront is a retained line front: delay strictly increasing,

@@ -110,6 +110,18 @@ type Job struct {
 	// is [0, dp.MaxEps]. ε fronts are cached under keys disjoint from
 	// exact ones, so the two modes never alias.
 	Eps float64
+	// Aggressor opts the job into crosstalk-aware solving (line nets
+	// only): the neighbor-switching assumption coupling capacitance is
+	// priced under — "worst", "best", "quiet", or ""/"none" for the
+	// classic ground-only model. Requires a technology with a coupling
+	// model (tech.HasCoupling). Coupled fronts are cached under keys
+	// disjoint from uncoupled ones and from other scenarios.
+	Aggressor string
+	// Scheme selects the per-interval countermeasures a coupled solve may
+	// deploy: "plain" (or "", no countermeasures), "staggered", "shielded"
+	// or "auto" (both). Only meaningful with a non-none Aggressor; a
+	// scheme without an aggressor is rejected.
+	Scheme string
 }
 
 // Result is one net's outcome. Err is per-net: a failed job never aborts
@@ -148,6 +160,13 @@ type Result struct {
 	Sweep []BudgetAnswer
 	// Eps echoes the ε relaxation the answer was solved under (0 = exact).
 	Eps float64
+	// Aggressor and Scheme echo a coupled job's crosstalk scenario in
+	// normalized form ("worst"/"best"/"quiet" and "plain"/"staggered"/
+	// "shielded"/"auto"); both empty for uncoupled jobs. The per-answer
+	// scheme attribution lives on the served dp.Solution (Schemes,
+	// StaggerLen, ShieldLen).
+	Aggressor string
+	Scheme    string
 	// EpsBound is the certified relative width-suboptimality of a served
 	// ε answer: (width − lowerBound)/width ∈ [0, 1], where lowerBound is
 	// the ε front's width at Target·(1+Eps) — provably no larger than the
@@ -334,6 +353,15 @@ type Engine struct {
 	// epsBoundSum accumulates certified bounds in nano-units (bound·1e9)
 	// so the histogram's _sum renders without a float CAS loop.
 	epsBoundSum atomic.Uint64
+
+	// Crosstalk counters, exported at /metrics as rip_coupling_*: how
+	// many coupled jobs were accepted, how many coupled front solves ran
+	// (hits add none), and how many served answers actually deployed each
+	// countermeasure.
+	couplingJobs     atomic.Uint64
+	couplingSolves   atomic.Uint64
+	staggeredAnswers atomic.Uint64
+	shieldedAnswers  atomic.Uint64
 }
 
 // New builds an Engine for the technology node.
@@ -631,6 +659,70 @@ func (e *Engine) noteEpsAnswer(bound float64) {
 	e.epsBoundHst[len(EpsBoundBuckets)].Add(1)
 }
 
+// CouplingStats is a point-in-time snapshot of the engine's crosstalk-
+// aware activity — the rip_coupling_* counters ripd exports.
+type CouplingStats struct {
+	// Jobs counts accepted coupled jobs (solve and front queries alike).
+	Jobs uint64
+	// Solves counts coupled front solves performed (cache hits add none).
+	Solves uint64
+	// StaggeredAnswers and ShieldedAnswers count served answers whose
+	// chosen scheme vector staggers / shields at least one interval,
+	// across cold solves and verified hits. An answer using both
+	// countermeasures increments both.
+	StaggeredAnswers uint64
+	ShieldedAnswers  uint64
+}
+
+// CouplingStats snapshots the crosstalk counters.
+func (e *Engine) CouplingStats() CouplingStats {
+	return CouplingStats{
+		Jobs:             e.couplingJobs.Load(),
+		Solves:           e.couplingSolves.Load(),
+		StaggeredAnswers: e.staggeredAnswers.Load(),
+		ShieldedAnswers:  e.shieldedAnswers.Load(),
+	}
+}
+
+// noteCouplingAnswer records one served coupled answer's countermeasures.
+func (e *Engine) noteCouplingAnswer(staggerLen, shieldLen float64) {
+	if staggerLen > 0 {
+		e.staggeredAnswers.Add(1)
+	}
+	if shieldLen > 0 {
+		e.shieldedAnswers.Add(1)
+	}
+}
+
+// resolveCoupling validates a job's crosstalk fields against the engine's
+// node and resolves them to a scenario (nil for uncoupled jobs). Errors
+// carry the ErrBadJob class: they are malformed requests, found before
+// any solving.
+func (e *Engine) resolveCoupling(j Job, name string) (*delay.Coupling, error) {
+	agg, err := delay.ParseAggressor(j.Aggressor)
+	if err != nil {
+		return nil, asBadJob(fmt.Errorf("engine: net %q: %w", name, err))
+	}
+	mode, err := delay.ParseSchemeMode(j.Scheme)
+	if err != nil {
+		return nil, asBadJob(fmt.Errorf("engine: net %q: %w", name, err))
+	}
+	if agg == delay.AggressorNone {
+		if j.Scheme != "" {
+			return nil, badJob("engine: net %q: scheme %q needs an aggressor (set Aggressor to worst, best or quiet)", name, j.Scheme)
+		}
+		return nil, nil
+	}
+	if j.TreeNet != nil {
+		return nil, badJob("engine: tree net %q: coupling-aware solving is only supported for line nets", name)
+	}
+	cpl, err := delay.NewCoupling(e.tech, agg, mode)
+	if err != nil {
+		return nil, asBadJob(err)
+	}
+	return cpl, nil
+}
+
 // noteDPErr counts budget-aborted solves.
 func (e *Engine) noteDPErr(err error) {
 	if errors.Is(err, dp.ErrBudget) {
@@ -759,6 +851,16 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 			return res
 		}
 	}
+	cpl, err := e.resolveCoupling(j, res.name())
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if cpl != nil {
+		res.Aggressor = cpl.Aggressor.String()
+		res.Scheme = cpl.Mode.String()
+		e.couplingJobs.Add(1)
+	}
 	// Take an engine-wide solve slot: concurrent callers queue here
 	// rather than multiplying parallelism beyond the worker budget.
 	select {
@@ -786,11 +888,13 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	if e.cache != nil {
 		key = e.sig.key(j)
 		if ent, ok := e.cache.get(key); ok && !ent.tree {
-			if hit, ok := e.verifyLine(ev, ent, j); ok {
+			if hit, ok := e.verifyLine(ev, ent, j, cpl); ok {
 				e.hits.Add(1)
 				hit.Net = j.Net
 				hit.Tech = e.tech.Name
 				hit.Eps = j.Eps
+				hit.Aggressor = res.Aggressor
+				hit.Scheme = res.Scheme
 				return hit
 			}
 			e.rejected.Add(1)
@@ -802,7 +906,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 	// Cold solve: one τmin reference sweep plus one unbounded width-aware
 	// front sweep per distinct shape; the front then answers every budget
 	// this job (and any future shape-equal job) asks for.
-	pts, tmin, fac, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps)
+	pts, tmin, fac, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps, cpl)
 	if err != nil {
 		res.Err = err
 		return res
@@ -825,6 +929,12 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 			Delay:      p.delay,
 			TotalWidth: p.totalWidth,
 			Feasible:   true,
+		}
+		if cpl != nil {
+			out.Solution.Schemes = append([]uint8(nil), p.schemes...)
+			out.Solution.StaggerLen = p.staggerLen
+			out.Solution.ShieldLen = p.shieldLen
+			e.noteCouplingAnswer(p.staggerLen, p.shieldLen)
 		}
 		bound := epsBoundFor(pts, idx, target, j.Eps, fac)
 		if j.Eps > 0 {
@@ -894,11 +1004,16 @@ func epsBoundFor(f lineFront, idx int, target, eps, fac float64) float64 {
 // which per-answer certificates query the front with. The returned
 // points alias the cached entry's slices; callers must copy before
 // serving.
-func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Evaluator, name, key string, eps float64) (_ lineFront, tmin, fac float64, _ error) {
+func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Evaluator, name, key string, eps float64, cpl *delay.Coupling) (_ lineFront, tmin, fac float64, _ error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, fmt.Errorf("engine: net %q: %w", name, err)
 	}
-	tmin, st, err := s.MinimumDelayStats(ev, e.refOpts)
+	// A coupled job's τmin is priced under the same crosstalk scenario as
+	// its front: a relative target must mean "α times the best this net
+	// can do under these neighbors", not under the ground-only model.
+	ro := e.refOpts
+	ro.Coupling = cpl
+	tmin, st, err := s.MinimumDelayStats(ev, ro)
 	e.noteDP(st)
 	if err != nil {
 		e.noteDPErr(err)
@@ -910,6 +1025,10 @@ func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Eva
 	fo := e.frontOpts
 	fo.Ladder = true
 	fo.Eps = eps
+	fo.Coupling = cpl
+	if cpl != nil {
+		e.couplingSolves.Add(1)
+	}
 	if e.workers > 1 {
 		// Intra-net parallelism borrows idle solve slots: the non-blocking
 		// acquire means a busy engine degrades to the serial sweep instead
@@ -943,6 +1062,9 @@ func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Eva
 			totalWidth: p.TotalWidth,
 			positions:  p.Assignment.Positions,
 			widths:     p.Assignment.Widths,
+			schemes:    p.Schemes,
+			staggerLen: p.StaggerLen,
+			shieldLen:  p.ShieldLen,
 		}
 	}
 	if e.cache != nil {
@@ -962,10 +1084,21 @@ func (e *Engine) solveLineFront(ctx context.Context, s *dp.Solver, ev *delay.Eva
 // (recomputing τmin per hit would cost the DP the cache exists to skip);
 // see the package comment for the resulting tolerance on quantized
 // neighbors.
-func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, bool) {
+func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job, cpl *delay.Coupling) (Result, bool) {
 	if len(ent.front) == 0 {
 		return Result{}, false
 	}
+	// A coupled hit is re-priced with CoupledTotal over the engine's own
+	// candidate grid — schemes are properties of grid intervals, so the
+	// entry's scheme vector must match this net's grid exactly or the hit
+	// is rejected (a quantized neighbor whose grid differs re-solves).
+	var grid []float64
+	if cpl != nil {
+		grid = append(grid, 0)
+		grid = ev.Line.AppendLegalPositions(grid, e.frontOpts.Pitch)
+		grid = append(grid, ev.Line.Length())
+	}
+	var coupledLens [][2]float64
 	answer := func(target float64) (core.Result, float64, bool) {
 		idx, ok := ent.front.at(target)
 		if !ok {
@@ -981,18 +1114,37 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 		if err := ev.Validate(a); err != nil {
 			return core.Result{}, 0, false
 		}
-		d := ev.Total(a)
+		var d float64
+		if cpl != nil {
+			if len(p.schemes) != len(grid)-1 {
+				return core.Result{}, 0, false
+			}
+			var err error
+			d, err = ev.CoupledTotal(grid, p.schemes, cpl, a)
+			if err != nil {
+				return core.Result{}, 0, false
+			}
+		} else {
+			d = ev.Total(a)
+		}
 		if d > target {
 			return core.Result{}, 0, false
 		}
+		sol := dp.Solution{
+			Assignment: a,
+			Delay:      d,
+			TotalWidth: p.totalWidth,
+			Feasible:   true,
+		}
+		if cpl != nil {
+			sol.Schemes = append([]uint8(nil), p.schemes...)
+			sol.StaggerLen = p.staggerLen
+			sol.ShieldLen = p.shieldLen
+			coupledLens = append(coupledLens, [2]float64{p.staggerLen, p.shieldLen})
+		}
 		return core.Result{
-			Solution: dp.Solution{
-				Assignment: a,
-				Delay:      d,
-				TotalWidth: p.totalWidth,
-				Feasible:   true,
-			},
-			Report: core.Report{Picked: core.PhaseFront},
+			Solution: sol,
+			Report:   core.Report{Picked: core.PhaseFront},
 		}, epsBoundFor(ent.front, idx, target, j.Eps, ent.epsFac), true
 	}
 	var res Result
@@ -1027,8 +1179,12 @@ func (e *Engine) verifyLine(ev *delay.Evaluator, ent cached, j Job) (Result, boo
 		lookups = 1
 	}
 	e.frontLookups.Add(lookups)
-	// Count ε answers only once the whole lookup is accepted: a rejected
-	// hit falls through to a fresh solve whose answers are counted there.
+	// Count coupled and ε answers only once the whole lookup is accepted: a
+	// rejected hit falls through to a fresh solve whose answers are counted
+	// there.
+	for _, l := range coupledLens {
+		e.noteCouplingAnswer(l[0], l[1])
+	}
 	if j.Eps > 0 {
 		for _, ba := range res.Sweep {
 			e.noteEpsAnswer(ba.EpsBound)

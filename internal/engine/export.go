@@ -21,11 +21,16 @@ import (
 // worst-case 1+ε bound, which is looser but never wrong.
 
 // CachePoint is one exported point of a line net's power–delay front.
+// Schemes, StaggerLen and ShieldLen are populated only on points of
+// coupled fronts (entries keyed with a crosstalk scenario).
 type CachePoint struct {
 	Delay      float64
 	TotalWidth float64
 	Positions  []float64
 	Widths     []float64
+	Schemes    []uint8
+	StaggerLen float64
+	ShieldLen  float64
 }
 
 // CacheTreePoint is one exported point of a tree's power–slack front.
@@ -97,6 +102,9 @@ func exportEntry(key string, val cached) CacheEntry {
 			TotalWidth: p.totalWidth,
 			Positions:  append([]float64(nil), p.positions...),
 			Widths:     append([]float64(nil), p.widths...),
+			Schemes:    append([]uint8(nil), p.schemes...),
+			StaggerLen: p.staggerLen,
+			ShieldLen:  p.shieldLen,
 		}
 	}
 	return ent
@@ -166,11 +174,22 @@ func importEntry(ent CacheEntry) (cached, bool) {
 				return cached{}, false
 			}
 		}
+		if !finite(p.StaggerLen) || p.StaggerLen < 0 || !finite(p.ShieldLen) || p.ShieldLen < 0 {
+			return cached{}, false
+		}
+		for _, s := range p.Schemes {
+			if s > 2 {
+				return cached{}, false
+			}
+		}
 		front[i] = linePoint{
 			delay:      p.Delay,
 			totalWidth: p.TotalWidth,
 			positions:  append([]float64(nil), p.Positions...),
 			widths:     append([]float64(nil), p.Widths...),
+			schemes:    append([]uint8(nil), p.Schemes...),
+			staggerLen: p.StaggerLen,
+			shieldLen:  p.ShieldLen,
 		}
 	}
 	return cached{front: front, tmin: ent.TMin}, true

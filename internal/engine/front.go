@@ -27,6 +27,11 @@ type FrontPoint struct {
 	TotalWidth float64
 	// Repeaters is the number of inserted repeaters (buffers).
 	Repeaters int
+	// StaggerLen and ShieldLen are the summed lengths, in meters, of the
+	// point's staggered and shielded intervals. Zero except on coupled
+	// line fronts (a non-none Job.Aggressor).
+	StaggerLen float64
+	ShieldLen  float64
 }
 
 // FrontResult is one net's whole retained Pareto front — the what-if
@@ -47,6 +52,10 @@ type FrontResult struct {
 	// Relaxed curves may omit points whose delay is within a factor
 	// (1+Eps) of a retained point's.
 	Eps float64
+	// Aggressor and Scheme echo a coupled query's crosstalk scenario in
+	// normalized form; both empty for uncoupled queries.
+	Aggressor string
+	Scheme    string
 	// CacheHit reports whether the curve came from the solution cache.
 	CacheHit bool
 	// Err records a failure (validation or solver error).
@@ -96,6 +105,16 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 		fr.Err = badJob("engine: tree net %q: eps is only supported for line nets", name)
 		return fr
 	}
+	cpl, err := e.resolveCoupling(j, name)
+	if err != nil {
+		fr.Err = err
+		return fr
+	}
+	if cpl != nil {
+		fr.Aggressor = cpl.Aggressor.String()
+		fr.Scheme = cpl.Mode.String()
+		e.couplingJobs.Add(1)
+	}
 	select {
 	case e.solveSlots <- struct{}{}:
 		defer func() { <-e.solveSlots }()
@@ -131,7 +150,7 @@ func (e *Engine) FrontContext(ctx context.Context, j Job) (fr FrontResult) {
 	}
 	s := dp.AcquireSolver()
 	defer dp.ReleaseSolver(s)
-	pts, tmin, _, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps)
+	pts, tmin, _, err := e.solveLineFront(ctx, s, ev, j.Net.Name, key, j.Eps, cpl)
 	if err != nil {
 		fr.Err = err
 		return fr
@@ -189,7 +208,13 @@ func jobName(j Job) string {
 func lineFrontPoints(f lineFront) []FrontPoint {
 	out := make([]FrontPoint, len(f))
 	for i, p := range f {
-		out[i] = FrontPoint{Delay: p.delay, TotalWidth: p.totalWidth, Repeaters: len(p.widths)}
+		out[i] = FrontPoint{
+			Delay:      p.delay,
+			TotalWidth: p.totalWidth,
+			Repeaters:  len(p.widths),
+			StaggerLen: p.staggerLen,
+			ShieldLen:  p.shieldLen,
+		}
 	}
 	return out
 }

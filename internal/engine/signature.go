@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/rip-eda/rip/internal/delay"
 	"github.com/rip-eda/rip/internal/tech"
 	"github.com/rip-eda/rip/internal/units"
 )
@@ -46,11 +47,20 @@ func newSigner(t *tech.Technology, opts CacheOptions) *signer {
 	appendFloat(&b, t.Freq)
 	appendFloat(&b, t.Activity)
 	appendFloat(&b, t.LeakWPerUnit)
+	// The coupling model is part of the node's electrical identity
+	// unconditionally (not only when a job uses it): a node that gains,
+	// loses or edits coupling fields must invalidate every signature, or a
+	// snapshot taken under one coupling definition could serve answers
+	// under another.
+	appendFloat(&b, t.MillerMin)
+	appendFloat(&b, t.MillerMax)
+	appendFloat(&b, t.ShieldUPerM)
 	for _, l := range t.Layers {
 		b.WriteString(l.Name)
 		b.WriteByte(':')
 		appendFloat(&b, l.ROhmPerM)
 		appendFloat(&b, l.CFPerM)
+		appendFloat(&b, l.CcFPerM)
 	}
 	s := &signer{
 		techPrefix:    b.String(),
@@ -78,7 +88,14 @@ func newSigner(t *tech.Technology, opts CacheOptions) *signer {
 // relaxation IS part of the key (appended as a trailing "|e" token):
 // relaxed fronts drop points an exact job is entitled to, so exact and
 // ε entries must never alias — and exact jobs emit the historical key
-// unchanged, keeping existing snapshots importable.
+// unchanged, keeping existing snapshots importable. A coupled job (a
+// parseable, non-none Aggressor) likewise appends "|a"+aggressor and
+// "|s"+scheme mode: fronts priced under different crosstalk scenarios
+// answer different physics and must never alias each other or the
+// uncoupled front — and per-segment coupling densities join the segment
+// profile so two nets differing only in cc cannot collide. Uncoupled
+// jobs on nets without coupling capacitance still emit the historical
+// key shape.
 func (s *signer) key(j Job) string {
 	var b strings.Builder
 	b.Grow(64 + 32*j.Net.Line.NumSegments())
@@ -92,6 +109,10 @@ func (s *signer) key(j Job) string {
 		appendQuant(&b, seg.Length, s.lengthQuantum)
 		appendFloat(&b, seg.ROhmPerM)
 		appendFloat(&b, seg.CFPerM)
+		if seg.CcFPerM != 0 {
+			b.WriteByte('c')
+			appendFloat(&b, seg.CcFPerM)
+		}
 		b.WriteByte(';')
 	}
 	b.WriteString("|z")
@@ -103,6 +124,14 @@ func (s *signer) key(j Job) string {
 	if j.Eps > 0 {
 		b.WriteString("|e")
 		appendFloat(&b, j.Eps)
+	}
+	if agg, err := delay.ParseAggressor(j.Aggressor); err == nil && agg != delay.AggressorNone {
+		b.WriteString("|a")
+		b.WriteString(agg.String())
+		if mode, err := delay.ParseSchemeMode(j.Scheme); err == nil {
+			b.WriteString("|s")
+			b.WriteString(mode.String())
+		}
 	}
 	return b.String()
 }

@@ -95,7 +95,7 @@ func Generate(rng *rand.Rand, cfg Config, name string) (*wire.Net, error) {
 	for i := range segs {
 		l := cfg.Layers[rng.Intn(len(cfg.Layers))]
 		length := cfg.MinSegLen + rng.Float64()*(cfg.MaxSegLen-cfg.MinSegLen)
-		segs[i] = wire.Segment{Length: length, ROhmPerM: l.ROhmPerM, CFPerM: l.CFPerM, Layer: l.Name}
+		segs[i] = wire.Segment{Length: length, ROhmPerM: l.ROhmPerM, CFPerM: l.CFPerM, CcFPerM: l.CcFPerM, Layer: l.Name}
 		total += length
 	}
 	var zones []wire.Zone

@@ -153,6 +153,7 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		tree  engine.TreeDPStats
 		front engine.FrontStats
 		eps   engine.EpsStats
+		cpl   engine.CouplingStats
 	}
 	snaps := make([]techSnap, 0, len(names))
 	for _, name := range names {
@@ -161,7 +162,7 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 			continue
 		}
 		snaps = append(snaps, techSnap{name: name, cache: e.CacheStats(), dp: e.DPStats(),
-			tree: e.TreeDPStats(), front: e.FrontStats(), eps: e.EpsStats()})
+			tree: e.TreeDPStats(), front: e.FrontStats(), eps: e.EpsStats(), cpl: e.CouplingStats()})
 	}
 	perTech := func(metric, kind, help string, get func(techSnap) uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
@@ -243,6 +244,19 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		fmt.Fprintf(w, "rip_dp_eps_bound_sum{tech=%q} %g\n", s.name, s.eps.BoundSum)
 		fmt.Fprintf(w, "rip_dp_eps_bound_count{tech=%q} %d\n", s.name, s.eps.Answers)
 	}
+
+	// Crosstalk counters: how much of the workload is priced under a
+	// coupling scenario, and how often the served answers actually deploy
+	// the staggering/shielding countermeasures — flat zeros under coupled
+	// load mean budgets are loose enough that plain wiring wins.
+	perTech("rip_coupling_jobs_total", "counter", "Accepted crosstalk-aware jobs (solve and front queries), by node.",
+		func(s techSnap) uint64 { return s.cpl.Jobs })
+	perTech("rip_coupling_solves_total", "counter", "Coupled front solves performed (cache hits add none), by node.",
+		func(s techSnap) uint64 { return s.cpl.Solves })
+	perTech("rip_coupling_staggered_answers_total", "counter", "Served answers staggering at least one interval, by node.",
+		func(s techSnap) uint64 { return s.cpl.StaggeredAnswers })
+	perTech("rip_coupling_shielded_answers_total", "counter", "Served answers shielding at least one interval, by node.",
+		func(s techSnap) uint64 { return s.cpl.ShieldedAnswers })
 
 	// Cluster forwarding health (only when a ring is configured). The
 	// forwards/fallbacks split is the signal that matters: fallbacks

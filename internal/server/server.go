@@ -83,6 +83,13 @@ type Options struct {
 	// "eps": 0 in a request always forces exact mode. /v1/front is not
 	// defaulted — curve queries stay exact unless the request opts in.
 	DefaultEps float64
+	// DefaultAggressor / DefaultScheme are the crosstalk scenario applied
+	// to line requests that carry no "aggressor" of their own (default "":
+	// the classic ground-only model). An explicit "aggressor": "none" in a
+	// request always forces the uncoupled model. /v1/front is not defaulted
+	// — curve queries stay uncoupled unless the request opts in.
+	DefaultAggressor string
+	DefaultScheme    string
 	// MaxBatchNets caps the nets accepted in one array-bodied batch
 	// (default 100000). JSONL bodies stream and are not subject to it.
 	MaxBatchNets int
@@ -295,6 +302,7 @@ func (s *Server) decodeSingle(w http.ResponseWriter, r *http.Request, front bool
 	if !front {
 		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
 		req.ApplyDefaultEps(s.opts.DefaultEps)
+		req.ApplyDefaultCoupling(s.opts.DefaultAggressor, s.opts.DefaultScheme)
 		validate = req.Validate
 	}
 	if err := validate(); err != nil {
@@ -412,6 +420,7 @@ func (s *Server) batchArray(ctx context.Context, w http.ResponseWriter, br *bufi
 		}
 		req.ApplyDefault(s.opts.DefaultTargetMult, 0)
 		req.ApplyDefaultEps(s.opts.DefaultEps)
+		req.ApplyDefaultCoupling(s.opts.DefaultAggressor, s.opts.DefaultScheme)
 		jobs[i] = req.Job()
 	}
 	results := s.eng.RunContext(ctx, jobs)
@@ -462,7 +471,12 @@ func (s *Server) batchJSONL(ctx context.Context, w http.ResponseWriter, br *bufi
 	}
 	go func() {
 		defer close(jobs)
-		fed, err := api.FeedJSONL(ctx, br, api.FeedOptions{DefaultMult: s.opts.DefaultTargetMult, DefaultEps: s.opts.DefaultEps}, jobs, note)
+		fed, err := api.FeedJSONL(ctx, br, api.FeedOptions{
+			DefaultMult:      s.opts.DefaultTargetMult,
+			DefaultEps:       s.opts.DefaultEps,
+			DefaultAggressor: s.opts.DefaultAggressor,
+			DefaultScheme:    s.opts.DefaultScheme,
+		}, jobs, note)
 		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			// The body broke mid-stream (client gone, line too long).
 			// Already-admitted jobs still produce their result lines;

@@ -15,7 +15,8 @@ import (
 //	u8            kind (0 = line, 1 = tree)
 //	u32           point count
 //	per line point:
-//	  f64 delay, f64 totalWidth, u32 n, n×f64 positions, n×f64 widths
+//	  f64 delay, f64 totalWidth, u32 n, n×f64 positions, n×f64 widths,
+//	  u32 m, m×u8 schemes, f64 staggerLen, f64 shieldLen
 //	per tree point:
 //	  f64 slack, f64 totalWidth, u32 n, n×i32 walk, n×f64 widths
 //
@@ -61,6 +62,10 @@ func writeEntry(w io.Writer, e *engine.CacheEntry) error {
 			for _, v := range p.Widths {
 				buf = appendF64(buf, v)
 			}
+			buf = appendU32(buf, uint32(len(p.Schemes)))
+			buf = append(buf, p.Schemes...)
+			buf = appendF64(buf, p.StaggerLen)
+			buf = appendF64(buf, p.ShieldLen)
 		}
 	}
 	if err := writeU32(w, uint32(len(buf))); err != nil {
@@ -78,7 +83,7 @@ func entrySize(e *engine.CacheEntry) int {
 		n += 8 + 8 + 4 + 4*len(p.Walk) + 8*len(p.Widths)
 	}
 	for _, p := range e.Line {
-		n += 8 + 8 + 4 + 8*len(p.Positions) + 8*len(p.Widths)
+		n += 8 + 8 + 4 + 8*len(p.Positions) + 8*len(p.Widths) + 4 + len(p.Schemes) + 16
 	}
 	return n
 }
@@ -145,6 +150,17 @@ func readEntry(c *cursor) (engine.CacheEntry, bool) {
 			for k := range lp.Widths {
 				lp.Widths[k] = p.f64()
 			}
+			m := int(p.u32())
+			if p.failed || m < 0 || p.off+m+16 > len(p.b) {
+				c.failed = true
+				return engine.CacheEntry{}, false
+			}
+			if m > 0 {
+				lp.Schemes = make([]uint8, m)
+				p.read(lp.Schemes)
+			}
+			lp.StaggerLen = p.f64()
+			lp.ShieldLen = p.f64()
 			e.Line = append(e.Line, lp)
 		}
 	default:

@@ -6,7 +6,7 @@
 // The format is versioned and self-verifying:
 //
 //	magic "RIPSNAP\n"
-//	u32   schema version (currently 1)
+//	u32   schema version (currently 2)
 //	u32   node-section count
 //	per section:
 //	  u32 + bytes   canonical node name
@@ -42,8 +42,13 @@ import (
 
 var magic = [8]byte{'R', 'I', 'P', 'S', 'N', 'A', 'P', '\n'}
 
-// Version is the schema version this package writes.
-const Version = 1
+// Version is the schema version this package writes. v2 added the
+// per-point crosstalk countermeasure fields (schemes, stagger/shield
+// lengths) to line entries; v1 files are refused with ErrVersion rather
+// than imported without them — the identity digests would not match
+// anyway, since coupling parameters joined the node identity string in
+// the same change.
+const Version = 2
 
 // ErrFormat flags a file that is not a well-formed snapshot: wrong
 // magic, truncated, internally inconsistent, or failing its checksum.

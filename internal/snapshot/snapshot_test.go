@@ -213,13 +213,29 @@ func TestImportRejectsUnsound(t *testing.T) {
 		{Key: "k3", TMin: 1, Line: []engine.CachePoint{{Delay: math.Inf(1), TotalWidth: 1}}},
 		{Key: "k4", TMin: 1, Line: []engine.CachePoint{{Delay: 1, TotalWidth: 1,
 			Positions: []float64{1}, Widths: []float64{1, 2}}}},
+		// Coupling mutants: scheme values outside the plain/staggered/
+		// shielded alphabet, negative and non-finite scheme lengths.
+		{Key: "k5", TMin: 1, Line: []engine.CachePoint{{Delay: 1, TotalWidth: 1,
+			Positions: []float64{1}, Widths: []float64{1}, Schemes: []uint8{0, 3}}}},
+		{Key: "k6", TMin: 1, Line: []engine.CachePoint{{Delay: 1, TotalWidth: 1,
+			Positions: []float64{1}, Widths: []float64{1}, StaggerLen: -1}}},
+		{Key: "k7", TMin: 1, Line: []engine.CachePoint{{Delay: 1, TotalWidth: 1,
+			Positions: []float64{1}, Widths: []float64{1}, ShieldLen: math.Inf(1)}}},
+		{Key: "k8", TMin: 1, Line: []engine.CachePoint{{Delay: 1, TotalWidth: 1,
+			Positions: []float64{1}, Widths: []float64{1}, StaggerLen: math.NaN()}}},
 	}
 	if n := e.ImportCache(bad); n != 0 {
 		t.Fatalf("imported %d unsound entries", n)
 	}
-	good := []engine.CacheEntry{{Key: "k", TMin: 1, Line: []engine.CachePoint{
-		{Delay: 1, TotalWidth: 2, Positions: []float64{0.5}, Widths: []float64{3}}}}}
-	if n := e.ImportCache(good); n != 1 {
+	good := []engine.CacheEntry{
+		{Key: "k", TMin: 1, Line: []engine.CachePoint{
+			{Delay: 1, TotalWidth: 2, Positions: []float64{0.5}, Widths: []float64{3}}}},
+		// A sound coupled entry: schemes in-alphabet, finite lengths.
+		{Key: "kc", TMin: 1, Line: []engine.CachePoint{
+			{Delay: 1, TotalWidth: 2, Positions: []float64{0.5}, Widths: []float64{3},
+				Schemes: []uint8{1, 2}, StaggerLen: 0.001, ShieldLen: 0.002}}},
+	}
+	if n := e.ImportCache(good); n != 2 {
 		t.Fatalf("rejected a sound entry")
 	}
 }

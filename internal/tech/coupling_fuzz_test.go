@@ -1,0 +1,132 @@
+package tech
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzCouplingTechJSON is FuzzTechnologyJSON's crosstalk companion: a
+// node that loads must carry a physically meaningful coupling model.
+// NaN/Inf/negative coupling densities, Miller factors outside [0,2],
+// MillerMin above MillerMax, bad shield costs and layers that dropped
+// their coupling fields entirely must either surface as load errors or
+// land inside the validated envelope — never as a half-coupled node
+// whose cache signature or DP tables would silently disagree with the
+// uncoupled model. The seed corpus is the four built-ins (all coupled)
+// plus one mutant per coupling failure class.
+func FuzzCouplingTechJSON(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		t, err := Builtin(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := t.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	const base = `"rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0`
+	for _, seed := range []string{
+		// Coupling density mutants: NaN-shaped, Inf-shaped, negative.
+		`{"name":"ccnan",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":NaN}]}`,
+		`{"name":"ccinf",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e999}]}`,
+		`{"name":"ccneg",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":-1e-10}]}`,
+		// Miller factor mutants: above the physical ceiling, negative,
+		// inverted min/max, non-finite.
+		`{"name":"mfhigh",` + base + `,"miller_max":2.5,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"mfneg",` + base + `,"miller_max":-1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"mfinv",` + base + `,"miller_min":1.5,"miller_max":1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"mfnan",` + base + `,"miller_max":NaN,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		// Shield cost mutants.
+		`{"name":"shneg",` + base + `,"miller_max":2,"shield_u_per_m":-1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"shinf",` + base + `,"miller_max":2,"shield_u_per_m":1e999,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		// Coupled node whose layer list went missing or lost its coupling
+		// field: the former must error, the latter must stay valid (a
+		// coupled node may have uncoupled layers — cc defaults to 0).
+		`{"name":"nolayers",` + base + `,"miller_max":2,"layers":[]}`,
+		`{"name":"nocc",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		node, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if verr := node.Validate(); verr != nil {
+			t.Fatalf("Read accepted a node that fails Validate: %v\ninput: %s", verr, raw)
+		}
+		// The coupling envelope every accepted node must sit inside — the
+		// DP tables and cache signatures assume exactly this.
+		if !(node.MillerMax >= 0) || node.MillerMax > 2 {
+			t.Fatalf("accepted MillerMax %g outside [0,2]\ninput: %s", node.MillerMax, raw)
+		}
+		if node.MillerMin > node.MillerMax {
+			t.Fatalf("accepted MillerMin %g > MillerMax %g\ninput: %s", node.MillerMin, node.MillerMax, raw)
+		}
+		if !(node.ShieldUPerM >= 0) || math.IsInf(node.ShieldUPerM, 1) {
+			t.Fatalf("accepted ShieldUPerM %g\ninput: %s", node.ShieldUPerM, raw)
+		}
+		for _, l := range node.Layers {
+			if !(l.CcFPerM >= 0) || math.IsInf(l.CcFPerM, 1) {
+				t.Fatalf("accepted layer %q CcFPerM %g\ninput: %s", l.Name, l.CcFPerM, raw)
+			}
+		}
+		// HasCoupling must survive the registry's persist/reload pair —
+		// a snapshot taken on a coupled node must never be validated
+		// against an uncoupled reload of the same bytes.
+		var buf bytes.Buffer
+		if err := node.Write(&buf); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read: %v\ninput: %s", err, raw)
+		}
+		if again.HasCoupling() != node.HasCoupling() {
+			t.Fatalf("round trip changed HasCoupling: %v vs %v\ninput: %s",
+				again.HasCoupling(), node.HasCoupling(), raw)
+		}
+		if again.MillerMin != node.MillerMin || again.MillerMax != node.MillerMax || again.ShieldUPerM != node.ShieldUPerM {
+			t.Fatalf("round trip changed coupling fields: %+v vs %+v", again, node)
+		}
+		for i, l := range node.Layers {
+			if again.Layers[i].CcFPerM != l.CcFPerM {
+				t.Fatalf("round trip changed layer %q CcFPerM: %g vs %g", l.Name, again.Layers[i].CcFPerM, l.CcFPerM)
+			}
+		}
+	})
+}
+
+// TestCouplingMutantsRejected pins the fuzz property's failure classes
+// as a plain test: every coupling mutant the validator guards must be a
+// load error (encoding/json already rejects the NaN-shaped ones).
+func TestCouplingMutantsRejected(t *testing.T) {
+	const base = `"rs_ohm":2e4,"co_f":1e-15,"cp_f":1e-15,"vdd_v":1,"freq_hz":1e9,"activity":0.1,"leak_w_per_unit":0`
+	for _, in := range []string{
+		`{"name":"ccnan",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":NaN}]}`,
+		`{"name":"ccinf",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e999}]}`,
+		`{"name":"ccneg",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":-1e-10}]}`,
+		`{"name":"mfhigh",` + base + `,"miller_max":2.5,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"mfneg",` + base + `,"miller_max":-1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"mfinv",` + base + `,"miller_min":1.5,"miller_max":1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"shneg",` + base + `,"miller_max":2,"shield_u_per_m":-1,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+		`{"name":"shinf",` + base + `,"miller_max":2,"shield_u_per_m":1e999,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10,"cc_f_per_m":1e-10}]}`,
+	} {
+		if _, err := Read(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("Read accepted coupling mutant: %s", in)
+		}
+	}
+	// A coupled node with an uncoupled layer is NOT a mutant: cc defaults
+	// to zero per layer, and MillerMax alone switches the model on.
+	ok := `{"name":"nocc",` + base + `,"miller_max":2,"layers":[{"name":"m1","r_ohm_per_m":1,"c_f_per_m":1e-10}]}`
+	node, err := Read(bytes.NewReader([]byte(ok)))
+	if err != nil {
+		t.Fatalf("Read rejected a valid coupled node with cc-less layer: %v", err)
+	}
+	if !node.HasCoupling() {
+		t.Fatal("MillerMax 2 node reports HasCoupling() == false")
+	}
+}

@@ -36,8 +36,12 @@ type Layer struct {
 	Name string `json:"name"`
 	// ROhmPerM is the wire resistance density in Ω/m.
 	ROhmPerM float64 `json:"r_ohm_per_m"`
-	// CFPerM is the wire capacitance density in F/m.
+	// CFPerM is the wire-to-ground capacitance density in F/m.
 	CFPerM float64 `json:"c_f_per_m"`
+	// CcFPerM is the wire-to-neighbor coupling capacitance density in F/m
+	// (both neighbors combined, Orion-style Wire.cc). Zero means the layer
+	// has no coupling model and the ground-only delay model applies.
+	CcFPerM float64 `json:"cc_f_per_m,omitempty"`
 }
 
 // Technology aggregates the device and interconnect parameters of a node.
@@ -64,9 +68,29 @@ type Technology struct {
 	// LeakWPerUnit is the leakage power β of Eq. (3), in W per unit of
 	// repeater width.
 	LeakWPerUnit float64 `json:"leak_w_per_unit"`
+	// MillerMin and MillerMax bound the Miller switching factor applied to
+	// coupling capacitance: MillerMax (typically 2, neighbors switching
+	// opposite) is the worst-case aggressor assumption, MillerMin
+	// (typically 0, neighbors switching together) the best case, and a
+	// quiet neighbor contributes factor 1. Both must lie in [0, 2] with
+	// MillerMin ≤ MillerMax. MillerMax == 0 (the zero value) means the
+	// node has no coupling model: coupling-aware jobs are rejected and
+	// layer CcFPerM values are ignored.
+	MillerMin float64 `json:"miller_min,omitempty"`
+	MillerMax float64 `json:"miller_max,omitempty"`
+	// ShieldUPerM is the width-objective cost of shielding one meter of
+	// wire, in units of minimal repeater width per meter — the area price
+	// of the grounded neighbor track that drops coupling to ground-only.
+	ShieldUPerM float64 `json:"shield_u_per_m,omitempty"`
 	// Layers lists the available routing layers.
 	Layers []Layer `json:"layers"`
 }
+
+// HasCoupling reports whether the node carries a coupling model. The gate
+// is MillerMax alone — a node may model Miller factors while individual
+// layers carry zero coupling density, which is exactly the configuration
+// the zero-coupling differential oracle exercises.
+func (t *Technology) HasCoupling() bool { return t.MillerMax > 0 }
 
 // T180 returns the default synthetic 0.18 µm node used throughout the
 // reproduction. Parameters are chosen so the classic closed-form optima for
@@ -86,9 +110,12 @@ func T180() *Technology {
 		Freq:         500e6,
 		Activity:     0.15,
 		LeakWPerUnit: 5 * 1e-9, // 5 nW per unit width
+		MillerMin:    0,
+		MillerMax:    2,
+		ShieldUPerM:  20000, // 0.02u of area per µm shielded
 		Layers: []Layer{
-			{Name: "metal4", ROhmPerM: units.OhmPerMicron(0.080), CFPerM: units.FFPerMicron(0.230)},
-			{Name: "metal5", ROhmPerM: units.OhmPerMicron(0.060), CFPerM: units.FFPerMicron(0.210)},
+			{Name: "metal4", ROhmPerM: units.OhmPerMicron(0.080), CFPerM: units.FFPerMicron(0.230), CcFPerM: units.FFPerMicron(0.160)},
+			{Name: "metal5", ROhmPerM: units.OhmPerMicron(0.060), CFPerM: units.FFPerMicron(0.210), CcFPerM: units.FFPerMicron(0.140)},
 		},
 	}
 }
@@ -116,7 +143,9 @@ func scaled(base *Technology, name string, s, vdd float64) *Technology {
 	t.LeakWPerUnit = base.LeakWPerUnit * 3 * (1 - s)
 	layers := make([]Layer, len(base.Layers))
 	for i, l := range base.Layers {
-		layers[i] = Layer{Name: l.Name, ROhmPerM: l.ROhmPerM / s, CFPerM: l.CFPerM}
+		// Tighter pitch at the shrunk node: lateral coupling grows as 1/s
+		// while the ground component stays roughly flat.
+		layers[i] = Layer{Name: l.Name, ROhmPerM: l.ROhmPerM / s, CFPerM: l.CFPerM, CcFPerM: l.CcFPerM / s}
 	}
 	t.Layers = layers
 	return &t
@@ -160,6 +189,14 @@ func (t *Technology) Validate() error {
 		return fmt.Errorf("tech %s: Activity must be in (0,1], got %g", t.Name, t.Activity)
 	case t.LeakWPerUnit < 0:
 		return fmt.Errorf("tech %s: LeakWPerUnit must be non-negative, got %g", t.Name, t.LeakWPerUnit)
+	case !(t.MillerMin >= 0) || t.MillerMin > 2:
+		return fmt.Errorf("tech %s: MillerMin must be in [0,2], got %g", t.Name, t.MillerMin)
+	case !(t.MillerMax >= 0) || t.MillerMax > 2:
+		return fmt.Errorf("tech %s: MillerMax must be in [0,2], got %g", t.Name, t.MillerMax)
+	case t.MillerMin > t.MillerMax:
+		return fmt.Errorf("tech %s: MillerMin %g exceeds MillerMax %g", t.Name, t.MillerMin, t.MillerMax)
+	case !(t.ShieldUPerM >= 0) || math.IsInf(t.ShieldUPerM, 1):
+		return fmt.Errorf("tech %s: ShieldUPerM must be non-negative and finite, got %g", t.Name, t.ShieldUPerM)
 	case len(t.Layers) == 0:
 		return fmt.Errorf("tech %s: at least one routing layer required", t.Name)
 	}
@@ -175,6 +212,10 @@ func (t *Technology) Validate() error {
 		if !(l.ROhmPerM > 0) || !(l.CFPerM > 0) {
 			return fmt.Errorf("tech %s: layer %q needs positive densities, got r=%g c=%g",
 				t.Name, l.Name, l.ROhmPerM, l.CFPerM)
+		}
+		if !(l.CcFPerM >= 0) || math.IsInf(l.CcFPerM, 1) {
+			return fmt.Errorf("tech %s: layer %q coupling density must be non-negative and finite, got cc=%g",
+				t.Name, l.Name, l.CcFPerM)
 		}
 	}
 	return nil

@@ -55,6 +55,7 @@ type segJSON struct {
 	LengthUM  float64 `json:"length_um"`
 	ROhmPerUM float64 `json:"r_ohm_per_um"`
 	CFFPerUM  float64 `json:"c_ff_per_um"`
+	CcFFPerUM float64 `json:"cc_ff_per_um,omitempty"`
 	Layer     string  `json:"layer,omitempty"`
 }
 
@@ -78,6 +79,7 @@ func (n *Net) MarshalJSON() ([]byte, error) {
 			LengthUM:  units.ToMicrons(s.Length),
 			ROhmPerUM: s.ROhmPerM * units.Micron,
 			CFFPerUM:  s.CFPerM * units.Micron / units.FemtoFarad,
+			CcFFPerUM: s.CcFPerM * units.Micron / units.FemtoFarad,
 			Layer:     s.Layer,
 		})
 	}
@@ -99,6 +101,7 @@ func (n *Net) UnmarshalJSON(data []byte) error {
 			Length:   units.Microns(s.LengthUM),
 			ROhmPerM: units.OhmPerMicron(s.ROhmPerUM),
 			CFPerM:   units.FFPerMicron(s.CFFPerUM),
+			CcFPerM:  units.FFPerMicron(s.CcFFPerUM),
 			Layer:    s.Layer,
 		}
 	}

@@ -32,8 +32,13 @@ type Segment struct {
 	Length float64
 	// ROhmPerM is the resistance density in Ω/m.
 	ROhmPerM float64
-	// CFPerM is the capacitance density in F/m.
+	// CFPerM is the ground capacitance density in F/m.
 	CFPerM float64
+	// CcFPerM is the neighbor coupling capacitance density in F/m (zero
+	// when the segment has no coupling model). Coupling charge is scaled
+	// by a Miller factor chosen per solve, so it is tracked separately
+	// from CFPerM rather than folded in.
+	CcFPerM float64
 	// Layer names the routing layer the segment uses (informational).
 	Layer string
 }
@@ -59,9 +64,10 @@ type Line struct {
 	segs  []Segment
 	zones []Zone
 	// Prefix tables indexed by segment boundary: xb[i] is the position of
-	// the left end of segment i (xb[m] is the total length); rb and cb are
-	// the cumulative wire resistance and capacitance up to xb[i].
-	xb, rb, cb []float64
+	// the left end of segment i (xb[m] is the total length); rb, cb and
+	// ccb are the cumulative wire resistance, ground capacitance and
+	// coupling capacitance up to xb[i].
+	xb, rb, cb, ccb []float64
 }
 
 // New validates the segments and zones and builds a Line.
@@ -77,6 +83,7 @@ func New(segs []Segment, zones []Zone) (*Line, error) {
 		xb:    make([]float64, len(segs)+1),
 		rb:    make([]float64, len(segs)+1),
 		cb:    make([]float64, len(segs)+1),
+		ccb:   make([]float64, len(segs)+1),
 	}
 	for i, s := range l.segs {
 		if !(s.Length > 0) {
@@ -86,9 +93,14 @@ func New(segs []Segment, zones []Zone) (*Line, error) {
 			return nil, fmt.Errorf("wire: segment %d needs positive densities, got r=%g c=%g",
 				i, s.ROhmPerM, s.CFPerM)
 		}
+		if !(s.CcFPerM >= 0) || math.IsInf(s.CcFPerM, 1) {
+			return nil, fmt.Errorf("wire: segment %d coupling density must be non-negative and finite, got cc=%g",
+				i, s.CcFPerM)
+		}
 		l.xb[i+1] = l.xb[i] + s.Length
 		l.rb[i+1] = l.rb[i] + s.Length*s.ROhmPerM
 		l.cb[i+1] = l.cb[i] + s.Length*s.CFPerM
+		l.ccb[i+1] = l.ccb[i] + s.Length*s.CcFPerM
 	}
 	total := l.xb[len(segs)]
 	for i, z := range l.zones {
@@ -126,8 +138,14 @@ func (l *Line) Zones() []Zone { return append([]Zone(nil), l.zones...) }
 // TotalR returns the total wire resistance in Ω.
 func (l *Line) TotalR() float64 { return l.rb[len(l.segs)] }
 
-// TotalC returns the total wire capacitance in F.
+// TotalC returns the total wire ground capacitance in F.
 func (l *Line) TotalC() float64 { return l.cb[len(l.segs)] }
+
+// TotalCc returns the total wire coupling capacitance in F.
+func (l *Line) TotalCc() float64 { return l.ccb[len(l.segs)] }
+
+// Coupled reports whether any segment carries coupling capacitance.
+func (l *Line) Coupled() bool { return l.TotalCc() > 0 }
 
 // segIndex returns the index of the segment containing x, biased so that a
 // position exactly on a boundary belongs to the segment on its right,
@@ -187,8 +205,18 @@ func (l *Line) cAt(x float64) float64 {
 // R returns the wire resistance of the interval [a, b] in Ω.
 func (l *Line) R(a, b float64) float64 { return l.rAt(b) - l.rAt(a) }
 
-// C returns the wire capacitance of the interval [a, b] in F.
+// C returns the wire ground capacitance of the interval [a, b] in F.
 func (l *Line) C(a, b float64) float64 { return l.cAt(b) - l.cAt(a) }
+
+// ccAt returns the cumulative wire coupling capacitance from 0 to x.
+func (l *Line) ccAt(x float64) float64 {
+	i := l.segIndex(x)
+	return l.ccb[i] + (x-l.xb[i])*l.segs[i].CcFPerM
+}
+
+// Cc returns the wire coupling capacitance of the interval [a, b] in F,
+// before any Miller scaling.
+func (l *Line) Cc(a, b float64) float64 { return l.ccAt(b) - l.ccAt(a) }
 
 // M returns the distributed self-delay of the interval [a, b]:
 // M(a,b) = ∫ₐᵇ r(x)·C(x,b) dx, the load-independent part of the interval's
@@ -215,6 +243,32 @@ func (l *Line) M(a, b float64) float64 {
 		s := l.segs[i]
 		m += s.ROhmPerM * (d*cdown + s.CFPerM*d*d/2)
 		cdown += s.CFPerM * d
+	}
+	return m
+}
+
+// Mc returns the coupling analogue of M for the interval [a, b]:
+// Mc(a,b) = ∫ₐᵇ r(x)·Cc(x,b) dx, the distributed self-delay contributed by
+// unscaled coupling capacitance. A solve under Miller factor MF sees the
+// interval self-delay M(a,b) + MF·Mc(a,b) — the linearity that lets the DP
+// precompute ground and coupling tables once and mix them per scheme.
+func (l *Line) Mc(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	ia, ib := l.segIndex(a), l.segIndex(b)
+	m := 0.0
+	cdown := 0.0
+	for i := ib; i >= ia; i-- {
+		lo := math.Max(a, l.xb[i])
+		hi := math.Min(b, l.xb[i+1])
+		d := hi - lo
+		if d <= 0 {
+			continue
+		}
+		s := l.segs[i]
+		m += s.ROhmPerM * (d*cdown + s.CcFPerM*d*d/2)
+		cdown += s.CcFPerM * d
 	}
 	return m
 }
