@@ -40,6 +40,18 @@ type (
 	// FrontStats snapshots the engine's front counters: fronts computed,
 	// points retained and budget answers served by lookup.
 	FrontStats = engine.FrontStats
+	// BusJob is one joint bus-optimization request: a group of parallel
+	// tracks in adjacency order plus one budget, solved with
+	// Engine.SolveBus / MultiEngine.SolveBus.
+	BusJob = engine.BusJob
+	// BusResult is one bus job's outcome: the co-decided per-track
+	// schemes and the group's savings against independent worst-case
+	// solves.
+	BusResult = engine.BusResult
+	// BusTrack is one track's share of a BusResult.
+	BusTrack = engine.BusTrack
+	// BusStats snapshots the engine's bus co-optimization counters.
+	BusStats = engine.BusStats
 )
 
 // NewEngine builds a batch optimizer for the technology node. The zero

@@ -12,6 +12,7 @@
 package rip_test
 
 import (
+	"context"
 	mrand "math/rand"
 	"testing"
 
@@ -591,3 +592,65 @@ func BenchmarkSimStage(b *testing.B) {
 		}
 	}
 }
+
+// --- Bus co-optimization: joint track-group solves (ISSUE 10 tentpole) ---
+//
+// The workload is a deterministic corpus of bus groups (2–6 parallel
+// tracks each). Cold builds a fresh engine per iteration, so every
+// (track shape, factor) front is solved live; Warm reuses one engine,
+// so groups serve entirely from the shared solution cache — the
+// steady-state cost of a bus request on a long-lived ripd.
+
+func busBenchJobs(b *testing.B, groups int) []rip.BusJob {
+	b.Helper()
+	gs, err := rip.GenerateBusGroups(rip.T180(), 2005, groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]rip.BusJob, len(gs))
+	for i, g := range gs {
+		jobs[i] = rip.BusJob{Tracks: g, TargetMult: 1.3}
+	}
+	return jobs
+}
+
+func benchmarkBusSolve(b *testing.B, groups int, warm bool) {
+	jobs := busBenchJobs(b, groups)
+	newEng := func() *rip.Engine {
+		eng, err := rip.NewEngine(rip.T180(), rip.EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	eng := newEng()
+	ctx := context.Background()
+	tracks := 0
+	for _, j := range jobs {
+		tracks += len(j.Tracks)
+	}
+	if warm {
+		for _, j := range jobs {
+			if br := eng.SolveBus(ctx, j); br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			b.StopTimer()
+			eng = newEng()
+			b.StartTimer()
+		}
+		for _, j := range jobs {
+			if br := eng.SolveBus(ctx, j); br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+	reportNetsPerSec(b, tracks)
+}
+
+func BenchmarkBusSolve_Cold(b *testing.B) { benchmarkBusSolve(b, 8, false) }
+func BenchmarkBusSolve_Warm(b *testing.B) { benchmarkBusSolve(b, 8, true) }

@@ -7,6 +7,10 @@
 // concatenate into one mixed-technology stream that ripcli -batch and
 // ripd /v1/batch replay identically.
 //
+// With -bus the corpus is track groups instead of single nets: -count
+// bus groups of 2–6 parallel tracks each, one api.BusRequest wrapper
+// per line — the input shape of ripcli -bus and ripd's POST /v1/bus.
+//
 // Usage:
 //
 //	netgen -seed 2005 -count 20 > nets.json
@@ -14,6 +18,7 @@
 //	netgen -trees -count 100 | jq -c '.[]' > trees.jsonl   # ripcli -tree -batch input
 //	netgen -jsonl -tech 180nm -count 50 -target 1.3 >  mixed.jsonl
 //	netgen -jsonl -tech 65nm  -count 50 -target 1.3 >> mixed.jsonl
+//	netgen -bus -count 8 -tech 90nm -target 1.2 > bus.jsonl
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		count    = flag.Int("count", 20, "number of nets")
 		trees    = flag.Bool("trees", false, "emit routing trees instead of two-pin lines")
+		bus      = flag.Bool("bus", false, "emit bus track groups (one api.BusRequest JSONL line per group) instead of single nets")
 		jsonl    = flag.Bool("jsonl", false, "emit JSONL request wrappers with per-line tech attribution instead of a JSON array")
 		relT     = flag.Float64("target", 0, "with -jsonl: per-line target_mult (0 = omit, the transport default applies)")
 		absT     = flag.Float64("target-ns", 0, "with -jsonl: per-line target_ns (0 = omit)")
@@ -68,6 +74,21 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *bus {
+		if *trees {
+			fatal(fmt.Errorf("-bus generates line-net track groups; it cannot combine with -trees"))
+		}
+		if len(targets) > 0 {
+			fatal(fmt.Errorf("-targets-ns is not supported with -bus (a bus solves one budget)"))
+		}
+		if err := emitBusJSONL(w, tech, canonical, *seed, *count, *relT, *absT); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "wrote %d bus groups to %s\n", *count, *out)
+		}
+		return
 	}
 	if *jsonl {
 		if err := emitJSONL(w, tech, canonical, *seed, *count, *trees, *relT, *absT, targets); err != nil {
@@ -130,6 +151,26 @@ func emitJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, 
 	}
 	for _, n := range nets {
 		if err := write(api.Request{Net: n}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitBusJSONL writes one api.BusRequest wrapper per generated track
+// group, attributed to the node's canonical name — the replayable input
+// of ripcli -bus and POST /v1/bus.
+func emitBusJSONL(w io.Writer, tech *rip.Technology, canonical string, seed int64, count int, relT, absT float64) error {
+	groups, err := rip.GenerateBusGroups(tech, seed, count)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	for _, g := range groups {
+		req := api.BusRequest{Tracks: g, Tech: canonical, TargetMult: relT, TargetNS: absT}
+		if err := enc.Encode(req); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@
 //	ripbench -table2 -targets 10  # Table 2 with a reduced target sweep
 //	ripbench -fig7 -net 4         # Figure 7 on corpus net #5
 //	ripbench -fig9                # crosstalk: pessimistic vs staggered power
+//	ripbench -fig10               # bus co-optimization vs independent sign-off
 //	ripbench -ablate              # pipeline ablations
 //	ripbench -perf BENCH_3.json   # machine-readable perf trajectory point
 //
@@ -32,6 +33,7 @@ func main() {
 		fig7     = flag.Bool("fig7", false, "reproduce Figure 7")
 		fig8     = flag.Bool("fig8", false, "run the Figure-8-style technology scaling study as one mixed multi-node batch")
 		fig9     = flag.Bool("fig9", false, "run the crosstalk study: power to close the same budgets under pessimistic coupling vs with staggering allowed")
+		fig10    = flag.Bool("fig10", false, "run the bus study: joint neighbor-aware track co-optimization vs independent worst-case sign-off")
 		ablate   = flag.Bool("ablate", false, "run pipeline ablations")
 		analytic = flag.Bool("analytic", false, "compare against the closed-form analytical baseline")
 		zones    = flag.Bool("zones", false, "sweep forbidden-zone coverage")
@@ -53,10 +55,10 @@ func main() {
 	if *all {
 		*table1, *table2, *fig7, *ablate = true, true, true, true
 		*analytic, *zones, *trees, *fig8 = true, true, true, true
-		*fig9 = true
+		*fig9, *fig10 = true, true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*fig9 && !*ablate && !*analytic && !*zones && !*trees {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -fig8, -fig9, -ablate, -analytic, -zones, -trees, -perf or -all")
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*fig9 && !*fig10 && !*ablate && !*analytic && !*zones && !*trees {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table1, -table2, -fig7, -fig8, -fig9, -fig10, -ablate, -analytic, -zones, -trees, -perf or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -128,6 +130,17 @@ func main() {
 		res.Render(os.Stdout)
 		fmt.Println()
 		writeCSV("figure9.csv", func(f *os.File) error { return res.WriteCSV(f) })
+	}
+	if *fig10 {
+		// -nets doubles as the per-node bus-group count: each group is
+		// 2–6 parallel tracks drawn from the same §6 distribution.
+		res, err := experiments.Figure10(*seed, *nets)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+		writeCSV("figure10.csv", func(f *os.File) error { return res.WriteCSV(f) })
 	}
 	if *table2 {
 		res, err := experiments.Table2(s, nil)

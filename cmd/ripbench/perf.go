@@ -21,10 +21,11 @@ import (
 // kernel (bounded solves and full Pareto-front sweeps, classic and
 // crosstalk-coupled), the tree DP kernel and the batch engine on line,
 // tree, mixed, multi-budget and coupled workloads — and writes a
-// machine-readable report (BENCH_8.json in this PR's trajectory) so
+// machine-readable report (BENCH_9.json in this PR's trajectory) so
 // future PRs have a comparable perf baseline. The report also embeds
-// the Figure-9 crosstalk study (pessimistic vs staggered power), the
-// PR's headline result.
+// the Figure-9 crosstalk study (pessimistic vs staggered power) and
+// the Figure-10 bus co-optimization study (joint track groups vs
+// independent worst-case sign-off), the coupling-era headline results.
 // Absolute numbers are host-dependent; the committed file records the
 // shape (allocs/solve must stay 0, cold-vs-warm ratios, front hit
 // rates) and one host's trajectory point.
@@ -96,6 +97,9 @@ type perfReport struct {
 	// same absolute budgets under worst-case coupling with no
 	// countermeasures versus with staggering allowed.
 	Fig9 *experiments.Figure9Result `json:"fig9,omitempty"`
+	// Fig10 embeds the bus study: per node, the group area and power
+	// joint co-optimization saves over independent worst-case sign-off.
+	Fig10 *experiments.Figure10Result `json:"fig10,omitempty"`
 }
 
 // perfEval reproduces the dp benchmark instance (the paperish 8mm
@@ -481,7 +485,7 @@ func runPerf(path string) error {
 
 	rep := perfReport{
 		Schema:      "rip-perf/1",
-		PR:          9,
+		PR:          10,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -609,6 +613,16 @@ func runPerf(path string) error {
 	for _, row := range fig9.Rows {
 		fmt.Fprintf(os.Stderr, "perf: fig9 %-8s plain %.3f mW  staggered %.3f mW  saved %.1f%%\n",
 			row.Tech, row.AvgPowerPlainMW, row.AvgPowerStagMW, row.SavingsPct)
+	}
+
+	fig10, err := experiments.Figure10(2005, 6)
+	if err != nil {
+		return err
+	}
+	rep.Fig10 = fig10
+	for _, row := range fig10.Rows {
+		fmt.Fprintf(os.Stderr, "perf: fig10 %-8s indep %.1fu  coord %.1fu  saved %.1f%%\n",
+			row.Tech, row.BaselineWidthU, row.CoordWidthU, row.SavingsPct)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -19,6 +19,8 @@
 //	ripcli -net nets.json -targets-ns 1.0 -eps 0.02 # ε-relaxed: ~10× faster, certified
 //	ripcli -net nets.json -targets-ns 1.0 -aggressor worst -scheme staggered
 //	                                                # crosstalk-aware, staggering allowed
+//	netgen -bus -count 8 | ripcli -bus -target 1.3  # joint bus co-optimization
+//	ripcli -bus -net bus.jsonl -target 1.3 -json    # one BusResponse per line
 //
 // Targets: -target is relative to the net's τmin (for trees, the minimum
 // achievable worst-sink arrival); -target-ns is absolute nanoseconds.
@@ -49,6 +51,18 @@
 // that carry no "eps" of their own; per-line "eps" wins, and an
 // explicit "eps": 0 forces bit-exact), -front and -targets-ns. 0
 // keeps every solve bit-exact.
+//
+// Bus mode (-bus, line nets only) reads one api.BusRequest JSON object
+// per line — a group of parallel tracks in physical adjacency order
+// plus one budget; netgen -bus emits exactly this shape — and
+// co-optimizes each group jointly: neighboring tracks coordinate
+// staggering, shielding and repeater sizing so the group beats the
+// independent worst-case solves each track would get alone. Text
+// output summarizes each group's per-track schemes and savings; -json
+// emits one api.BusResponse per line (the body POST /v1/bus returns).
+// -bus-method forces the co-decision algorithm for groups that name
+// none ("exact" or "iterate"; the default picks the exact joint chain
+// DP for groups of at most 4 tracks and iterated best-response above).
 //
 // Batch mode reads one JSON object per line — either a bare net object
 // (the same schema as the array elements of -net files; with -tree, the
@@ -110,6 +124,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the solution as JSON instead of text")
 		fullRep   = flag.Bool("report", false, "print the full engineering report (stages, metrics, sketch)")
 		batch     = flag.Bool("batch", false, "JSONL batch mode: stream nets in, one solution per line out")
+		busMode   = flag.Bool("bus", false, "bus mode: JSONL api.BusRequest track groups in (netgen -bus output), joint co-optimization per group out")
+		busMethod = flag.String("bus-method", "", "with -bus: force the co-decision algorithm for groups that name none: exact or iterate (empty = auto)")
 		treeMode  = flag.Bool("tree", false, "tree mode: solve routing trees (with -batch, bare JSONL lines parse as trees; alone, -net is one tree JSON object)")
 		workers   = flag.Int("workers", 0, "batch parallelism (0 = all cores)")
 		cacheSize = flag.Int("cache", 0, "batch solution-cache capacity (0 = default 4096, negative = disabled)")
@@ -156,6 +172,24 @@ func main() {
 		case !*batch && !*frontOut && *targetsNS == "":
 			fatal(fmt.Errorf("-aggressor applies to the engine-backed modes: -batch, -front or -targets-ns"))
 		}
+	}
+	if *busMode {
+		switch {
+		case *treeMode:
+			fatal(fmt.Errorf("-bus co-optimizes parallel line nets; it cannot combine with -tree"))
+		case *batch || *frontOut || *targetsNS != "":
+			fatal(fmt.Errorf("-bus is its own streaming mode; it cannot combine with -batch, -front or -targets-ns"))
+		case *gen:
+			fatal(fmt.Errorf("-bus reads generated groups from netgen -bus; -gen is not supported"))
+		case *eps > 0:
+			fatal(fmt.Errorf("-eps is not supported with -bus (bus member solves are bit-exact)"))
+		case agg != delay.AggressorNone || *scheme != "":
+			fatal(fmt.Errorf("-aggressor/-scheme do not apply to -bus: the co-optimizer decides each track's scheme"))
+		}
+		if err := runBus(reg, *techName, *netFile, *relT, *absT, *busMethod, *workers, *cacheSize, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *frontOut || *targetsNS != "" {
 		if *batch {
@@ -663,6 +697,120 @@ func feedBatch(in io.Reader, relT, absT, eps float64, aggressor, scheme string, 
 		noteErr(idx, msg+" (batch input is JSONL — one net per line, not a JSON array)")
 	})
 	return err
+}
+
+// runBus streams JSONL bus groups — api.BusRequest lines, the shape
+// netgen -bus emits — through the multi-technology engine's joint
+// co-optimizer: one group per line in, a per-group text summary (or,
+// with -json, one api.BusResponse per line — the same body POST
+// /v1/bus returns) out. Groups solve sequentially; each group's member
+// solves fan out across the engine's worker pool, and repeated track
+// shapes warm the shared solution cache across groups.
+func runBus(reg *rip.TechRegistry, defaultTech, path string, relT, absT float64, method string, workers, cacheSize int, jsonOut bool) error {
+	switch method {
+	case "", "exact", "iterate":
+	default:
+		return fmt.Errorf(`-bus-method %q is not "exact", "iterate" or ""`, method)
+	}
+	if relT > 0 && absT > 0 {
+		return fmt.Errorf("give either -target or -target-ns, not both")
+	}
+	in := io.Reader(os.Stdin)
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	opts := rip.EngineOptions{Workers: workers}
+	if cacheSize < 0 {
+		opts.Cache.Disabled = true
+	} else {
+		opts.Cache.Capacity = cacheSize
+	}
+	eng, err := rip.NewMultiEngine(reg, defaultTech, opts)
+	if err != nil {
+		return err
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	dec := json.NewDecoder(bufio.NewReader(in))
+	start := time.Now()
+	n, failed := 0, 0
+	var areaSaved, powerSaved float64
+	for {
+		var req api.BusRequest
+		if err := dec.Decode(&req); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("bus group %d: %v (bus input is JSONL — one api.BusRequest per line, the shape netgen -bus emits)", n+1, err)
+		}
+		n++
+		if req.Method == "" {
+			req.Method = method
+		}
+		req.ApplyDefault(relT, absT)
+		var resp api.BusResponse
+		if err := req.Validate(); err != nil {
+			resp = api.CodedBusErrorResponse(api.ErrorCode(err), req.Tech, err.Error())
+		} else {
+			resp = api.FromBusResult(eng.SolveBus(context.Background(), req.Job()))
+		}
+		if resp.Err != nil {
+			failed++
+		}
+		areaSaved += resp.GroupAreaSaved
+		powerSaved += resp.GroupPowerSaved
+		if jsonOut {
+			if err := enc.Encode(resp); err != nil {
+				return err
+			}
+			continue
+		}
+		printBusGroup(out, n, resp)
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := eng.CacheStats()
+	fmt.Fprintf(os.Stderr,
+		"ripcli: %d bus groups in %s — %d failed; coordination saved %.1fu area, %.2f µW; cache: %d hits, %d misses, %d entries\n",
+		n, elapsed.Round(time.Millisecond), failed, areaSaved, powerSaved,
+		st.Hits, st.Misses, st.Entries)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d bus groups failed (see the error envelopes in the output)", failed, n)
+	}
+	return nil
+}
+
+// printBusGroup renders one group's co-decision as text: the group
+// objective against the independent worst-case baseline, then each
+// track's scheme, effective Miller factor and answer.
+func printBusGroup(w io.Writer, idx int, resp api.BusResponse) {
+	if resp.Err != nil {
+		fmt.Fprintf(w, "group %d: ERROR %s: %s\n", idx, resp.Err.Code, resp.Err.Message)
+		return
+	}
+	name := ""
+	if len(resp.Tracks) > 0 {
+		name = strings.TrimSuffix(resp.Tracks[0].Net, ".t0")
+	}
+	fmt.Fprintf(w, "group %d %s (%s, %d tracks, %s): width %.1fu vs %.1fu independent — saved %.1fu area, %.2f µW\n",
+		idx, name, resp.Tech, len(resp.Tracks), resp.Method,
+		resp.GroupWidthU, resp.GroupBaselineWidthU, resp.GroupAreaSaved, resp.GroupPowerSaved)
+	for _, t := range resp.Tracks {
+		if !t.Feasible {
+			fmt.Fprintf(w, "  %-14s %-9s mf %.2f  INFEASIBLE\n", t.Net, t.Scheme, t.MF)
+			continue
+		}
+		fmt.Fprintf(w, "  %-14s %-9s mf %.2f  width %8.1fu  delay %.4g ns\n",
+			t.Net, t.Scheme, t.MF, t.WidthU, t.DelayNS)
+	}
 }
 
 func fatal(err error) {

@@ -25,13 +25,18 @@
 //	                    lines may mix technology nodes freely
 //	POST /v1/front      {"net": {...}, "tech": "90nm"} → the net's full
 //	                    power–delay Pareto front (no budget required)
+//	POST /v1/bus        {"tracks": [{...}, ...], "target_mult": 1.2} →
+//	                    joint co-optimization of parallel tracks: per-track
+//	                    schemes plus the group area/power the coordination
+//	                    saved vs independent worst-case sign-off
 //	GET  /livez         process liveness (always 200 while up)
 //	GET  /readyz        traffic readiness: 503 while draining or while a
 //	                    snapshot restore is still running; reports ring
 //	                    peers and snapshot age (/healthz is an alias)
 //	GET  /metrics       Prometheus text (requests, latency, per-tech
-//	                    rip_cache_*/rip_dp_*/rip_front_*{tech="..."} and
-//	                    rip_cluster_*/rip_snapshot_* series)
+//	                    rip_cache_*/rip_dp_*/rip_front_*/rip_bus_*
+//	                    {tech="..."} and rip_cluster_*/rip_snapshot_*
+//	                    series)
 //
 // With -eps, line requests that carry no "eps" of their own are solved
 // ε-relaxed: answers still meet their budgets exactly, but the solves

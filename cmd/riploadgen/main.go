@@ -27,10 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -171,7 +172,7 @@ func run(baseURL string, lines [][]byte, concurrency, repeat int, timeout time.D
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	slices.Sort(latencies)
 	r := loadResult{
 		Requests:       total,
 		Seconds:        elapsed.Seconds(),
@@ -214,6 +215,12 @@ func post(client *http.Client, url string, body []byte) (hit bool, code string) 
 	if out.Error != "" {
 		return false, api.CodeSolveFailed
 	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		// A non-2xx status whose body carries no error envelope did not
+		// come from ripd's handler (a proxy or LB answered instead);
+		// counting it as a success would inflate the hit-rate base.
+		return false, "transport"
+	}
 	return out.CacheHit, ""
 }
 
@@ -223,7 +230,13 @@ func percentile(sorted []time.Duration, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
+	// Nearest-rank is the ⌈q·n⌉-th smallest sample, i.e. index
+	// ⌈q·n⌉−1. Truncating q·n instead lands one rank high whenever
+	// q·n is exact — p50 of [1 2 3 4] must be 2, not 3.
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

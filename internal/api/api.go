@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"slices"
 
 	"github.com/rip-eda/rip/internal/delay"
@@ -83,6 +84,13 @@ type Request struct {
 	// (both). Only meaningful with an aggressor; absent inherits the
 	// transport's default scheme.
 	Scheme string `json:"scheme,omitempty"`
+	// MF prices the net's coupling under an explicit Miller factor instead
+	// of a named scenario, with no countermeasure schemes (line nets only;
+	// mutually exclusive with aggressor/scheme). Bus co-optimization
+	// forwards member solves this way, pinning the exact factor a track's
+	// neighbors produce. Must be finite and within [0, MillerMax] — the
+	// upper bound is the engine's call, since it owns the technology.
+	MF *float64 `json:"mf,omitempty"`
 }
 
 // WireVersion is the wire-format version this package speaks; requests
@@ -158,10 +166,23 @@ func (r *Request) checkEps() error {
 }
 
 // checkCoupling rejects malformed crosstalk fields: unknown tokens, a
-// scheme without an aggressor, and aggressors on tree requests (the
-// coupling model is a line-net mode). Whether the node actually carries
-// a coupling model is the engine's call — it owns the technology.
+// scheme without an aggressor, an explicit factor mixed with a named
+// scenario, and either on tree requests (the coupling model is a
+// line-net mode). Whether the node actually carries a coupling model is
+// the engine's call — it owns the technology.
 func (r *Request) checkCoupling() error {
+	if r.MF != nil {
+		if r.Aggressor != "" || r.Scheme != "" {
+			return fmt.Errorf("api: net %q: give mf or an aggressor/scheme scenario, not both", r.name())
+		}
+		if r.Tree != nil {
+			return fmt.Errorf("api: tree %q: mf is only supported for line nets", r.Tree.Name)
+		}
+		if mf := *r.MF; math.IsNaN(mf) || math.IsInf(mf, 0) || mf < 0 {
+			return fmt.Errorf("api: net %q: mf %g is not a finite non-negative factor", r.name(), mf)
+		}
+		return nil
+	}
 	agg, err := delay.ParseAggressor(r.Aggressor)
 	if err != nil {
 		return fmt.Errorf("api: net %q: %v", r.name(), err)
@@ -201,6 +222,7 @@ func (r *Request) Job() engine.Job {
 		Target:     r.TargetNS * units.NanoSecond,
 		Aggressor:  r.Aggressor,
 		Scheme:     r.Scheme,
+		MF:         r.MF,
 	}
 	for _, t := range r.TargetsNS {
 		j.Budgets = append(j.Budgets, t*units.NanoSecond)
@@ -247,7 +269,7 @@ func (r *Request) ApplyDefaultEps(eps float64) {
 // absent and none mean different things here — and a request-level
 // scheme always wins over the default scheme.
 func (r *Request) ApplyDefaultCoupling(aggressor, scheme string) {
-	if r.Tree != nil || aggressor == "" {
+	if r.Tree != nil || aggressor == "" || r.MF != nil {
 		return
 	}
 	if r.Aggressor == "" {
@@ -444,6 +466,10 @@ type Response struct {
 	// "shielded"/"auto"); both absent for uncoupled requests.
 	Aggressor string `json:"aggressor,omitempty"`
 	Scheme    string `json:"scheme,omitempty"`
+	// MF echoes an explicit-factor request's Miller factor; such answers
+	// leave Aggressor and Scheme absent (a pointer so a factor of 0
+	// survives serialization).
+	MF *float64 `json:"mf,omitempty"`
 	// StaggeredUM and ShieldedUM are the summed lengths, in µm, of the
 	// solution's staggered and shielded wire intervals. Present only on
 	// coupled answers.
@@ -517,6 +543,7 @@ func FromResult(r engine.Result) Response {
 	out.Eps = r.Eps
 	out.Aggressor = r.Aggressor
 	out.Scheme = r.Scheme
+	out.MF = r.MF
 	if r.Eps > 0 && len(r.Sweep) == 0 {
 		b := r.EpsBound
 		out.EpsBound = &b

@@ -1,0 +1,227 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/units"
+	"github.com/rip-eda/rip/internal/wire"
+)
+
+// This file is the wire form of joint bus co-optimization — POST
+// /v1/bus and ripcli -bus speak these types. A bus request carries a
+// group of parallel tracks in adjacency order and one budget; the
+// response attributes the co-decided per-track schemes and the group's
+// savings against the independent worst-case solves.
+
+// BusRequest is one joint bus-optimization request.
+type BusRequest struct {
+	// V is the wire-format version the request speaks (see Request.V).
+	V int `json:"v,omitempty"`
+	// Tracks are the member line nets in physical adjacency order (track
+	// i couples to tracks i-1 and i+1), in the schema of internal/wire.
+	// At least two are required.
+	Tracks []*wire.Net `json:"tracks"`
+	// Tech names the process node (registry name or alias; empty means
+	// the transport's default node).
+	Tech string `json:"tech,omitempty"`
+	// TargetMult / TargetNS give every track's budget, exactly one
+	// positive: TargetMult relative to each track's own pessimistic τmin,
+	// TargetNS one absolute budget in nanoseconds shared by all tracks.
+	// Absent both, the transport's default budget applies.
+	TargetMult float64 `json:"target_mult,omitempty"`
+	TargetNS   float64 `json:"target_ns,omitempty"`
+	// Method selects the co-decision algorithm: "" (joint chain DP for
+	// groups of at most 4 tracks, iterated best-response otherwise),
+	// "exact" or "iterate".
+	Method string `json:"method,omitempty"`
+}
+
+// Validate checks the request shape without solving anything. Every
+// failure carries an envelope code.
+func (r *BusRequest) Validate() error { return asBadRequest(r.validate()) }
+
+func (r *BusRequest) validate() error {
+	if r.V != 0 && r.V != WireVersion {
+		return Codef(CodeUnsupportedVersion,
+			"api: unsupported wire version %d (this server speaks v%d)", r.V, WireVersion)
+	}
+	if len(r.Tracks) < 2 {
+		return fmt.Errorf("api: bus: at least 2 tracks are required, got %d", len(r.Tracks))
+	}
+	switch {
+	case r.TargetMult > 0 && r.TargetNS > 0:
+		return errors.New("api: bus: give target_mult or target_ns, not both")
+	case r.TargetMult <= 0 && r.TargetNS <= 0:
+		return errors.New("api: bus: a positive target_mult or target_ns is required")
+	}
+	switch r.Method {
+	case "", "exact", "iterate":
+	default:
+		return fmt.Errorf(`api: bus: unknown method %q (want "exact", "iterate" or "")`, r.Method)
+	}
+	for i, t := range r.Tracks {
+		if t == nil {
+			return fmt.Errorf("api: bus: track %d is null", i)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("api: bus track %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ApplyDefault fills in the transport-level default budget when the
+// request carries none of its own.
+func (r *BusRequest) ApplyDefault(targetMult, targetNS float64) {
+	if r.TargetMult > 0 || r.TargetNS > 0 {
+		return
+	}
+	r.TargetMult = targetMult
+	r.TargetNS = targetNS
+}
+
+// Job converts the request to an engine bus job (ns → seconds).
+func (r *BusRequest) Job() engine.BusJob {
+	return engine.BusJob{
+		Tracks:     r.Tracks,
+		Tech:       r.Tech,
+		TargetMult: r.TargetMult,
+		Target:     r.TargetNS * units.NanoSecond,
+		Method:     r.Method,
+	}
+}
+
+// BusTrackResponse is one track's share of a bus response.
+type BusTrackResponse struct {
+	// Net echoes the track's net name.
+	Net string `json:"net"`
+	// Scheme is the co-decided whole-track countermeasure ("plain",
+	// "staggered" or "shielded"); MF the effective Miller factor the
+	// track was finally priced under (0 for shielded tracks).
+	Scheme string  `json:"scheme"`
+	MF     float64 `json:"mf"`
+	// TargetNS is the track's resolved absolute budget and TMinNS its
+	// pessimistic minimum achievable delay, in nanoseconds.
+	TargetNS float64 `json:"target_ns"`
+	TMinNS   float64 `json:"tmin_ns"`
+	// BaselineFeasible / BaselineWidthU describe the independent
+	// pessimistic answer (MillerMax, no countermeasures): whether it met
+	// the budget and its total repeater width in units of u.
+	BaselineFeasible bool    `json:"baseline_feasible"`
+	BaselineWidthU   float64 `json:"baseline_width_u,omitempty"`
+	// Feasible / WidthU / DelayNS describe the coordinated answer; WidthU
+	// includes the shield area for shielded tracks.
+	Feasible bool    `json:"feasible"`
+	WidthU   float64 `json:"width_u,omitempty"`
+	DelayNS  float64 `json:"delay_ns,omitempty"`
+	// PositionsUM and WidthsU are the coordinated answer's repeater
+	// placement.
+	PositionsUM []float64 `json:"positions_um,omitempty"`
+	WidthsU     []float64 `json:"widths_u,omitempty"`
+	// AreaSavedUM / PowerSavedUW are the track's coordination savings:
+	// repeater+shield area in width units of u, repeater switching power
+	// in microwatts (0 when either answer is infeasible).
+	AreaSavedUM  float64 `json:"area_saved_um"`
+	PowerSavedUW float64 `json:"power_saved_uw"`
+	// CacheHit reports whether the coordinated answer came from the
+	// engine's solution cache.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// BusResponse is one bus job's outcome — POST /v1/bus's response body.
+type BusResponse struct {
+	// V is the wire-format version of this response (1).
+	V int `json:"v,omitempty"`
+	// Tech is the canonical name of the node the group was solved under.
+	Tech string `json:"tech,omitempty"`
+	// Method is the algorithm that produced the assignment ("exact" or
+	// "iterate"); Iterations the best-response sweep count (0 for exact)
+	// and Converged whether it reached a fixed point (always true for
+	// exact).
+	Method     string `json:"method,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Converged  bool   `json:"converged"`
+	// Tracks carries the per-track attribution, in input order. The
+	// per-track savings sum exactly to the group fields below.
+	Tracks []BusTrackResponse `json:"tracks,omitempty"`
+	// GroupBaselineWidthU / GroupWidthU sum the width objectives of the
+	// independent pessimistic and coordinated assignments over feasible
+	// tracks; BaselineInfeasible / Infeasible count tracks each
+	// assignment cannot close.
+	GroupBaselineWidthU float64 `json:"group_baseline_width_u"`
+	GroupWidthU         float64 `json:"group_width_u"`
+	BaselineInfeasible  int     `json:"baseline_infeasible,omitempty"`
+	Infeasible          int     `json:"infeasible,omitempty"`
+	// GroupAreaSaved / GroupPowerSaved total what coordination saved the
+	// group versus independent worst-case solves: repeater+shield area in
+	// width units of u, repeater switching power in microwatts.
+	GroupAreaSaved  float64 `json:"group_area_saved_um"`
+	GroupPowerSaved float64 `json:"group_power_saved_uw"`
+	// Err is the structured error envelope for a failure; nil on
+	// success. Its Code is the stable field to branch on.
+	Err *ErrorInfo `json:"error,omitempty"`
+	// Error duplicates Err.Message under the pre-envelope key
+	// "error_message". Deprecated: branch on Err.Code.
+	Error string `json:"error_message,omitempty"`
+}
+
+// FromBusResult converts an engine bus result to its wire form.
+func FromBusResult(br engine.BusResult) BusResponse {
+	out := BusResponse{V: WireVersion, Tech: br.Tech}
+	if br.Err != nil {
+		out.Err = errorInfo(br.Err, "", out.Tech)
+		out.Error = br.Err.Error()
+		return out
+	}
+	out.Method = br.Method
+	out.Iterations = br.Iterations
+	out.Converged = br.Converged
+	out.GroupBaselineWidthU = br.GroupBaselineCost
+	out.GroupWidthU = br.GroupCost
+	out.BaselineInfeasible = br.BaselineInfeasible
+	out.Infeasible = br.Infeasible
+	out.GroupAreaSaved = br.GroupAreaSaved
+	out.GroupPowerSaved = br.GroupPowerSavedW / units.MicroWatt
+	out.Tracks = make([]BusTrackResponse, len(br.Tracks))
+	for i, bt := range br.Tracks {
+		t := BusTrackResponse{
+			Scheme:           bt.Scheme,
+			MF:               bt.MF,
+			TargetNS:         bt.Target / units.NanoSecond,
+			TMinNS:           bt.TMin / units.NanoSecond,
+			BaselineFeasible: bt.Baseline.Solution.Feasible,
+			Feasible:         bt.Res.Solution.Feasible,
+			AreaSavedUM:      bt.AreaSaved,
+			PowerSavedUW:     bt.PowerSavedW / units.MicroWatt,
+			CacheHit:         bt.CacheHit,
+		}
+		if bt.Net != nil {
+			t.Net = bt.Net.Name
+		}
+		if t.BaselineFeasible {
+			t.BaselineWidthU = bt.BaselineCost
+		}
+		if t.Feasible {
+			t.WidthU = bt.Cost
+			t.DelayNS = bt.Res.Solution.Delay / units.NanoSecond
+			for _, x := range bt.Res.Solution.Assignment.Positions {
+				t.PositionsUM = append(t.PositionsUM, units.ToMicrons(x))
+			}
+			t.WidthsU = append(t.WidthsU, bt.Res.Solution.Assignment.Widths...)
+		}
+		out.Tracks[i] = t
+	}
+	return out
+}
+
+// CodedBusErrorResponse builds a bus response carrying only a failure
+// under an explicit envelope code.
+func CodedBusErrorResponse(code, techName, msg string) BusResponse {
+	return BusResponse{
+		V:     WireVersion,
+		Err:   &ErrorInfo{Code: code, Message: msg, Tech: techName},
+		Error: msg,
+	}
+}

@@ -41,7 +41,12 @@ func FromJob(j engine.Job) Request {
 		// "aggressor" would let the peer's own -aggressor default couple a
 		// job the client asked to be classic, so uncoupled jobs forward a
 		// literal "none". A coupled job with an absent scheme pins "plain".
-		if agg, err := delay.ParseAggressor(j.Aggressor); err == nil && agg == delay.AggressorNone {
+		// An explicit-factor job forwards "mf" alone — its presence already
+		// pins the scenario, and mixing it with aggressor tokens is invalid.
+		if j.MF != nil {
+			mf := *j.MF
+			r.MF = &mf
+		} else if agg, err := delay.ParseAggressor(j.Aggressor); err == nil && agg == delay.AggressorNone {
 			r.Aggressor = delay.AggressorNone.String()
 			r.Scheme = ""
 		} else {
@@ -74,6 +79,7 @@ func ToResult(resp Response, j engine.Job) engine.Result {
 	r.Eps = resp.Eps
 	r.Aggressor = resp.Aggressor
 	r.Scheme = resp.Scheme
+	r.MF = resp.MF
 	if resp.EpsBound != nil {
 		r.EpsBound = *resp.EpsBound
 	}

@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
 	"slices"
@@ -63,7 +64,7 @@ func NewRing(members []string, vnodes int) (*Ring, error) {
 			vs = append(vs, vnode{h: hash64(m + "#" + strconv.Itoa(i)), owner: m})
 		}
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i].h < vs[j].h })
+	slices.SortFunc(vs, func(a, b vnode) int { return cmp.Compare(a.h, b.h) })
 	for _, v := range vs {
 		r.hashes = append(r.hashes, v.h)
 		r.owners = append(r.owners, v.owner)

@@ -210,6 +210,29 @@ func NewCoupling(t *tech.Technology, agg Aggressor, mode SchemeMode) (*Coupling,
 	return c, nil
 }
 
+// NewCouplingFactor resolves an explicit Miller factor against a
+// technology: the plain wire is priced at exactly mf, with no
+// countermeasure schemes allowed. Bus co-optimization uses it to price a
+// track under the factor its actual neighbors produce (a blend of quiet
+// and switching sides) rather than a named scenario. mf must be finite
+// and within [0, MillerMax] — the physical range the node's coupling
+// window spans.
+func NewCouplingFactor(t *tech.Technology, mf float64) (*Coupling, error) {
+	if !t.HasCoupling() {
+		return nil, fmt.Errorf("delay: technology %s has no coupling model (MillerMax is 0)", t.Name)
+	}
+	if !(mf >= 0 && mf <= t.MillerMax) {
+		return nil, fmt.Errorf("delay: Miller factor %g outside [0, %g] for technology %s", mf, t.MillerMax, t.Name)
+	}
+	c := &Coupling{Aggressor: AggressorNone, Mode: SchemePlainOnly}
+	c.MF[SchemePlain] = mf
+	c.MF[SchemeStaggered] = mf
+	c.MF[SchemeShielded] = 0
+	c.CostUPerM[SchemeShielded] = t.ShieldUPerM
+	c.Schemes = append(c.Schemes, SchemePlain)
+	return c, nil
+}
+
 // MinMF returns the smallest Miller factor over the allowed schemes — the
 // admissible per-interval floor remaining-delay bounds must assume.
 func (c *Coupling) MinMF() float64 {

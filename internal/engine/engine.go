@@ -122,6 +122,14 @@ type Job struct {
 	// or "auto" (both). Only meaningful with a non-none Aggressor; a
 	// scheme without an aggressor is rejected.
 	Scheme string
+	// MF prices the job's coupling capacitance under an explicit Miller
+	// factor instead of a named aggressor scenario (line nets only, no
+	// countermeasure schemes). Bus co-optimization uses it to solve each
+	// track under the factor its actual neighbors produce. Mutually
+	// exclusive with Aggressor/Scheme; must be finite and within
+	// [0, MillerMax]. Factor fronts are cached under keys disjoint from
+	// scenario fronts and from the uncoupled front.
+	MF *float64
 }
 
 // Result is one net's outcome. Err is per-net: a failed job never aborts
@@ -167,6 +175,9 @@ type Result struct {
 	// StaggerLen, ShieldLen).
 	Aggressor string
 	Scheme    string
+	// MF echoes an explicit-Miller-factor job's factor (nil otherwise);
+	// such jobs leave Aggressor and Scheme empty.
+	MF *float64
 	// EpsBound is the certified relative width-suboptimality of a served
 	// ε answer: (width − lowerBound)/width ∈ [0, 1], where lowerBound is
 	// the ε front's width at Target·(1+Eps) — provably no larger than the
@@ -362,6 +373,10 @@ type Engine struct {
 	couplingSolves   atomic.Uint64
 	staggeredAnswers atomic.Uint64
 	shieldedAnswers  atomic.Uint64
+
+	// Bus co-optimization counters, exported at /metrics as rip_bus_*
+	// (see bus.go).
+	busC busCounters
 }
 
 // New builds an Engine for the technology node.
@@ -699,6 +714,22 @@ func (e *Engine) noteCouplingAnswer(staggerLen, shieldLen float64) {
 // carry the ErrBadJob class: they are malformed requests, found before
 // any solving.
 func (e *Engine) resolveCoupling(j Job, name string) (*delay.Coupling, error) {
+	if j.MF != nil {
+		if j.Aggressor != "" || j.Scheme != "" {
+			return nil, badJob("engine: net %q: give MF or an aggressor/scheme scenario, not both", name)
+		}
+		if j.TreeNet != nil {
+			return nil, badJob("engine: tree net %q: coupling-aware solving is only supported for line nets", name)
+		}
+		if mf := *j.MF; math.IsNaN(mf) || math.IsInf(mf, 0) {
+			return nil, badJob("engine: net %q: Miller factor %g is not finite", name, mf)
+		}
+		cpl, err := delay.NewCouplingFactor(e.tech, *j.MF)
+		if err != nil {
+			return nil, asBadJob(err)
+		}
+		return cpl, nil
+	}
 	agg, err := delay.ParseAggressor(j.Aggressor)
 	if err != nil {
 		return nil, asBadJob(fmt.Errorf("engine: net %q: %w", name, err))
@@ -857,8 +888,12 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 		return res
 	}
 	if cpl != nil {
-		res.Aggressor = cpl.Aggressor.String()
-		res.Scheme = cpl.Mode.String()
+		if j.MF != nil {
+			res.MF = j.MF
+		} else {
+			res.Aggressor = cpl.Aggressor.String()
+			res.Scheme = cpl.Mode.String()
+		}
 		e.couplingJobs.Add(1)
 	}
 	// Take an engine-wide solve slot: concurrent callers queue here
@@ -895,6 +930,7 @@ func (e *Engine) solveContext(ctx context.Context, j Job, s *dp.Solver) (res Res
 				hit.Eps = j.Eps
 				hit.Aggressor = res.Aggressor
 				hit.Scheme = res.Scheme
+				hit.MF = res.MF
 				return hit
 			}
 			e.rejected.Add(1)

@@ -125,6 +125,13 @@ func (s *signer) key(j Job) string {
 		b.WriteString("|e")
 		appendFloat(&b, j.Eps)
 	}
+	// An explicit-factor job's front answers different physics per factor
+	// value: the factor joins the key so no two factors (or a factor and a
+	// named scenario) ever alias.
+	if j.MF != nil {
+		b.WriteString("|m")
+		appendFloat(&b, *j.MF)
+	}
 	if agg, err := delay.ParseAggressor(j.Aggressor); err == nil && agg != delay.AggressorNone {
 		b.WriteString("|a")
 		b.WriteString(agg.String())

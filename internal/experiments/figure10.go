@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/rip-eda/rip/internal/engine"
+	"github.com/rip-eda/rip/internal/netgen"
+	"github.com/rip-eda/rip/internal/tech"
+	"github.com/rip-eda/rip/internal/units"
+)
+
+// Fig10Row is one node's aggregate of the bus co-optimization study:
+// the total repeater(+shield) area the node's bus groups need when each
+// track is signed off independently under worst-case coupling, versus
+// when neighboring tracks coordinate staggering, shielding and sizing.
+type Fig10Row struct {
+	// Tech is the node's canonical name.
+	Tech string
+	// Groups and Tracks count the node's corpus.
+	Groups, Tracks int
+	// BaselineWidthU / CoordWidthU total the width objective over all
+	// groups (units of u; shields included on the coordinated side) for
+	// the independent pessimistic and coordinated assignments.
+	BaselineWidthU, CoordWidthU float64
+	// AreaSavedUM / PowerSavedUW total what coordination saved: area in
+	// width units of u, repeater switching power in microwatts.
+	AreaSavedUM, PowerSavedUW float64
+	// SavingsPct is the group area saving in percent of the baseline.
+	SavingsPct float64
+	// Shielded, Staggered and Plain count the co-decided track schemes.
+	Shielded, Staggered, Plain int
+	// Infeasible counts tracks the coordinated assignment cannot close
+	// (never more than the independent baseline leaves open).
+	Infeasible int
+}
+
+// Figure10Result is the bus study: per node, what neighbor-aware joint
+// optimization buys over per-track worst-case sign-off.
+type Figure10Result struct {
+	// GroupsPerNode is the per-node bus-group count.
+	GroupsPerNode int
+	// Multiplier is the timing target relative to each track's
+	// pessimistic coupled τmin, identical in both assignments.
+	Multiplier float64
+	// Rows are ordered by node, shrink order 180→65.
+	Rows []Fig10Row
+}
+
+// Figure10 runs the joint bus co-optimization study on every built-in
+// node: a deterministic corpus of bus groups (2–6 parallel tracks
+// each) is solved twice from one engine pass — the independent
+// worst-case baseline every track would get signed off alone, and the
+// coordinated assignment where neighbors phase their switching
+// (staggering), ground a victim (shielding) or stay plain so the group
+// closes the SAME absolute budgets with less area. Both assignments
+// come out of Engine.SolveBus, so the numbers are exactly what
+// /v1/bus and ripcli -bus report.
+func Figure10(seed int64, groups int) (*Figure10Result, error) {
+	const mult = 1.2
+	reg := tech.DefaultRegistry()
+	multi, err := engine.NewMulti(reg, "180nm", engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure10Result{GroupsPerNode: groups, Multiplier: mult}
+	for _, name := range tech.BuiltinNames() {
+		node, _, err := reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := netgen.DefaultConfig(node)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err := netgen.BusCorpus(seed, groups, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{Tech: name, Groups: len(corpus)}
+		for _, g := range corpus {
+			br := multi.SolveBus(context.Background(), engine.BusJob{
+				Tracks: g, Tech: name, TargetMult: mult,
+			})
+			if br.Err != nil {
+				return nil, fmt.Errorf("experiments: figure 10 group %q on %s: %w", g[0].Name, name, br.Err)
+			}
+			row.Tracks += len(br.Tracks)
+			row.BaselineWidthU += br.GroupBaselineCost
+			row.CoordWidthU += br.GroupCost
+			row.AreaSavedUM += br.GroupAreaSaved
+			row.PowerSavedUW += br.GroupPowerSavedW / units.MicroWatt
+			row.Infeasible += br.Infeasible
+			for _, t := range br.Tracks {
+				switch t.Scheme {
+				case "shielded":
+					row.Shielded++
+				case "staggered":
+					row.Staggered++
+				default:
+					row.Plain++
+				}
+			}
+		}
+		if row.BaselineWidthU > 0 {
+			row.SavingsPct = 100 * (row.BaselineWidthU - row.CoordWidthU) / row.BaselineWidthU
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the study as an ASCII table.
+func (r *Figure10Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 10 — joint bus co-optimization vs independent worst-case sign-off at %.2g×τmin (%d groups/node)\n",
+		r.Multiplier, r.GroupsPerNode)
+	fmt.Fprintf(w, "%-8s %6s %12s %12s %8s %12s %6s %6s %6s %6s\n",
+		"tech", "tracks", "indep u", "coord u", "saved %", "saved µW", "shld", "stag", "plain", "infeas")
+	fmt.Fprintln(w, strings.Repeat("-", 92))
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %6d %12.1f %12.1f %8.2f %12.2f %6d %6d %6d %6d\n",
+			row.Tech, row.Tracks, row.BaselineWidthU, row.CoordWidthU, row.SavingsPct,
+			row.PowerSavedUW, row.Shielded, row.Staggered, row.Plain, row.Infeasible)
+	}
+}
+
+// WriteCSV writes the study in machine-readable form.
+func (r *Figure10Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "tech,groups,tracks,baseline_width_u,coordinated_width_u,savings_pct,area_saved_um,power_saved_uw,shielded,staggered,plain,infeasible"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+			row.Tech, row.Groups, row.Tracks, row.BaselineWidthU, row.CoordWidthU,
+			row.SavingsPct, row.AreaSavedUM, row.PowerSavedUW,
+			row.Shielded, row.Staggered, row.Plain, row.Infeasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}

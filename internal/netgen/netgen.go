@@ -138,6 +138,48 @@ func Corpus(seed int64, count int, cfg Config) ([]*wire.Net, error) {
 	return nets, nil
 }
 
+// BusGroup generates one bus of k parallel tracks named
+// "<name>.t0" … "<name>.t<k-1>". All tracks of a group share one routed
+// geometry — the members of a real bus run the same length over the
+// same layers — so a group exercises the engine's per-(shape, factor)
+// front sharing: however wide the bus, each factor is solved once.
+func BusGroup(rng *rand.Rand, cfg Config, name string, k int) ([]*wire.Net, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("netgen: a bus group needs at least 2 tracks, got %d", k)
+	}
+	base, err := Generate(rng, cfg, name+".t0")
+	if err != nil {
+		return nil, err
+	}
+	tracks := make([]*wire.Net, k)
+	tracks[0] = base
+	for i := 1; i < k; i++ {
+		t := *base // the Line is immutable and safely shared
+		t.Name = fmt.Sprintf("%s.t%d", name, i)
+		tracks[i] = &t
+	}
+	return tracks, nil
+}
+
+// BusCorpus generates count bus groups deterministically from the seed,
+// 2–6 tracks each, named "bus01" onward.
+func BusCorpus(seed int64, count int, cfg Config) ([][]*wire.Net, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("netgen: count must be positive, got %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	groups := make([][]*wire.Net, count)
+	for i := range groups {
+		k := 2 + rng.Intn(5)
+		g, err := BusGroup(rng, cfg, fmt.Sprintf("bus%02d", i+1), k)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = g
+	}
+	return groups, nil
+}
+
 // Paper20 returns the 20-net corpus used throughout the experiments, on
 // the given technology, for the given seed.
 func Paper20(t *tech.Technology, seed int64) ([]*wire.Net, error) {

@@ -53,6 +53,7 @@ type metrics struct {
 	optimize  routeMetrics
 	batch     routeMetrics
 	front     routeMetrics
+	bus       routeMetrics
 	inflight  atomic.Int64
 	nets      atomic.Uint64 // nets solved over HTTP (all routes)
 	netErrors atomic.Uint64 // per-net failures over HTTP
@@ -64,6 +65,8 @@ func (m *metrics) route(name string) *routeMetrics {
 		return &m.batch
 	case "front":
 		return &m.front
+	case "bus":
+		return &m.bus
 	}
 	return &m.optimize
 }
@@ -76,7 +79,7 @@ func (m *metrics) routes() []struct {
 	return []struct {
 		name string
 		rm   *routeMetrics
-	}{{"optimize", &m.optimize}, {"batch", &m.batch}, {"front", &m.front}}
+	}{{"optimize", &m.optimize}, {"batch", &m.batch}, {"front", &m.front}, {"bus", &m.bus}}
 }
 
 // writePrometheus renders the counter set in the Prometheus text
@@ -154,6 +157,7 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		front engine.FrontStats
 		eps   engine.EpsStats
 		cpl   engine.CouplingStats
+		busS  engine.BusStats
 	}
 	snaps := make([]techSnap, 0, len(names))
 	for _, name := range names {
@@ -162,7 +166,8 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 			continue
 		}
 		snaps = append(snaps, techSnap{name: name, cache: e.CacheStats(), dp: e.DPStats(),
-			tree: e.TreeDPStats(), front: e.FrontStats(), eps: e.EpsStats(), cpl: e.CouplingStats()})
+			tree: e.TreeDPStats(), front: e.FrontStats(), eps: e.EpsStats(), cpl: e.CouplingStats(),
+			busS: e.BusStats()})
 	}
 	perTech := func(metric, kind, help string, get func(techSnap) uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n", metric, help)
@@ -257,6 +262,21 @@ func (m *metrics) writePrometheus(w io.Writer, eng *engine.Multi, start time.Tim
 		func(s techSnap) uint64 { return s.cpl.StaggeredAnswers })
 	perTech("rip_coupling_shielded_answers_total", "counter", "Served answers shielding at least one interval, by node.",
 		func(s techSnap) uint64 { return s.cpl.ShieldedAnswers })
+
+	// Bus co-optimization counters: how much of the workload arrives as
+	// track groups, and which co-decision algorithm answers them. Sweeps
+	// against iterated jobs is the convergence health signal — an average
+	// near the 32-sweep cap means best-response is being cut off.
+	perTech("rip_bus_jobs_total", "counter", "Accepted bus co-optimization jobs, by node.",
+		func(s techSnap) uint64 { return s.busS.Jobs })
+	perTech("rip_bus_tracks_total", "counter", "Member tracks across accepted bus jobs, by node.",
+		func(s techSnap) uint64 { return s.busS.Tracks })
+	perTech("rip_bus_exact_total", "counter", "Bus jobs answered by the joint chain DP, by node.",
+		func(s techSnap) uint64 { return s.busS.Exact })
+	perTech("rip_bus_iterated_total", "counter", "Bus jobs answered by iterated best-response, by node.",
+		func(s techSnap) uint64 { return s.busS.Iterated })
+	perTech("rip_bus_sweeps_total", "counter", "Best-response sweeps across iterated bus jobs, by node.",
+		func(s techSnap) uint64 { return s.busS.Sweeps })
 
 	// Cluster forwarding health (only when a ring is configured). The
 	// forwards/fallbacks split is the signal that matters: fallbacks

@@ -15,6 +15,9 @@
 //	                    results in input order, per-net error isolation
 //	POST /v1/front      one api.Request in (no budget required), the
 //	                    net's whole power–delay Pareto front out
+//	POST /v1/bus        one api.BusRequest in (a group of parallel
+//	                    tracks in adjacency order), the co-decided
+//	                    per-track schemes and group savings out
 //	GET  /livez         process liveness: 200 as long as the process
 //	                    serves HTTP at all
 //	GET  /readyz        traffic readiness: 503 while draining or while
@@ -154,6 +157,7 @@ func New(eng *engine.Multi, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/front", s.handleFront)
+	s.mux.HandleFunc("POST /v1/bus", s.handleBus)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	// /healthz predates the livez/readyz split; existing probes expect
@@ -364,6 +368,74 @@ func (s *Server) handleFront(w http.ResponseWriter, r *http.Request) {
 		status = statusFor(api.ErrorCode(fr.Err))
 	}
 	respond(w, status, api.FromFrontResult(fr))
+}
+
+// handleBus serves joint bus co-optimization: a group of parallel
+// tracks in adjacency order, co-decided per-track countermeasures out,
+// with the group's savings against independent worst-case solves.
+// Member solves run through the shared engine's worker pool and
+// solution cache, so bus traffic warms the same per-shape entries line
+// traffic uses — and under a cluster, each member is forwarded to its
+// shape's owner like an ordinary pinned line job.
+func (s *Server) handleBus(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, "bus")
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	req, ok := s.decodeBus(w, r)
+	if !ok {
+		return
+	}
+	br := s.eng.SolveBus(ctx, req.Job())
+	s.m.nets.Add(uint64(len(req.Tracks)))
+	status := http.StatusOK
+	if br.Err != nil {
+		s.m.netErrors.Add(1)
+		status = statusFor(api.ErrorCode(br.Err))
+	}
+	respond(w, status, api.FromBusResult(br))
+}
+
+// decodeBus mirrors decodeSingle for the bus wire shape: read, decode,
+// resolve the technology, cap the group size, apply the default budget
+// and validate. On failure the coded bus envelope has been written.
+func (s *Server) decodeBus(w http.ResponseWriter, r *http.Request) (api.BusRequest, bool) {
+	failBus := func(code, tech, msg string) {
+		respond(w, statusFor(code), api.CodedBusErrorResponse(code, tech, msg))
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		failBus(bodyErrCode(err), "", "reading request: "+err.Error())
+		return api.BusRequest{}, false
+	}
+	var req api.BusRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		failBus(api.CodeBadRequest, "", "decoding bus request: "+err.Error())
+		return api.BusRequest{}, false
+	}
+	if _, err := s.eng.Resolve(req.Tech); err != nil {
+		s.m.netErrors.Add(1)
+		failBus(api.CodeUnknownTech, req.Tech, err.Error())
+		return api.BusRequest{}, false
+	}
+	// The array-batch net cap bounds bus width too: a bus IS a batch of
+	// member solves, several per track.
+	if len(req.Tracks) > s.opts.MaxBatchNets {
+		failBus(api.CodeTooLarge, req.Tech,
+			fmt.Sprintf("bus of %d tracks exceeds the %d-net limit", len(req.Tracks), s.opts.MaxBatchNets))
+		return api.BusRequest{}, false
+	}
+	req.ApplyDefault(s.opts.DefaultTargetMult, 0)
+	if err := req.Validate(); err != nil {
+		s.m.netErrors.Add(1)
+		failBus(api.ErrorCode(err), req.Tech, err.Error())
+		return api.BusRequest{}, false
+	}
+	return req, true
 }
 
 // handleBatch accepts the two body shapes of the shared wire format: a

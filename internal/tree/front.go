@@ -1,7 +1,9 @@
 package tree
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -78,15 +80,14 @@ func (s *Solver) InsertFront(t *Tree, opts Options) (Front, Stats, error) {
 	// point where the record first drops to width w* is the max-slack,
 	// earliest-arena option of that width — exactly the option the Insert
 	// driver loop picks for any slack requirement that admits it.
-	sort.Slice(roots, func(a, b int) bool {
-		ra, rb := &roots[a], &roots[b]
-		switch {
-		case ra.slack != rb.slack:
-			return ra.slack > rb.slack
-		case ra.w != rb.w:
-			return ra.w < rb.w
+	slices.SortFunc(roots, func(a, b rootOpt) int {
+		if a.slack != b.slack {
+			return cmp.Compare(b.slack, a.slack)
 		}
-		return ra.idx < rb.idx
+		if a.w != b.w {
+			return cmp.Compare(a.w, b.w)
+		}
+		return cmp.Compare(a.idx, b.idx)
 	})
 	front := make(Front, 0, 8)
 	bestW := math.Inf(1)

@@ -196,3 +196,15 @@ func GenerateNet(t *Technology, rng *rand.Rand, name string) (*Net, error) {
 	}
 	return netgen.Generate(rng, cfg, name)
 }
+
+// GenerateBusGroups produces count random bus track groups (2–6 parallel
+// tracks each, §6 segment distribution, one shared geometry per group)
+// deterministically from the seed — the workload Engine.SolveBus and
+// /v1/bus co-optimize.
+func GenerateBusGroups(t *Technology, seed int64, count int) ([][]*Net, error) {
+	cfg, err := netgen.DefaultConfig(t)
+	if err != nil {
+		return nil, err
+	}
+	return netgen.BusCorpus(seed, count, cfg)
+}
